@@ -1,0 +1,299 @@
+//! Deterministic finite automata with dense, byte-class–indexed transition
+//! tables, and the sequential matcher (Algorithm 2 of the paper).
+
+use crate::byteclass::ByteClasses;
+use crate::nfa::StateId;
+
+/// A complete deterministic finite automaton.
+///
+/// The transition table is dense: row `q` holds one successor per byte
+/// class. With the identity byte-class partition this is exactly the
+/// paper's layout ("256 symbols times 4 bytes" per state); with alphabet
+/// compression the rows shrink to the number of distinct classes.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    classes: ByteClasses,
+    stride: usize,
+    table: Vec<StateId>,
+    accepting: Vec<bool>,
+    start: StateId,
+}
+
+impl Dfa {
+    /// Builds a DFA from raw parts. Panics if the parts are inconsistent.
+    ///
+    /// `table` must have `accepting.len() * classes.count()` entries and
+    /// every entry must be a valid state id.
+    pub fn from_parts(
+        classes: ByteClasses,
+        table: Vec<StateId>,
+        accepting: Vec<bool>,
+        start: StateId,
+    ) -> Dfa {
+        let stride = classes.count();
+        let num_states = accepting.len();
+        assert!(num_states > 0, "a DFA needs at least one state");
+        assert_eq!(table.len(), num_states * stride, "transition table size mismatch");
+        assert!((start as usize) < num_states, "start state out of range");
+        assert!(
+            table.iter().all(|&t| (t as usize) < num_states),
+            "transition target out of range"
+        );
+        Dfa { classes, stride, table, accepting, start }
+    }
+
+    /// Number of states, including the dead state if one is reachable
+    /// (the DFA is always complete).
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.accepting.len()
+    }
+
+    /// Number of states that can still reach an accepting state.
+    ///
+    /// This matches the state counts reported in the paper, which treats
+    /// the DFA as partial (its `|D| = 10` for `r_5` does not count the
+    /// failure sink).
+    pub fn num_live_states(&self) -> usize {
+        self.live_states().iter().filter(|&&l| l).count()
+    }
+
+    /// The byte-class partition used by the transition table.
+    #[inline]
+    pub fn classes(&self) -> &ByteClasses {
+        &self.classes
+    }
+
+    /// Number of byte classes (the row width of the transition table).
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.stride
+    }
+
+    /// The initial state.
+    #[inline]
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Returns true if `state` is accepting.
+    #[inline]
+    pub fn is_accepting(&self, state: StateId) -> bool {
+        self.accepting[state as usize]
+    }
+
+    /// The accepting-state bitmap.
+    pub fn accepting(&self) -> &[bool] {
+        &self.accepting
+    }
+
+    /// Transition on a byte class.
+    #[inline]
+    pub fn next_by_class(&self, state: StateId, class: u16) -> StateId {
+        self.table[state as usize * self.stride + class as usize]
+    }
+
+    /// Transition on a byte (one table lookup, as in Algorithm 2).
+    #[inline]
+    pub fn next_state(&self, state: StateId, byte: u8) -> StateId {
+        self.next_by_class(state, self.classes.class_of(byte))
+    }
+
+    /// The raw transition table (row-major, `num_states × num_classes`).
+    pub fn table(&self) -> &[StateId] {
+        &self.table
+    }
+
+    /// Size of the transition table in bytes (the paper's "1 KB per state"
+    /// figure corresponds to the identity partition).
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<StateId>()
+    }
+
+    /// **Algorithm 2** — sequential computation of the DFA: runs the input
+    /// from the start state and returns the final state.
+    pub fn run(&self, input: &[u8]) -> StateId {
+        self.run_from(self.start, input)
+    }
+
+    /// Runs the input from an arbitrary state (used by the speculative
+    /// parallel matcher and by the reductions).
+    pub fn run_from(&self, state: StateId, input: &[u8]) -> StateId {
+        let mut q = state;
+        for &b in input {
+            q = self.next_state(q, b);
+        }
+        q
+    }
+
+    /// Whole-input membership test (Algorithm 2 plus the acceptance check).
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        self.is_accepting(self.run(input))
+    }
+
+    /// For every state, whether an accepting state is reachable from it.
+    pub fn live_states(&self) -> Vec<bool> {
+        // Backward reachability from the accepting states.
+        let n = self.num_states();
+        let mut reverse: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for q in 0..n {
+            for c in 0..self.stride {
+                let t = self.table[q * self.stride + c] as usize;
+                reverse[t].push(q as StateId);
+            }
+        }
+        let mut live = vec![false; n];
+        let mut stack: Vec<StateId> = Vec::new();
+        for (q, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                live[q] = true;
+                stack.push(q as StateId);
+            }
+        }
+        while let Some(q) = stack.pop() {
+            for &p in &reverse[q as usize] {
+                if !live[p as usize] {
+                    live[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        live
+    }
+
+    /// Returns the dead (failure-sink) state if the DFA has exactly one
+    /// non-live state, which is the common case after minimization.
+    pub fn dead_state(&self) -> Option<StateId> {
+        let live = self.live_states();
+        let mut dead = None;
+        for (q, &l) in live.iter().enumerate() {
+            if !l {
+                if dead.is_some() {
+                    return None;
+                }
+                dead = Some(q as StateId);
+            }
+        }
+        dead
+    }
+
+    /// Returns true if the automaton accepts no word at all.
+    pub fn is_empty_language(&self) -> bool {
+        !self.live_states()[self.start as usize]
+    }
+
+    /// Returns true if every state is accepting (the automaton accepts every
+    /// word).
+    pub fn is_universal_language(&self) -> bool {
+        // Forward reachability from the start over non-accepting... simpler:
+        // the language is universal iff no reachable state is rejecting.
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(q) = stack.pop() {
+            if !self.is_accepting(q) {
+                return false;
+            }
+            for c in 0..self.stride {
+                let t = self.table[q as usize * self.stride + c];
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::byteclass::ByteClasses;
+
+    /// A hand-built DFA for `(ab)*` — Fig. 1 of the paper.
+    ///
+    /// State 0: start/accept, state 1: saw `a`, state 2: dead.
+    pub(crate) fn paper_d1() -> Dfa {
+        let classes = ByteClasses::from_sets([
+            &sfa_regex_syntax::ByteSet::singleton(b'a'),
+            &sfa_regex_syntax::ByteSet::singleton(b'b'),
+        ]);
+        let ca = classes.class_of(b'a') as usize;
+        let cb = classes.class_of(b'b') as usize;
+        let stride = classes.count();
+        let mut table = vec![0 as StateId; 3 * stride];
+        // default everything to the dead state 2
+        for t in table.iter_mut() {
+            *t = 2;
+        }
+        table[ca] = 1; // 0 --a--> 1
+        table[stride + cb] = 0; // 1 --b--> 0
+        Dfa::from_parts(classes, table, vec![true, false, false], 0)
+    }
+
+    #[test]
+    fn algorithm2_on_paper_example() {
+        let d = paper_d1();
+        assert!(d.accepts(b""));
+        assert!(d.accepts(b"ab"));
+        assert!(d.accepts(b"abab"));
+        assert!(!d.accepts(b"a"));
+        assert!(!d.accepts(b"ba"));
+        assert!(!d.accepts(b"abx"));
+        assert_eq!(d.run(b"abab"), 0);
+        assert_eq!(d.run(b"aba"), 1);
+        assert_eq!(d.run(b"abb"), 2);
+    }
+
+    #[test]
+    fn run_from_arbitrary_state() {
+        let d = paper_d1();
+        assert_eq!(d.run_from(1, b"b"), 0);
+        assert_eq!(d.run_from(1, b"a"), 2);
+        assert_eq!(d.run_from(2, b"ababab"), 2, "dead state absorbs");
+    }
+
+    #[test]
+    fn live_and_dead_states() {
+        let d = paper_d1();
+        let live = d.live_states();
+        assert_eq!(live, vec![true, true, false]);
+        assert_eq!(d.num_live_states(), 2);
+        assert_eq!(d.dead_state(), Some(2));
+        assert!(!d.is_empty_language());
+        assert!(!d.is_universal_language());
+    }
+
+    #[test]
+    fn table_size_accounting() {
+        let d = paper_d1();
+        assert_eq!(d.num_classes(), 3); // 'a', 'b', everything else
+        assert_eq!(d.table_bytes(), 3 * 3 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "transition table size mismatch")]
+    fn from_parts_validates_table_size() {
+        Dfa::from_parts(ByteClasses::single(), vec![0, 0], vec![true], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "start state out of range")]
+    fn from_parts_validates_start() {
+        Dfa::from_parts(ByteClasses::single(), vec![0], vec![true], 5);
+    }
+
+    #[test]
+    fn universal_and_empty_language_detection() {
+        // One accepting state looping to itself on everything: universal.
+        let d = Dfa::from_parts(ByteClasses::single(), vec![0], vec![true], 0);
+        assert!(d.is_universal_language());
+        assert!(!d.is_empty_language());
+        // One rejecting state looping to itself: empty.
+        let d = Dfa::from_parts(ByteClasses::single(), vec![0], vec![false], 0);
+        assert!(d.is_empty_language());
+        assert!(!d.is_universal_language());
+        assert_eq!(d.num_live_states(), 0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Graphviz (DOT) export for NFAs and DFAs.
+//!
+//! Used by the `reproduce fig45` harness to emit the structures shown in
+//! Figures 1, 2, 4 and 5 of the paper, and handy for debugging.
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use sfa_regex_syntax::class::DebugByte;
+use std::fmt::Write;
+
+/// Renders a byte-set label compactly for an edge.
+fn class_label(bytes: &sfa_regex_syntax::ByteSet) -> String {
+    if bytes.is_full() {
+        return "any".to_string();
+    }
+    if bytes.len() == 1 {
+        return format!("{}", DebugByte(bytes.min_byte().unwrap()));
+    }
+    let ranges = bytes.ranges();
+    let mut label = String::from("[");
+    for (i, (s, e)) in ranges.iter().enumerate() {
+        if i > 0 {
+            label.push(' ');
+        }
+        if s == e {
+            let _ = write!(label, "{}", DebugByte(*s));
+        } else {
+            let _ = write!(label, "{}-{}", DebugByte(*s), DebugByte(*e));
+        }
+        if i >= 4 && ranges.len() > 6 {
+            let _ = write!(label, " …");
+            break;
+        }
+    }
+    label.push(']');
+    label
+}
+
+/// Renders an NFA in Graphviz DOT format.
+pub fn nfa_to_dot(nfa: &Nfa, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  start [shape=point];");
+    let _ = writeln!(out, "  start -> s{};", nfa.start());
+    for q in nfa.accepting() {
+        let _ = writeln!(out, "  s{} [shape=doublecircle];", q);
+    }
+    for (q, state) in nfa.states().iter().enumerate() {
+        for (bytes, t) in &state.transitions {
+            let _ = writeln!(out, "  s{} -> s{} [label=\"{}\"];", q, t, escape(&class_label(bytes)));
+        }
+        for t in &state.epsilon {
+            let _ = writeln!(out, "  s{} -> s{} [label=\"ε\", style=dashed];", q, t);
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a DFA in Graphviz DOT format. Transitions into the dead state are
+/// omitted to keep the picture readable (exactly as the paper's figures do).
+pub fn dfa_to_dot(dfa: &Dfa, name: &str) -> String {
+    let dead = dfa.dead_state();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle];");
+    let _ = writeln!(out, "  start [shape=point];");
+    let _ = writeln!(out, "  start -> s{};", dfa.start());
+    for q in 0..dfa.num_states() as u32 {
+        if Some(q) == dead {
+            continue;
+        }
+        if dfa.is_accepting(q) {
+            let _ = writeln!(out, "  s{} [shape=doublecircle];", q);
+        }
+        for class in 0..dfa.num_classes() as u16 {
+            let t = dfa.next_by_class(q, class);
+            if Some(t) == dead {
+                continue;
+            }
+            let bytes = dfa.classes().bytes_in_class(class);
+            let _ = writeln!(
+                out,
+                "  s{} -> s{} [label=\"{}\"];",
+                q,
+                t,
+                escape(&class_label(&bytes))
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if cleaned.is_empty() {
+        "automaton".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize::minimal_dfa_from_pattern;
+    use crate::nfa::Nfa;
+
+    #[test]
+    fn nfa_dot_contains_all_states() {
+        let nfa = Nfa::from_pattern("(ab)*").unwrap();
+        let dot = nfa_to_dot(&nfa, "n1");
+        assert!(dot.starts_with("digraph n1 {"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("ε"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dfa_dot_omits_dead_state() {
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let dot = dfa_to_dot(&dfa, "fig1");
+        // Three states but the dead one is hidden: only s0 and s1 appear as
+        // sources.
+        let dead = dfa.dead_state().unwrap();
+        assert!(!dot.contains(&format!("s{} ->", dead)));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("label=\"a\""));
+        assert!(dot.contains("label=\"b\""));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let dfa = minimal_dfa_from_pattern("a").unwrap();
+        let dot = dfa_to_dot(&dfa, "fig 4 (r2)");
+        assert!(dot.starts_with("digraph fig_4__r2_ {"));
+        let dot = dfa_to_dot(&dfa, "");
+        assert!(dot.starts_with("digraph automaton {"));
+    }
+
+    #[test]
+    fn labels_render_ranges() {
+        let dfa = minimal_dfa_from_pattern("[0-4]{1}[5-9]{1}").unwrap();
+        let dot = dfa_to_dot(&dfa, "r1");
+        assert!(dot.contains("[0-4]"));
+        assert!(dot.contains("[5-9]"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Language-equivalence checking between DFAs.
+//!
+//! Used by the test suite to validate that every stage of the pipeline
+//! (determinization, minimization, SFA construction) preserves the language,
+//! mirroring the paper's equivalence proofs (Theorems 1 and 2).
+
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+use std::collections::{HashMap, VecDeque};
+
+/// Returns true if the two DFAs accept exactly the same language.
+///
+/// Runs a breadth-first product construction and checks that every reachable
+/// pair agrees on acceptance. Cost is `O(|A| · |B| · 256)` in the worst
+/// case, which is fine for the sizes used in tests and experiments.
+pub fn equivalent(a: &Dfa, b: &Dfa) -> bool {
+    counterexample(a, b).is_none()
+}
+
+/// Returns a shortest input on which the two DFAs disagree, or `None` if
+/// they are equivalent.
+pub fn counterexample(a: &Dfa, b: &Dfa) -> Option<Vec<u8>> {
+    let mut seen: HashMap<(StateId, StateId), Option<(StateId, StateId, u8)>> = HashMap::new();
+    let start = (a.start(), b.start());
+    seen.insert(start, None);
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+
+    while let Some((qa, qb)) = queue.pop_front() {
+        if a.is_accepting(qa) != b.is_accepting(qb) {
+            // Reconstruct the path.
+            let mut path = Vec::new();
+            let mut cur = (qa, qb);
+            while let Some(Some((pa, pb, byte))) = seen.get(&cur) {
+                path.push(*byte);
+                cur = (*pa, *pb);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        let mut prev_pair: Option<(StateId, StateId)> = None;
+        for byte in 0u16..=255 {
+            let byte = byte as u8;
+            let next = (a.next_state(qa, byte), b.next_state(qb, byte));
+            // Cheap dedup for consecutive bytes landing on the same pair.
+            if prev_pair == Some(next) {
+                continue;
+            }
+            prev_pair = Some(next);
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(next) {
+                e.insert(Some((qa, qb, byte)));
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::determinize::dfa_from_pattern;
+    use crate::minimize::minimal_dfa_from_pattern;
+
+    #[test]
+    fn identical_patterns_are_equivalent() {
+        let a = dfa_from_pattern("(ab)*").unwrap();
+        let b = minimal_dfa_from_pattern("(ab)*").unwrap();
+        assert!(equivalent(&a, &b));
+        assert!(counterexample(&a, &b).is_none());
+    }
+
+    #[test]
+    fn syntactically_different_equivalent_patterns() {
+        let a = minimal_dfa_from_pattern("a(ba)*").unwrap();
+        let b = minimal_dfa_from_pattern("(ab)*a").unwrap();
+        assert!(equivalent(&a, &b));
+
+        let a = minimal_dfa_from_pattern("(a|b)*").unwrap();
+        let b = minimal_dfa_from_pattern("(a*b*)*").unwrap();
+        assert!(equivalent(&a, &b));
+    }
+
+    #[test]
+    fn different_languages_yield_counterexample() {
+        let a = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let b = minimal_dfa_from_pattern("(ab)+").unwrap();
+        let ce = counterexample(&a, &b).expect("languages differ");
+        // The shortest separating word is the empty word.
+        assert_eq!(ce, Vec::<u8>::new());
+        assert_eq!(a.accepts(&ce), true);
+        assert_eq!(b.accepts(&ce), false);
+    }
+
+    #[test]
+    fn counterexample_is_a_real_witness() {
+        let a = minimal_dfa_from_pattern("a{2,5}").unwrap();
+        let b = minimal_dfa_from_pattern("a{2,6}").unwrap();
+        let ce = counterexample(&a, &b).expect("languages differ");
+        assert_ne!(a.accepts(&ce), b.accepts(&ce));
+        assert_eq!(ce, b"aaaaaa".to_vec());
+    }
+
+    #[test]
+    fn case_insensitive_vs_explicit_class() {
+        let a = minimal_dfa_from_pattern("(?i)abc").unwrap();
+        let b = minimal_dfa_from_pattern("[aA][bB][cC]").unwrap();
+        assert!(equivalent(&a, &b));
+    }
+}

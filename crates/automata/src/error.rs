@@ -1,0 +1,73 @@
+//! Errors produced while compiling automata.
+
+use sfa_regex_syntax::ParseError;
+use std::fmt;
+
+/// An error produced while turning a pattern into an NFA, DFA or SFA.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The pattern itself failed to parse.
+    Parse(ParseError),
+    /// A counted repetition would unroll into too many NFA states.
+    RepetitionTooLarge {
+        /// Number of copies requested.
+        copies: usize,
+        /// AST size of the repeated node.
+        node_size: usize,
+    },
+    /// Determinization (or SFA construction) exceeded the configured state
+    /// limit. The paper applies the same cut-off: "We did not use too large
+    /// expressions for which DFA has more than 1000 states".
+    TooManyStates {
+        /// The configured limit that was exceeded.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Parse(e) => write!(f, "{}", e),
+            CompileError::RepetitionTooLarge { copies, node_size } => write!(
+                f,
+                "repetition of {} copies of a sub-expression of size {} is too large to unroll",
+                copies, node_size
+            ),
+            CompileError::TooManyStates { limit } => {
+                write!(f, "automaton construction exceeded the state limit of {}", limit)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for CompileError {
+    fn from(e: ParseError) -> Self {
+        CompileError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CompileError::RepetitionTooLarge { copies: 10, node_size: 5 };
+        assert!(e.to_string().contains("10"));
+        let e = CompileError::TooManyStates { limit: 1000 };
+        assert!(e.to_string().contains("1000"));
+        let parse_err = sfa_regex_syntax::parse("(").unwrap_err();
+        let e: CompileError = parse_err.into();
+        assert!(matches!(e, CompileError::Parse(_)));
+        assert!(e.to_string().contains("parse error"));
+    }
+}

@@ -1,0 +1,267 @@
+//! DFA minimization (Hopcroft's partition-refinement algorithm).
+//!
+//! The paper's Figure 3 experiment compares D-SFA sizes against *minimal*
+//! DFA sizes, so minimization is part of the standard pipeline:
+//! `regex → NFA → DFA → minimal DFA → D-SFA`.
+
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+
+/// Minimizes a complete DFA, returning an equivalent DFA with the minimum
+/// number of states (including at most one dead state).
+///
+/// Only accessible states are considered (the subset construction never
+/// creates inaccessible ones). The byte-class partition of the input is
+/// kept as-is.
+pub fn minimize(dfa: &Dfa) -> Dfa {
+    let n = dfa.num_states();
+    let stride = dfa.num_classes();
+    if n <= 1 {
+        return dfa.clone();
+    }
+
+    // Reverse transition lists: inverse[c][t] = states q with δ(q, c) = t.
+    let mut inverse: Vec<Vec<Vec<StateId>>> = vec![vec![Vec::new(); n]; stride];
+    for q in 0..n {
+        for c in 0..stride {
+            let t = dfa.table()[q * stride + c] as usize;
+            inverse[c][t].push(q as StateId);
+        }
+    }
+
+    // Partition data structures.
+    // block_of[q] = index of the block containing q.
+    let mut block_of: Vec<usize> = vec![0; n];
+    let mut blocks: Vec<Vec<StateId>> = Vec::new();
+
+    let accepting: Vec<StateId> =
+        (0..n as StateId).filter(|&q| dfa.is_accepting(q)).collect();
+    let rejecting: Vec<StateId> =
+        (0..n as StateId).filter(|&q| !dfa.is_accepting(q)).collect();
+    for q in &accepting {
+        block_of[*q as usize] = 0;
+    }
+    match (accepting.is_empty(), rejecting.is_empty()) {
+        (false, false) => {
+            for q in &rejecting {
+                block_of[*q as usize] = 1;
+            }
+            blocks.push(accepting);
+            blocks.push(rejecting);
+        }
+        (false, true) => blocks.push(accepting),
+        (true, false) => blocks.push(rejecting),
+        (true, true) => unreachable!("n > 0"),
+    }
+
+    // Hopcroft worklist: (block index, class index).
+    let mut worklist: Vec<(usize, usize)> = Vec::new();
+    {
+        // Start from the smaller of the two initial blocks (or the only one).
+        let pivot = if blocks.len() == 2 && blocks[1].len() < blocks[0].len() { 1 } else { 0 };
+        for c in 0..stride {
+            worklist.push((pivot, c));
+        }
+    }
+
+    // Scratch: for each block touched by the splitter, the members that are
+    // predecessors of the splitter.
+    let mut touched: Vec<usize> = Vec::new();
+    let mut intersection: Vec<Vec<StateId>> = vec![Vec::new(); n.max(2)];
+
+    while let Some((a_idx, class)) = worklist.pop() {
+        // X = { q | δ(q, class) ∈ A }
+        // Group X by the block of q.
+        let a_members: Vec<StateId> = blocks[a_idx].clone();
+        for &t in &a_members {
+            for &q in &inverse[class][t as usize] {
+                let b = block_of[q as usize];
+                if intersection[b].is_empty() {
+                    touched.push(b);
+                }
+                intersection[b].push(q);
+            }
+        }
+
+        for &b_idx in &touched {
+            let hit = std::mem::take(&mut intersection[b_idx]);
+            if hit.len() == blocks[b_idx].len() {
+                // The whole block is in X: no split.
+                continue;
+            }
+            // Split block b into (hit) and (rest).
+            let mut rest = Vec::with_capacity(blocks[b_idx].len() - hit.len());
+            {
+                let hit_marks: std::collections::HashSet<StateId> = hit.iter().copied().collect();
+                for &q in &blocks[b_idx] {
+                    if !hit_marks.contains(&q) {
+                        rest.push(q);
+                    }
+                }
+            }
+            let new_idx = blocks.len();
+            // Keep the larger part in place, move the smaller out; add the
+            // smaller one to the worklist for every class (Hopcroft's trick).
+            let (stay, moved) = if hit.len() <= rest.len() { (rest, hit) } else { (hit, rest) };
+            for &q in &moved {
+                block_of[q as usize] = new_idx;
+            }
+            blocks[b_idx] = stay;
+            blocks.push(moved);
+            if intersection.len() < blocks.len() {
+                intersection.push(Vec::new());
+            }
+            for c in 0..stride {
+                worklist.push((new_idx, c));
+            }
+        }
+        touched.clear();
+    }
+
+    // Rebuild the DFA over blocks, numbering them by BFS from the start
+    // block for a stable, reachable-only ordering.
+    let start_block = block_of[dfa.start() as usize];
+    let mut new_id: Vec<Option<StateId>> = vec![None; blocks.len()];
+    let mut order: Vec<usize> = Vec::with_capacity(blocks.len());
+    new_id[start_block] = Some(0);
+    order.push(start_block);
+    let mut head = 0;
+    while head < order.len() {
+        let b = order[head];
+        head += 1;
+        let rep = blocks[b][0] as usize;
+        for c in 0..stride {
+            let t_block = block_of[dfa.table()[rep * stride + c] as usize];
+            if new_id[t_block].is_none() {
+                new_id[t_block] = Some(order.len() as StateId);
+                order.push(t_block);
+            }
+        }
+    }
+
+    let num_new = order.len();
+    let mut table = vec![0 as StateId; num_new * stride];
+    let mut accepting = vec![false; num_new];
+    for (new_idx, &b) in order.iter().enumerate() {
+        let rep = blocks[b][0] as usize;
+        accepting[new_idx] = dfa.is_accepting(rep as StateId);
+        for c in 0..stride {
+            let t_block = block_of[dfa.table()[rep * stride + c] as usize];
+            table[new_idx * stride + c] = new_id[t_block].expect("reachable block numbered");
+        }
+    }
+
+    Dfa::from_parts(dfa.classes().clone(), table, accepting, 0)
+}
+
+/// Convenience: pattern → NFA → DFA → minimal DFA with default settings.
+pub fn minimal_dfa_from_pattern(pattern: &str) -> Result<Dfa, crate::error::CompileError> {
+    let dfa = crate::determinize::dfa_from_pattern(pattern)?;
+    Ok(minimize(&dfa))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::determinize::dfa_from_pattern;
+    use crate::equivalence::equivalent;
+
+    fn min(pattern: &str) -> Dfa {
+        minimal_dfa_from_pattern(pattern).unwrap()
+    }
+
+    #[test]
+    fn ab_star_has_three_states() {
+        // Fig. 1: two live states plus the dead state.
+        let d = min("(ab)*");
+        assert_eq!(d.num_states(), 3);
+        assert_eq!(d.num_live_states(), 2);
+        assert!(d.accepts(b"abab"));
+        assert!(!d.accepts(b"aba"));
+    }
+
+    #[test]
+    fn rn_family_has_2n_live_states() {
+        // Sect. VI-B: |D| = 2n for r_n = ([0-4]{n}[5-9]{n})*.
+        for n in [2usize, 5, 10] {
+            let pattern = format!("([0-4]{{{n}}}[5-9]{{{n}}})*");
+            let d = min(&pattern);
+            assert_eq!(d.num_live_states(), 2 * n, "r_{}", n);
+            assert_eq!(d.num_states(), 2 * n + 1, "r_{} plus dead state", n);
+        }
+    }
+
+    #[test]
+    fn fig10_expression_has_10_live_states() {
+        // (([02468][13579]){5})* — "the size of DFA is 10" (Sect. VI-C).
+        let d = min("(([02468][13579]){5})*");
+        assert_eq!(d.num_live_states(), 10);
+    }
+
+    #[test]
+    fn minimization_preserves_language() {
+        for pattern in [
+            "(ab)*",
+            "(a|b)*abb",
+            "a{2,4}b{1,3}",
+            "([0-4]{3}[5-9]{3})*",
+            "(?i)get|post|head",
+            "[a-z]+@[a-z]+\\.(com|org|net)",
+        ] {
+            let full = dfa_from_pattern(pattern).unwrap();
+            let reduced = minimize(&full);
+            assert!(reduced.num_states() <= full.num_states());
+            assert!(equivalent(&full, &reduced), "pattern {:?}", pattern);
+        }
+    }
+
+    #[test]
+    fn minimization_is_idempotent() {
+        let d = min("(a|b)*abb");
+        let d2 = minimize(&d);
+        assert_eq!(d.num_states(), d2.num_states());
+        assert!(equivalent(&d, &d2));
+    }
+
+    #[test]
+    fn already_minimal_untouched() {
+        let d = min("a");
+        // states: start, accept, dead
+        assert_eq!(d.num_states(), 3);
+        let d2 = minimize(&d);
+        assert_eq!(d2.num_states(), 3);
+    }
+
+    #[test]
+    fn exponential_dfa_minimizes_to_expected_size() {
+        // (a|b)*a(a|b){k} has a minimal DFA of 2^(k+1) states (plus no dead
+        // state since the automaton is complete over {a,b} and total on the
+        // used classes; the "other bytes" class adds one dead state).
+        let d = min("(a|b)*a(a|b){6}");
+        assert_eq!(d.num_live_states(), 128);
+    }
+
+    #[test]
+    fn empty_and_universal_languages() {
+        use sfa_regex_syntax::ast::Ast;
+        use sfa_regex_syntax::ByteSet;
+        let void = crate::determinize::dfa_from_ast(
+            &Ast::Class(ByteSet::EMPTY),
+            &crate::determinize::DfaConfig::default(),
+        )
+        .unwrap();
+        let m = minimize(&void);
+        assert_eq!(m.num_states(), 1);
+        assert!(m.is_empty_language());
+
+        let all = min("(?s).*");
+        assert_eq!(all.num_states(), 1);
+        assert!(all.is_universal_language());
+    }
+
+    #[test]
+    fn single_state_dfa_is_fixed_point() {
+        let d = min("(?s).*");
+        assert_eq!(minimize(&d).num_states(), 1);
+    }
+}

@@ -1,0 +1,227 @@
+//! Sampling accepted words from a DFA.
+//!
+//! The paper's throughput experiments (Figs. 6–9) run the matchers over
+//! "1 GB strings accepted by those automata". This module generates such
+//! inputs for *arbitrary* patterns by doing a guided random walk over the
+//! DFA: at every step it only follows transitions that keep an accepting
+//! state reachable, and once the requested length is nearly exhausted it
+//! follows a shortest path into an accepting state.
+
+use crate::dfa::Dfa;
+use crate::nfa::StateId;
+use rand::prelude::*;
+
+/// Error returned when a DFA accepts no word of any usable length.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EmptyLanguage;
+
+impl std::fmt::Display for EmptyLanguage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the automaton accepts no word")
+    }
+}
+
+impl std::error::Error for EmptyLanguage {}
+
+/// A reusable sampler of accepted words.
+#[derive(Clone, Debug)]
+pub struct DfaSampler<'a> {
+    dfa: &'a Dfa,
+    /// dist[q] = length of the shortest word from q to an accepting state,
+    /// or `u32::MAX` when unreachable.
+    dist: Vec<u32>,
+    /// For every state with finite distance > 0: a (class, next) pair on a
+    /// shortest path to acceptance.
+    shortest_step: Vec<Option<(u16, StateId)>>,
+    /// For every state: the classes whose successor is live.
+    live_classes: Vec<Vec<u16>>,
+    /// For every class: the bytes belonging to it.
+    class_bytes: Vec<Vec<u8>>,
+}
+
+impl<'a> DfaSampler<'a> {
+    /// Prepares a sampler for the given DFA.
+    pub fn new(dfa: &'a Dfa) -> Result<DfaSampler<'a>, EmptyLanguage> {
+        let n = dfa.num_states();
+        let stride = dfa.num_classes();
+
+        // Multi-source BFS from accepting states over reversed edges.
+        let mut dist = vec![u32::MAX; n];
+        let mut shortest_step: Vec<Option<(u16, StateId)>> = vec![None; n];
+        let mut reverse: Vec<Vec<(StateId, u16)>> = vec![Vec::new(); n];
+        for q in 0..n {
+            for c in 0..stride {
+                let t = dfa.table()[q * stride + c] as usize;
+                reverse[t].push((q as StateId, c as u16));
+            }
+        }
+        let mut queue = std::collections::VecDeque::new();
+        for q in 0..n {
+            if dfa.is_accepting(q as StateId) {
+                dist[q] = 0;
+                queue.push_back(q as StateId);
+            }
+        }
+        while let Some(t) = queue.pop_front() {
+            for &(q, c) in &reverse[t as usize] {
+                if dist[q as usize] == u32::MAX {
+                    dist[q as usize] = dist[t as usize] + 1;
+                    shortest_step[q as usize] = Some((c, t));
+                    queue.push_back(q);
+                }
+            }
+        }
+
+        if dist[dfa.start() as usize] == u32::MAX {
+            return Err(EmptyLanguage);
+        }
+
+        let mut live_classes = vec![Vec::new(); n];
+        for (q, classes) in live_classes.iter_mut().enumerate() {
+            for c in 0..stride {
+                let t = dfa.table()[q * stride + c] as usize;
+                if dist[t] != u32::MAX {
+                    classes.push(c as u16);
+                }
+            }
+        }
+
+        let class_bytes = (0..stride as u16)
+            .map(|c| dfa.classes().bytes_in_class(c).iter().collect())
+            .collect();
+
+        Ok(DfaSampler { dfa, dist, shortest_step, live_classes, class_bytes })
+    }
+
+    /// Length of the shortest accepted word.
+    pub fn shortest_accepted_len(&self) -> usize {
+        self.dist[self.dfa.start() as usize] as usize
+    }
+
+    /// A shortest accepted word.
+    pub fn shortest_accepted(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.shortest_accepted_len());
+        let mut q = self.dfa.start();
+        while !self.dfa.is_accepting(q) {
+            let (class, next) = self.shortest_step[q as usize].expect("live state");
+            out.push(self.class_bytes[class as usize][0]);
+            q = next;
+        }
+        out
+    }
+
+    /// Generates an accepted word of length *approximately* `target_len`
+    /// (never shorter than required to reach acceptance, at most
+    /// `target_len + |D|` long).
+    pub fn sample<R: Rng + ?Sized>(&self, target_len: usize, rng: &mut R) -> Vec<u8> {
+        let mut out = Vec::with_capacity(target_len + 16);
+        let mut q = self.dfa.start();
+        // Random walk while we have budget to spare.
+        while out.len() < target_len {
+            let remaining = target_len - out.len();
+            // If we cannot wander any more and still make it back to an
+            // accepting state, switch to the shortest path.
+            if self.dist[q as usize] as usize >= remaining {
+                break;
+            }
+            let classes = &self.live_classes[q as usize];
+            if classes.is_empty() {
+                // No live successor: the language is bounded and we already
+                // sit on an accepting state (dist == 0).
+                break;
+            }
+            let class = classes[rng.gen_range(0..classes.len())];
+            let bytes = &self.class_bytes[class as usize];
+            out.push(bytes[rng.gen_range(0..bytes.len())]);
+            q = self.dfa.next_by_class(q, class);
+        }
+        // Walk the shortest path to acceptance.
+        while !self.dfa.is_accepting(q) {
+            let (class, next) = self.shortest_step[q as usize].expect("live state");
+            let bytes = &self.class_bytes[class as usize];
+            out.push(bytes[rng.gen_range(0..bytes.len())]);
+            q = next;
+        }
+        out
+    }
+}
+
+/// One-shot convenience wrapper around [`DfaSampler`].
+pub fn sample_accepted<R: Rng + ?Sized>(
+    dfa: &Dfa,
+    target_len: usize,
+    rng: &mut R,
+) -> Result<Vec<u8>, EmptyLanguage> {
+    Ok(DfaSampler::new(dfa)?.sample(target_len, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minimize::minimal_dfa_from_pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn check_sampling(pattern: &str, target: usize) {
+        let dfa = minimal_dfa_from_pattern(pattern).unwrap();
+        let sampler = DfaSampler::new(&dfa).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let w = sampler.sample(target, &mut rng);
+            assert!(dfa.accepts(&w), "pattern {:?} rejected sampled word {:?}", pattern, w);
+            assert!(w.len() <= target + dfa.num_states());
+        }
+    }
+
+    #[test]
+    fn samples_are_accepted() {
+        check_sampling("(ab)*", 100);
+        check_sampling("([0-4]{3}[5-9]{3})*", 200);
+        check_sampling("a{2,5}(b|c){1,4}", 10);
+        check_sampling("(GET|POST) /[a-z]{1,8} HTTP/1\\.[01]", 50);
+        check_sampling("x", 100);
+    }
+
+    #[test]
+    fn sample_reaches_target_length_for_unbounded_languages() {
+        let dfa = minimal_dfa_from_pattern("([0-4]{5}[5-9]{5})*").unwrap();
+        let sampler = DfaSampler::new(&dfa).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = sampler.sample(10_000, &mut rng);
+        assert!(w.len() >= 10_000);
+        assert!(dfa.accepts(&w));
+    }
+
+    #[test]
+    fn shortest_accepted_word() {
+        let dfa = minimal_dfa_from_pattern("abc|ab").unwrap();
+        let sampler = DfaSampler::new(&dfa).unwrap();
+        assert_eq!(sampler.shortest_accepted_len(), 2);
+        assert_eq!(sampler.shortest_accepted(), b"ab".to_vec());
+
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let sampler = DfaSampler::new(&dfa).unwrap();
+        assert_eq!(sampler.shortest_accepted_len(), 0);
+        assert_eq!(sampler.shortest_accepted(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn empty_language_reports_error() {
+        use crate::determinize::{dfa_from_ast, DfaConfig};
+        use sfa_regex_syntax::ast::Ast;
+        use sfa_regex_syntax::ByteSet;
+        let dfa = dfa_from_ast(&Ast::Class(ByteSet::EMPTY), &DfaConfig::default()).unwrap();
+        assert_eq!(DfaSampler::new(&dfa).err(), Some(EmptyLanguage));
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(sample_accepted(&dfa, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn bounded_language_sampling_stops_at_max_word() {
+        let dfa = minimal_dfa_from_pattern("a{3}").unwrap();
+        let sampler = DfaSampler::new(&dfa).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = sampler.sample(1000, &mut rng);
+        assert_eq!(w, b"aaa".to_vec());
+    }
+}

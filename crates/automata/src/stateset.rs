@@ -1,0 +1,225 @@
+//! A dynamically sized bit set over automaton states.
+//!
+//! [`StateSet`] is used for NFA state sets during ε-closure and subset
+//! construction, and by `sfa-core` to represent the images of
+//! *correspondences* (mappings `Q → P(Q)`, Definition 5 of the paper).
+
+use std::fmt;
+
+/// A set of automaton states backed by a bit vector.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateSet {
+    /// Number of states this set ranges over (fixed at creation).
+    universe: usize,
+    words: Vec<u64>,
+}
+
+impl StateSet {
+    /// Creates an empty set over a universe of `universe` states.
+    pub fn new(universe: usize) -> StateSet {
+        StateSet { universe, words: vec![0; universe.div_ceil(64)] }
+    }
+
+    /// Creates a set containing a single state.
+    pub fn singleton(universe: usize, state: u32) -> StateSet {
+        let mut s = StateSet::new(universe);
+        s.insert(state);
+        s
+    }
+
+    /// Creates a set from an iterator of states.
+    pub fn from_iter<I: IntoIterator<Item = u32>>(universe: usize, iter: I) -> StateSet {
+        let mut s = StateSet::new(universe);
+        for q in iter {
+            s.insert(q);
+        }
+        s
+    }
+
+    /// The number of states in the universe (not the cardinality).
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Inserts a state. Returns true if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, state: u32) -> bool {
+        debug_assert!((state as usize) < self.universe);
+        let w = &mut self.words[(state >> 6) as usize];
+        let bit = 1u64 << (state & 63);
+        let fresh = *w & bit == 0;
+        *w |= bit;
+        fresh
+    }
+
+    /// Removes a state.
+    #[inline]
+    pub fn remove(&mut self, state: u32) {
+        debug_assert!((state as usize) < self.universe);
+        self.words[(state >> 6) as usize] &= !(1u64 << (state & 63));
+    }
+
+    /// Returns true if the state is present.
+    #[inline]
+    pub fn contains(&self, state: u32) -> bool {
+        debug_assert!((state as usize) < self.universe);
+        self.words[(state >> 6) as usize] & (1u64 << (state & 63)) != 0
+    }
+
+    /// The number of states in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns true if no state is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every state.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &StateSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &StateSet) {
+        debug_assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// Returns true if the two sets share at least one state.
+    pub fn intersects(&self, other: &StateSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns true if every state of `self` is in `other`.
+    pub fn is_subset(&self, other: &StateSet) -> bool {
+        debug_assert_eq!(self.universe, other.universe);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the states in increasing order.
+    pub fn iter(&self) -> StateSetIter<'_> {
+        StateSetIter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// The underlying words (used for hashing / raw comparison).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Iterator over the states of a [`StateSet`].
+pub struct StateSetIter<'a> {
+    set: &'a StateSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for StateSetIter<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros();
+                self.current &= self.current - 1;
+                return Some((self.word_idx as u32) * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl fmt::Debug for StateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = StateSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let s = StateSet::from_iter(200, [5u32, 190, 64, 0, 63]);
+        let v: Vec<u32> = s.iter().collect();
+        assert_eq!(v, vec![0, 5, 63, 64, 190]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = StateSet::from_iter(100, [1u32, 2, 3]);
+        let b = StateSet::from_iter(100, [3u32, 4]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&StateSet::from_iter(100, [99u32])));
+        assert!(i.is_subset(&a));
+        assert!(i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn clear_and_empty_universe() {
+        let mut s = StateSet::from_iter(65, [64u32]);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        let empty = StateSet::new(0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter().count(), 0);
+    }
+
+    #[test]
+    fn equality_and_hash_use_contents() {
+        use std::collections::HashSet;
+        let a = StateSet::from_iter(100, [1u32, 50]);
+        let b = StateSet::from_iter(100, [50u32, 1]);
+        assert_eq!(a, b);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

@@ -1,0 +1,28 @@
+//! Criterion bench for Table III: DFA vs. D-SFA construction time for the
+//! r_n family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfa_core::{DSfa, SfaConfig};
+use sfa_workloads::rn_pattern;
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_construction");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+    for n in [5usize, 20, 50] {
+        let pattern = rn_pattern(n);
+        group.bench_with_input(BenchmarkId::new("dfa", n), &pattern, |b, pattern| {
+            b.iter(|| sfa_automata::minimal_dfa_from_pattern(pattern).unwrap())
+        });
+        let dfa = sfa_automata::minimal_dfa_from_pattern(&pattern).unwrap();
+        group.bench_with_input(BenchmarkId::new("dsfa", n), &dfa, |b, dfa| {
+            b.iter(|| DSfa::from_dfa(dfa, &SfaConfig { max_states: 2_000_000 }).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(construction, benches);
+criterion_main!(construction);

@@ -1,0 +1,32 @@
+//! Criterion bench for Figure 10: sequential DFA vs. 2-thread SFA matching
+//! on small inputs (the thread-creation/reduction overhead crossover).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfa_matcher::{ParallelSfaMatcher, Reduction, Regex};
+use sfa_workloads::{fig10_pattern, fig10_text};
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let re = Regex::new(fig10_pattern()).unwrap();
+    let matcher = ParallelSfaMatcher::new(re.sfa());
+    let mut group = c.benchmark_group("fig10_small_inputs");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+    for kb in [200usize, 600, 1000] {
+        let text = fig10_text(kb * 1000, 42);
+        group.throughput(Throughput::Bytes(text.len() as u64));
+        group.bench_with_input(BenchmarkId::new("dfa_sequential", kb), &text, |b, text| {
+            b.iter(|| assert!(re.is_match_sequential(text)))
+        });
+        group.bench_with_input(BenchmarkId::new("sfa_2_threads", kb), &text, |b, text| {
+            b.iter(|| {
+                assert!(re.dfa().is_accepting(matcher.run(text, 2, Reduction::Sequential)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(overhead, benches);
+criterion_main!(overhead);

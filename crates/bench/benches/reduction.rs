@@ -1,0 +1,39 @@
+//! Ablation bench: Algorithm 5's sequential vs. tree reduction, and
+//! Algorithm 3 (speculative DFA) vs. Algorithm 5 (SFA) at a fixed thread
+//! count — the per-byte `O(|D|)` overhead the paper eliminates.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sfa_matcher::{ParallelSfaMatcher, Reduction, Regex, SpeculativeDfaMatcher};
+use sfa_workloads::{rn_pattern, rn_text};
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let n = 20;
+    let re = Regex::new(&rn_pattern(n)).unwrap();
+    let text = rn_text(n, 1024 * 1024, 7);
+    let sfa = ParallelSfaMatcher::new(re.sfa());
+    let spec = SpeculativeDfaMatcher::new(re.dfa());
+
+    let mut group = c.benchmark_group("reduction_and_baseline_r20");
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+
+    group.bench_function("algorithm5_sequential_reduction", |b| {
+        b.iter(|| assert!(sfa.accepts(&text, 4, Reduction::Sequential)))
+    });
+    group.bench_function("algorithm5_tree_reduction", |b| {
+        b.iter(|| assert!(sfa.accepts(&text, 4, Reduction::Tree)))
+    });
+    group.bench_function("algorithm3_speculative_dfa", |b| {
+        b.iter(|| assert!(spec.accepts(&text, 4, Reduction::Sequential)))
+    });
+    group.bench_function("algorithm2_sequential_dfa", |b| {
+        b.iter(|| assert!(re.is_match_sequential(&text)))
+    });
+    group.finish();
+}
+
+criterion_group!(reduction, benches);
+criterion_main!(reduction);

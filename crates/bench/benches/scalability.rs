@@ -1,0 +1,52 @@
+//! Criterion bench for Figures 6–9: throughput of sequential DFA matching
+//! (Algorithm 2) vs. parallel SFA matching (Algorithm 5) over the r_n
+//! family, swept over thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfa_matcher::{ParallelSfaMatcher, Reduction, Regex};
+use sfa_workloads::{repeated_a_text, rn_or_a_pattern, rn_pattern, rn_text};
+use std::time::Duration;
+
+const INPUT_LEN: usize = 2 * 1024 * 1024;
+
+fn bench_family(c: &mut Criterion, figure: &str, n: usize, repeated_a: bool) {
+    let pattern = if repeated_a { rn_or_a_pattern(n) } else { rn_pattern(n) };
+    let re = Regex::builder().max_sfa_states(2_000_000).build(&pattern).unwrap();
+    let text =
+        if repeated_a { repeated_a_text(INPUT_LEN) } else { rn_text(n, INPUT_LEN, 0x5FA) };
+    let matcher = ParallelSfaMatcher::new(re.sfa());
+
+    let mut group = c.benchmark_group(figure);
+    group.throughput(Throughput::Bytes(text.len() as u64));
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(1));
+
+    group.bench_function("dfa_sequential", |b| {
+        b.iter(|| assert!(re.is_match_sequential(&text)))
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sfa_parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    assert!(re
+                        .dfa()
+                        .is_accepting(matcher.run(&text, threads, Reduction::Sequential)))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_family(c, "fig6_r5", 5, false);
+    bench_family(c, "fig7_r50", 50, false);
+    bench_family(c, "fig8_r100", 100, false);
+    bench_family(c, "fig9_r50_or_a", 50, true);
+}
+
+criterion_group!(scalability, benches);
+criterion_main!(scalability);

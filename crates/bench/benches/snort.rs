@@ -1,0 +1,55 @@
+//! Bench over the synthetic SNORT-like corpus (the Figure 3 workload):
+//! compilation of the pipeline and multi-pattern scanning throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sfa_matcher::{MatchMode, Regex, RegexSet};
+use sfa_workloads::{http_log, ruleset, SnortConfig, CURATED_PATTERNS};
+use std::time::Duration;
+
+fn benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snort_like_ruleset");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(1));
+
+    // Pipeline compilation over a slice of the corpus.
+    let rules = ruleset(&SnortConfig { count: 30, ..Default::default() });
+    group.bench_function("compile_30_patterns", |b| {
+        b.iter(|| {
+            let mut built = 0;
+            for pattern in &rules {
+                if Regex::builder()
+                    .max_dfa_states(1000)
+                    .max_sfa_states(50_000)
+                    .build(pattern)
+                    .is_ok()
+                {
+                    built += 1;
+                }
+            }
+            assert!(built > 15);
+        })
+    });
+
+    // Multi-pattern scanning of an HTTP-log corpus.
+    let patterns = [
+        CURATED_PATTERNS[2],  // /cgi-bin/ph[a-z]{1,8}
+        CURATED_PATTERNS[6],  // dotted-quad IP
+        CURATED_PATTERNS[8],  // \x90 NOP sled
+        CURATED_PATTERNS[14], // etc/(passwd|shadow|group)
+    ];
+    let set = RegexSet::new(
+        patterns,
+        &Regex::builder().mode(MatchMode::Contains).max_dfa_states(50_000).max_sfa_states(500_000),
+    )
+    .unwrap();
+    let log = http_log(20_000, 97, 3);
+    group.throughput(Throughput::Bytes(log.len() as u64));
+    group.bench_function("scan_http_log_4_patterns", |b| {
+        b.iter(|| assert!(set.is_match(&log)))
+    });
+    group.finish();
+}
+
+criterion_group!(snort, benches);
+criterion_main!(snort);

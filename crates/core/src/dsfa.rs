@@ -1,0 +1,383 @@
+//! D-SFA: the simultaneous finite automaton constructed from a DFA
+//! (Definition 5 + Algorithm 4 of the paper, specialized to deterministic
+//! input as described in Section V-A).
+//!
+//! Each D-SFA state is a [`Transformation`] of the DFA state set: the state
+//! reached after reading a word `w` is the mapping `q ↦ δ̂(q, w)`, i.e. the
+//! simultaneous simulation of the DFA from *every* start state. The D-SFA
+//! itself is an ordinary DFA over the same byte classes, so matching costs
+//! exactly one table lookup per input byte — that is the whole point of the
+//! model: the speculative simulation of Algorithm 3 has been evaluated at
+//! construction time instead of at match time.
+
+use crate::mapping::Transformation;
+use crate::SfaConfig;
+use sfa_automata::{ByteClasses, CompileError, Dfa, StateId};
+use std::collections::HashMap;
+
+/// Identifier of an SFA state.
+pub type SfaStateId = u32;
+
+/// A simultaneous finite automaton built from a DFA.
+#[derive(Clone, Debug)]
+pub struct DSfa {
+    classes: ByteClasses,
+    stride: usize,
+    table: Vec<SfaStateId>,
+    accepting: Vec<bool>,
+    mappings: Vec<Transformation>,
+    dfa_start: StateId,
+    dfa_accepting: Vec<bool>,
+}
+
+impl DSfa {
+    /// **Algorithm 4 (correspondence construction)** specialized to a
+    /// deterministic source automaton.
+    ///
+    /// Starting from the identity mapping `f_I`, repeatedly extends every
+    /// discovered mapping by every byte class:
+    /// `f_next(q) = δ(f(q), σ)`. Mappings are interned so each distinct
+    /// transformation becomes exactly one SFA state.
+    pub fn from_dfa(dfa: &Dfa, config: &SfaConfig) -> Result<DSfa, CompileError> {
+        let n = dfa.num_states();
+        let stride = dfa.num_classes();
+
+        let mut ids: HashMap<Transformation, SfaStateId> = HashMap::new();
+        let mut mappings: Vec<Transformation> = Vec::new();
+        let mut table: Vec<SfaStateId> = Vec::new();
+
+        let intern = |f: Transformation,
+                      mappings: &mut Vec<Transformation>,
+                      ids: &mut HashMap<Transformation, SfaStateId>|
+         -> Result<SfaStateId, CompileError> {
+            if let Some(&id) = ids.get(&f) {
+                return Ok(id);
+            }
+            if mappings.len() >= config.max_states {
+                return Err(CompileError::TooManyStates { limit: config.max_states });
+            }
+            let id = mappings.len() as SfaStateId;
+            ids.insert(f.clone(), id);
+            mappings.push(f);
+            Ok(id)
+        };
+
+        let initial = intern(Transformation::identity(n), &mut mappings, &mut ids)?;
+        debug_assert_eq!(initial, 0);
+
+        let mut processed = 0usize;
+        while processed < mappings.len() {
+            let current = mappings[processed].clone();
+            processed += 1;
+            for class in 0..stride {
+                let next = Transformation::from_vec(
+                    current
+                        .as_slice()
+                        .iter()
+                        .map(|&q| dfa.next_by_class(q, class as u16))
+                        .collect(),
+                );
+                let next_id = intern(next, &mut mappings, &mut ids)?;
+                table.push(next_id);
+            }
+        }
+
+        let dfa_start = dfa.start();
+        let accepting = mappings
+            .iter()
+            .map(|f| dfa.is_accepting(f.apply(dfa_start)))
+            .collect();
+
+        Ok(DSfa {
+            classes: dfa.classes().clone(),
+            stride,
+            table,
+            accepting,
+            mappings,
+            dfa_start,
+            dfa_accepting: dfa.accepting().to_vec(),
+        })
+    }
+
+    /// Convenience: pattern → NFA → DFA → minimal DFA → D-SFA with default
+    /// limits.
+    pub fn from_pattern(pattern: &str) -> Result<DSfa, CompileError> {
+        let dfa = sfa_automata::minimal_dfa_from_pattern(pattern)?;
+        DSfa::from_dfa(&dfa, &SfaConfig::default())
+    }
+
+    /// Number of SFA states (`|S_d|` in the paper).
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Number of states of the source DFA.
+    #[inline]
+    pub fn num_dfa_states(&self) -> usize {
+        self.dfa_accepting.len()
+    }
+
+    /// The byte classes shared with the source DFA.
+    #[inline]
+    pub fn classes(&self) -> &ByteClasses {
+        &self.classes
+    }
+
+    /// Number of byte classes (row width of the transition table).
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.stride
+    }
+
+    /// The initial state (always 0: the identity mapping `f_I`).
+    #[inline]
+    pub fn initial(&self) -> SfaStateId {
+        0
+    }
+
+    /// The start state of the source DFA.
+    #[inline]
+    pub fn dfa_start(&self) -> StateId {
+        self.dfa_start
+    }
+
+    /// Returns true if the DFA state is accepting (used by reductions).
+    #[inline]
+    pub fn dfa_is_accepting(&self, q: StateId) -> bool {
+        self.dfa_accepting[q as usize]
+    }
+
+    /// Returns true if the SFA state is accepting
+    /// (`F_s = { f | f(q_0) ∈ F_D }`).
+    #[inline]
+    pub fn is_accepting(&self, state: SfaStateId) -> bool {
+        self.accepting[state as usize]
+    }
+
+    /// The mapping (transformation) carried by an SFA state.
+    #[inline]
+    pub fn mapping(&self, state: SfaStateId) -> &Transformation {
+        &self.mappings[state as usize]
+    }
+
+    /// Transition on a byte class.
+    #[inline]
+    pub fn next_by_class(&self, state: SfaStateId, class: u16) -> SfaStateId {
+        self.table[state as usize * self.stride + class as usize]
+    }
+
+    /// Transition on a byte — one table lookup, exactly like the DFA.
+    #[inline]
+    pub fn next_state(&self, state: SfaStateId, byte: u8) -> SfaStateId {
+        self.next_by_class(state, self.classes.class_of(byte))
+    }
+
+    /// Runs the SFA over `input` starting from the identity state.
+    pub fn run(&self, input: &[u8]) -> SfaStateId {
+        self.run_from(self.initial(), input)
+    }
+
+    /// Runs the SFA over `input` from an arbitrary state (each worker of
+    /// Algorithm 5 calls this on its chunk, always starting from the
+    /// identity state).
+    pub fn run_from(&self, state: SfaStateId, input: &[u8]) -> SfaStateId {
+        let mut f = state;
+        for &b in input {
+            f = self.next_state(f, b);
+        }
+        f
+    }
+
+    /// Whole-input membership using the SFA alone (sequential; the parallel
+    /// version lives in `sfa-matcher`).
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        self.is_accepting(self.run(input))
+    }
+
+    /// Composes the mappings of two SFA states: if `a = f_w` and `b = f_v`,
+    /// the result is `f_wv`. This is the `⋄` operator of the reduction step.
+    pub fn compose(&self, a: SfaStateId, b: SfaStateId) -> Transformation {
+        self.mapping(a).then(self.mapping(b))
+    }
+
+    /// Looks up the SFA state corresponding to a transformation, if that
+    /// transformation is reachable (i.e. is an actual SFA state).
+    pub fn state_of(&self, mapping: &Transformation) -> Option<SfaStateId> {
+        // Linear scan is fine for the sizes where this is used (tests,
+        // diagnostics); the hot paths never call it.
+        self.mappings.iter().position(|m| m == mapping).map(|i| i as SfaStateId)
+    }
+
+    /// Bytes occupied by the transition table.
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<SfaStateId>()
+    }
+
+    /// Bytes occupied by the state mappings (needed by the reduction step).
+    pub fn mapping_bytes(&self) -> usize {
+        self.mappings.iter().map(|m| m.heap_bytes()).sum()
+    }
+
+    /// Re-interprets the SFA as a plain DFA over the same byte classes
+    /// (the SFA *is* deterministic). Used for equivalence checking.
+    pub fn as_dfa(&self) -> Dfa {
+        Dfa::from_parts(
+            self.classes.clone(),
+            self.table.clone(),
+            self.accepting.clone(),
+            self.initial(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_automata::equivalence::equivalent;
+    use sfa_automata::minimal_dfa_from_pattern;
+
+    fn dsfa(pattern: &str) -> (Dfa, DSfa) {
+        let dfa = minimal_dfa_from_pattern(pattern).unwrap();
+        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        (dfa, sfa)
+    }
+
+    #[test]
+    fn paper_example_ab_star_has_six_states() {
+        // Fig. 2 / Table I: the D-SFA of (ab)* has exactly 6 states
+        // f0..f5, built from the 3-state DFA (2 live + dead).
+        let (dfa, sfa) = dsfa("(ab)*");
+        assert_eq!(dfa.num_states(), 3);
+        assert_eq!(sfa.num_states(), 6);
+        assert_eq!(sfa.num_dfa_states(), 3);
+        // The initial state is the identity mapping.
+        assert!(sfa.mapping(sfa.initial()).is_identity());
+    }
+
+    #[test]
+    fn paper_example_computation_over_abab() {
+        // Example 1: f0 -a-> f1 -b-> f4 -a-> f1 -b-> f4 and f4(0) = 0,
+        // so abab is accepted.
+        let (dfa, sfa) = dsfa("(ab)*");
+        let f = sfa.run(b"abab");
+        assert!(sfa.is_accepting(f));
+        assert_eq!(sfa.mapping(f).apply(dfa.start()), dfa.start());
+        // The same SFA state is reached after ab (period 2).
+        assert_eq!(sfa.run(b"ab"), f);
+        // And a different, non-accepting state after aba.
+        let g = sfa.run(b"aba");
+        assert_ne!(g, f);
+        assert!(!sfa.is_accepting(g));
+    }
+
+    #[test]
+    fn sfa_equivalent_to_dfa() {
+        for pattern in [
+            "(ab)*",
+            "a|bc|d",
+            "(a|b)*abb",
+            "([0-4]{2}[5-9]{2})*",
+            "a{2,4}b{1,3}",
+            "(?i)get|post",
+        ] {
+            let (dfa, sfa) = dsfa(pattern);
+            assert!(equivalent(&dfa, &sfa.as_dfa()), "pattern {:?}", pattern);
+            for input in [&b""[..], b"ab", b"abab", b"abb", b"0055", b"GET", b"zzz"] {
+                assert_eq!(dfa.accepts(input), sfa.accepts(input), "{:?} {:?}", pattern, input);
+            }
+        }
+    }
+
+    #[test]
+    fn rn_family_sizes_match_paper() {
+        // Sect. VI-B: |D| = 2n (live) and |S_d| is "almost the square" of
+        // |D|. Analytically the reachable transformations of the complete
+        // DFA number d(d+1) with d = 2n (d^2 single-survivor mappings, d-2
+        // prefix mappings, the identity and the all-dead sink). The paper
+        // reports 109 for n = 5, i.e. one fewer — it does not count one of
+        // the sink states; we assert our exact count and check the
+        // "quadratic, not exponential" property the paper cares about.
+        for n in [2usize, 3, 5] {
+            let pattern = format!("([0-4]{{{n}}}[5-9]{{{n}}})*");
+            let (dfa, sfa) = dsfa(&pattern);
+            let d = 2 * n;
+            assert_eq!(dfa.num_live_states(), d);
+            assert_eq!(sfa.num_states(), d * (d + 1), "n = {}", n);
+            assert!(sfa.num_states() <= (dfa.num_states()) * (dfa.num_states()));
+        }
+        // The paper's headline number for n = 5 is 109; ours counts 110
+        // (the all-dead mapping included).
+        let (_, sfa) = dsfa("([0-4]{5}[5-9]{5})*");
+        assert_eq!(sfa.num_states(), 110);
+    }
+
+    #[test]
+    fn fig10_expression_sfa_size() {
+        // Sect. VI-C: (([02468][13579]){5})* — "the size of DFA is 10, and
+        // the size of SFA is 21". Our count is 22 because the all-dead
+        // mapping is included as a state; the live structure (10 even-phase
+        // mappings, 10 odd-phase mappings, identity) matches the paper.
+        let (dfa, sfa) = dsfa("(([02468][13579]){5})*");
+        assert_eq!(dfa.num_live_states(), 10);
+        assert_eq!(sfa.num_states(), 22);
+    }
+
+    #[test]
+    fn composition_matches_concatenated_run() {
+        let (_, sfa) = dsfa("([0-4]{2}[5-9]{2})*");
+        let w1 = b"0456";
+        let w2 = b"0055044";
+        let f1 = sfa.run(w1);
+        let f2 = sfa.run(w2);
+        let mut whole = Vec::new();
+        whole.extend_from_slice(w1);
+        whole.extend_from_slice(w2);
+        let f12 = sfa.run(&whole);
+        // Lemma 1: f_{w1} ⋄ f_{w2} = f_{w1 w2}.
+        assert_eq!(&sfa.compose(f1, f2), sfa.mapping(f12));
+        assert_eq!(sfa.state_of(&sfa.compose(f1, f2)), Some(f12));
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let dfa = minimal_dfa_from_pattern("([0-4]{5}[5-9]{5})*").unwrap();
+        let err = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 50 }).unwrap_err();
+        assert_eq!(err, CompileError::TooManyStates { limit: 50 });
+    }
+
+    #[test]
+    fn accepting_states_check_dfa_start_image() {
+        let (dfa, sfa) = dsfa("(ab)*");
+        for s in 0..sfa.num_states() as SfaStateId {
+            let expected = dfa.is_accepting(sfa.mapping(s).apply(dfa.start()));
+            assert_eq!(sfa.is_accepting(s), expected);
+        }
+    }
+
+    #[test]
+    fn table_and_mapping_sizes() {
+        let (_, sfa) = dsfa("(ab)*");
+        assert_eq!(sfa.table_bytes(), sfa.num_states() * sfa.num_classes() * 4);
+        assert_eq!(sfa.mapping_bytes(), sfa.num_states() * sfa.num_dfa_states() * 4);
+    }
+
+    #[test]
+    fn empty_and_universal_languages() {
+        let (_, sfa) = dsfa("(?s).*");
+        assert_eq!(sfa.num_states(), 1, "universal language: identity only");
+        assert!(sfa.accepts(b""));
+        assert!(sfa.accepts(b"anything"));
+
+        use sfa_automata::determinize::{dfa_from_ast, DfaConfig};
+        use sfa_regex_syntax::ast::Ast;
+        use sfa_regex_syntax::ByteSet;
+        let void = sfa_automata::minimize(
+            &dfa_from_ast(&Ast::Class(ByteSet::EMPTY), &DfaConfig::default()).unwrap(),
+        );
+        let sfa = DSfa::from_dfa(&void, &SfaConfig::default()).unwrap();
+        assert_eq!(sfa.num_states(), 1);
+        assert!(!sfa.accepts(b""));
+        assert!(!sfa.accepts(b"a"));
+    }
+}

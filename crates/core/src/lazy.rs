@@ -1,0 +1,218 @@
+//! On-the-fly (lazy) D-SFA construction.
+//!
+//! Section V-A of the paper: "The idea of the on-the-fly construction is to
+//! construct DFA during the matching only for the required states … it
+//! generates at most n states for input text of length n even if the number
+//! of states in DFA explodes. We can easily apply on-the-fly construction
+//! to an SFA-based matcher because the correspondence construction is a
+//! natural extension of the subset construction."
+//!
+//! [`LazyDSfa`] does exactly that for the D-SFA: states (transformations)
+//! are interned and transition-table rows filled only when the matcher
+//! actually reaches them. The structure is shareable across threads — the
+//! cache sits behind a read/write lock, and the common case (the transition
+//! is already cached) takes only the read lock.
+
+use crate::dsfa::SfaStateId;
+use crate::mapping::Transformation;
+use crate::SfaConfig;
+use parking_lot::RwLock;
+use sfa_automata::{CompileError, Dfa};
+use std::collections::HashMap;
+
+/// A lazily constructed D-SFA.
+#[derive(Debug)]
+pub struct LazyDSfa {
+    dfa: Dfa,
+    config: SfaConfig,
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    ids: HashMap<Transformation, SfaStateId>,
+    mappings: Vec<Transformation>,
+    /// Row-major table like the eager D-SFA, but entries may be `NONE`
+    /// (not yet computed).
+    table: Vec<SfaStateId>,
+    accepting: Vec<bool>,
+}
+
+const NONE: SfaStateId = SfaStateId::MAX;
+
+impl LazyDSfa {
+    /// Creates a lazy D-SFA over the given DFA. Only the identity state is
+    /// materialized up front.
+    pub fn new(dfa: Dfa, config: SfaConfig) -> LazyDSfa {
+        let n = dfa.num_states();
+        let stride = dfa.num_classes();
+        let identity = Transformation::identity(n);
+        let accepting0 = dfa.is_accepting(identity.apply(dfa.start()));
+        let mut ids = HashMap::new();
+        ids.insert(identity.clone(), 0);
+        let inner = Inner {
+            ids,
+            mappings: vec![identity],
+            table: vec![NONE; stride],
+            accepting: vec![accepting0],
+        };
+        LazyDSfa { dfa, config, inner: RwLock::new(inner) }
+    }
+
+    /// Convenience: pattern → minimal DFA → lazy D-SFA.
+    pub fn from_pattern(pattern: &str) -> Result<LazyDSfa, CompileError> {
+        let dfa = sfa_automata::minimal_dfa_from_pattern(pattern)?;
+        Ok(LazyDSfa::new(dfa, SfaConfig::default()))
+    }
+
+    /// The underlying DFA.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// The initial (identity) state.
+    pub fn initial(&self) -> SfaStateId {
+        0
+    }
+
+    /// Number of SFA states materialized so far.
+    pub fn num_states_constructed(&self) -> usize {
+        self.inner.read().mappings.len()
+    }
+
+    /// Returns true if the given state is accepting.
+    pub fn is_accepting(&self, state: SfaStateId) -> bool {
+        self.inner.read().accepting[state as usize]
+    }
+
+    /// The mapping carried by a state (cloned out of the cache).
+    pub fn mapping(&self, state: SfaStateId) -> Transformation {
+        self.inner.read().mappings[state as usize].clone()
+    }
+
+    /// Transition on a byte, constructing the target state on demand.
+    pub fn next_state(&self, state: SfaStateId, byte: u8) -> Result<SfaStateId, CompileError> {
+        let stride = self.dfa.num_classes();
+        let class = self.dfa.classes().class_of(byte) as usize;
+        {
+            let inner = self.inner.read();
+            let cached = inner.table[state as usize * stride + class];
+            if cached != NONE {
+                return Ok(cached);
+            }
+        }
+        let mut inner = self.inner.write();
+        // Re-check: another thread may have filled the slot while we were
+        // waiting for the write lock.
+        let cached = inner.table[state as usize * stride + class];
+        if cached != NONE {
+            return Ok(cached);
+        }
+        let next = Transformation::from_vec(
+            inner.mappings[state as usize]
+                .as_slice()
+                .iter()
+                .map(|&q| self.dfa.next_by_class(q, class as u16))
+                .collect(),
+        );
+        let next_id = match inner.ids.get(&next) {
+            Some(&id) => id,
+            None => {
+                if inner.mappings.len() >= self.config.max_states {
+                    return Err(CompileError::TooManyStates { limit: self.config.max_states });
+                }
+                let id = inner.mappings.len() as SfaStateId;
+                let accepting = self.dfa.is_accepting(next.apply(self.dfa.start()));
+                inner.ids.insert(next.clone(), id);
+                inner.mappings.push(next);
+                inner.accepting.push(accepting);
+                inner.table.extend(std::iter::repeat(NONE).take(stride));
+                id
+            }
+        };
+        inner.table[state as usize * stride + class] = next_id;
+        Ok(next_id)
+    }
+
+    /// Runs the lazy SFA over an input from the identity state.
+    pub fn run(&self, input: &[u8]) -> Result<SfaStateId, CompileError> {
+        let mut f = self.initial();
+        for &b in input {
+            f = self.next_state(f, b)?;
+        }
+        Ok(f)
+    }
+
+    /// Whole-input membership.
+    pub fn accepts(&self, input: &[u8]) -> Result<bool, CompileError> {
+        Ok(self.is_accepting(self.run(input)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsfa::DSfa;
+
+    #[test]
+    fn lazy_matches_eager_semantics() {
+        let eager = DSfa::from_pattern("([0-4]{2}[5-9]{2})*").unwrap();
+        let lazy = LazyDSfa::from_pattern("([0-4]{2}[5-9]{2})*").unwrap();
+        for input in [&b""[..], b"0055", b"00550459", b"005", b"5500", b"xyz"] {
+            assert_eq!(eager.accepts(input), lazy.accepts(input).unwrap(), "{:?}", input);
+        }
+    }
+
+    #[test]
+    fn lazy_materializes_only_visited_states() {
+        // Paper, Sect. V-A: at most one new state per input byte.
+        let lazy = LazyDSfa::from_pattern("([0-4]{5}[5-9]{5})*").unwrap();
+        assert_eq!(lazy.num_states_constructed(), 1);
+        let input = b"0000055555";
+        lazy.run(input).unwrap();
+        assert!(lazy.num_states_constructed() <= 1 + input.len());
+        // The eager SFA for this pattern has 110 states; a short input must
+        // touch far fewer.
+        assert!(lazy.num_states_constructed() < 30);
+    }
+
+    #[test]
+    fn lazy_state_cache_is_reused_across_runs() {
+        let lazy = LazyDSfa::from_pattern("(ab)*").unwrap();
+        lazy.run(b"abababab").unwrap();
+        let after_first = lazy.num_states_constructed();
+        lazy.run(b"abababababab").unwrap();
+        assert_eq!(lazy.num_states_constructed(), after_first, "no new states needed");
+        // The full SFA has 6 states; the accepted-input walk touches 3
+        // (identity, f_a, f_ab).
+        assert_eq!(after_first, 3);
+    }
+
+    #[test]
+    fn lazy_state_limit() {
+        let dfa = sfa_automata::minimal_dfa_from_pattern("([0-4]{3}[5-9]{3})*").unwrap();
+        let lazy = LazyDSfa::new(dfa, SfaConfig { max_states: 3 });
+        let err = lazy.run(b"0123456789012345").unwrap_err();
+        assert_eq!(err, CompileError::TooManyStates { limit: 3 });
+    }
+
+    #[test]
+    fn lazy_is_shareable_across_threads() {
+        let lazy = LazyDSfa::from_pattern("([0-4]{2}[5-9]{2})*").unwrap();
+        let eager = DSfa::from_pattern("([0-4]{2}[5-9]{2})*").unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let lazy = &lazy;
+                let eager = &eager;
+                scope.spawn(move || {
+                    let input = if t % 2 == 0 { &b"00550459"[..] } else { &b"0055045"[..] };
+                    for _ in 0..50 {
+                        assert_eq!(lazy.accepts(input).unwrap(), eager.accepts(input));
+                    }
+                });
+            }
+        });
+        // Never more states than the eager construction.
+        assert!(lazy.num_states_constructed() <= eager.num_states());
+    }
+}

@@ -1,0 +1,157 @@
+//! # sfa-core
+//!
+//! Simultaneous finite automata (SFA) — the central contribution of
+//! *"Simultaneous Finite Automata: An Efficient Data-Parallel Model for
+//! Regular Expression Matching"* (Sin'ya, Matsuzaki, Sassa — ICPP 2013).
+//!
+//! An SFA extends a finite automaton so that each state *is* a mapping from
+//! states to (sets of) states of the original automaton — i.e. the
+//! speculative simulation of all possible start states, evaluated once at
+//! construction time instead of on every byte at match time. Because the
+//! composition of those mappings is associative, the input can be split at
+//! arbitrary points and matched in parallel (Theorem 3), which is what
+//! `sfa-matcher` exploits.
+//!
+//! This crate provides:
+//!
+//! * [`mapping::Transformation`] / [`mapping::Correspondence`] — the state
+//!   mappings and their associative composition (`⋄`),
+//! * [`DSfa`] — the SFA built from a DFA via the correspondence
+//!   construction (Algorithm 4), plus [`LazyDSfa`] for on-the-fly
+//!   construction,
+//! * [`NSfa`] — the SFA built directly from an NFA,
+//! * [`stats`] — the size reports behind Figure 3 of the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use sfa_core::DSfa;
+//!
+//! // Fig. 2 of the paper: the D-SFA of (ab)* has 6 states.
+//! let sfa = DSfa::from_pattern("(ab)*").unwrap();
+//! assert_eq!(sfa.num_states(), 6);
+//! assert!(sfa.accepts(b"abab"));
+//! assert!(!sfa.accepts(b"aba"));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dsfa;
+pub mod lazy;
+pub mod mapping;
+pub mod nsfa;
+pub mod stats;
+
+pub use dsfa::{DSfa, SfaStateId};
+pub use lazy::LazyDSfa;
+pub use mapping::{Correspondence, Transformation};
+pub use nsfa::NSfa;
+pub use stats::{GrowthClass, SizeReport};
+
+/// Configuration of the correspondence construction (Algorithm 4).
+#[derive(Clone, Debug)]
+pub struct SfaConfig {
+    /// Upper bound on the number of SFA states. Construction fails with
+    /// [`sfa_automata::CompileError::TooManyStates`] when exceeded.
+    ///
+    /// The default (1 000 000) accommodates the largest automaton used in
+    /// the paper's evaluation (`r_500`, with 1 000 999 states, needs the
+    /// limit raised explicitly — the benchmark harness does so).
+    pub max_states: usize,
+}
+
+impl Default for SfaConfig {
+    fn default() -> Self {
+        SfaConfig { max_states: 1_000_000 }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sfa_automata::equivalence::equivalent;
+    use sfa_automata::{determinize, minimize, DfaConfig, Nfa};
+    use sfa_regex_syntax::generator::{AstGenerator, GeneratorConfig};
+    use sfa_regex_syntax::ByteSet;
+
+    fn small_generator() -> AstGenerator {
+        AstGenerator::with_config(GeneratorConfig {
+            max_depth: 3,
+            max_width: 3,
+            max_repeat: 3,
+            alphabet: ByteSet::range(b'a', b'd'),
+            repeat_bias: 0.35,
+        })
+    }
+
+    fn random_small_dfa(seed: u64) -> Option<sfa_automata::Dfa> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ast = small_generator().generate(&mut rng);
+        let nfa = Nfa::from_ast(&ast).ok()?;
+        let dfa = determinize(&nfa, &DfaConfig { max_states: 300, ..Default::default() }).ok()?;
+        Some(minimize(&dfa))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Theorem 2: the D-SFA accepts exactly the language of its source
+        /// DFA (checked by full product equivalence).
+        #[test]
+        fn dsfa_equivalent_to_dfa(seed in any::<u64>()) {
+            let Some(dfa) = random_small_dfa(seed) else { return Ok(()) };
+            let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 200_000 }) else { return Ok(()) };
+            prop_assert!(equivalent(&dfa, &sfa.as_dfa()));
+        }
+
+        /// Theorem 3 / Lemma 1: for any split of the input, composing the
+        /// chunk mappings yields the mapping of the whole input.
+        #[test]
+        fn any_split_composes_to_whole(seed in any::<u64>(), input in "[a-d]{0,30}", cut in any::<prop::sample::Index>()) {
+            let Some(dfa) = random_small_dfa(seed) else { return Ok(()) };
+            let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 200_000 }) else { return Ok(()) };
+            let bytes = input.as_bytes();
+            let cut = cut.index(bytes.len() + 1).min(bytes.len());
+            let (w1, w2) = bytes.split_at(cut);
+            let f1 = sfa.run(w1);
+            let f2 = sfa.run(w2);
+            let whole = sfa.run(bytes);
+            prop_assert_eq!(&sfa.compose(f1, f2), sfa.mapping(whole));
+            // The composed mapping decides acceptance identically to the
+            // sequential DFA run.
+            let accept_via_composition =
+                sfa.dfa_is_accepting(sfa.compose(f1, f2).apply(sfa.dfa_start()));
+            prop_assert_eq!(accept_via_composition, dfa.accepts(bytes));
+        }
+
+        /// The lazy SFA agrees with the eager SFA and never materializes
+        /// more states.
+        #[test]
+        fn lazy_agrees_with_eager(seed in any::<u64>(), inputs in prop::collection::vec("[a-d]{0,16}", 1..6)) {
+            let Some(dfa) = random_small_dfa(seed) else { return Ok(()) };
+            let Ok(eager) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 200_000 }) else { return Ok(()) };
+            let lazy = LazyDSfa::new(dfa.clone(), SfaConfig { max_states: 200_000 });
+            for input in &inputs {
+                prop_assert_eq!(eager.accepts(input.as_bytes()), lazy.accepts(input.as_bytes()).unwrap());
+            }
+            prop_assert!(lazy.num_states_constructed() <= eager.num_states());
+        }
+
+        /// The N-SFA accepts exactly the language of its source NFA on the
+        /// tested inputs.
+        #[test]
+        fn nsfa_matches_nfa(seed in any::<u64>(), inputs in prop::collection::vec("[a-d]{0,12}", 1..6)) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ast = small_generator().generate(&mut rng);
+            let Ok(nfa) = Nfa::from_ast(&ast) else { return Ok(()) };
+            let Ok(nsfa) = NSfa::from_nfa(&nfa, &SfaConfig { max_states: 50_000 }) else { return Ok(()) };
+            for input in &inputs {
+                prop_assert_eq!(nfa.accepts(input.as_bytes()), nsfa.accepts(input.as_bytes()));
+            }
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! State mappings — the states of a simultaneous finite automaton.
+//!
+//! Definition 5 of the paper: a state of an SFA constructed from an
+//! automaton `A = (Q, Σ, δ, I, F)` is a mapping `f : Q → P(Q)` (a
+//! *correspondence* of `Q`). When `A` is deterministic every image is a
+//! singleton-or-empty, so the mapping collapses to a partial function
+//! `Q → Q ∪ {⊥}` (a *transformation*); we represent `⊥` as the DFA's dead
+//! state, which always exists because our DFAs are complete.
+//!
+//! The only operation the matcher ever needs is the associative (reverse)
+//! composition `⋄` of Section II-A:
+//!
+//! ```text
+//! (f ⋄ g)(q) = g(f(q))          for transformations
+//! (f ⋄ g)(q) = ⋃_{p ∈ f(q)} g(p) for correspondences
+//! ```
+//!
+//! `f_w ⋄ f_v = f_wv` (Lemma 1), which is what makes the chunked parallel
+//! reduction of Algorithm 5 correct.
+
+use sfa_automata::{StateId, StateSet};
+
+/// A transformation of the DFA state set: the kind of mapping used by
+/// D-SFA states.
+///
+/// `map[q]` is the DFA state reached from `q` by the word this
+/// transformation represents.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Transformation {
+    map: Box<[StateId]>,
+}
+
+impl Transformation {
+    /// The identity transformation on `n` states (the initial SFA state
+    /// `f_I`).
+    pub fn identity(n: usize) -> Transformation {
+        Transformation { map: (0..n as StateId).collect() }
+    }
+
+    /// Builds a transformation from an explicit image vector.
+    pub fn from_vec(map: Vec<StateId>) -> Transformation {
+        Transformation { map: map.into_boxed_slice() }
+    }
+
+    /// Number of states of the underlying DFA.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Applies the transformation to a single state.
+    #[inline]
+    pub fn apply(&self, q: StateId) -> StateId {
+        self.map[q as usize]
+    }
+
+    /// The raw image vector.
+    #[inline]
+    pub fn as_slice(&self) -> &[StateId] {
+        &self.map
+    }
+
+    /// Reverse composition: `(self ⋄ other)(q) = other(self(q))`.
+    ///
+    /// If `self = f_w` and `other = f_v`, the result is `f_wv`.
+    pub fn then(&self, other: &Transformation) -> Transformation {
+        debug_assert_eq!(self.degree(), other.degree());
+        Transformation {
+            map: self.map.iter().map(|&q| other.map[q as usize]).collect(),
+        }
+    }
+
+    /// Returns true if this is the identity transformation.
+    pub fn is_identity(&self) -> bool {
+        self.map.iter().enumerate().all(|(i, &q)| i as StateId == q)
+    }
+
+    /// Returns true if the transformation is constant (every state maps to
+    /// the same state) — e.g. the all-dead transformation.
+    pub fn is_constant(&self) -> bool {
+        self.map.windows(2).all(|w| w[0] == w[1])
+    }
+
+    /// The number of distinct states in the image.
+    pub fn rank(&self) -> usize {
+        let mut seen = vec![false; self.degree()];
+        let mut count = 0;
+        for &q in self.map.iter() {
+            if !seen[q as usize] {
+                seen[q as usize] = true;
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Memory occupied by the image vector, in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.map.len() * std::mem::size_of::<StateId>()
+    }
+}
+
+impl std::fmt::Debug for Transformation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, q) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}↦{}", i, q)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A correspondence of the NFA state set: the kind of mapping used by
+/// N-SFA states.
+///
+/// `map[q]` is the *set* of NFA states reachable from `q` by the word this
+/// correspondence represents (ε-moves included).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Correspondence {
+    map: Vec<StateSet>,
+}
+
+impl Correspondence {
+    /// The identity correspondence `q ↦ {q}` on `n` states.
+    pub fn identity(n: usize) -> Correspondence {
+        Correspondence { map: (0..n as StateId).map(|q| StateSet::singleton(n, q)).collect() }
+    }
+
+    /// Builds a correspondence from explicit image sets.
+    pub fn from_sets(map: Vec<StateSet>) -> Correspondence {
+        Correspondence { map }
+    }
+
+    /// Number of states of the underlying NFA.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.map.len()
+    }
+
+    /// The image of a single state.
+    #[inline]
+    pub fn apply(&self, q: StateId) -> &StateSet {
+        &self.map[q as usize]
+    }
+
+    /// The image of a set of states: `⋃_{q ∈ set} self(q)`.
+    pub fn apply_set(&self, set: &StateSet) -> StateSet {
+        let mut out = StateSet::new(self.degree());
+        for q in set.iter() {
+            out.union_with(&self.map[q as usize]);
+        }
+        out
+    }
+
+    /// Reverse composition: `(self ⋄ other)(q) = ⋃_{p ∈ self(q)} other(p)`.
+    ///
+    /// This is exactly a boolean matrix product of the relation matrices.
+    pub fn then(&self, other: &Correspondence) -> Correspondence {
+        debug_assert_eq!(self.degree(), other.degree());
+        Correspondence { map: self.map.iter().map(|img| other.apply_set(img)).collect() }
+    }
+
+    /// Returns true if this is the identity correspondence.
+    pub fn is_identity(&self) -> bool {
+        self.map
+            .iter()
+            .enumerate()
+            .all(|(i, img)| img.len() == 1 && img.contains(i as StateId))
+    }
+
+    /// Total number of (state, state) pairs in the relation.
+    pub fn relation_size(&self) -> usize {
+        self.map.iter().map(|s| s.len()).sum()
+    }
+
+    /// Memory occupied by the image sets, in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.map
+            .iter()
+            .map(|s| s.words().len() * std::mem::size_of::<u64>())
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Correspondence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, img) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{}↦{:?}", i, img)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformation_identity_and_apply() {
+        let id = Transformation::identity(4);
+        assert!(id.is_identity());
+        assert_eq!(id.degree(), 4);
+        for q in 0..4 {
+            assert_eq!(id.apply(q), q);
+        }
+        assert_eq!(id.rank(), 4);
+        assert!(!id.is_constant());
+    }
+
+    #[test]
+    fn transformation_composition_order() {
+        // f maps 0->1, 1->2, 2->0 ; g maps everything to 2.
+        let f = Transformation::from_vec(vec![1, 2, 0]);
+        let g = Transformation::from_vec(vec![2, 2, 2]);
+        // (f ⋄ g)(q) = g(f(q)) = 2 for all q.
+        assert_eq!(f.then(&g), g);
+        // (g ⋄ f)(q) = f(g(q)) = f(2) = 0.
+        assert_eq!(g.then(&f), Transformation::from_vec(vec![0, 0, 0]));
+        assert!(g.is_constant());
+        assert_eq!(g.rank(), 1);
+    }
+
+    #[test]
+    fn transformation_composition_is_associative() {
+        let f = Transformation::from_vec(vec![1, 2, 0, 3]);
+        let g = Transformation::from_vec(vec![0, 0, 3, 2]);
+        let h = Transformation::from_vec(vec![2, 1, 1, 0]);
+        assert_eq!(f.then(&g).then(&h), f.then(&g.then(&h)));
+    }
+
+    #[test]
+    fn identity_is_neutral_element() {
+        let f = Transformation::from_vec(vec![2, 0, 1]);
+        let id = Transformation::identity(3);
+        assert_eq!(id.then(&f), f);
+        assert_eq!(f.then(&id), f);
+    }
+
+    #[test]
+    fn transformation_paper_table1() {
+        // Table I of the paper (mappings of the SFA for (ab)*, states 0..=2
+        // of D1 where 2 is the dead state).
+        let f0 = Transformation::from_vec(vec![0, 1, 2]); // identity
+        let f1 = Transformation::from_vec(vec![1, 2, 2]); // after `a`
+        let f4 = Transformation::from_vec(vec![0, 2, 2]); // after `ab`
+        let f5 = Transformation::from_vec(vec![2, 1, 2]); // after `ba`... (f2 ⋄ f1)
+        let f2 = Transformation::from_vec(vec![2, 0, 2]); // after `b`
+
+        assert!(f0.is_identity());
+        // Example 2, step 2: f1 ⋄ f5 = f1.
+        assert_eq!(f1.then(&f5), f1);
+        // and (f1 ⋄ f5) ⋄ (f2 ⋄ f4) = f1 ⋄ f2 = f4.
+        let f2f4 = f2.then(&f4);
+        assert_eq!(f1.then(&f5).then(&f2f4), f4);
+    }
+
+    #[test]
+    fn transformation_heap_bytes() {
+        let f = Transformation::identity(10);
+        assert_eq!(f.heap_bytes(), 40);
+    }
+
+    #[test]
+    fn correspondence_identity_and_apply() {
+        let id = Correspondence::identity(3);
+        assert!(id.is_identity());
+        assert_eq!(id.degree(), 3);
+        assert_eq!(id.apply(1).iter().collect::<Vec<_>>(), vec![1]);
+        assert_eq!(id.relation_size(), 3);
+    }
+
+    #[test]
+    fn correspondence_composition() {
+        // f: 0↦{0,1}, 1↦{2}, 2↦{} ; g: 0↦{2}, 1↦{1}, 2↦{0,2}
+        let f = Correspondence::from_sets(vec![
+            StateSet::from_iter(3, [0u32, 1]),
+            StateSet::from_iter(3, [2u32]),
+            StateSet::new(3),
+        ]);
+        let g = Correspondence::from_sets(vec![
+            StateSet::from_iter(3, [2u32]),
+            StateSet::from_iter(3, [1u32]),
+            StateSet::from_iter(3, [0u32, 2]),
+        ]);
+        let fg = f.then(&g);
+        // (f ⋄ g)(0) = g(0) ∪ g(1) = {1,2}
+        assert_eq!(fg.apply(0).iter().collect::<Vec<_>>(), vec![1, 2]);
+        // (f ⋄ g)(1) = g(2) = {0,2}
+        assert_eq!(fg.apply(1).iter().collect::<Vec<_>>(), vec![0, 2]);
+        // (f ⋄ g)(2) = ∅
+        assert!(fg.apply(2).is_empty());
+    }
+
+    #[test]
+    fn correspondence_composition_is_associative() {
+        let f = Correspondence::from_sets(vec![
+            StateSet::from_iter(3, [1u32, 2]),
+            StateSet::from_iter(3, [0u32]),
+            StateSet::from_iter(3, [2u32]),
+        ]);
+        let g = Correspondence::from_sets(vec![
+            StateSet::from_iter(3, [0u32, 1]),
+            StateSet::new(3),
+            StateSet::from_iter(3, [1u32]),
+        ]);
+        let h = Correspondence::from_sets(vec![
+            StateSet::from_iter(3, [2u32]),
+            StateSet::from_iter(3, [1u32, 2]),
+            StateSet::from_iter(3, [0u32]),
+        ]);
+        let left = f.then(&g).then(&h);
+        let right = f.then(&g.then(&h));
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn correspondence_identity_is_neutral() {
+        let f = Correspondence::from_sets(vec![
+            StateSet::from_iter(2, [0u32, 1]),
+            StateSet::new(2),
+        ]);
+        let id = Correspondence::identity(2);
+        assert_eq!(id.then(&f), f);
+        assert_eq!(f.then(&id), f);
+    }
+
+    #[test]
+    fn apply_set_unions_images() {
+        let f = Correspondence::from_sets(vec![
+            StateSet::from_iter(3, [1u32]),
+            StateSet::from_iter(3, [2u32]),
+            StateSet::from_iter(3, [0u32]),
+        ]);
+        let s = StateSet::from_iter(3, [0u32, 1]);
+        assert_eq!(f.apply_set(&s).iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,314 @@
+//! N-SFA: the simultaneous finite automaton constructed directly from an
+//! NFA (Algorithm 4 of the paper in its general, nondeterministic form).
+//!
+//! Each N-SFA state is a [`Correspondence`] `f : Q → P(Q)` over the NFA
+//! state set. The theoretical state bound is `2^(|N|^2)` (Theorem 2), far
+//! worse than the D-SFA bound, but the construction is included for
+//! completeness, for the complexity comparison of Table II, and because the
+//! reduction operator (boolean matrix multiplication) is interesting for
+//! the monoid analysis in `sfa-monoid`.
+//!
+//! One deviation from the paper: our NFAs carry ε-transitions (Thompson
+//! construction), which the paper's Definition 1 does not. The natural
+//! generalization is used here — the initial N-SFA state maps every state
+//! to its ε-closure, and each step closes under ε — so `f_w(q)` is "the set
+//! of states reachable from `q` by a path labelled `w`", which is exactly
+//! `δ̂(q, w)` and keeps Lemma 1 (composition) and Theorem 2 (equivalence)
+//! intact.
+
+use crate::dsfa::SfaStateId;
+use crate::mapping::Correspondence;
+use crate::SfaConfig;
+use sfa_automata::{ByteClasses, CompileError, Dfa, Nfa, StateId, StateSet};
+use std::collections::HashMap;
+
+/// A simultaneous finite automaton built from an NFA.
+#[derive(Clone, Debug)]
+pub struct NSfa {
+    classes: ByteClasses,
+    stride: usize,
+    table: Vec<SfaStateId>,
+    accepting: Vec<bool>,
+    mappings: Vec<Correspondence>,
+    nfa_start: StateId,
+    nfa_accepting: StateSet,
+}
+
+impl NSfa {
+    /// **Algorithm 4 (correspondence construction)** in its general form:
+    /// `f_next(q) = ⋃_{q' ∈ f(q)} δ(q', σ)` (with ε-closure).
+    pub fn from_nfa(nfa: &Nfa, config: &SfaConfig) -> Result<NSfa, CompileError> {
+        let n = nfa.num_states();
+
+        // Reuse the same byte-class computation as the DFA construction.
+        let sets: Vec<&sfa_regex_syntax::ByteSet> = nfa
+            .states()
+            .iter()
+            .flat_map(|s| s.transitions.iter().map(|(set, _)| set))
+            .collect();
+        let classes = if sets.is_empty() {
+            ByteClasses::single()
+        } else {
+            ByteClasses::from_sets(sets)
+        };
+        let stride = classes.count();
+        let reps = classes.representatives();
+
+        let mut ids: HashMap<Correspondence, SfaStateId> = HashMap::new();
+        let mut mappings: Vec<Correspondence> = Vec::new();
+        let mut table: Vec<SfaStateId> = Vec::new();
+
+        let intern = |f: Correspondence,
+                      mappings: &mut Vec<Correspondence>,
+                      ids: &mut HashMap<Correspondence, SfaStateId>|
+         -> Result<SfaStateId, CompileError> {
+            if let Some(&id) = ids.get(&f) {
+                return Ok(id);
+            }
+            if mappings.len() >= config.max_states {
+                return Err(CompileError::TooManyStates { limit: config.max_states });
+            }
+            let id = mappings.len() as SfaStateId;
+            ids.insert(f.clone(), id);
+            mappings.push(f);
+            Ok(id)
+        };
+
+        // Initial state: q ↦ ε-closure(q).
+        let initial_mapping = Correspondence::from_sets(
+            (0..n as StateId).map(|q| nfa.epsilon_closure(q)).collect(),
+        );
+        let initial = intern(initial_mapping, &mut mappings, &mut ids)?;
+        debug_assert_eq!(initial, 0);
+
+        let mut processed = 0usize;
+        while processed < mappings.len() {
+            let current = mappings[processed].clone();
+            processed += 1;
+            for class in 0..stride {
+                let byte = reps[class];
+                let next = Correspondence::from_sets(
+                    (0..n as StateId).map(|q| nfa.step(current.apply(q), byte)).collect(),
+                );
+                let next_id = intern(next, &mut mappings, &mut ids)?;
+                table.push(next_id);
+            }
+        }
+
+        let nfa_start = nfa.start();
+        let nfa_accepting = nfa.accepting_set();
+        let accepting = mappings
+            .iter()
+            .map(|f| f.apply(nfa_start).intersects(&nfa_accepting))
+            .collect();
+
+        Ok(NSfa { classes, stride, table, accepting, mappings, nfa_start, nfa_accepting })
+    }
+
+    /// Convenience: pattern → NFA → N-SFA with default limits.
+    pub fn from_pattern(pattern: &str) -> Result<NSfa, CompileError> {
+        let nfa = Nfa::from_pattern(pattern)?;
+        NSfa::from_nfa(&nfa, &SfaConfig::default())
+    }
+
+    /// Number of N-SFA states (`|S_n|` in the paper).
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.mappings.len()
+    }
+
+    /// Number of states of the source NFA.
+    #[inline]
+    pub fn num_nfa_states(&self) -> usize {
+        self.nfa_accepting.universe()
+    }
+
+    /// The start state of the source NFA.
+    #[inline]
+    pub fn nfa_start(&self) -> StateId {
+        self.nfa_start
+    }
+
+    /// The accepting-state set of the source NFA.
+    #[inline]
+    pub fn nfa_accepting_set(&self) -> &StateSet {
+        &self.nfa_accepting
+    }
+
+    /// The byte classes used by the transition table.
+    #[inline]
+    pub fn classes(&self) -> &ByteClasses {
+        &self.classes
+    }
+
+    /// Number of byte classes.
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.stride
+    }
+
+    /// The initial state (index 0).
+    #[inline]
+    pub fn initial(&self) -> SfaStateId {
+        0
+    }
+
+    /// Returns true if the SFA state is accepting
+    /// (`∃ q ∈ I : f(q) ∩ F ≠ ∅`).
+    #[inline]
+    pub fn is_accepting(&self, state: SfaStateId) -> bool {
+        self.accepting[state as usize]
+    }
+
+    /// The correspondence carried by an SFA state.
+    #[inline]
+    pub fn mapping(&self, state: SfaStateId) -> &Correspondence {
+        &self.mappings[state as usize]
+    }
+
+    /// Transition on a byte class.
+    #[inline]
+    pub fn next_by_class(&self, state: SfaStateId, class: u16) -> SfaStateId {
+        self.table[state as usize * self.stride + class as usize]
+    }
+
+    /// Transition on a byte.
+    #[inline]
+    pub fn next_state(&self, state: SfaStateId, byte: u8) -> SfaStateId {
+        self.next_by_class(state, self.classes.class_of(byte))
+    }
+
+    /// Runs the N-SFA over `input` from the initial state.
+    pub fn run(&self, input: &[u8]) -> SfaStateId {
+        self.run_from(self.initial(), input)
+    }
+
+    /// Runs the N-SFA over `input` from an arbitrary state.
+    pub fn run_from(&self, state: SfaStateId, input: &[u8]) -> SfaStateId {
+        let mut f = state;
+        for &b in input {
+            f = self.next_state(f, b);
+        }
+        f
+    }
+
+    /// Whole-input membership using the N-SFA alone.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        self.is_accepting(self.run(input))
+    }
+
+    /// Composes the correspondences of two SFA states (`⋄`, i.e. a boolean
+    /// matrix product — the `O(|N|^3)` reduction operator of Table II).
+    pub fn compose(&self, a: SfaStateId, b: SfaStateId) -> Correspondence {
+        self.mapping(a).then(self.mapping(b))
+    }
+
+    /// Decides acceptance from a composed correspondence (used after a
+    /// reduction).
+    pub fn mapping_is_accepting(&self, f: &Correspondence) -> bool {
+        f.apply(self.nfa_start).intersects(&self.nfa_accepting)
+    }
+
+    /// Bytes occupied by the transition table.
+    pub fn table_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<SfaStateId>()
+    }
+
+    /// Bytes occupied by the state correspondences.
+    pub fn mapping_bytes(&self) -> usize {
+        self.mappings.iter().map(|m| m.heap_bytes()).sum()
+    }
+
+    /// Re-interprets the N-SFA as a plain DFA over the same byte classes.
+    pub fn as_dfa(&self) -> Dfa {
+        Dfa::from_parts(
+            self.classes.clone(),
+            self.table.clone(),
+            self.accepting.clone(),
+            self.initial(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsfa::DSfa;
+    use sfa_automata::equivalence::equivalent;
+    use sfa_automata::minimal_dfa_from_pattern;
+
+    fn nsfa(pattern: &str) -> NSfa {
+        NSfa::from_pattern(pattern).unwrap()
+    }
+
+    #[test]
+    fn nsfa_accepts_same_language_as_nfa() {
+        for pattern in ["(ab)*", "a|bc|d", "(a|b)*abb", "[0-4]{2}[5-9]{2}", "a{2,4}"] {
+            let nfa = Nfa::from_pattern(pattern).unwrap();
+            let sfa = NSfa::from_nfa(&nfa, &SfaConfig::default()).unwrap();
+            for input in [&b""[..], b"a", b"ab", b"abab", b"abb", b"aabb", b"0459", b"aaaa", b"zz"] {
+                assert_eq!(
+                    nfa.accepts(input),
+                    sfa.accepts(input),
+                    "pattern {:?} input {:?}",
+                    pattern,
+                    input
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nsfa_equivalent_to_minimal_dfa() {
+        for pattern in ["(ab)*", "(a|b)*abb", "([0-4]{2}[5-9]{2})*"] {
+            let dfa = minimal_dfa_from_pattern(pattern).unwrap();
+            let sfa = nsfa(pattern);
+            assert!(equivalent(&dfa, &sfa.as_dfa()), "pattern {:?}", pattern);
+        }
+    }
+
+    #[test]
+    fn nsfa_is_larger_than_dsfa_in_general() {
+        // The N-SFA tracks sets of NFA states per image, so it is usually at
+        // least as large as the D-SFA of the same language.
+        let d = DSfa::from_pattern("(a|b)*abb").unwrap();
+        let n = nsfa("(a|b)*abb");
+        assert!(n.num_states() >= d.num_states());
+    }
+
+    #[test]
+    fn composition_matches_concatenated_run() {
+        let sfa = nsfa("(a|b)*abb");
+        let w1 = b"abab";
+        let w2 = b"babb";
+        let f1 = sfa.run(w1);
+        let f2 = sfa.run(w2);
+        let composed = sfa.compose(f1, f2);
+        let mut whole = w1.to_vec();
+        whole.extend_from_slice(w2);
+        let f12 = sfa.run(&whole);
+        assert_eq!(&composed, sfa.mapping(f12));
+        assert_eq!(sfa.mapping_is_accepting(&composed), sfa.is_accepting(f12));
+        assert!(sfa.is_accepting(f12));
+    }
+
+    #[test]
+    fn state_limit_enforced() {
+        let nfa = Nfa::from_pattern("(a|b)*a(a|b){6}").unwrap();
+        let err = NSfa::from_nfa(&nfa, &SfaConfig { max_states: 10 }).unwrap_err();
+        assert_eq!(err, CompileError::TooManyStates { limit: 10 });
+    }
+
+    #[test]
+    fn initial_state_is_epsilon_closure() {
+        let nfa = Nfa::from_pattern("(ab)*").unwrap();
+        let sfa = NSfa::from_nfa(&nfa, &SfaConfig::default()).unwrap();
+        let init = sfa.mapping(sfa.initial());
+        for q in 0..nfa.num_states() as StateId {
+            assert_eq!(init.apply(q), &nfa.epsilon_closure(q));
+        }
+        // (ab)* is nullable, so the initial state must already accept.
+        assert!(sfa.is_accepting(sfa.initial()));
+        assert!(sfa.accepts(b""));
+    }
+}

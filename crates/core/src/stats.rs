@@ -1,0 +1,154 @@
+//! Size statistics for DFA/SFA pairs — the raw material of Figure 3 and
+//! Table III of the paper.
+
+use crate::dsfa::DSfa;
+use serde::{Deserialize, Serialize};
+use sfa_automata::Dfa;
+
+/// Size relationship between a minimal DFA and its D-SFA, as classified in
+/// Section VI-A of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum GrowthClass {
+    /// `|S_d| ≤ |D|` — the SFA is no bigger than the DFA.
+    AtMostLinear,
+    /// `|D| < |S_d| ≤ |D|²` — at most quadratic (the common case; the paper
+    /// reports 98.6 % of SNORT patterns here or below).
+    AtMostSquare,
+    /// `|D|² < |S_d| ≤ |D|³` — "over-square" (1.4 % of SNORT patterns).
+    OverSquare,
+    /// `|D|³ < |S_d| ≤ |D|⁴` — "over-cubed" (6 patterns in SNORT).
+    OverCube,
+    /// `|S_d| > |D|⁴` — the paper found none of these in SNORT.
+    OverQuartic,
+}
+
+/// Size statistics of one pattern's DFA and D-SFA.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SizeReport {
+    /// Number of states of the (minimal) DFA, including the dead state.
+    pub dfa_states: usize,
+    /// Number of live DFA states (the count the paper reports as `|D|`).
+    pub dfa_live_states: usize,
+    /// Number of D-SFA states (`|S_d|`).
+    pub sfa_states: usize,
+    /// Number of byte classes shared by both transition tables.
+    pub byte_classes: usize,
+    /// DFA transition-table size in bytes.
+    pub dfa_table_bytes: usize,
+    /// SFA transition-table size in bytes.
+    pub sfa_table_bytes: usize,
+    /// Memory held by the SFA state mappings (needed for reductions).
+    pub sfa_mapping_bytes: usize,
+    /// `|S_d| / |D|`, the y/x ratio of Figure 3 (using the complete DFA
+    /// state count, which is how the paper's Fig. 1 counts `D_1`).
+    pub ratio: f64,
+    /// Growth classification relative to the complete DFA size.
+    pub growth: GrowthClass,
+}
+
+impl SizeReport {
+    /// Computes the report for a DFA / D-SFA pair.
+    pub fn new(dfa: &Dfa, sfa: &DSfa) -> SizeReport {
+        let dfa_live_states = dfa.num_live_states();
+        let sfa_states = sfa.num_states();
+        let growth = classify(dfa.num_states(), sfa_states);
+        SizeReport {
+            dfa_states: dfa.num_states(),
+            dfa_live_states,
+            sfa_states,
+            byte_classes: dfa.num_classes(),
+            dfa_table_bytes: dfa.table_bytes(),
+            sfa_table_bytes: sfa.table_bytes(),
+            sfa_mapping_bytes: sfa.mapping_bytes(),
+            ratio: sfa_states as f64 / dfa.num_states() as f64,
+            growth,
+        }
+    }
+}
+
+/// Classifies `|S_d|` against powers of `|D|`.
+pub fn classify(dfa_states: usize, sfa_states: usize) -> GrowthClass {
+    let d = dfa_states as u128;
+    let s = sfa_states as u128;
+    if s <= d {
+        GrowthClass::AtMostLinear
+    } else if s <= d.saturating_pow(2) {
+        GrowthClass::AtMostSquare
+    } else if s <= d.saturating_pow(3) {
+        GrowthClass::OverSquare
+    } else if s <= d.saturating_pow(4) {
+        GrowthClass::OverCube
+    } else {
+        GrowthClass::OverQuartic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SfaConfig;
+    use sfa_automata::minimal_dfa_from_pattern;
+
+    fn report(pattern: &str) -> SizeReport {
+        let dfa = minimal_dfa_from_pattern(pattern).unwrap();
+        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        SizeReport::new(&dfa, &sfa)
+    }
+
+    #[test]
+    fn rn_family_is_at_most_square() {
+        let r = report("([0-4]{3}[5-9]{3})*");
+        assert_eq!(r.dfa_live_states, 6);
+        assert_eq!(r.growth, GrowthClass::AtMostSquare);
+        assert!(r.ratio > 1.0);
+    }
+
+    #[test]
+    fn literal_pattern_is_linear() {
+        // For a plain literal the SFA is essentially the DFA plus suffix
+        // bookkeeping: still far below square.
+        let r = report("abcdef");
+        assert!(r.sfa_states >= r.dfa_live_states);
+        assert!(matches!(r.growth, GrowthClass::AtMostLinear | GrowthClass::AtMostSquare));
+    }
+
+    #[test]
+    fn chained_dot_star_is_over_square() {
+        // The paper's pathological SNORT shape: several `.*` in sequence
+        // (".*(T.*Y.*P.*E.*)" style) pushes the SFA over |D|².
+        let r = report(".*T.*Y.*P.*E.*");
+        assert_eq!(classify(r.dfa_states, r.sfa_states), r.growth);
+        assert!(
+            matches!(r.growth, GrowthClass::OverSquare | GrowthClass::OverCube),
+            "got {:?} (|D|={}, |S|={})",
+            r.growth,
+            r.dfa_live_states,
+            r.sfa_states
+        );
+    }
+
+    #[test]
+    fn classify_boundaries() {
+        assert_eq!(classify(10, 9), GrowthClass::AtMostLinear);
+        assert_eq!(classify(10, 10), GrowthClass::AtMostLinear);
+        assert_eq!(classify(10, 100), GrowthClass::AtMostSquare);
+        assert_eq!(classify(10, 101), GrowthClass::OverSquare);
+        assert_eq!(classify(10, 1000), GrowthClass::OverSquare);
+        assert_eq!(classify(10, 1001), GrowthClass::OverCube);
+        assert_eq!(classify(10, 10000), GrowthClass::OverCube);
+        assert_eq!(classify(10, 10001), GrowthClass::OverQuartic);
+        // Degenerate single-state DFA.
+        assert_eq!(classify(1, 1), GrowthClass::AtMostLinear);
+        assert_eq!(classify(1, 2), GrowthClass::OverQuartic);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let r = report("(ab)*");
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"sfa_states\":6"));
+        let back: SizeReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sfa_states, r.sfa_states);
+        assert_eq!(back.growth, r.growth);
+    }
+}

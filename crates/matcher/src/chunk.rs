@@ -1,0 +1,102 @@
+//! Splitting the input text into per-thread chunks.
+//!
+//! Theorem 3 of the paper: the computation of an SFA can be decomposed at
+//! *any* division of the input word, so the matcher simply cuts the text
+//! into `p` contiguous, nearly equal chunks — exactly what the paper's
+//! pthread implementation does with its static partitioning.
+
+/// Splits `input` into at most `chunks` contiguous slices of nearly equal
+/// length (the first `len % chunks` slices are one byte longer).
+///
+/// Fewer slices are returned when the input is shorter than the requested
+/// chunk count; an empty input yields a single empty slice so that callers
+/// always have at least one unit of work.
+pub fn split_chunks(input: &[u8], chunks: usize) -> Vec<&[u8]> {
+    let chunks = chunks.max(1);
+    if input.is_empty() {
+        return vec![input];
+    }
+    let count = chunks.min(input.len());
+    let base = input.len() / count;
+    let extra = input.len() % count;
+    let mut out = Vec::with_capacity(count);
+    let mut start = 0;
+    for i in 0..count {
+        let len = base + usize::from(i < extra);
+        out.push(&input[start..start + len]);
+        start += len;
+    }
+    debug_assert_eq!(start, input.len());
+    out
+}
+
+/// Like [`split_chunks`] but returns `(offset, slice)` pairs.
+pub fn split_chunks_with_offsets(input: &[u8], chunks: usize) -> Vec<(usize, &[u8])> {
+    let mut offset = 0;
+    split_chunks(input, chunks)
+        .into_iter()
+        .map(|chunk| {
+            let entry = (offset, chunk);
+            offset += chunk.len();
+            entry
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reassemble(chunks: &[&[u8]]) -> Vec<u8> {
+        chunks.iter().flat_map(|c| c.iter().copied()).collect()
+    }
+
+    #[test]
+    fn chunks_cover_input_exactly() {
+        let input: Vec<u8> = (0..=255u8).collect();
+        for p in [1usize, 2, 3, 7, 12, 100, 256, 1000] {
+            let chunks = split_chunks(&input, p);
+            assert_eq!(reassemble(&chunks), input, "p = {}", p);
+            assert!(chunks.len() <= p);
+            assert!(chunks.iter().all(|c| !c.is_empty()));
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_are_balanced() {
+        let input = vec![0u8; 1003];
+        let chunks = split_chunks(&input, 4);
+        let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![251, 251, 251, 250]);
+    }
+
+    #[test]
+    fn empty_input_yields_single_empty_chunk() {
+        let chunks = split_chunks(b"", 8);
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].is_empty());
+    }
+
+    #[test]
+    fn more_chunks_than_bytes() {
+        let chunks = split_chunks(b"abc", 16);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(reassemble(&chunks), b"abc");
+    }
+
+    #[test]
+    fn zero_chunks_treated_as_one() {
+        let chunks = split_chunks(b"xyz", 0);
+        assert_eq!(chunks, vec![&b"xyz"[..]]);
+    }
+
+    #[test]
+    fn offsets_are_cumulative() {
+        let input = b"abcdefghij";
+        let chunks = split_chunks_with_offsets(input, 3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0], (0, &b"abcd"[..]));
+        assert_eq!(chunks[1], (4, &b"efg"[..]));
+        assert_eq!(chunks[2], (7, &b"hij"[..]));
+    }
+}

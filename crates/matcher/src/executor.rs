@@ -1,0 +1,115 @@
+//! A tiny fork/join executor over scoped OS threads.
+//!
+//! The paper's matcher uses `p` long-lived pthreads with one contiguous
+//! chunk each; `std::thread::scope` gives us the same execution model with
+//! compile-time data-race freedom. The executor also provides the pairwise
+//! tree combine used by the "parallel reduction" variants of Algorithm 3
+//! and Algorithm 5.
+
+/// Runs `work` over every item of `items` — one thread per item when
+/// `parallel` is true, on the calling thread otherwise — and returns the
+/// results in item order.
+pub fn map_chunks<T, R, F>(items: Vec<T>, parallel: bool, work: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    if !parallel || items.len() <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| work(i, item)).collect();
+    }
+    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+    results.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let mut handles = Vec::with_capacity(items.len());
+        for (i, item) in items.into_iter().enumerate() {
+            handles.push(scope.spawn(move || (i, work(i, item))));
+        }
+        for handle in handles {
+            let (i, r) = handle.join().expect("worker thread panicked");
+            results[i] = Some(r);
+        }
+    });
+    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+}
+
+/// Tree (logarithmic-depth) reduction with an associative operator.
+///
+/// Each round combines adjacent pairs; rounds run their pair combinations on
+/// separate threads when `parallel` is true. This is the `O(c · log p)`
+/// reduction of Table II, where `c` is the cost of one composition.
+pub fn tree_reduce<T, F>(mut values: Vec<T>, parallel: bool, combine: F) -> Option<T>
+where
+    T: Send,
+    F: Fn(&T, &T) -> T + Sync,
+{
+    if values.is_empty() {
+        return None;
+    }
+    while values.len() > 1 {
+        let pairs: Vec<(T, Option<T>)> = {
+            let mut it = values.into_iter();
+            let mut pairs = Vec::new();
+            while let Some(a) = it.next() {
+                pairs.push((a, it.next()));
+            }
+            pairs
+        };
+        values = map_chunks(pairs, parallel, |_, (a, b)| match b {
+            Some(b) => combine(&a, &b),
+            None => a,
+        });
+    }
+    values.pop()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_chunks_preserves_order() {
+        let items: Vec<u64> = (0..17).collect();
+        for parallel in [false, true] {
+            let out = map_chunks(items.clone(), parallel, |i, x| (i as u64) * 100 + x * x);
+            let expected: Vec<u64> = (0..17).map(|x| x * 100 + x * x).collect();
+            assert_eq!(out, expected, "parallel = {}", parallel);
+        }
+    }
+
+    #[test]
+    fn map_chunks_single_item_runs_inline() {
+        let out = map_chunks(vec![41], true, |_, x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn tree_reduce_matches_sequential_fold() {
+        // String concatenation is associative but not commutative, so this
+        // also checks that the pairing preserves order.
+        let values: Vec<String> = (0..13).map(|i| format!("{i}-")).collect();
+        let expected = values.concat();
+        for parallel in [false, true] {
+            let combined =
+                tree_reduce(values.clone(), parallel, |a, b| format!("{a}{b}")).unwrap();
+            assert_eq!(combined, expected, "parallel = {}", parallel);
+        }
+    }
+
+    #[test]
+    fn tree_reduce_handles_degenerate_sizes() {
+        assert_eq!(tree_reduce(Vec::<u32>::new(), true, |a, b| a + b), None);
+        assert_eq!(tree_reduce(vec![7u32], true, |a, b| a + b), Some(7));
+        assert_eq!(tree_reduce(vec![1u32, 2], true, |a, b| a + b), Some(3));
+        assert_eq!(tree_reduce(vec![1u32, 2, 3], false, |a, b| a + b), Some(6));
+    }
+
+    #[test]
+    fn tree_reduce_is_deterministic_under_parallelism() {
+        let values: Vec<i64> = (1..=64).collect();
+        let a = tree_reduce(values.clone(), true, |x, y| x * 31 + y).unwrap();
+        let b = tree_reduce(values, false, |x, y| x * 31 + y).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! # sfa-matcher
+//!
+//! Sequential and data-parallel regular-expression matching on top of the
+//! SFA pipeline — the executable half of *"Simultaneous Finite Automata: An
+//! Efficient Data-Parallel Model for Regular Expression Matching"*
+//! (Sin'ya, Matsuzaki, Sassa — ICPP 2013).
+//!
+//! Three matchers are provided, matching the paper's algorithms:
+//!
+//! | Paper | Implementation | Work per byte |
+//! |---|---|---|
+//! | Algorithm 2 | [`sfa_automata::Dfa::accepts`] / [`Regex::is_match_sequential`] | 1 lookup |
+//! | Algorithm 3 | [`SpeculativeDfaMatcher`] | `|D|` lookups |
+//! | Algorithm 5 | [`ParallelSfaMatcher`] | 1 lookup |
+//!
+//! plus the chunking and reduction machinery they share and a high-level
+//! [`Regex`] / [`RegexSet`] front end.
+//!
+//! ## Example
+//!
+//! ```
+//! use sfa_matcher::{Regex, Reduction};
+//!
+//! let re = Regex::new("([0-4]{2}[5-9]{2})*").unwrap();
+//! let text = b"00550459".repeat(1000);
+//! assert!(re.is_match_sequential(&text));                       // Algorithm 2
+//! assert!(re.is_match_parallel(&text, 4, Reduction::Sequential)); // Algorithm 5
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chunk;
+pub mod executor;
+pub mod parallel;
+pub mod regex;
+pub mod speculative;
+
+pub use chunk::{split_chunks, split_chunks_with_offsets};
+pub use executor::{map_chunks, tree_reduce};
+pub use parallel::{ParallelNSfaMatcher, ParallelSfaMatcher};
+pub use regex::{default_threads, MatchMode, Regex, RegexBuilder, RegexSet};
+pub use speculative::SpeculativeDfaMatcher;
+
+/// How the per-chunk partial results are combined (Section V-B of the
+/// paper: "we reduce the results either in parallel with associative binary
+/// operator ⋄ or in sequential").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reduction {
+    /// `O(p)` sequential walk over the partial results: start from the
+    /// DFA's start state and look the state up in each chunk's mapping.
+    Sequential,
+    /// Logarithmic-depth tree of mapping compositions
+    /// (`O(|D| log p)` for D-SFA, `O(|N|³ log p)` for N-SFA).
+    Tree,
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sfa_automata::{determinize, minimize, DfaConfig, Nfa};
+    use sfa_core::{DSfa, SfaConfig};
+    use sfa_regex_syntax::generator::{AstGenerator, GeneratorConfig};
+    use sfa_regex_syntax::ByteSet;
+
+    fn small_generator() -> AstGenerator {
+        AstGenerator::with_config(GeneratorConfig {
+            max_depth: 3,
+            max_width: 3,
+            max_repeat: 3,
+            alphabet: ByteSet::range(b'a', b'c'),
+            repeat_bias: 0.4,
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// All matchers agree with the sequential DFA on random patterns,
+        /// random inputs, random thread counts and both reductions.
+        #[test]
+        fn all_matchers_agree(
+            seed in any::<u64>(),
+            input in "[a-c]{0,60}",
+            threads in 1usize..9,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ast = small_generator().generate(&mut rng);
+            let Ok(nfa) = Nfa::from_ast(&ast) else { return Ok(()) };
+            let Ok(dfa) = determinize(&nfa, &DfaConfig { max_states: 400, ..Default::default() }) else { return Ok(()) };
+            let dfa = minimize(&dfa);
+            let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 100_000 }) else { return Ok(()) };
+
+            let expected = dfa.accepts(input.as_bytes());
+            let spec = SpeculativeDfaMatcher::new(&dfa);
+            let par = ParallelSfaMatcher::new(&sfa);
+            for reduction in [Reduction::Sequential, Reduction::Tree] {
+                prop_assert_eq!(spec.accepts(input.as_bytes(), threads, reduction), expected);
+                prop_assert_eq!(par.accepts(input.as_bytes(), threads, reduction), expected);
+            }
+        }
+
+        /// Chunking never loses or duplicates bytes.
+        #[test]
+        fn chunking_partitions_input(input in prop::collection::vec(any::<u8>(), 0..200), threads in 1usize..20) {
+            let chunks = split_chunks(&input, threads);
+            let glued: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+            prop_assert_eq!(glued, input);
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! A high-level regular-expression matcher bundling the whole pipeline:
+//! pattern → NFA → DFA → minimal DFA → D-SFA, with sequential (Algorithm 2),
+//! speculative-parallel (Algorithm 3) and SFA-parallel (Algorithm 5)
+//! execution.
+//!
+//! This is the API a downstream user of the library is expected to touch;
+//! the lower-level crates stay available for research use.
+
+use crate::parallel::ParallelSfaMatcher;
+use crate::speculative::SpeculativeDfaMatcher;
+use crate::Reduction;
+use sfa_automata::{determinize, minimize, CompileError, Dfa, DfaConfig, Nfa};
+use sfa_core::{DSfa, SfaConfig, SizeReport};
+use sfa_regex_syntax::ast::Ast;
+use sfa_regex_syntax::class::perl;
+use sfa_regex_syntax::{Parser, ParserConfig};
+
+/// How the pattern is applied to the input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatchMode {
+    /// The whole input must match the pattern (the paper's membership
+    /// semantics: `w ∈ L(A)`).
+    Whole,
+    /// Some substring of the input must match the pattern (SNORT-style
+    /// scanning). Implemented by matching `(?s:.)* pattern (?s:.)*` against
+    /// the whole input, which keeps the data-parallel property intact.
+    Contains,
+}
+
+/// Builder for [`Regex`] with all pipeline knobs.
+#[derive(Clone, Debug)]
+pub struct RegexBuilder {
+    parser: ParserConfig,
+    dfa: DfaConfig,
+    sfa: SfaConfig,
+    mode: MatchMode,
+    threads: usize,
+    reduction: Reduction,
+}
+
+impl Default for RegexBuilder {
+    fn default() -> Self {
+        RegexBuilder {
+            parser: ParserConfig::default(),
+            dfa: DfaConfig::default(),
+            sfa: SfaConfig::default(),
+            mode: MatchMode::Whole,
+            threads: default_threads(),
+            reduction: Reduction::Sequential,
+        }
+    }
+}
+
+/// The default worker count: one per available CPU.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+impl RegexBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> RegexBuilder {
+        RegexBuilder::default()
+    }
+
+    /// Case-insensitive matching.
+    pub fn case_insensitive(mut self, yes: bool) -> Self {
+        self.parser.case_insensitive = yes;
+        self
+    }
+
+    /// Let `.` match `\n` too.
+    pub fn dot_matches_newline(mut self, yes: bool) -> Self {
+        self.parser.dot_matches_newline = yes;
+        self
+    }
+
+    /// Whole-input or substring semantics.
+    pub fn mode(mut self, mode: MatchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Disable or enable byte-class alphabet compression (enabled by
+    /// default; disabling reproduces the paper's fixed 256-entry rows).
+    pub fn compress_alphabet(mut self, yes: bool) -> Self {
+        self.dfa.compress_alphabet = yes;
+        self
+    }
+
+    /// DFA state limit.
+    pub fn max_dfa_states(mut self, limit: usize) -> Self {
+        self.dfa.max_states = limit;
+        self
+    }
+
+    /// SFA state limit.
+    pub fn max_sfa_states(mut self, limit: usize) -> Self {
+        self.sfa.max_states = limit;
+        self
+    }
+
+    /// Default number of worker threads used by `is_match`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Default reduction strategy used by `is_match`.
+    pub fn reduction(mut self, reduction: Reduction) -> Self {
+        self.reduction = reduction;
+        self
+    }
+
+    /// Compiles the pattern through the full pipeline.
+    pub fn build(&self, pattern: &str) -> Result<Regex, CompileError> {
+        let parser = Parser::with_config(self.parser.clone());
+        let ast = parser.parse(pattern)?;
+        let ast = match self.mode {
+            MatchMode::Whole => ast,
+            MatchMode::Contains => Ast::concat(vec![
+                Ast::star(Ast::Class(perl::any())),
+                ast,
+                Ast::star(Ast::Class(perl::any())),
+            ]),
+        };
+        let nfa = Nfa::from_ast(&ast)?;
+        let dfa = minimize(&determinize(&nfa, &self.dfa)?);
+        let sfa = DSfa::from_dfa(&dfa, &self.sfa)?;
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            mode: self.mode,
+            threads: self.threads,
+            reduction: self.reduction,
+            nfa_states: nfa.num_states(),
+            dfa,
+            sfa,
+        })
+    }
+}
+
+/// A compiled pattern with sequential and parallel matching.
+#[derive(Clone, Debug)]
+pub struct Regex {
+    pattern: String,
+    mode: MatchMode,
+    threads: usize,
+    reduction: Reduction,
+    nfa_states: usize,
+    dfa: Dfa,
+    sfa: DSfa,
+}
+
+impl Regex {
+    /// Compiles a pattern with default settings (whole-input semantics).
+    pub fn new(pattern: &str) -> Result<Regex, CompileError> {
+        RegexBuilder::default().build(pattern)
+    }
+
+    /// Starts a builder.
+    pub fn builder() -> RegexBuilder {
+        RegexBuilder::default()
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// The match semantics this regex was compiled with.
+    pub fn mode(&self) -> MatchMode {
+        self.mode
+    }
+
+    /// The minimal DFA backing this regex.
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// The D-SFA backing this regex.
+    pub fn sfa(&self) -> &DSfa {
+        &self.sfa
+    }
+
+    /// Number of states of the intermediate NFA (Table II's `|N|`).
+    pub fn nfa_states(&self) -> usize {
+        self.nfa_states
+    }
+
+    /// Size report for this pattern (the Figure 3 data point).
+    pub fn size_report(&self) -> SizeReport {
+        SizeReport::new(&self.dfa, &self.sfa)
+    }
+
+    /// Matches using the configured default thread count and reduction
+    /// (parallel SFA matching when more than one thread is configured).
+    pub fn is_match(&self, input: &[u8]) -> bool {
+        if self.threads <= 1 {
+            self.is_match_sequential(input)
+        } else {
+            self.is_match_parallel(input, self.threads, self.reduction)
+        }
+    }
+
+    /// **Algorithm 2**: sequential DFA matching.
+    pub fn is_match_sequential(&self, input: &[u8]) -> bool {
+        self.dfa.accepts(input)
+    }
+
+    /// **Algorithm 5**: parallel SFA matching with an explicit thread count
+    /// and reduction strategy.
+    pub fn is_match_parallel(&self, input: &[u8], threads: usize, reduction: Reduction) -> bool {
+        ParallelSfaMatcher::new(&self.sfa).accepts(input, threads, reduction)
+    }
+
+    /// **Algorithm 3**: the prior-art speculative parallel DFA matcher
+    /// (kept as a baseline).
+    pub fn is_match_speculative(
+        &self,
+        input: &[u8],
+        threads: usize,
+        reduction: Reduction,
+    ) -> bool {
+        SpeculativeDfaMatcher::new(&self.dfa).accepts(input, threads, reduction)
+    }
+}
+
+/// A set of patterns compiled into one automaton ("does any pattern
+/// match?"), the way an IDS engine batches its ruleset.
+#[derive(Clone, Debug)]
+pub struct RegexSet {
+    patterns: Vec<String>,
+    regex: Regex,
+}
+
+impl RegexSet {
+    /// Compiles the alternation of all patterns with the given builder
+    /// settings.
+    pub fn new<'a, I>(patterns: I, builder: &RegexBuilder) -> Result<RegexSet, CompileError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let patterns: Vec<String> = patterns.into_iter().map(|s| s.to_string()).collect();
+        let parser = Parser::with_config(builder.parser.clone());
+        let mut branches = Vec::with_capacity(patterns.len());
+        for p in &patterns {
+            branches.push(parser.parse(p)?);
+        }
+        let union = sfa_regex_syntax::to_pattern(&Ast::alternation(branches));
+        let regex = builder.build(&union)?;
+        Ok(RegexSet { patterns, regex })
+    }
+
+    /// The individual patterns.
+    pub fn patterns(&self) -> &[String] {
+        &self.patterns
+    }
+
+    /// The combined regex.
+    pub fn regex(&self) -> &Regex {
+        &self.regex
+    }
+
+    /// True if any pattern matches (under the builder's match mode).
+    pub fn is_match(&self, input: &[u8]) -> bool {
+        self.regex.is_match(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_match_defaults() {
+        let re = Regex::new("(ab)*").unwrap();
+        assert!(re.is_match(b"abab"));
+        assert!(!re.is_match(b"aba"));
+        assert!(re.is_match_sequential(b""));
+        assert_eq!(re.pattern(), "(ab)*");
+        assert_eq!(re.mode(), MatchMode::Whole);
+        assert!(re.nfa_states() > 0);
+        assert_eq!(re.size_report().sfa_states, re.sfa().num_states());
+    }
+
+    #[test]
+    fn all_three_algorithms_agree() {
+        let re = Regex::new("([0-4]{3}[5-9]{3})*").unwrap();
+        let inputs: Vec<&[u8]> = vec![b"", b"000555", b"000555111666", b"00055", b"555000"];
+        for input in inputs {
+            let expected = re.is_match_sequential(input);
+            for threads in [1, 2, 4] {
+                for reduction in [Reduction::Sequential, Reduction::Tree] {
+                    assert_eq!(re.is_match_parallel(input, threads, reduction), expected);
+                    assert_eq!(re.is_match_speculative(input, threads, reduction), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contains_mode_scans_substrings() {
+        let re = Regex::builder().mode(MatchMode::Contains).build("attack[0-9]{2}").unwrap();
+        assert!(re.is_match(b"GET /attack42/index.html"));
+        assert!(re.is_match(b"attack99"));
+        assert!(!re.is_match(b"attack"));
+        assert!(!re.is_match(b"benign traffic"));
+        // Parallel contains matching agrees with sequential.
+        let text = b"xxxxxxxxxxxxxxxxattack77yyyyyyyyyyyyyyyy";
+        for threads in [2, 4, 8] {
+            assert!(re.is_match_parallel(text, threads, Reduction::Sequential));
+        }
+    }
+
+    #[test]
+    fn case_insensitive_builder() {
+        let re = Regex::builder().case_insensitive(true).build("select").unwrap();
+        assert!(re.is_match(b"SELECT"));
+        assert!(re.is_match(b"SeLeCt"));
+        assert!(!re.is_match(b"SELEC"));
+    }
+
+    #[test]
+    fn threads_and_reduction_defaults_apply() {
+        let re = Regex::builder()
+            .threads(3)
+            .reduction(Reduction::Tree)
+            .build("(ab)*")
+            .unwrap();
+        assert!(re.is_match(b"ababab"));
+        assert!(!re.is_match(b"b"));
+    }
+
+    #[test]
+    fn state_limits_propagate() {
+        let err = Regex::builder().max_sfa_states(4).build("([0-4]{3}[5-9]{3})*").unwrap_err();
+        assert_eq!(err, CompileError::TooManyStates { limit: 4 });
+        let err = Regex::builder().max_dfa_states(2).build("abcdef").unwrap_err();
+        assert_eq!(err, CompileError::TooManyStates { limit: 2 });
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(Regex::new("(unclosed").is_err());
+        assert!(Regex::new("a{5,2}").is_err());
+    }
+
+    #[test]
+    fn regex_set_matches_any_pattern() {
+        let set = RegexSet::new(
+            ["GET /[a-z]+", "POST /login", "HEAD /status"],
+            &Regex::builder().mode(MatchMode::Contains),
+        )
+        .unwrap();
+        assert_eq!(set.patterns().len(), 3);
+        assert!(set.is_match(b"GET /index HTTP/1.1"));
+        assert!(set.is_match(b"POST /login HTTP/1.1"));
+        assert!(set.is_match(b"HEAD /status"));
+        assert!(!set.is_match(b"PUT /upload"));
+        assert!(set.regex().sfa().num_states() > 0);
+    }
+
+    #[test]
+    fn uncompressed_alphabet_option() {
+        let re = Regex::builder().compress_alphabet(false).build("(ab)*").unwrap();
+        assert_eq!(re.dfa().num_classes(), 256);
+        assert!(re.is_match(b"abab"));
+    }
+}

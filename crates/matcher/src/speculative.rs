@@ -1,0 +1,128 @@
+//! **Algorithm 3** — the prior-art parallel DFA matcher based on
+//! speculative simulation (Section III of the paper).
+//!
+//! Every worker processes its chunk by maintaining a full vector
+//! `T_i : Q → Q` ("from every possible state, where would the DFA be
+//! now?"), updated for *every* state on *every* byte — which is where the
+//! `O(|D| · n / p)` term of Table II comes from and why this approach loses
+//! to the sequential matcher as soon as the DFA is large. It is implemented
+//! here as the baseline that the SFA matcher (Algorithm 5) is compared
+//! against.
+
+use crate::chunk::split_chunks;
+use crate::executor::{map_chunks, tree_reduce};
+use crate::Reduction;
+use sfa_automata::{Dfa, StateId};
+use sfa_core::Transformation;
+
+/// The speculative-simulation parallel DFA matcher.
+#[derive(Clone, Debug)]
+pub struct SpeculativeDfaMatcher<'a> {
+    dfa: &'a Dfa,
+}
+
+impl<'a> SpeculativeDfaMatcher<'a> {
+    /// Creates a matcher over the given DFA.
+    pub fn new(dfa: &'a Dfa) -> SpeculativeDfaMatcher<'a> {
+        SpeculativeDfaMatcher { dfa }
+    }
+
+    /// Simulates one chunk from **all** states simultaneously (lines 1–7 of
+    /// Algorithm 3) and returns the resulting mapping `T_i`.
+    pub fn simulate_chunk(&self, chunk: &[u8]) -> Transformation {
+        let n = self.dfa.num_states();
+        let mut table: Vec<StateId> = (0..n as StateId).collect();
+        for &byte in chunk {
+            let class = self.dfa.classes().class_of(byte);
+            for entry in table.iter_mut() {
+                *entry = self.dfa.next_by_class(*entry, class);
+            }
+        }
+        Transformation::from_vec(table)
+    }
+
+    /// Runs the parallel computation and returns the final DFA state
+    /// reached from the start state.
+    pub fn run(&self, input: &[u8], threads: usize, reduction: Reduction) -> StateId {
+        let chunks = split_chunks(input, threads);
+        let parallel = threads > 1;
+        let partials = map_chunks(chunks, parallel, |_, chunk| self.simulate_chunk(chunk));
+        match reduction {
+            Reduction::Sequential => {
+                // qfinal ← q0; for i: qfinal ← T_i[qfinal]
+                let mut q = self.dfa.start();
+                for t in &partials {
+                    q = t.apply(q);
+                }
+                q
+            }
+            Reduction::Tree => {
+                let combined = tree_reduce(partials, parallel, |a, b| a.then(b))
+                    .expect("at least one chunk");
+                combined.apply(self.dfa.start())
+            }
+        }
+    }
+
+    /// Whole-input membership test.
+    pub fn accepts(&self, input: &[u8], threads: usize, reduction: Reduction) -> bool {
+        self.dfa.is_accepting(self.run(input, threads, reduction))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_automata::minimal_dfa_from_pattern;
+
+    fn check(pattern: &str, inputs: &[&[u8]]) {
+        let dfa = minimal_dfa_from_pattern(pattern).unwrap();
+        let matcher = SpeculativeDfaMatcher::new(&dfa);
+        for &input in inputs {
+            let expected = dfa.accepts(input);
+            for threads in [1usize, 2, 3, 4, 7] {
+                for reduction in [Reduction::Sequential, Reduction::Tree] {
+                    assert_eq!(
+                        matcher.accepts(input, threads, reduction),
+                        expected,
+                        "pattern {:?}, input len {}, {} threads, {:?}",
+                        pattern,
+                        input.len(),
+                        threads,
+                        reduction
+                    );
+                    assert_eq!(matcher.run(input, threads, reduction), dfa.run(input));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_sequential_dfa() {
+        check("(ab)*", &[b"", b"ab", b"abab", b"aba", b"abababababab", b"abx"]);
+        check(
+            "([0-4]{2}[5-9]{2})*",
+            &[b"", b"0055", b"005504590459", b"00550", b"555500"],
+        );
+        check("(a|b)*abb", &[b"abb", b"aababb", b"ab", b"abba"]);
+    }
+
+    #[test]
+    fn chunk_simulation_is_the_word_transformation() {
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let matcher = SpeculativeDfaMatcher::new(&dfa);
+        let t = matcher.simulate_chunk(b"ab");
+        // From the start (accepting) state, "ab" loops back to it.
+        assert_eq!(t.apply(dfa.start()), dfa.start());
+        // The empty chunk is the identity.
+        assert!(matcher.simulate_chunk(b"").is_identity());
+    }
+
+    #[test]
+    fn more_threads_than_bytes() {
+        let dfa = minimal_dfa_from_pattern("a{3}").unwrap();
+        let matcher = SpeculativeDfaMatcher::new(&dfa);
+        assert!(matcher.accepts(b"aaa", 64, Reduction::Tree));
+        assert!(!matcher.accepts(b"aa", 64, Reduction::Sequential));
+    }
+}

@@ -1,0 +1,215 @@
+//! Boolean matrices and their semigroup.
+//!
+//! Section VII of the paper characterizes SFA states algebraically: a
+//! correspondence `Q → P(Q)` *is* an `n × n` boolean matrix, composition is
+//! the boolean matrix product, and the set of matrices reachable from the
+//! per-symbol matrices is (the transition part of) the syntactic monoid.
+//! Devadze's theorem (Fact 3) about generating sets of the full boolean
+//! matrix semigroup is what rules out compact regular expressions whose
+//! N-SFA hits the `2^(n²)` bound.
+
+use std::collections::HashSet;
+
+/// A dense square boolean matrix, rows stored as bit masks (`n ≤ 64`
+/// supported for the row representation used here, which is plenty for the
+/// monoid experiments).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BoolMatrix {
+    n: usize,
+    rows: Vec<u64>,
+}
+
+impl BoolMatrix {
+    /// Maximum supported dimension.
+    pub const MAX_DIM: usize = 64;
+
+    /// The zero matrix.
+    pub fn zero(n: usize) -> BoolMatrix {
+        assert!(n <= Self::MAX_DIM, "BoolMatrix supports n ≤ 64");
+        BoolMatrix { n, rows: vec![0; n] }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> BoolMatrix {
+        let mut m = BoolMatrix::zero(n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds a matrix from a list of `(row, col)` pairs that are set.
+    pub fn from_pairs(n: usize, pairs: &[(usize, usize)]) -> BoolMatrix {
+        let mut m = BoolMatrix::zero(n);
+        for &(i, j) in pairs {
+            m.set(i, j, true);
+        }
+        m
+    }
+
+    /// Dimension of the matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        self.rows[i] & (1u64 << j) != 0
+    }
+
+    /// Writes entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: bool) {
+        if value {
+            self.rows[i] |= 1u64 << j;
+        } else {
+            self.rows[i] &= !(1u64 << j);
+        }
+    }
+
+    /// Boolean matrix product (`∨` of `∧`s).
+    pub fn multiply(&self, other: &BoolMatrix) -> BoolMatrix {
+        debug_assert_eq!(self.n, other.n);
+        let mut out = BoolMatrix::zero(self.n);
+        for i in 0..self.n {
+            let mut row = 0u64;
+            let mut bits = self.rows[i];
+            while bits != 0 {
+                let k = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                row |= other.rows[k];
+            }
+            out.rows[i] = row;
+        }
+        out
+    }
+
+    /// Number of ones in the matrix.
+    pub fn popcount(&self) -> usize {
+        self.rows.iter().map(|r| r.count_ones() as usize).sum()
+    }
+
+    /// Returns true if the matrix is a (total) function: exactly one `1` per
+    /// row.
+    pub fn is_functional(&self) -> bool {
+        self.rows.iter().all(|r| r.count_ones() == 1)
+    }
+}
+
+/// Generates the semigroup (closure under product) of a set of boolean
+/// matrices, up to `limit` elements. Returns `None` if the limit is
+/// exceeded.
+pub fn generate_semigroup(generators: &[BoolMatrix], limit: usize) -> Option<Vec<BoolMatrix>> {
+    let mut seen: HashSet<BoolMatrix> = HashSet::new();
+    let mut elements: Vec<BoolMatrix> = Vec::new();
+    let mut worklist: Vec<BoolMatrix> = Vec::new();
+    for g in generators {
+        if seen.insert(g.clone()) {
+            elements.push(g.clone());
+            worklist.push(g.clone());
+        }
+    }
+    let mut head = 0;
+    while head < worklist.len() {
+        let current = worklist[head].clone();
+        head += 1;
+        for g in generators {
+            let next = current.multiply(g);
+            if seen.insert(next.clone()) {
+                if elements.len() >= limit {
+                    return None;
+                }
+                elements.push(next.clone());
+                worklist.push(next);
+            }
+        }
+    }
+    Some(elements)
+}
+
+/// Generates the monoid: the semigroup plus the identity element.
+pub fn generate_monoid(generators: &[BoolMatrix], limit: usize) -> Option<Vec<BoolMatrix>> {
+    let n = generators.first().map(|g| g.dim()).unwrap_or(0);
+    let mut elements = generate_semigroup(generators, limit)?;
+    let id = BoolMatrix::identity(n);
+    if !elements.contains(&id) {
+        if elements.len() >= limit {
+            return None;
+        }
+        elements.push(id);
+    }
+    Some(elements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_zero() {
+        let id = BoolMatrix::identity(4);
+        let z = BoolMatrix::zero(4);
+        assert!(id.get(2, 2));
+        assert!(!id.get(2, 3));
+        assert_eq!(id.popcount(), 4);
+        assert_eq!(z.popcount(), 0);
+        assert!(id.is_functional());
+        assert!(!z.is_functional());
+    }
+
+    #[test]
+    fn multiplication_matches_relation_composition() {
+        // a: 0→1, 1→{0,2}, 2→∅ ; b: 0→2, 1→1, 2→0
+        let a = BoolMatrix::from_pairs(3, &[(0, 1), (1, 0), (1, 2), (2, 2)]);
+        let b = BoolMatrix::from_pairs(3, &[(0, 2), (1, 1), (2, 0)]);
+        let ab = a.multiply(&b);
+        // (a·b)(0) = b(a(0)) = b({1}) = {1}
+        assert!(ab.get(0, 1) && !ab.get(0, 0) && !ab.get(0, 2));
+        // (a·b)(1) = b({0,2}) = {2,0}
+        assert!(ab.get(1, 0) && ab.get(1, 2) && !ab.get(1, 1));
+        // (a·b)(2) = b({2}) = {0}
+        assert!(ab.get(2, 0));
+    }
+
+    #[test]
+    fn identity_is_neutral_and_product_associative() {
+        let a = BoolMatrix::from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (1, 1)]);
+        let b = BoolMatrix::from_pairs(4, &[(0, 0), (1, 3), (2, 1), (3, 2)]);
+        let c = BoolMatrix::from_pairs(4, &[(0, 2), (2, 2), (3, 1)]);
+        let id = BoolMatrix::identity(4);
+        assert_eq!(a.multiply(&id), a);
+        assert_eq!(id.multiply(&a), a);
+        assert_eq!(a.multiply(&b).multiply(&c), a.multiply(&b.multiply(&c)));
+    }
+
+    #[test]
+    fn semigroup_of_cyclic_permutation() {
+        // The cyclic shift on 5 elements generates Z_5 (5 elements).
+        let shift = BoolMatrix::from_pairs(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let sg = generate_semigroup(&[shift], 100).unwrap();
+        assert_eq!(sg.len(), 5);
+        let monoid = generate_monoid(&[BoolMatrix::from_pairs(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])], 100).unwrap();
+        assert_eq!(monoid.len(), 5, "the cycle already contains the identity");
+    }
+
+    #[test]
+    fn semigroup_limit_enforced() {
+        // Two generators over 4 points can blow past a tiny limit.
+        let a = BoolMatrix::from_pairs(4, &[(0, 1), (1, 0), (2, 2), (3, 3)]);
+        let b = BoolMatrix::from_pairs(4, &[(0, 0), (1, 2), (2, 3), (3, 3)]);
+        assert!(generate_semigroup(&[a, b], 3).is_none());
+    }
+
+    #[test]
+    fn full_transformation_monoid_on_three_points() {
+        // Classic: the full transformation monoid T_3 has 27 elements and is
+        // generated by a transposition, a 3-cycle and a rank-2 idempotent.
+        let cycle = BoolMatrix::from_pairs(3, &[(0, 1), (1, 2), (2, 0)]);
+        let swap = BoolMatrix::from_pairs(3, &[(0, 1), (1, 0), (2, 2)]);
+        let collapse = BoolMatrix::from_pairs(3, &[(0, 0), (1, 0), (2, 2)]);
+        let m = generate_monoid(&[cycle, swap, collapse], 1000).unwrap();
+        assert_eq!(m.len(), 27);
+        assert!(m.iter().all(|x| x.is_functional()));
+    }
+}

@@ -1,0 +1,175 @@
+//! The state-explosion families of Section VII-B (Examples 3 and 4,
+//! Facts 1 and 2).
+//!
+//! * **Fact 1 / Example 3**: `e = [ap]*[al][alp]{n-2}` over `Σ = {a, l, p}`
+//!   has an `O(n)`-state NFA whose minimal DFA has `~2^n` states — the
+//!   letters act as arithmetic shift, logical shift and partial shift on
+//!   the bit-vector of active NFA states.
+//! * **Fact 2 / Example 4**: there is a 3-letter DFA with `n` states whose
+//!   D-SFA has `n^n` states — its three letters generate the full
+//!   transformation monoid `T_n` (an `n`-cycle, a transposition and a
+//!   rank-`n−1` collapse). The paper exhibits such a DFA as the minimal DFA
+//!   of `(m|(t|c([mt]*c){n-2})[cmt]*)*`; the scanned text of that
+//!   expression is ambiguous, so alongside a best-effort transcription
+//!   ([`example4_pattern`]) we construct the witness DFA *directly*
+//!   ([`fact2_dfa`]), which is what the Fact 2 claim is about.
+
+use sfa_automata::byteclass::ByteClasses;
+use sfa_automata::minimal_dfa_from_pattern;
+use sfa_automata::{CompileError, Dfa, StateId};
+use sfa_regex_syntax::ByteSet;
+
+/// The Example 3 pattern `[ap]*[al][alp]{n-2}` (requires `n ≥ 2`).
+pub fn example3_pattern(n: usize) -> String {
+    assert!(n >= 2, "Example 3 needs n ≥ 2");
+    format!("[ap]*[al][alp]{{{}}}", n - 2)
+}
+
+/// A best-effort transcription of the Example 4 pattern
+/// `(m|(t|c([mt]*c){n-2})[cmt]*)*` (requires `n ≥ 2`). See [`fact2_dfa`]
+/// for the exact Fact 2 witness.
+pub fn example4_pattern(n: usize) -> String {
+    assert!(n >= 2, "Example 4 needs n ≥ 2");
+    format!("(m|(t|c([mt]*c){{{}}})[cmt]*)*", n - 2)
+}
+
+/// Builds the minimal DFA of the Example 3 pattern; its live state count
+/// grows as `~2^n` (Fact 1).
+pub fn example3_dfa(n: usize) -> Result<Dfa, CompileError> {
+    minimal_dfa_from_pattern(&example3_pattern(n))
+}
+
+/// Builds the minimal DFA of the [`example4_pattern`] transcription.
+pub fn example4_dfa(n: usize) -> Result<Dfa, CompileError> {
+    minimal_dfa_from_pattern(&example4_pattern(n))
+}
+
+/// Constructs the **Fact 2 witness** directly: a complete DFA over
+/// `Σ = {c, m, t}` (plus a catch-all dead class) with `n` live states whose
+/// three letters act as
+///
+/// * `m` — the `n`-cycle `i ↦ i+1 (mod n)`,
+/// * `t` — the transposition `(0 1)`,
+/// * `c` — the collapse `0 ↦ 1, i ↦ i (i ≥ 1)`,
+///
+/// which generate the full transformation monoid `T_n`. Consequently its
+/// D-SFA has exactly `n^n + 1` states (every transformation of the live
+/// states, plus the all-dead mapping reached on any byte outside
+/// `{c, m, t}`).
+pub fn fact2_dfa(n: usize) -> Dfa {
+    assert!(n >= 1, "Fact 2 witness needs n ≥ 1");
+    let classes = ByteClasses::from_sets([
+        &ByteSet::singleton(b'c'),
+        &ByteSet::singleton(b'm'),
+        &ByteSet::singleton(b't'),
+    ]);
+    let stride = classes.count();
+    let num_states = n + 1; // live 0..n-1, dead = n
+    let dead = n as StateId;
+    let mut table = vec![dead; num_states * stride];
+    let cc = classes.class_of(b'c') as usize;
+    let cm = classes.class_of(b'm') as usize;
+    let ct = classes.class_of(b't') as usize;
+    for q in 0..n {
+        // m: cycle
+        table[q * stride + cm] = ((q + 1) % n) as StateId;
+        // t: transposition (0 1) — identity if n < 2
+        let t_target = if n >= 2 {
+            match q {
+                0 => 1,
+                1 => 0,
+                other => other,
+            }
+        } else {
+            q
+        };
+        table[q * stride + ct] = t_target as StateId;
+        // c: collapse 0 ↦ 1 (or identity if n < 2)
+        let c_target = if n >= 2 && q == 0 { 1 } else { q };
+        table[q * stride + cc] = c_target as StateId;
+    }
+    let mut accepting = vec![false; num_states];
+    accepting[0] = true;
+    Dfa::from_parts(classes, table, accepting, 0)
+}
+
+/// `n^n` as a u128 (the Fact 2 bound `|D|^|D|` over the live states).
+pub fn pow_self(n: usize) -> u128 {
+    (n as u128).pow(n as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_core::{DSfa, SfaConfig};
+
+    #[test]
+    fn example3_dfa_grows_exponentially() {
+        // Fact 1: |D| ≈ 2^n (we measure 2^n − 1 live states because the
+        // empty subset is the dead state).
+        let sizes: Vec<usize> = (2..=6)
+            .map(|n| example3_dfa(n).unwrap().num_live_states())
+            .collect();
+        assert_eq!(sizes, vec![3, 7, 15, 31, 63]);
+    }
+
+    #[test]
+    fn fact2_witness_dsfa_has_n_to_the_n_states() {
+        for n in [2usize, 3, 4] {
+            let dfa = fact2_dfa(n);
+            assert_eq!(dfa.num_live_states(), n);
+            let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+            assert_eq!(
+                sfa.num_states() as u128,
+                pow_self(n) + 1,
+                "n = {}: expected n^n + 1 (all transformations plus the all-dead sink)",
+                n
+            );
+        }
+    }
+
+    #[test]
+    fn fact2_witness_language_sanity() {
+        // The witness DFA accepts words over {c,m,t} that send state 0 back
+        // to state 0; e.g. m^n cycles all the way around.
+        let dfa = fact2_dfa(3);
+        assert!(dfa.accepts(b""));
+        assert!(dfa.accepts(b"mmm"));
+        assert!(!dfa.accepts(b"m"));
+        assert!(!dfa.accepts(b"x"));
+        assert!(dfa.accepts(b"tt"));
+    }
+
+    #[test]
+    fn example4_transcription_builds() {
+        // The transcription parses and compiles; its exact size depends on
+        // the reading of the scanned expression, so only sanity is checked.
+        for n in [3usize, 4, 5] {
+            let dfa = example4_dfa(n).unwrap();
+            assert!(dfa.num_live_states() >= 1);
+            let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+            assert!(sfa.num_states() >= dfa.num_live_states());
+        }
+    }
+
+    #[test]
+    fn patterns_are_wellformed() {
+        assert_eq!(example3_pattern(2), "[ap]*[al][alp]{0}");
+        assert_eq!(example4_pattern(2), "(m|(t|c([mt]*c){0})[cmt]*)*");
+        example3_dfa(4).unwrap();
+        example4_dfa(4).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "n ≥ 2")]
+    fn example3_requires_n_at_least_two() {
+        example3_pattern(1);
+    }
+
+    #[test]
+    fn pow_self_values() {
+        assert_eq!(pow_self(2), 4);
+        assert_eq!(pow_self(3), 27);
+        assert_eq!(pow_self(10), 10_000_000_000);
+    }
+}

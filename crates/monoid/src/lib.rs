@@ -1,0 +1,18 @@
+//! # sfa-monoid
+//!
+//! The algebraic side of the SFA paper (Section VII): boolean matrices and
+//! their semigroup, transition/syntactic monoids of DFAs (whose size is the
+//! "parallel complexity" of a regular expression and equals the size of the
+//! minimal SFA), and the state-explosion regex families of Examples 3
+//! and 4.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod boolmatrix;
+pub mod explosion;
+pub mod syntactic;
+
+pub use boolmatrix::{generate_monoid, generate_semigroup, BoolMatrix};
+pub use explosion::{example3_pattern, example4_pattern, fact2_dfa, pow_self};
+pub use syntactic::{syntactic_complexity, TransitionMonoid};

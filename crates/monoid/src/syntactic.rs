@@ -1,0 +1,173 @@
+//! Transition monoids and syntactic complexity.
+//!
+//! Section VII-A of the paper: "the size of a syntactic monoid for a
+//! regular language is called syntactic complexity. Indeed, syntactic
+//! complexity of a regular language is also the size of a minimal SFA of
+//! the identical language … syntactic complexity is also parallel
+//! complexity of regular expressions."
+//!
+//! The transition monoid of a complete DFA is the set of transformations
+//! `{ f_w | w ∈ Σ* }` under composition; computed on the *minimal* DFA it
+//! is exactly the syntactic monoid of the language, and its size equals the
+//! number of states of the minimal D-SFA built by `sfa-core` (which we
+//! assert in the tests — the bridge the paper emphasizes).
+
+use crate::boolmatrix::BoolMatrix;
+use sfa_automata::Dfa;
+use sfa_core::Transformation;
+use std::collections::HashSet;
+
+/// The transition monoid of a DFA: every transformation `f_w` reachable
+/// from the per-byte-class generators, plus the identity.
+#[derive(Clone, Debug)]
+pub struct TransitionMonoid {
+    elements: Vec<Transformation>,
+    generators: Vec<Transformation>,
+}
+
+impl TransitionMonoid {
+    /// Computes the transition monoid of a (complete) DFA, up to `limit`
+    /// elements. Returns `None` if the limit is exceeded.
+    pub fn of_dfa(dfa: &Dfa, limit: usize) -> Option<TransitionMonoid> {
+        let n = dfa.num_states();
+        let generators: Vec<Transformation> = (0..dfa.num_classes() as u16)
+            .map(|class| {
+                Transformation::from_vec(
+                    (0..n as u32).map(|q| dfa.next_by_class(q, class)).collect(),
+                )
+            })
+            .collect();
+
+        let mut seen: HashSet<Transformation> = HashSet::new();
+        let mut elements: Vec<Transformation> = Vec::new();
+        let identity = Transformation::identity(n);
+        seen.insert(identity.clone());
+        elements.push(identity);
+        let mut head = 0;
+        while head < elements.len() {
+            let current = elements[head].clone();
+            head += 1;
+            for g in &generators {
+                let next = current.then(g);
+                if seen.insert(next.clone()) {
+                    if elements.len() >= limit {
+                        return None;
+                    }
+                    elements.push(next);
+                }
+            }
+        }
+        Some(TransitionMonoid { elements, generators })
+    }
+
+    /// The monoid elements (the identity is always element 0).
+    pub fn elements(&self) -> &[Transformation] {
+        &self.elements
+    }
+
+    /// The per-byte-class generators.
+    pub fn generators(&self) -> &[Transformation] {
+        &self.generators
+    }
+
+    /// The size of the monoid.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// True when the monoid is empty (never happens — the identity is
+    /// always present — but provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Converts every element to a boolean matrix (the representation used
+    /// in the semigroup-theory discussion of Section VII-B). Only available
+    /// for DFAs with at most 64 states.
+    pub fn as_bool_matrices(&self) -> Option<Vec<BoolMatrix>> {
+        let n = self.elements.first()?.degree();
+        if n > BoolMatrix::MAX_DIM {
+            return None;
+        }
+        Some(
+            self.elements
+                .iter()
+                .map(|t| {
+                    let pairs: Vec<(usize, usize)> = t
+                        .as_slice()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &j)| (i, j as usize))
+                        .collect();
+                    BoolMatrix::from_pairs(n, &pairs)
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Syntactic complexity of the language of a pattern: the size of the
+/// transition monoid of its *minimal* DFA.
+///
+/// Per the paper (Sect. VII-A) this equals the size of the minimal SFA for
+/// the same language, i.e. the parallel complexity of the expression.
+pub fn syntactic_complexity(pattern: &str, limit: usize) -> Result<Option<usize>, sfa_automata::CompileError> {
+    let dfa = sfa_automata::minimal_dfa_from_pattern(pattern)?;
+    Ok(TransitionMonoid::of_dfa(&dfa, limit).map(|m| m.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_automata::minimal_dfa_from_pattern;
+    use sfa_core::{DSfa, SfaConfig};
+
+    #[test]
+    fn monoid_size_equals_dsfa_size() {
+        // The bridge the paper emphasizes: |syntactic monoid| = |minimal SFA|.
+        for pattern in ["(ab)*", "([0-4]{2}[5-9]{2})*", "(a|b)*abb", "(([02468][13579]){2})*"] {
+            let dfa = minimal_dfa_from_pattern(pattern).unwrap();
+            let monoid = TransitionMonoid::of_dfa(&dfa, 1_000_000).unwrap();
+            let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+            assert_eq!(monoid.len(), sfa.num_states(), "pattern {:?}", pattern);
+        }
+    }
+
+    #[test]
+    fn ab_star_monoid_matches_table1() {
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let monoid = TransitionMonoid::of_dfa(&dfa, 1000).unwrap();
+        assert_eq!(monoid.len(), 6);
+        assert!(!monoid.is_empty());
+        assert!(monoid.elements()[0].is_identity());
+        // Two letter generators plus the catch-all class.
+        assert_eq!(monoid.generators().len(), 3);
+    }
+
+    #[test]
+    fn syntactic_complexity_of_universal_language_is_one() {
+        assert_eq!(syntactic_complexity("(?s).*", 100).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn limit_returns_none() {
+        assert_eq!(syntactic_complexity("([0-4]{5}[5-9]{5})*", 10).unwrap(), None);
+    }
+
+    #[test]
+    fn bool_matrix_view_preserves_composition() {
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let monoid = TransitionMonoid::of_dfa(&dfa, 1000).unwrap();
+        let mats = monoid.as_bool_matrices().unwrap();
+        assert_eq!(mats.len(), monoid.len());
+        // Every element is a function (one 1 per row) because the source is
+        // deterministic and complete.
+        assert!(mats.iter().all(|m| m.is_functional()));
+        // Closure under multiplication stays inside the set.
+        for a in &mats {
+            for b in &mats {
+                assert!(mats.contains(&a.multiply(b)));
+            }
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The abstract syntax tree of byte-oriented regular expressions.
+//!
+//! The AST is deliberately small: every construct that the parser accepts is
+//! normalized into the handful of variants below. Character classes,
+//! escapes, the dot and literal bytes all end up as [`ByteSet`]s so that the
+//! downstream NFA compiler only ever deals with sets of bytes.
+
+use crate::class::ByteSet;
+use std::fmt;
+
+/// A parsed regular expression.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Ast {
+    /// Matches the empty string only (`ε`).
+    Empty,
+    /// Matches one byte drawn from the set.
+    Class(ByteSet),
+    /// Matches the concatenation of the sub-expressions, in order.
+    Concat(Vec<Ast>),
+    /// Matches any one of the alternatives.
+    Alternation(Vec<Ast>),
+    /// A repetition of the inner expression.
+    Repeat {
+        /// The repeated sub-expression.
+        node: Box<Ast>,
+        /// Lower bound (inclusive).
+        min: u32,
+        /// Upper bound (inclusive); `None` means unbounded.
+        max: Option<u32>,
+    },
+}
+
+impl Ast {
+    /// A literal byte.
+    pub fn byte(b: u8) -> Ast {
+        Ast::Class(ByteSet::singleton(b))
+    }
+
+    /// A literal byte string (concatenation of single-byte classes).
+    pub fn literal<B: AsRef<[u8]>>(bytes: B) -> Ast {
+        let bytes = bytes.as_ref();
+        match bytes.len() {
+            0 => Ast::Empty,
+            1 => Ast::byte(bytes[0]),
+            _ => Ast::Concat(bytes.iter().map(|&b| Ast::byte(b)).collect()),
+        }
+    }
+
+    /// `node*`
+    pub fn star(node: Ast) -> Ast {
+        Ast::Repeat { node: Box::new(node), min: 0, max: None }
+    }
+
+    /// `node+`
+    pub fn plus(node: Ast) -> Ast {
+        Ast::Repeat { node: Box::new(node), min: 1, max: None }
+    }
+
+    /// `node?`
+    pub fn opt(node: Ast) -> Ast {
+        Ast::Repeat { node: Box::new(node), min: 0, max: Some(1) }
+    }
+
+    /// `node{min,max}`
+    pub fn repeat(node: Ast, min: u32, max: Option<u32>) -> Ast {
+        Ast::Repeat { node: Box::new(node), min, max }
+    }
+
+    /// Concatenation that flattens nested concatenations and drops `Empty`.
+    pub fn concat(parts: Vec<Ast>) -> Ast {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Ast::Empty => {}
+                Ast::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Ast::Empty,
+            1 => out.pop().unwrap(),
+            _ => Ast::Concat(out),
+        }
+    }
+
+    /// Alternation that flattens nested alternations.
+    pub fn alternation(parts: Vec<Ast>) -> Ast {
+        let mut out = Vec::with_capacity(parts.len());
+        for p in parts {
+            match p {
+                Ast::Alternation(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Ast::Empty,
+            1 => out.pop().unwrap(),
+            _ => Ast::Alternation(out),
+        }
+    }
+
+    /// Returns true if the expression can match the empty string.
+    pub fn is_nullable(&self) -> bool {
+        match self {
+            Ast::Empty => true,
+            Ast::Class(_) => false,
+            Ast::Concat(parts) => parts.iter().all(Ast::is_nullable),
+            Ast::Alternation(parts) => parts.iter().any(Ast::is_nullable),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.is_nullable(),
+        }
+    }
+
+    /// Returns true if the language of the expression is empty (matches
+    /// nothing at all). Only an empty class can cause this.
+    pub fn is_void(&self) -> bool {
+        match self {
+            Ast::Empty => false,
+            Ast::Class(set) => set.is_empty(),
+            Ast::Concat(parts) => parts.iter().any(Ast::is_void),
+            Ast::Alternation(parts) => !parts.is_empty() && parts.iter().all(Ast::is_void),
+            Ast::Repeat { node, min, .. } => *min > 0 && node.is_void(),
+        }
+    }
+
+    /// Minimum length (in bytes) of any word matched by this expression.
+    /// Returns `None` when the language is empty.
+    pub fn min_len(&self) -> Option<u64> {
+        match self {
+            Ast::Empty => Some(0),
+            Ast::Class(set) => {
+                if set.is_empty() {
+                    None
+                } else {
+                    Some(1)
+                }
+            }
+            Ast::Concat(parts) => {
+                let mut total = 0u64;
+                for p in parts {
+                    total += p.min_len()?;
+                }
+                Some(total)
+            }
+            Ast::Alternation(parts) => parts.iter().filter_map(Ast::min_len).min(),
+            Ast::Repeat { node, min, .. } => {
+                if *min == 0 {
+                    Some(0)
+                } else {
+                    node.min_len().map(|l| l * *min as u64)
+                }
+            }
+        }
+    }
+
+    /// Maximum length (in bytes) of any word matched by this expression.
+    /// Returns `None` when unbounded (or when the language is empty).
+    pub fn max_len(&self) -> Option<u64> {
+        match self {
+            Ast::Empty => Some(0),
+            Ast::Class(set) => {
+                if set.is_empty() {
+                    Some(0)
+                } else {
+                    Some(1)
+                }
+            }
+            Ast::Concat(parts) => {
+                let mut total = 0u64;
+                for p in parts {
+                    total += p.max_len()?;
+                }
+                Some(total)
+            }
+            Ast::Alternation(parts) => {
+                let mut best = 0u64;
+                for p in parts {
+                    best = best.max(p.max_len()?);
+                }
+                Some(best)
+            }
+            Ast::Repeat { node, max, .. } => match max {
+                None => {
+                    // x{n,} is unbounded unless x matches only the empty word.
+                    if node.max_len() == Some(0) {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                }
+                Some(m) => node.max_len().map(|l| l * *m as u64),
+            },
+        }
+    }
+
+    /// The number of AST nodes (a rough complexity measure; `m` in the
+    /// paper's Table II).
+    pub fn size(&self) -> usize {
+        match self {
+            Ast::Empty | Ast::Class(_) => 1,
+            Ast::Concat(parts) | Ast::Alternation(parts) => {
+                1 + parts.iter().map(Ast::size).sum::<usize>()
+            }
+            Ast::Repeat { node, .. } => 1 + node.size(),
+        }
+    }
+
+    /// Applies a transformation bottom-up to every node and rebuilds the
+    /// tree.
+    pub fn map_bottom_up<F: FnMut(Ast) -> Ast>(self, f: &mut F) -> Ast {
+        let rebuilt = match self {
+            Ast::Empty | Ast::Class(_) => self,
+            Ast::Concat(parts) => {
+                Ast::Concat(parts.into_iter().map(|p| p.map_bottom_up(f)).collect())
+            }
+            Ast::Alternation(parts) => {
+                Ast::Alternation(parts.into_iter().map(|p| p.map_bottom_up(f)).collect())
+            }
+            Ast::Repeat { node, min, max } => Ast::Repeat {
+                node: Box::new(node.map_bottom_up(f)),
+                min,
+                max,
+            },
+        };
+        f(rebuilt)
+    }
+}
+
+impl fmt::Debug for Ast {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ast::Empty => write!(f, "Empty"),
+            Ast::Class(set) => write!(f, "Class({:?})", set),
+            Ast::Concat(parts) => f.debug_tuple("Concat").field(parts).finish(),
+            Ast::Alternation(parts) => f.debug_tuple("Alt").field(parts).finish(),
+            Ast::Repeat { node, min, max } => f
+                .debug_struct("Repeat")
+                .field("node", node)
+                .field("min", min)
+                .field("max", max)
+                .finish(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_builders() {
+        assert_eq!(Ast::literal(""), Ast::Empty);
+        assert_eq!(Ast::literal("a"), Ast::byte(b'a'));
+        match Ast::literal("ab") {
+            Ast::Concat(v) => assert_eq!(v.len(), 2),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn concat_flattens_and_drops_empty() {
+        let a = Ast::concat(vec![
+            Ast::Empty,
+            Ast::byte(b'a'),
+            Ast::concat(vec![Ast::byte(b'b'), Ast::byte(b'c')]),
+        ]);
+        match a {
+            Ast::Concat(v) => assert_eq!(v.len(), 3),
+            other => panic!("unexpected {:?}", other),
+        }
+        assert_eq!(Ast::concat(vec![]), Ast::Empty);
+        assert_eq!(Ast::concat(vec![Ast::byte(b'x')]), Ast::byte(b'x'));
+    }
+
+    #[test]
+    fn alternation_flattens() {
+        let a = Ast::alternation(vec![
+            Ast::byte(b'a'),
+            Ast::alternation(vec![Ast::byte(b'b'), Ast::byte(b'c')]),
+        ]);
+        match a {
+            Ast::Alternation(v) => assert_eq!(v.len(), 3),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+
+    #[test]
+    fn nullability() {
+        assert!(Ast::Empty.is_nullable());
+        assert!(!Ast::byte(b'a').is_nullable());
+        assert!(Ast::star(Ast::byte(b'a')).is_nullable());
+        assert!(!Ast::plus(Ast::byte(b'a')).is_nullable());
+        assert!(Ast::opt(Ast::byte(b'a')).is_nullable());
+        assert!(Ast::concat(vec![Ast::star(Ast::byte(b'a')), Ast::opt(Ast::byte(b'b'))])
+            .is_nullable());
+        assert!(!Ast::concat(vec![Ast::star(Ast::byte(b'a')), Ast::byte(b'b')]).is_nullable());
+    }
+
+    #[test]
+    fn voidness() {
+        assert!(!Ast::Empty.is_void());
+        assert!(Ast::Class(ByteSet::EMPTY).is_void());
+        assert!(!Ast::star(Ast::Class(ByteSet::EMPTY)).is_void());
+        assert!(Ast::plus(Ast::Class(ByteSet::EMPTY)).is_void());
+        assert!(Ast::concat(vec![Ast::byte(b'a'), Ast::Class(ByteSet::EMPTY)]).is_void());
+        assert!(!Ast::alternation(vec![Ast::byte(b'a'), Ast::Class(ByteSet::EMPTY)]).is_void());
+    }
+
+    #[test]
+    fn length_analysis() {
+        let re = Ast::concat(vec![
+            Ast::literal("ab"),
+            Ast::repeat(Ast::byte(b'c'), 2, Some(4)),
+            Ast::opt(Ast::byte(b'd')),
+        ]);
+        assert_eq!(re.min_len(), Some(4));
+        assert_eq!(re.max_len(), Some(7));
+
+        let unbounded = Ast::star(Ast::byte(b'z'));
+        assert_eq!(unbounded.min_len(), Some(0));
+        assert_eq!(unbounded.max_len(), None);
+
+        let void = Ast::Class(ByteSet::EMPTY);
+        assert_eq!(void.min_len(), None);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let re = Ast::concat(vec![Ast::byte(b'a'), Ast::star(Ast::byte(b'b'))]);
+        assert_eq!(re.size(), 4);
+    }
+
+    #[test]
+    fn map_bottom_up_rewrites() {
+        let re = Ast::concat(vec![Ast::byte(b'a'), Ast::byte(b'b')]);
+        let upper = re.map_bottom_up(&mut |node| match node {
+            Ast::Class(set) if set == ByteSet::singleton(b'a') => {
+                Ast::Class(ByteSet::singleton(b'A'))
+            }
+            other => other,
+        });
+        match upper {
+            Ast::Concat(v) => assert_eq!(v[0], Ast::byte(b'A')),
+            other => panic!("unexpected {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! Byte sets: the character-class representation used throughout the SFA
+//! pipeline.
+//!
+//! The SFA matcher is byte oriented (the alphabet is `0..=255`, exactly like
+//! the paper's implementation which uses "256 symbols times 4 bytes" per DFA
+//! state). A [`ByteSet`] is a 256-bit bitmap describing one character class.
+
+use std::fmt;
+
+/// A set of bytes, represented as a 256-bit bitmap.
+///
+/// `ByteSet` is the normalized form of every character class that appears in
+/// a parsed regular expression: `[a-z]`, `\d`, `.`, a single literal byte,
+/// and so on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ByteSet {
+    bits: [u64; 4],
+}
+
+impl ByteSet {
+    /// The empty set.
+    pub const EMPTY: ByteSet = ByteSet { bits: [0; 4] };
+
+    /// The full set containing every byte `0..=255`.
+    pub const FULL: ByteSet = ByteSet { bits: [u64::MAX; 4] };
+
+    /// Creates an empty byte set.
+    #[inline]
+    pub const fn new() -> ByteSet {
+        ByteSet::EMPTY
+    }
+
+    /// Creates a set containing exactly one byte.
+    #[inline]
+    pub fn singleton(b: u8) -> ByteSet {
+        let mut s = ByteSet::new();
+        s.insert(b);
+        s
+    }
+
+    /// Creates a set containing every byte in the inclusive range
+    /// `start..=end`.
+    ///
+    /// If `start > end` the set is empty.
+    pub fn range(start: u8, end: u8) -> ByteSet {
+        let mut s = ByteSet::new();
+        if start <= end {
+            for b in start..=end {
+                s.insert(b);
+            }
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of bytes.
+    pub fn from_bytes<I: IntoIterator<Item = u8>>(iter: I) -> ByteSet {
+        let mut s = ByteSet::new();
+        for b in iter {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Inserts a byte into the set.
+    #[inline]
+    pub fn insert(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] |= 1u64 << (b & 63);
+    }
+
+    /// Inserts every byte in `start..=end`.
+    pub fn insert_range(&mut self, start: u8, end: u8) {
+        if start <= end {
+            for b in start..=end {
+                self.insert(b);
+            }
+        }
+    }
+
+    /// Removes a byte from the set.
+    #[inline]
+    pub fn remove(&mut self, b: u8) {
+        self.bits[(b >> 6) as usize] &= !(1u64 << (b & 63));
+    }
+
+    /// Returns true if the set contains `b`.
+    #[inline]
+    pub fn contains(&self, b: u8) -> bool {
+        self.bits[(b >> 6) as usize] & (1u64 << (b & 63)) != 0
+    }
+
+    /// Returns the number of bytes in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns true if the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits == [0; 4]
+    }
+
+    /// Returns true if the set contains every byte.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.bits == [u64::MAX; 4]
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(&self, other: &ByteSet) -> ByteSet {
+        let mut bits = [0u64; 4];
+        for i in 0..4 {
+            bits[i] = self.bits[i] | other.bits[i];
+        }
+        ByteSet { bits }
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersection(&self, other: &ByteSet) -> ByteSet {
+        let mut bits = [0u64; 4];
+        for i in 0..4 {
+            bits[i] = self.bits[i] & other.bits[i];
+        }
+        ByteSet { bits }
+    }
+
+    /// Set difference (`self \ other`).
+    #[inline]
+    pub fn difference(&self, other: &ByteSet) -> ByteSet {
+        let mut bits = [0u64; 4];
+        for i in 0..4 {
+            bits[i] = self.bits[i] & !other.bits[i];
+        }
+        ByteSet { bits }
+    }
+
+    /// Set complement with respect to the full byte alphabet.
+    #[inline]
+    pub fn complement(&self) -> ByteSet {
+        let mut bits = [0u64; 4];
+        for i in 0..4 {
+            bits[i] = !self.bits[i];
+        }
+        ByteSet { bits }
+    }
+
+    /// Returns true if `self` and `other` share no byte.
+    #[inline]
+    pub fn is_disjoint(&self, other: &ByteSet) -> bool {
+        self.intersection(other).is_empty()
+    }
+
+    /// Returns true if every byte of `self` is in `other`.
+    #[inline]
+    pub fn is_subset(&self, other: &ByteSet) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    /// Iterates over the bytes contained in the set, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).filter_map(move |b| {
+            let b = b as u8;
+            if self.contains(b) {
+                Some(b)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Returns the smallest byte in the set, if any.
+    pub fn min_byte(&self) -> Option<u8> {
+        self.iter().next()
+    }
+
+    /// Returns the largest byte in the set, if any.
+    pub fn max_byte(&self) -> Option<u8> {
+        for b in (0u16..256).rev() {
+            if self.contains(b as u8) {
+                return Some(b as u8);
+            }
+        }
+        None
+    }
+
+    /// Returns the contiguous byte ranges making up the set.
+    pub fn ranges(&self) -> Vec<(u8, u8)> {
+        let mut out = Vec::new();
+        let mut cur: Option<(u8, u8)> = None;
+        for b in 0u16..256 {
+            let b = b as u8;
+            if self.contains(b) {
+                match cur {
+                    Some((s, e)) if e as u16 + 1 == b as u16 => cur = Some((s, b)),
+                    Some(r) => {
+                        out.push(r);
+                        cur = Some((b, b));
+                    }
+                    None => cur = Some((b, b)),
+                }
+            }
+        }
+        if let Some(r) = cur {
+            out.push(r);
+        }
+        out
+    }
+
+    /// Applies ASCII case folding: for every letter in the set the other
+    /// case is inserted as well.
+    pub fn case_fold(&self) -> ByteSet {
+        let mut s = *self;
+        for b in self.iter() {
+            if b.is_ascii_lowercase() {
+                s.insert(b.to_ascii_uppercase());
+            } else if b.is_ascii_uppercase() {
+                s.insert(b.to_ascii_lowercase());
+            }
+        }
+        s
+    }
+
+    /// Raw 256-bit representation, low bytes first.
+    #[inline]
+    pub fn words(&self) -> [u64; 4] {
+        self.bits
+    }
+}
+
+impl Default for ByteSet {
+    fn default() -> Self {
+        ByteSet::new()
+    }
+}
+
+impl fmt::Debug for ByteSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ByteSet{{")?;
+        let mut first = true;
+        for (s, e) in self.ranges() {
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            if s == e {
+                write!(f, "{}", DebugByte(s))?;
+            } else {
+                write!(f, "{}-{}", DebugByte(s), DebugByte(e))?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Helper that renders a byte the way it would appear inside a character
+/// class: printable ASCII as-is, everything else as a hex escape.
+pub struct DebugByte(pub u8);
+
+impl fmt::Display for DebugByte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b.is_ascii_graphic() && b != b'\\' && b != b']' && b != b'-' && b != b'^' {
+            write!(f, "{}", b as char)
+        } else {
+            write!(f, "\\x{:02x}", b)
+        }
+    }
+}
+
+/// Frequently used predefined classes (the Perl-style escapes).
+pub mod perl {
+    use super::ByteSet;
+
+    /// `\d` — ASCII digits.
+    pub fn digit() -> ByteSet {
+        ByteSet::range(b'0', b'9')
+    }
+
+    /// `\D` — complement of `\d`.
+    pub fn not_digit() -> ByteSet {
+        digit().complement()
+    }
+
+    /// `\w` — ASCII word characters `[0-9A-Za-z_]`.
+    pub fn word() -> ByteSet {
+        let mut s = ByteSet::range(b'0', b'9');
+        s = s.union(&ByteSet::range(b'a', b'z'));
+        s = s.union(&ByteSet::range(b'A', b'Z'));
+        s.insert(b'_');
+        s
+    }
+
+    /// `\W` — complement of `\w`.
+    pub fn not_word() -> ByteSet {
+        word().complement()
+    }
+
+    /// `\s` — ASCII whitespace `[ \t\n\r\f\v]`.
+    pub fn space() -> ByteSet {
+        ByteSet::from_bytes([b' ', b'\t', b'\n', b'\r', 0x0c, 0x0b])
+    }
+
+    /// `\S` — complement of `\s`.
+    pub fn not_space() -> ByteSet {
+        space().complement()
+    }
+
+    /// `.` — any byte except `\n` (the default "dot").
+    pub fn dot() -> ByteSet {
+        let mut s = ByteSet::FULL;
+        s.remove(b'\n');
+        s
+    }
+
+    /// `(?s).` — any byte at all.
+    pub fn any() -> ByteSet {
+        ByteSet::FULL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        assert!(ByteSet::EMPTY.is_empty());
+        assert_eq!(ByteSet::EMPTY.len(), 0);
+        assert!(ByteSet::FULL.is_full());
+        assert_eq!(ByteSet::FULL.len(), 256);
+        assert!(!ByteSet::FULL.is_empty());
+        assert!(!ByteSet::EMPTY.is_full());
+    }
+
+    #[test]
+    fn singleton_contains_only_that_byte() {
+        let s = ByteSet::singleton(b'a');
+        assert!(s.contains(b'a'));
+        assert!(!s.contains(b'b'));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.min_byte(), Some(b'a'));
+        assert_eq!(s.max_byte(), Some(b'a'));
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let s = ByteSet::range(b'0', b'9');
+        assert_eq!(s.len(), 10);
+        assert!(s.contains(b'0'));
+        assert!(s.contains(b'9'));
+        assert!(!s.contains(b'a'));
+        assert_eq!(s.ranges(), vec![(b'0', b'9')]);
+    }
+
+    #[test]
+    fn reversed_range_is_empty() {
+        assert!(ByteSet::range(b'9', b'0').is_empty());
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = ByteSet::new();
+        for b in 0u16..256 {
+            s.insert(b as u8);
+        }
+        assert!(s.is_full());
+        for b in 0u16..256 {
+            s.remove(b as u8);
+        }
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = ByteSet::range(b'a', b'm');
+        let b = ByteSet::range(b'h', b'z');
+        let u = a.union(&b);
+        let i = a.intersection(&b);
+        let d = a.difference(&b);
+        assert_eq!(u, ByteSet::range(b'a', b'z'));
+        assert_eq!(i, ByteSet::range(b'h', b'm'));
+        assert_eq!(d, ByteSet::range(b'a', b'g'));
+        assert!(d.is_disjoint(&b));
+        assert!(i.is_subset(&a));
+        assert!(i.is_subset(&b));
+    }
+
+    #[test]
+    fn complement_involution() {
+        let a = ByteSet::range(b'A', b'Z');
+        assert_eq!(a.complement().complement(), a);
+        assert_eq!(a.union(&a.complement()), ByteSet::FULL);
+        assert!(a.intersection(&a.complement()).is_empty());
+    }
+
+    #[test]
+    fn ranges_of_scattered_set() {
+        let s = ByteSet::from_bytes([1u8, 2, 3, 10, 12, 13, 255]);
+        assert_eq!(s.ranges(), vec![(1, 3), (10, 10), (12, 13), (255, 255)]);
+    }
+
+    #[test]
+    fn iter_matches_contains() {
+        let s = ByteSet::from_bytes([0u8, 63, 64, 127, 128, 191, 192, 255]);
+        let collected: Vec<u8> = s.iter().collect();
+        assert_eq!(collected, vec![0, 63, 64, 127, 128, 191, 192, 255]);
+    }
+
+    #[test]
+    fn case_folding() {
+        let s = ByteSet::singleton(b'a').case_fold();
+        assert!(s.contains(b'a'));
+        assert!(s.contains(b'A'));
+        assert_eq!(s.len(), 2);
+        let digits = perl::digit().case_fold();
+        assert_eq!(digits, perl::digit());
+    }
+
+    #[test]
+    fn perl_classes() {
+        assert_eq!(perl::digit().len(), 10);
+        assert_eq!(perl::word().len(), 63);
+        assert_eq!(perl::space().len(), 6);
+        assert_eq!(perl::dot().len(), 255);
+        assert!(!perl::dot().contains(b'\n'));
+        assert!(perl::any().is_full());
+        assert_eq!(perl::digit().union(&perl::not_digit()), ByteSet::FULL);
+        assert_eq!(perl::word().union(&perl::not_word()), ByteSet::FULL);
+        assert_eq!(perl::space().union(&perl::not_space()), ByteSet::FULL);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let s = ByteSet::from_bytes([b'a', b'b', b'c', 0]);
+        let dbg = format!("{:?}", s);
+        assert!(dbg.contains("a-c"));
+        assert!(dbg.contains("\\x00"));
+    }
+}

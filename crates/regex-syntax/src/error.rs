@@ -1,0 +1,162 @@
+//! Parse errors with byte offsets into the original pattern.
+
+use std::fmt;
+
+/// An error produced while parsing a regular expression pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// The kind of error.
+    pub kind: ErrorKind,
+    /// Byte offset into the pattern at which the error was detected.
+    pub offset: usize,
+    /// The pattern that was being parsed.
+    pub pattern: String,
+}
+
+/// The different ways a pattern can be rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The pattern ended in the middle of a construct.
+    UnexpectedEof,
+    /// A `)` with no matching `(`.
+    UnbalancedCloseParen,
+    /// A `(` with no matching `)`.
+    UnbalancedOpenParen,
+    /// A `]` was expected but never found.
+    UnclosedClass,
+    /// An empty character class `[]` (which can never match).
+    EmptyClass,
+    /// A range `a-b` inside a class with `a > b`.
+    InvalidClassRange {
+        /// Lower end of the rejected range.
+        start: u8,
+        /// Upper end of the rejected range.
+        end: u8,
+    },
+    /// A repetition operator with nothing to repeat (e.g. `*` at the start).
+    RepetitionMissingOperand,
+    /// `{n,m}` with `n > m`.
+    InvalidRepetitionRange {
+        /// Lower repetition bound.
+        min: u32,
+        /// Upper repetition bound.
+        max: u32,
+    },
+    /// A counted repetition that is syntactically malformed.
+    MalformedRepetition,
+    /// A counted repetition whose bound exceeds the configured limit.
+    RepetitionTooLarge {
+        /// The offending bound.
+        bound: u32,
+        /// The configured limit.
+        limit: u32,
+    },
+    /// An escape sequence that the parser does not understand.
+    UnknownEscape(char),
+    /// A hex escape (`\xHH`) with invalid digits.
+    InvalidHexEscape,
+    /// An anchor (`^`/`$`) in a position where it is not supported.
+    UnsupportedAnchor,
+    /// A group construct we do not support (e.g. back-references,
+    /// look-around).
+    UnsupportedGroup(String),
+    /// An inline flag we do not support.
+    UnsupportedFlag(char),
+    /// The expression nests groups deeper than the configured limit.
+    NestTooDeep {
+        /// The configured nesting limit.
+        limit: usize,
+    },
+}
+
+impl ParseError {
+    pub(crate) fn new(kind: ErrorKind, offset: usize, pattern: &[u8]) -> ParseError {
+        ParseError {
+            kind,
+            offset,
+            pattern: String::from_utf8_lossy(pattern).into_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "regex parse error at offset {} in `{}`: {}",
+            self.offset, self.pattern, self.kind
+        )
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::UnexpectedEof => write!(f, "unexpected end of pattern"),
+            ErrorKind::UnbalancedCloseParen => write!(f, "unopened `)`"),
+            ErrorKind::UnbalancedOpenParen => write!(f, "unclosed `(`"),
+            ErrorKind::UnclosedClass => write!(f, "unclosed character class"),
+            ErrorKind::EmptyClass => write!(f, "empty character class"),
+            ErrorKind::InvalidClassRange { start, end } => {
+                write!(f, "invalid class range {}-{}", *start as char, *end as char)
+            }
+            ErrorKind::RepetitionMissingOperand => {
+                write!(f, "repetition operator has nothing to repeat")
+            }
+            ErrorKind::InvalidRepetitionRange { min, max } => {
+                write!(f, "invalid repetition range {{{},{}}}", min, max)
+            }
+            ErrorKind::MalformedRepetition => write!(f, "malformed counted repetition"),
+            ErrorKind::RepetitionTooLarge { bound, limit } => {
+                write!(f, "repetition bound {} exceeds limit {}", bound, limit)
+            }
+            ErrorKind::UnknownEscape(c) => write!(f, "unknown escape `\\{}`", c),
+            ErrorKind::InvalidHexEscape => write!(f, "invalid hex escape"),
+            ErrorKind::UnsupportedAnchor => write!(f, "anchors are not supported here"),
+            ErrorKind::UnsupportedGroup(g) => write!(f, "unsupported group `{}`", g),
+            ErrorKind::UnsupportedFlag(c) => write!(f, "unsupported inline flag `{}`", c),
+            ErrorKind::NestTooDeep { limit } => {
+                write!(f, "expression nests deeper than {} levels", limit)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset_and_pattern() {
+        let err = ParseError::new(ErrorKind::UnexpectedEof, 3, b"abc(");
+        let msg = err.to_string();
+        assert!(msg.contains("offset 3"));
+        assert!(msg.contains("abc("));
+        assert!(msg.contains("unexpected end"));
+    }
+
+    #[test]
+    fn error_kinds_display() {
+        let kinds = vec![
+            ErrorKind::UnbalancedCloseParen,
+            ErrorKind::UnclosedClass,
+            ErrorKind::EmptyClass,
+            ErrorKind::InvalidClassRange { start: b'z', end: b'a' },
+            ErrorKind::RepetitionMissingOperand,
+            ErrorKind::InvalidRepetitionRange { min: 5, max: 2 },
+            ErrorKind::MalformedRepetition,
+            ErrorKind::RepetitionTooLarge { bound: 100000, limit: 1000 },
+            ErrorKind::UnknownEscape('q'),
+            ErrorKind::InvalidHexEscape,
+            ErrorKind::UnsupportedAnchor,
+            ErrorKind::UnsupportedGroup("(?<=x)".to_string()),
+            ErrorKind::UnsupportedFlag('z'),
+            ErrorKind::NestTooDeep { limit: 64 },
+        ];
+        for k in kinds {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Random generation utilities.
+//!
+//! Two generators live here:
+//!
+//! * [`AstGenerator`] — produces random regular-expression ASTs. It is the
+//!   basis of the synthetic SNORT-like corpus in `sfa-workloads` and of the
+//!   property tests that compare NFA/DFA/SFA semantics on random patterns.
+//! * [`sample_match`] — produces a random byte string *matched by* a given
+//!   AST, which is how the benchmark harness builds "1 GB of text accepted
+//!   by the automaton" inputs like the paper does.
+
+use crate::ast::Ast;
+use crate::class::ByteSet;
+use rand::prelude::*;
+
+/// Configuration for [`AstGenerator`].
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Maximum nesting depth of the generated AST.
+    pub max_depth: usize,
+    /// Maximum number of children of a concatenation or alternation node.
+    pub max_width: usize,
+    /// Maximum bound used for counted repetitions.
+    pub max_repeat: u32,
+    /// Restrict generated classes and literals to this byte set
+    /// (defaults to printable ASCII).
+    pub alphabet: ByteSet,
+    /// Probability of generating a star/plus repetition at each level,
+    /// in `0.0..=1.0`. Higher values give automata with more loops.
+    pub repeat_bias: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            max_depth: 4,
+            max_width: 4,
+            max_repeat: 8,
+            alphabet: ByteSet::range(0x20, 0x7e),
+            repeat_bias: 0.3,
+        }
+    }
+}
+
+/// A random regular-expression generator.
+#[derive(Clone, Debug, Default)]
+pub struct AstGenerator {
+    config: GeneratorConfig,
+}
+
+impl AstGenerator {
+    /// Creates a generator with the default configuration.
+    pub fn new() -> AstGenerator {
+        AstGenerator { config: GeneratorConfig::default() }
+    }
+
+    /// Creates a generator with an explicit configuration.
+    pub fn with_config(config: GeneratorConfig) -> AstGenerator {
+        AstGenerator { config }
+    }
+
+    /// Generates a random AST using the supplied RNG.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Ast {
+        self.gen_node(rng, self.config.max_depth)
+    }
+
+    fn gen_node<R: Rng + ?Sized>(&self, rng: &mut R, depth: usize) -> Ast {
+        if depth == 0 {
+            return self.gen_leaf(rng);
+        }
+        let choice = rng.gen_range(0..100u32);
+        match choice {
+            0..=34 => self.gen_leaf(rng),
+            35..=59 => {
+                // concatenation
+                let n = rng.gen_range(2..=self.config.max_width.max(2));
+                Ast::concat((0..n).map(|_| self.gen_node(rng, depth - 1)).collect())
+            }
+            60..=79 => {
+                // alternation
+                let n = rng.gen_range(2..=self.config.max_width.max(2));
+                Ast::alternation((0..n).map(|_| self.gen_node(rng, depth - 1)).collect())
+            }
+            _ => {
+                // repetition
+                let node = self.gen_node(rng, depth - 1);
+                if rng.gen_bool(self.config.repeat_bias) {
+                    if rng.gen_bool(0.5) {
+                        Ast::star(node)
+                    } else {
+                        Ast::plus(node)
+                    }
+                } else {
+                    match rng.gen_range(0..3u32) {
+                        0 => Ast::opt(node),
+                        1 => {
+                            let n = rng.gen_range(1..=self.config.max_repeat);
+                            Ast::repeat(node, n, Some(n))
+                        }
+                        _ => {
+                            let lo = rng.gen_range(0..=self.config.max_repeat / 2);
+                            let hi = rng.gen_range(lo..=self.config.max_repeat);
+                            Ast::repeat(node, lo, Some(hi))
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn gen_leaf<R: Rng + ?Sized>(&self, rng: &mut R) -> Ast {
+        let bytes: Vec<u8> = self.config.alphabet.iter().collect();
+        assert!(!bytes.is_empty(), "generator alphabet must not be empty");
+        match rng.gen_range(0..100u32) {
+            // a literal byte
+            0..=59 => Ast::byte(*bytes.choose(rng).unwrap()),
+            // a short literal string
+            60..=79 => {
+                let n = rng.gen_range(2..=4usize);
+                Ast::literal(
+                    (0..n).map(|_| *bytes.choose(rng).unwrap()).collect::<Vec<u8>>(),
+                )
+            }
+            // a character class over a random sub-range of the alphabet
+            _ => {
+                let mut idx1 = rng.gen_range(0..bytes.len());
+                let mut idx2 = rng.gen_range(0..bytes.len());
+                if idx1 > idx2 {
+                    std::mem::swap(&mut idx1, &mut idx2);
+                }
+                Ast::Class(ByteSet::range(bytes[idx1], bytes[idx2]))
+            }
+        }
+    }
+}
+
+/// Maximum number of unrolled iterations used when sampling a match of an
+/// unbounded repetition.
+const SAMPLE_STAR_CAP: u32 = 8;
+
+/// Generates a random byte string matched by `ast`.
+///
+/// Returns `None` if the expression matches nothing (contains an empty
+/// class in a mandatory position).
+pub fn sample_match<R: Rng + ?Sized>(ast: &Ast, rng: &mut R) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    if sample_into(ast, rng, &mut out) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Generates a random matched string of *approximately* `target_len` bytes
+/// by repeatedly sampling the expression and concatenating when the
+/// expression is unbounded (a star at top level), or by resampling
+/// otherwise. This mirrors how the paper builds accepted 1 GB inputs for
+/// expressions like `([0-4]{n}[5-9]{n})*`.
+pub fn sample_match_with_len<R: Rng + ?Sized>(
+    ast: &Ast,
+    target_len: usize,
+    rng: &mut R,
+) -> Option<Vec<u8>> {
+    // If the AST is a star/plus of something, pump the body directly.
+    if let Ast::Repeat { node, max: None, .. } = ast {
+        let mut out = Vec::with_capacity(target_len + 64);
+        let mut guard = 0;
+        while out.len() < target_len {
+            let before = out.len();
+            if !sample_into(node, rng, &mut out) {
+                return None;
+            }
+            if out.len() == before {
+                guard += 1;
+                if guard > 16 {
+                    break; // body only matches the empty string
+                }
+            }
+        }
+        return Some(out);
+    }
+    // Otherwise: best effort — sample whole matches until the target is
+    // reached or the expression turns out to be bounded.
+    let mut out = Vec::new();
+    let single = sample_match(ast, rng)?;
+    if single.is_empty() {
+        return Some(out);
+    }
+    if ast.max_len().is_some() {
+        // Bounded language: a single sample is all we can do.
+        return Some(single);
+    }
+    out.extend_from_slice(&single);
+    let mut guard = 0;
+    while out.len() < target_len && guard < 1_000_000 {
+        let more = sample_match(ast, rng)?;
+        if more.is_empty() {
+            guard += 1;
+            continue;
+        }
+        out.extend_from_slice(&more);
+        guard += 1;
+    }
+    Some(out)
+}
+
+fn sample_into<R: Rng + ?Sized>(ast: &Ast, rng: &mut R, out: &mut Vec<u8>) -> bool {
+    match ast {
+        Ast::Empty => true,
+        Ast::Class(set) => {
+            if set.is_empty() {
+                return false;
+            }
+            let n = rng.gen_range(0..set.len());
+            let b = set.iter().nth(n).expect("index in range");
+            out.push(b);
+            true
+        }
+        Ast::Concat(parts) => {
+            let checkpoint = out.len();
+            for p in parts {
+                if !sample_into(p, rng, out) {
+                    out.truncate(checkpoint);
+                    return false;
+                }
+            }
+            true
+        }
+        Ast::Alternation(parts) => {
+            if parts.is_empty() {
+                return true;
+            }
+            // Try a random order so a void branch does not sink the sample.
+            let mut order: Vec<usize> = (0..parts.len()).collect();
+            order.shuffle(rng);
+            for idx in order {
+                let checkpoint = out.len();
+                if sample_into(&parts[idx], rng, out) {
+                    return true;
+                }
+                out.truncate(checkpoint);
+            }
+            false
+        }
+        Ast::Repeat { node, min, max } => {
+            let hi = max.unwrap_or(min + SAMPLE_STAR_CAP);
+            let n = rng.gen_range(*min..=hi.max(*min));
+            let checkpoint = out.len();
+            for _ in 0..n {
+                if !sample_into(node, rng, out) {
+                    out.truncate(checkpoint);
+                    // Zero repetitions is still a valid match when allowed.
+                    return *min == 0;
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use crate::printer::to_pattern;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generated_asts_print_and_reparse() {
+        let mut rng = StdRng::seed_from_u64(0x5FA);
+        let gen = AstGenerator::new();
+        for _ in 0..200 {
+            let ast = gen.generate(&mut rng);
+            let pattern = to_pattern(&ast);
+            let reparsed = parse(&pattern)
+                .unwrap_or_else(|e| panic!("generated `{}` failed to parse: {}", pattern, e));
+            assert_eq!(ast, reparsed, "pattern `{}`", pattern);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen = AstGenerator::new();
+        let a = gen.generate(&mut StdRng::seed_from_u64(7));
+        let b = gen.generate(&mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sample_match_literal() {
+        let ast = parse("abc").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_match(&ast, &mut rng), Some(b"abc".to_vec()));
+    }
+
+    #[test]
+    fn sample_match_class_and_repeat() {
+        let ast = parse("[0-4]{3}").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let s = sample_match(&ast, &mut rng).unwrap();
+            assert_eq!(s.len(), 3);
+            assert!(s.iter().all(|&b| (b'0'..=b'4').contains(&b)));
+        }
+    }
+
+    #[test]
+    fn sample_match_alternation_avoids_void_branch() {
+        let mut ast = parse("a|b").unwrap();
+        // Replace the second branch with an empty class (void).
+        if let Ast::Alternation(ref mut parts) = ast {
+            parts[1] = Ast::Class(ByteSet::EMPTY);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            assert_eq!(sample_match(&ast, &mut rng), Some(b"a".to_vec()));
+        }
+    }
+
+    #[test]
+    fn sample_match_void_returns_none() {
+        let ast = Ast::Class(ByteSet::EMPTY);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(sample_match(&ast, &mut rng), None);
+    }
+
+    #[test]
+    fn sample_with_len_pumps_star() {
+        let ast = parse("([0-4]{5}[5-9]{5})*").unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = sample_match_with_len(&ast, 1000, &mut rng).unwrap();
+        assert!(s.len() >= 1000);
+        assert_eq!(s.len() % 10, 0, "whole iterations only");
+        for chunk in s.chunks(10) {
+            assert!(chunk[..5].iter().all(|&b| (b'0'..=b'4').contains(&b)));
+            assert!(chunk[5..].iter().all(|&b| (b'5'..=b'9').contains(&b)));
+        }
+    }
+
+    #[test]
+    fn sample_with_len_bounded_language() {
+        let ast = parse("a{3}").unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = sample_match_with_len(&ast, 1000, &mut rng).unwrap();
+        assert_eq!(s, b"aaa".to_vec());
+    }
+}

@@ -1,0 +1,122 @@
+//! # sfa-regex-syntax
+//!
+//! Byte-oriented regular-expression parsing for the SFA (simultaneous
+//! finite automata) matcher — a reproduction of
+//! *"Simultaneous Finite Automata: An Efficient Data-Parallel Model for
+//! Regular Expression Matching"* (Sin'ya, Matsuzaki, Sassa — ICPP 2013).
+//!
+//! This crate is the front end of the pipeline described in Section VI of
+//! the paper:
+//!
+//! ```text
+//! pattern ──parse──▶ Ast ──(sfa-automata)──▶ NFA ──▶ DFA ──(sfa-core)──▶ SFA
+//! ```
+//!
+//! It provides:
+//!
+//! * [`ast::Ast`] — the normalized abstract syntax tree,
+//! * [`parser::Parser`] / [`parse`] — a PCRE-subset parser,
+//! * [`class::ByteSet`] — 256-bit byte classes,
+//! * [`printer::to_pattern`] — AST → pattern text,
+//! * [`generator`] — random pattern and random matching-string generation
+//!   used by the workload synthesizer and the property tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use sfa_regex_syntax::{parse, ast::Ast};
+//!
+//! let ast = parse("(ab)*").unwrap();
+//! assert!(ast.is_nullable());
+//! assert_eq!(ast.min_len(), Some(0));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod class;
+pub mod error;
+pub mod generator;
+pub mod parser;
+pub mod printer;
+
+pub use ast::Ast;
+pub use class::ByteSet;
+pub use error::{ErrorKind, ParseError};
+pub use parser::{parse, Parser, ParserConfig};
+pub use printer::to_pattern;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_ast() -> impl Strategy<Value = Ast> {
+        let leaf = prop_oneof![
+            any::<u8>().prop_map(|b| Ast::byte(b'a' + (b % 26))),
+            (any::<u8>(), any::<u8>()).prop_map(|(a, b)| {
+                let lo = b'a' + (a % 26);
+                let hi = b'a' + (b % 26);
+                Ast::Class(class::ByteSet::range(lo.min(hi), lo.max(hi)))
+            }),
+            Just(Ast::Empty),
+        ];
+        leaf.prop_recursive(4, 32, 4, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::concat),
+                prop::collection::vec(inner.clone(), 1..4).prop_map(Ast::alternation),
+                inner.clone().prop_map(Ast::star),
+                inner.clone().prop_map(Ast::plus),
+                inner.clone().prop_map(Ast::opt),
+                (inner, 0u32..4, 0u32..4).prop_map(|(n, a, b)| {
+                    Ast::repeat(n, a.min(b), Some(a.max(b)))
+                }),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Printing an arbitrary AST and re-parsing it yields the same AST.
+        #[test]
+        fn print_parse_roundtrip(ast in arb_ast()) {
+            let pattern = printer::to_pattern(&ast);
+            let reparsed = parser::parse(&pattern)
+                .unwrap_or_else(|e| panic!("`{}`: {}", pattern, e));
+            prop_assert_eq!(ast, reparsed);
+        }
+
+        /// Sampled matches respect the min/max length analysis.
+        #[test]
+        fn sampled_matches_respect_length_bounds(ast in arb_ast(), seed in any::<u64>()) {
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            if let Some(m) = generator::sample_match(&ast, &mut rng) {
+                if let Some(lo) = ast.min_len() {
+                    prop_assert!(m.len() as u64 >= lo);
+                }
+                if let Some(hi) = ast.max_len() {
+                    prop_assert!(m.len() as u64 <= hi);
+                }
+            }
+        }
+
+        /// The parser never panics on arbitrary input.
+        #[test]
+        fn parser_never_panics(input in "\\PC{0,40}") {
+            let _ = parser::parse(&input);
+        }
+
+        /// Byte set operations obey basic set algebra.
+        #[test]
+        fn byteset_algebra(a in any::<[u8; 8]>(), b in any::<[u8; 8]>()) {
+            let sa = class::ByteSet::from_bytes(a.iter().copied());
+            let sb = class::ByteSet::from_bytes(b.iter().copied());
+            prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+            prop_assert_eq!(sa.intersection(&sb), sb.intersection(&sa));
+            prop_assert_eq!(sa.difference(&sb).intersection(&sb), class::ByteSet::EMPTY);
+            prop_assert_eq!(sa.complement().complement(), sa);
+            prop_assert_eq!(sa.union(&sb).len() + sa.intersection(&sb).len(), sa.len() + sb.len());
+        }
+    }
+}

@@ -1,0 +1,805 @@
+//! A recursive-descent parser for byte-oriented regular expressions.
+//!
+//! The supported syntax is the PCRE subset that matters for automata-based
+//! matching (and for the SNORT-style patterns used in the paper's
+//! evaluation):
+//!
+//! * literals, escapes (`\n`, `\t`, `\xHH`, `\\`, …)
+//! * Perl classes `\d \D \w \W \s \S`
+//! * character classes `[a-z]`, `[^a-z]`, with ranges and escapes
+//! * `.` (any byte except `\n`, or any byte with `(?s)`)
+//! * concatenation, alternation `|`, grouping `( … )` / `(?: … )`
+//! * repetitions `*`, `+`, `?`, `{n}`, `{n,}`, `{n,m}`
+//! * inline flags `(?i)`, `(?s)`, `(?m)`, `(?x)` (the latter two are accepted
+//!   and ignored — they do not change membership semantics)
+//!
+//! Anchors (`^`, `$`, `\A`, `\z`, `\Z`) are *ignored* by default because the
+//! SFA pipeline decides **membership** of the whole input (the paper's
+//! semantics); with [`ParserConfig::allow_anchors`] set to `false` they are
+//! rejected instead. Back-references and look-around are rejected, exactly
+//! as the paper excludes "extended expressions that include back references
+//! etc.".
+
+use crate::ast::Ast;
+use crate::class::{perl, ByteSet};
+use crate::error::{ErrorKind, ParseError};
+
+/// Configuration for the [`Parser`].
+#[derive(Clone, Debug)]
+pub struct ParserConfig {
+    /// Start in case-insensitive mode (`(?i)` can also switch it on inline).
+    pub case_insensitive: bool,
+    /// Make `.` match `\n` as well.
+    pub dot_matches_newline: bool,
+    /// Silently ignore anchors instead of rejecting the pattern.
+    pub allow_anchors: bool,
+    /// Largest bound accepted in a counted repetition `{n,m}`.
+    pub max_repeat: u32,
+    /// Maximum group-nesting depth.
+    pub max_nest: usize,
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        ParserConfig {
+            case_insensitive: false,
+            dot_matches_newline: false,
+            allow_anchors: true,
+            max_repeat: 2000,
+            max_nest: 128,
+        }
+    }
+}
+
+/// The regular-expression parser.
+#[derive(Clone, Debug, Default)]
+pub struct Parser {
+    config: ParserConfig,
+}
+
+/// Parses `pattern` with the default configuration.
+pub fn parse(pattern: &str) -> Result<Ast, ParseError> {
+    Parser::new().parse(pattern)
+}
+
+impl Parser {
+    /// Creates a parser with the default configuration.
+    pub fn new() -> Parser {
+        Parser { config: ParserConfig::default() }
+    }
+
+    /// Creates a parser with an explicit configuration.
+    pub fn with_config(config: ParserConfig) -> Parser {
+        Parser { config }
+    }
+
+    /// Parses a pattern given as UTF-8 text.
+    pub fn parse(&self, pattern: &str) -> Result<Ast, ParseError> {
+        self.parse_bytes(pattern.as_bytes())
+    }
+
+    /// Parses a pattern given as raw bytes.
+    pub fn parse_bytes(&self, pattern: &[u8]) -> Result<Ast, ParseError> {
+        let mut state = State {
+            input: pattern,
+            pos: 0,
+            config: &self.config,
+            flags: Flags {
+                case_insensitive: self.config.case_insensitive,
+                dot_nl: self.config.dot_matches_newline,
+            },
+            depth: 0,
+        };
+        let ast = state.parse_alternation()?;
+        if state.pos != state.input.len() {
+            // The only way to stop early at top level is an unbalanced `)`.
+            return Err(state.err(ErrorKind::UnbalancedCloseParen));
+        }
+        Ok(ast)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Flags {
+    case_insensitive: bool,
+    dot_nl: bool,
+}
+
+struct State<'a> {
+    input: &'a [u8],
+    pos: usize,
+    config: &'a ParserConfig,
+    flags: Flags,
+    depth: usize,
+}
+
+impl<'a> State<'a> {
+    fn err(&self, kind: ErrorKind) -> ParseError {
+        ParseError::new(kind, self.pos, self.input)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.input.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    // alternation := concat ('|' concat)*
+    fn parse_alternation(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = vec![self.parse_concat()?];
+        while self.eat(b'|') {
+            parts.push(self.parse_concat()?);
+        }
+        Ok(Ast::alternation(parts))
+    }
+
+    // concat := repeat*
+    fn parse_concat(&mut self) -> Result<Ast, ParseError> {
+        let saved_flags = self.flags;
+        let mut parts = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some(b'|') | Some(b')') => break,
+                _ => {}
+            }
+            if let Some(part) = self.parse_repeat()? {
+                parts.push(part);
+            }
+        }
+        self.flags = saved_flags;
+        Ok(Ast::concat(parts))
+    }
+
+    // repeat := atom postfix*
+    //
+    // Returns `None` when the atom consumed no expression (an ignored anchor
+    // or a flag-setting group like `(?i)`).
+    fn parse_repeat(&mut self) -> Result<Option<Ast>, ParseError> {
+        let atom = match self.parse_atom()? {
+            Some(a) => a,
+            None => return Ok(None),
+        };
+        let mut node = atom;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.bump();
+                    node = Ast::star(node);
+                }
+                Some(b'+') => {
+                    self.bump();
+                    node = Ast::plus(node);
+                }
+                Some(b'?') => {
+                    self.bump();
+                    node = Ast::opt(node);
+                }
+                Some(b'{') => {
+                    match self.try_parse_counted()? {
+                        Some((min, max)) => {
+                            node = Ast::repeat(node, min, max);
+                        }
+                        // Not a counted repetition: `{` is a literal and will
+                        // be picked up by the next parse_atom call.
+                        None => break,
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(Some(node))
+    }
+
+    // Returns Ok(None) when the construct consumed no expression (anchors,
+    // flag groups), so the caller just moves on.
+    fn parse_atom(&mut self) -> Result<Option<Ast>, ParseError> {
+        match self.peek() {
+            None => Err(self.err(ErrorKind::UnexpectedEof)),
+            Some(b'(') => self.parse_group(),
+            Some(b'[') => self.parse_class().map(Some),
+            Some(b'.') => {
+                self.bump();
+                let set = if self.flags.dot_nl { perl::any() } else { perl::dot() };
+                Ok(Some(Ast::Class(set)))
+            }
+            Some(b'^') | Some(b'$') => {
+                if self.config.allow_anchors {
+                    self.bump();
+                    Ok(None)
+                } else {
+                    Err(self.err(ErrorKind::UnsupportedAnchor))
+                }
+            }
+            Some(b'*') | Some(b'+') | Some(b'?') => {
+                Err(self.err(ErrorKind::RepetitionMissingOperand))
+            }
+            Some(b')') => Err(self.err(ErrorKind::UnbalancedCloseParen)),
+            Some(b'\\') => {
+                self.bump();
+                self.parse_escape()
+            }
+            Some(b) => {
+                self.bump();
+                Ok(Some(Ast::Class(self.literal_set(b))))
+            }
+        }
+    }
+
+    fn literal_set(&self, b: u8) -> ByteSet {
+        let s = ByteSet::singleton(b);
+        if self.flags.case_insensitive {
+            s.case_fold()
+        } else {
+            s
+        }
+    }
+
+    fn parse_group(&mut self) -> Result<Option<Ast>, ParseError> {
+        let open_pos = self.pos;
+        self.bump(); // consume '('
+        self.depth += 1;
+        if self.depth > self.config.max_nest {
+            return Err(self.err(ErrorKind::NestTooDeep { limit: self.config.max_nest }));
+        }
+
+        let mut scoped_flags = self.flags;
+        if self.peek() == Some(b'?') {
+            // A `(?...)` construct: flags, non-capturing group, or something
+            // we do not support.
+            match self.peek_at(1) {
+                Some(b':') => {
+                    self.pos += 2;
+                }
+                Some(b'=') | Some(b'!') | Some(b'<') | Some(b'P') | Some(b'#') => {
+                    let end = (self.pos + 8).min(self.input.len());
+                    let excerpt = String::from_utf8_lossy(&self.input[open_pos..end]).into_owned();
+                    return Err(self.err(ErrorKind::UnsupportedGroup(excerpt)));
+                }
+                _ => {
+                    // Inline flags: (?flags) or (?flags:...) or (?flags-flags...)
+                    self.pos += 1;
+                    let mut negate = false;
+                    loop {
+                        match self.peek() {
+                            Some(b'i') => {
+                                self.bump();
+                                scoped_flags.case_insensitive = !negate;
+                            }
+                            Some(b's') => {
+                                self.bump();
+                                scoped_flags.dot_nl = !negate;
+                            }
+                            Some(b'm') | Some(b'x') | Some(b'U') => {
+                                // Multiline / extended / ungreedy: irrelevant
+                                // for whole-input membership; accept, ignore.
+                                self.bump();
+                            }
+                            Some(b'-') => {
+                                self.bump();
+                                negate = true;
+                            }
+                            Some(b':') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(b')') => {
+                                // `(?i)` — applies to the rest of the
+                                // enclosing group.
+                                self.bump();
+                                self.depth -= 1;
+                                self.flags = scoped_flags;
+                                return Ok(None);
+                            }
+                            Some(c) => {
+                                return Err(self.err(ErrorKind::UnsupportedFlag(c as char)));
+                            }
+                            None => return Err(self.err(ErrorKind::UnexpectedEof)),
+                        }
+                    }
+                }
+            }
+        }
+
+        let saved_flags = self.flags;
+        self.flags = scoped_flags;
+        let inner = self.parse_alternation()?;
+        self.flags = saved_flags;
+
+        if !self.eat(b')') {
+            self.pos = open_pos;
+            return Err(self.err(ErrorKind::UnbalancedOpenParen));
+        }
+        self.depth -= 1;
+        Ok(Some(inner))
+    }
+
+    fn parse_class(&mut self) -> Result<Ast, ParseError> {
+        let open_pos = self.pos;
+        self.bump(); // consume '['
+        let negate = self.eat(b'^');
+        let mut set = ByteSet::new();
+        let mut first = true;
+        loop {
+            let b = match self.peek() {
+                None => {
+                    self.pos = open_pos;
+                    return Err(self.err(ErrorKind::UnclosedClass));
+                }
+                Some(b) => b,
+            };
+            if b == b']' && !first {
+                self.bump();
+                break;
+            }
+            first = false;
+
+            // One class item: either a single byte / escape, optionally
+            // followed by `-x` to form a range.
+            let lo = if b == b'\\' {
+                self.bump();
+                match self.parse_class_escape()? {
+                    ClassItem::Byte(x) => ClassItem::Byte(x),
+                    ClassItem::Set(s) => {
+                        set = set.union(&s);
+                        continue;
+                    }
+                }
+            } else {
+                self.bump();
+                ClassItem::Byte(b)
+            };
+            let lo = match lo {
+                ClassItem::Byte(x) => x,
+                ClassItem::Set(_) => unreachable!(),
+            };
+
+            // Possible range.
+            if self.peek() == Some(b'-') && self.peek_at(1).is_some() && self.peek_at(1) != Some(b']')
+            {
+                self.bump(); // '-'
+                let hb = self.peek().unwrap();
+                let hi = if hb == b'\\' {
+                    self.bump();
+                    match self.parse_class_escape()? {
+                        ClassItem::Byte(x) => x,
+                        ClassItem::Set(_) => {
+                            return Err(self.err(ErrorKind::InvalidClassRange {
+                                start: lo,
+                                end: 0,
+                            }));
+                        }
+                    }
+                } else {
+                    self.bump();
+                    hb
+                };
+                if lo > hi {
+                    return Err(self.err(ErrorKind::InvalidClassRange { start: lo, end: hi }));
+                }
+                set.insert_range(lo, hi);
+            } else {
+                set.insert(lo);
+            }
+        }
+
+        if set.is_empty() && !negate {
+            self.pos = open_pos;
+            return Err(self.err(ErrorKind::EmptyClass));
+        }
+        if self.flags.case_insensitive {
+            set = set.case_fold();
+        }
+        let set = if negate { set.complement() } else { set };
+        Ok(Ast::Class(set))
+    }
+
+    fn parse_class_escape(&mut self) -> Result<ClassItem, ParseError> {
+        let c = match self.bump() {
+            None => return Err(self.err(ErrorKind::UnexpectedEof)),
+            Some(c) => c,
+        };
+        let item = match c {
+            b'd' => ClassItem::Set(perl::digit()),
+            b'D' => ClassItem::Set(perl::not_digit()),
+            b'w' => ClassItem::Set(perl::word()),
+            b'W' => ClassItem::Set(perl::not_word()),
+            b's' => ClassItem::Set(perl::space()),
+            b'S' => ClassItem::Set(perl::not_space()),
+            b'n' => ClassItem::Byte(b'\n'),
+            b'r' => ClassItem::Byte(b'\r'),
+            b't' => ClassItem::Byte(b'\t'),
+            b'f' => ClassItem::Byte(0x0c),
+            b'v' => ClassItem::Byte(0x0b),
+            b'0' => ClassItem::Byte(0x00),
+            b'a' => ClassItem::Byte(0x07),
+            b'e' => ClassItem::Byte(0x1b),
+            b'x' => ClassItem::Byte(self.parse_hex_escape()?),
+            c if !c.is_ascii_alphanumeric() => ClassItem::Byte(c),
+            c => return Err(self.err(ErrorKind::UnknownEscape(c as char))),
+        };
+        Ok(item)
+    }
+
+    fn parse_escape(&mut self) -> Result<Option<Ast>, ParseError> {
+        let c = match self.bump() {
+            None => return Err(self.err(ErrorKind::UnexpectedEof)),
+            Some(c) => c,
+        };
+        let set = match c {
+            b'd' => perl::digit(),
+            b'D' => perl::not_digit(),
+            b'w' => perl::word(),
+            b'W' => perl::not_word(),
+            b's' => perl::space(),
+            b'S' => perl::not_space(),
+            b'n' => self.literal_set(b'\n'),
+            b'r' => self.literal_set(b'\r'),
+            b't' => self.literal_set(b'\t'),
+            b'f' => self.literal_set(0x0c),
+            b'v' => self.literal_set(0x0b),
+            b'0' => self.literal_set(0x00),
+            b'a' => self.literal_set(0x07),
+            b'e' => self.literal_set(0x1b),
+            b'x' => {
+                let b = self.parse_hex_escape()?;
+                self.literal_set(b)
+            }
+            b'A' | b'z' | b'Z' | b'b' | b'B' | b'G' => {
+                if self.config.allow_anchors {
+                    return Ok(None);
+                }
+                return Err(self.err(ErrorKind::UnsupportedAnchor));
+            }
+            b'1'..=b'9' => {
+                return Err(self.err(ErrorKind::UnsupportedGroup(format!(
+                    "back-reference \\{}",
+                    c as char
+                ))));
+            }
+            c if !c.is_ascii_alphanumeric() => self.literal_set(c),
+            c => return Err(self.err(ErrorKind::UnknownEscape(c as char))),
+        };
+        Ok(Some(Ast::Class(set)))
+    }
+
+    fn parse_hex_escape(&mut self) -> Result<u8, ParseError> {
+        // Either \xHH or \x{H+}.
+        if self.eat(b'{') {
+            let mut val: u32 = 0;
+            let mut digits = 0;
+            loop {
+                match self.peek() {
+                    Some(b'}') => {
+                        self.bump();
+                        break;
+                    }
+                    Some(c) if c.is_ascii_hexdigit() => {
+                        self.bump();
+                        val = val * 16 + (c as char).to_digit(16).unwrap();
+                        digits += 1;
+                        if val > 0xff {
+                            return Err(self.err(ErrorKind::InvalidHexEscape));
+                        }
+                    }
+                    _ => return Err(self.err(ErrorKind::InvalidHexEscape)),
+                }
+            }
+            if digits == 0 {
+                return Err(self.err(ErrorKind::InvalidHexEscape));
+            }
+            Ok(val as u8)
+        } else {
+            let h = self.bump().ok_or_else(|| self.err(ErrorKind::InvalidHexEscape))?;
+            let l = self.bump().ok_or_else(|| self.err(ErrorKind::InvalidHexEscape))?;
+            if !h.is_ascii_hexdigit() || !l.is_ascii_hexdigit() {
+                return Err(self.err(ErrorKind::InvalidHexEscape));
+            }
+            let hv = (h as char).to_digit(16).unwrap();
+            let lv = (l as char).to_digit(16).unwrap();
+            Ok((hv * 16 + lv) as u8)
+        }
+    }
+
+    // Attempts to parse `{n}`, `{n,}` or `{n,m}` at the current position
+    // (which must be a `{`). Returns Ok(None) — without consuming anything —
+    // when the text does not form a counted repetition, so the `{` falls
+    // through as a literal (PCRE behaviour).
+    fn try_parse_counted(&mut self) -> Result<Option<(u32, Option<u32>)>, ParseError> {
+        let start = self.pos;
+        self.bump(); // '{'
+        let min = match self.parse_decimal() {
+            Some(n) => n,
+            None => {
+                self.pos = start;
+                return Ok(None);
+            }
+        };
+        let max = if self.eat(b',') {
+            if self.peek() == Some(b'}') {
+                None
+            } else {
+                match self.parse_decimal() {
+                    Some(n) => Some(n),
+                    None => {
+                        self.pos = start;
+                        return Ok(None);
+                    }
+                }
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat(b'}') {
+            self.pos = start;
+            return Ok(None);
+        }
+        if let Some(m) = max {
+            if min > m {
+                self.pos = start;
+                return Err(self.err(ErrorKind::InvalidRepetitionRange { min, max: m }));
+            }
+        }
+        let limit = self.config.max_repeat;
+        let bound = max.unwrap_or(min);
+        if bound > limit || min > limit {
+            self.pos = start;
+            return Err(self.err(ErrorKind::RepetitionTooLarge { bound, limit }));
+        }
+        Ok(Some((min, max)))
+    }
+
+    fn parse_decimal(&mut self) -> Option<u32> {
+        let mut val: u64 = 0;
+        let mut digits = 0;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+                val = val * 10 + (c - b'0') as u64;
+                digits += 1;
+                if val > u32::MAX as u64 {
+                    return None;
+                }
+            } else {
+                break;
+            }
+        }
+        if digits == 0 {
+            None
+        } else {
+            Some(val as u32)
+        }
+    }
+}
+
+enum ClassItem {
+    Byte(u8),
+    Set(ByteSet),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(pattern: &str) -> Ast {
+        parse(pattern).unwrap_or_else(|e| panic!("pattern `{}` failed: {}", pattern, e))
+    }
+
+    fn perr(pattern: &str) -> ErrorKind {
+        parse(pattern).expect_err(&format!("pattern `{}` should fail", pattern)).kind
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(p("a"), Ast::byte(b'a'));
+        assert_eq!(p("abc"), Ast::literal("abc"));
+        assert_eq!(p(""), Ast::Empty);
+    }
+
+    #[test]
+    fn simple_operators() {
+        assert_eq!(p("a*"), Ast::star(Ast::byte(b'a')));
+        assert_eq!(p("a+"), Ast::plus(Ast::byte(b'a')));
+        assert_eq!(p("a?"), Ast::opt(Ast::byte(b'a')));
+        assert_eq!(
+            p("ab|cd"),
+            Ast::alternation(vec![Ast::literal("ab"), Ast::literal("cd")])
+        );
+    }
+
+    #[test]
+    fn grouping() {
+        assert_eq!(p("(ab)*"), Ast::star(Ast::literal("ab")));
+        assert_eq!(p("(?:ab)+"), Ast::plus(Ast::literal("ab")));
+        assert_eq!(p("(a|b)c"), Ast::concat(vec![
+            Ast::alternation(vec![Ast::byte(b'a'), Ast::byte(b'b')]),
+            Ast::byte(b'c'),
+        ]));
+        assert_eq!(p("((a))"), Ast::byte(b'a'));
+    }
+
+    #[test]
+    fn counted_repetitions() {
+        assert_eq!(p("a{3}"), Ast::repeat(Ast::byte(b'a'), 3, Some(3)));
+        assert_eq!(p("a{2,}"), Ast::repeat(Ast::byte(b'a'), 2, None));
+        assert_eq!(p("a{2,5}"), Ast::repeat(Ast::byte(b'a'), 2, Some(5)));
+        assert_eq!(p("(ab){10}"), Ast::repeat(Ast::literal("ab"), 10, Some(10)));
+    }
+
+    #[test]
+    fn malformed_braces_are_literals() {
+        assert_eq!(p("a{"), Ast::literal("a{"));
+        assert_eq!(p("a{x}"), Ast::literal("a{x}"));
+        assert_eq!(p("a{,3}"), Ast::literal("a{,3}"));
+        assert_eq!(p("{3}a"), Ast::literal("{3}a"));
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(p("[abc]"), Ast::Class(ByteSet::from_bytes([b'a', b'b', b'c'])));
+        assert_eq!(p("[a-c]"), Ast::Class(ByteSet::range(b'a', b'c')));
+        assert_eq!(p("[0-4]"), Ast::Class(ByteSet::range(b'0', b'4')));
+        let not_a = ByteSet::singleton(b'a').complement();
+        assert_eq!(p("[^a]"), Ast::Class(not_a));
+        // ']' first is a literal.
+        assert_eq!(p("[]a]"), Ast::Class(ByteSet::from_bytes([b']', b'a'])));
+        // '-' at the edges is a literal.
+        assert_eq!(p("[-a]"), Ast::Class(ByteSet::from_bytes([b'-', b'a'])));
+        assert_eq!(p("[a-]"), Ast::Class(ByteSet::from_bytes([b'-', b'a'])));
+    }
+
+    #[test]
+    fn class_escapes() {
+        assert_eq!(p("[\\d]"), Ast::Class(perl::digit()));
+        assert_eq!(p("[\\w#]"), Ast::Class({
+            let mut s = perl::word();
+            s.insert(b'#');
+            s
+        }));
+        assert_eq!(p("[\\x41-\\x43]"), Ast::Class(ByteSet::range(b'A', b'C')));
+        assert_eq!(p("[\\]]"), Ast::Class(ByteSet::singleton(b']')));
+        assert_eq!(p("[\\n\\t]"), Ast::Class(ByteSet::from_bytes([b'\n', b'\t'])));
+    }
+
+    #[test]
+    fn perl_class_escapes() {
+        assert_eq!(p("\\d"), Ast::Class(perl::digit()));
+        assert_eq!(p("\\D"), Ast::Class(perl::not_digit()));
+        assert_eq!(p("\\w"), Ast::Class(perl::word()));
+        assert_eq!(p("\\s+"), Ast::plus(Ast::Class(perl::space())));
+    }
+
+    #[test]
+    fn byte_escapes() {
+        assert_eq!(p("\\n"), Ast::byte(b'\n'));
+        assert_eq!(p("\\x41"), Ast::byte(b'A'));
+        assert_eq!(p("\\x{42}"), Ast::byte(b'B'));
+        assert_eq!(p("\\\\"), Ast::byte(b'\\'));
+        assert_eq!(p("\\."), Ast::byte(b'.'));
+        assert_eq!(p("\\*"), Ast::byte(b'*'));
+        assert_eq!(p("\\0"), Ast::byte(0));
+    }
+
+    #[test]
+    fn dot() {
+        assert_eq!(p("."), Ast::Class(perl::dot()));
+        assert_eq!(p("(?s)."), Ast::Class(perl::any()));
+    }
+
+    #[test]
+    fn anchors_ignored_by_default() {
+        assert_eq!(p("^abc$"), Ast::literal("abc"));
+        assert_eq!(p("^$"), Ast::Empty);
+        assert_eq!(p("\\babc\\b"), Ast::literal("abc"));
+        let strict = Parser::with_config(ParserConfig { allow_anchors: false, ..Default::default() });
+        assert_eq!(strict.parse("^abc").unwrap_err().kind, ErrorKind::UnsupportedAnchor);
+    }
+
+    #[test]
+    fn inline_flags() {
+        assert_eq!(p("(?i)a"), Ast::Class(ByteSet::from_bytes([b'a', b'A'])));
+        assert_eq!(p("(?i:a)b"), Ast::concat(vec![
+            Ast::Class(ByteSet::from_bytes([b'a', b'A'])),
+            Ast::byte(b'b'),
+        ]));
+        // flag scope ends with the group
+        assert_eq!(p("((?i)a)b"), Ast::concat(vec![
+            Ast::Class(ByteSet::from_bytes([b'a', b'A'])),
+            Ast::byte(b'b'),
+        ]));
+        assert_eq!(p("(?i)[a-b]"), Ast::Class(ByteSet::from_bytes([b'a', b'b', b'A', b'B'])));
+        // (?m) and (?x) are accepted and ignored
+        assert_eq!(p("(?m)ab"), Ast::literal("ab"));
+    }
+
+    #[test]
+    fn case_insensitive_config() {
+        let parser = Parser::with_config(ParserConfig { case_insensitive: true, ..Default::default() });
+        assert_eq!(parser.parse("a").unwrap(), Ast::Class(ByteSet::from_bytes([b'a', b'A'])));
+    }
+
+    #[test]
+    fn paper_expressions_parse() {
+        // The expressions used throughout the paper's evaluation.
+        p("(ab)*");
+        p("([0-4]{5}[5-9]{5})*");
+        p("([0-4]{50}[5-9]{50})*");
+        p("([0-4]{500}[5-9]{500})*");
+        p("([0-4]{500}[5-9]{500})*|a*");
+        p("(([02468][13579]){5})*");
+        p(".*(T.*T.*Y.*P.*P.*R.*O.*M.*P.*T.*)");
+        p("[ap]*[al][alp]{3}");
+        p("(m|(t|c([mt]*c){3})[cmt]*)*");
+    }
+
+    #[test]
+    fn snort_like_expressions_parse() {
+        p("(?i)User-Agent\\x3a[^\\r\\n]*curl");
+        p("\\x2fscripts\\x2f\\.\\.%c0%af\\.\\.\\x2f");
+        p("(?i)(GET|POST|HEAD)\\s+\\/[a-z0-9_\\-\\.]{1,64}\\.php");
+        p("\\d{1,3}\\.\\d{1,3}\\.\\d{1,3}\\.\\d{1,3}");
+        p("[\\x00-\\x08\\x0b\\x0c\\x0e-\\x1f]{8,}");
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(perr("("), ErrorKind::UnbalancedOpenParen);
+        assert_eq!(perr("(a"), ErrorKind::UnbalancedOpenParen);
+        assert_eq!(perr(")"), ErrorKind::UnbalancedCloseParen);
+        assert_eq!(perr("a)"), ErrorKind::UnbalancedCloseParen);
+        assert_eq!(perr("[a"), ErrorKind::UnclosedClass);
+        assert_eq!(perr("[]"), ErrorKind::UnclosedClass); // `]` literal, then unclosed
+        assert_eq!(perr("*a"), ErrorKind::RepetitionMissingOperand);
+        assert_eq!(perr("+"), ErrorKind::RepetitionMissingOperand);
+        assert_eq!(perr("a{5,2}"), ErrorKind::InvalidRepetitionRange { min: 5, max: 2 });
+        assert_eq!(perr("a{9999999}"), ErrorKind::RepetitionTooLarge { bound: 9999999, limit: 2000 });
+        assert_eq!(perr("[z-a]"), ErrorKind::InvalidClassRange { start: b'z', end: b'a' });
+        assert_eq!(perr("\\q"), ErrorKind::UnknownEscape('q'));
+        assert_eq!(perr("\\xzz"), ErrorKind::InvalidHexEscape);
+        assert_eq!(perr("(?=a)"), ErrorKind::UnsupportedGroup("(?=a)".to_string()));
+        assert_eq!(perr("a\\1"), ErrorKind::UnsupportedGroup("back-reference \\1".to_string()));
+        assert!(matches!(perr("a\\"), ErrorKind::UnexpectedEof));
+    }
+
+    #[test]
+    fn deep_nesting_rejected() {
+        let deep = "(".repeat(200) + "a" + &")".repeat(200);
+        assert!(matches!(perr(&deep), ErrorKind::NestTooDeep { .. }));
+    }
+
+    #[test]
+    fn nested_quantifiers() {
+        assert_eq!(p("(a*)*"), Ast::star(Ast::star(Ast::byte(b'a'))));
+        assert_eq!(p("a*?"), Ast::opt(Ast::star(Ast::byte(b'a'))));
+        assert_eq!(p("(a{2}){3}"), Ast::repeat(Ast::repeat(Ast::byte(b'a'), 2, Some(2)), 3, Some(3)));
+    }
+
+    #[test]
+    fn alternation_with_empty_branch() {
+        assert_eq!(p("a|"), Ast::alternation(vec![Ast::byte(b'a'), Ast::Empty]));
+        assert_eq!(p("|a"), Ast::alternation(vec![Ast::Empty, Ast::byte(b'a')]));
+    }
+
+    #[test]
+    fn parse_raw_bytes() {
+        let parser = Parser::new();
+        let ast = parser.parse_bytes(b"[\x80-\xff]+").unwrap();
+        assert_eq!(ast, Ast::plus(Ast::Class(ByteSet::range(0x80, 0xff))));
+    }
+}

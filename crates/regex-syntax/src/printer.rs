@@ -1,0 +1,243 @@
+//! Converting an [`Ast`] back into pattern text.
+//!
+//! The printer produces a pattern that parses back to an equivalent AST.
+//! It is used by the workload generators (to turn synthesized ASTs into the
+//! pattern strings fed to the full pipeline) and by diagnostics.
+
+use crate::ast::Ast;
+use crate::class::{perl, ByteSet, DebugByte};
+use std::fmt::Write;
+
+/// Renders an AST as a pattern string.
+pub fn to_pattern(ast: &Ast) -> String {
+    let mut out = String::new();
+    write_ast(ast, &mut out, Prec::Alt);
+    out
+}
+
+/// Escapes a literal byte string so it can be embedded in a pattern.
+pub fn escape_literal(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for &b in bytes {
+        write_literal_byte(b, &mut out);
+    }
+    out
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    /// Top level / inside a group: alternation allowed bare.
+    Alt,
+    /// Inside a concatenation: alternation needs parentheses.
+    Concat,
+    /// Operand of a repetition: concatenation and alternation need
+    /// parentheses.
+    Repeat,
+}
+
+fn write_ast(ast: &Ast, out: &mut String, prec: Prec) {
+    match ast {
+        Ast::Empty => {
+            if prec == Prec::Repeat {
+                out.push_str("()");
+            }
+        }
+        Ast::Class(set) => write_class(set, out),
+        Ast::Concat(parts) => {
+            let need_parens = prec == Prec::Repeat;
+            if need_parens {
+                out.push('(');
+            }
+            for p in parts {
+                write_ast(p, out, Prec::Concat);
+            }
+            if need_parens {
+                out.push(')');
+            }
+        }
+        Ast::Alternation(parts) => {
+            let need_parens = prec != Prec::Alt;
+            if need_parens {
+                out.push('(');
+            }
+            for (i, p) in parts.iter().enumerate() {
+                if i > 0 {
+                    out.push('|');
+                }
+                write_ast(p, out, Prec::Concat);
+            }
+            if need_parens {
+                out.push(')');
+            }
+        }
+        Ast::Repeat { node, min, max } => {
+            write_ast(node, out, Prec::Repeat);
+            match (min, max) {
+                (0, None) => out.push('*'),
+                (1, None) => out.push('+'),
+                (0, Some(1)) => out.push('?'),
+                (n, Some(m)) if n == m => {
+                    let _ = write!(out, "{{{}}}", n);
+                }
+                (n, None) => {
+                    let _ = write!(out, "{{{},}}", n);
+                }
+                (n, Some(m)) => {
+                    let _ = write!(out, "{{{},{}}}", n, m);
+                }
+            }
+        }
+    }
+}
+
+fn write_class(set: &ByteSet, out: &mut String) {
+    // Recognize the handful of named classes for readability.
+    if *set == perl::dot() {
+        out.push('.');
+        return;
+    }
+    if set.is_full() {
+        out.push_str("(?s:.)");
+        return;
+    }
+    if *set == perl::digit() {
+        out.push_str("\\d");
+        return;
+    }
+    if *set == perl::word() {
+        out.push_str("\\w");
+        return;
+    }
+    if *set == perl::space() {
+        out.push_str("\\s");
+        return;
+    }
+    if set.len() == 1 {
+        write_literal_byte(set.min_byte().unwrap(), out);
+        return;
+    }
+
+    // General case: a bracketed class. Use the complement when it is much
+    // smaller (for readability only — either form round-trips).
+    let (negate, body) = if set.len() > 128 {
+        (true, set.complement())
+    } else {
+        (false, *set)
+    };
+    out.push('[');
+    if negate {
+        out.push('^');
+    }
+    for (s, e) in body.ranges() {
+        if s == e {
+            let _ = write!(out, "{}", DebugByte(s));
+        } else if e == s + 1 {
+            let _ = write!(out, "{}{}", DebugByte(s), DebugByte(e));
+        } else {
+            let _ = write!(out, "{}-{}", DebugByte(s), DebugByte(e));
+        }
+    }
+    out.push(']');
+}
+
+fn write_literal_byte(b: u8, out: &mut String) {
+    const META: &[u8] = b".^$*+?()[]{}|\\/-";
+    if b.is_ascii_graphic() && !META.contains(&b) {
+        out.push(b as char);
+    } else if b == b' ' {
+        out.push(' ');
+    } else if META.contains(&b) && b.is_ascii_graphic() {
+        out.push('\\');
+        out.push(b as char);
+    } else {
+        let _ = write!(out, "\\x{:02x}", b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn roundtrip(pattern: &str) {
+        let ast = parse(pattern).unwrap();
+        let printed = to_pattern(&ast);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed `{}` failed to parse: {}", printed, e));
+        assert_eq!(ast, reparsed, "`{}` -> `{}` did not round-trip", pattern, printed);
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        for pat in [
+            "abc",
+            "a|b|c",
+            "(ab)*",
+            "a+b?c{3}",
+            "[a-z0-9_]+",
+            "[^\\r\\n]*",
+            "\\d{1,3}\\.\\d{1,3}",
+            "([0-4]{5}[5-9]{5})*",
+            "(m|(t|c([mt]*c){3})[cmt]*)*",
+            ".*foo.*bar.*",
+            "a{2,}",
+            "(a|)(b|)",
+        ] {
+            roundtrip(pat);
+        }
+    }
+
+    #[test]
+    fn named_classes_printed_compactly() {
+        assert_eq!(to_pattern(&parse("\\d").unwrap()), "\\d");
+        assert_eq!(to_pattern(&parse(".").unwrap()), ".");
+        assert_eq!(to_pattern(&parse("\\w").unwrap()), "\\w");
+    }
+
+    #[test]
+    fn metacharacters_escaped() {
+        assert_eq!(to_pattern(&Ast::byte(b'.')), "\\.");
+        assert_eq!(to_pattern(&Ast::byte(b'*')), "\\*");
+        assert_eq!(to_pattern(&Ast::byte(0x00)), "\\x00");
+        assert_eq!(to_pattern(&Ast::literal("a.b")), "a\\.b");
+    }
+
+    #[test]
+    fn escape_literal_roundtrips() {
+        let s = escape_literal(b"GET /index.html\r\n");
+        let ast = parse(&s).unwrap();
+        assert_eq!(ast, Ast::literal("GET /index.html\r\n"));
+    }
+
+    #[test]
+    fn repeat_of_concat_gets_parens() {
+        let ast = Ast::repeat(Ast::literal("ab"), 3, Some(3));
+        assert_eq!(to_pattern(&ast), "(ab){3}");
+        roundtrip("(ab){3}");
+    }
+
+    #[test]
+    fn alternation_inside_concat_gets_parens() {
+        let ast = Ast::concat(vec![
+            Ast::alternation(vec![Ast::byte(b'a'), Ast::byte(b'b')]),
+            Ast::byte(b'c'),
+        ]);
+        assert_eq!(to_pattern(&ast), "(a|b)c");
+    }
+
+    #[test]
+    fn empty_repeat_operand() {
+        let ast = Ast::star(Ast::Empty);
+        let printed = to_pattern(&ast);
+        // `()*` — parses back to a star of empty.
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(reparsed, Ast::star(Ast::Empty));
+    }
+
+    #[test]
+    fn negated_class_printed_negated() {
+        let pat = to_pattern(&parse("[^a]").unwrap());
+        assert!(pat.starts_with("[^"), "got {}", pat);
+        roundtrip("[^a]");
+    }
+}

@@ -1,0 +1,120 @@
+//! The scalability workloads of Section VI-B / VI-C of the paper:
+//! the `r_n = ([0-4]{n}[5-9]{n})*` family, its `|a*` variant, the small
+//! overhead expression of Fig. 10, and the accepted input texts they are
+//! run over.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The regular expression `r_n = ([0-4]{n}[5-9]{n})*` (Figures 6–8).
+pub fn rn_pattern(n: usize) -> String {
+    format!("([0-4]{{{n}}}[5-9]{{{n}}})*")
+}
+
+/// The regular expression `([0-4]{n}[5-9]{n})*|a*` of Figure 9.
+pub fn rn_or_a_pattern(n: usize) -> String {
+    format!("([0-4]{{{n}}}[5-9]{{{n}}})*|a*")
+}
+
+/// The small expression of Figure 10: `(([02468][13579]){5})*`
+/// (|D| = 10, |S| ≈ 21).
+pub fn fig10_pattern() -> &'static str {
+    "(([02468][13579]){5})*"
+}
+
+/// Generates a text of *exactly* `len` bytes accepted by `r_n`
+/// (a whole number of `[0-4]{n}[5-9]{n}` blocks; `len` is rounded down to a
+/// multiple of `2n`). Digits are drawn uniformly from the allowed ranges so
+/// every byte is actually read and branch-predictable shortcuts are
+/// impossible, like the paper's 1 GB inputs.
+pub fn rn_text(n: usize, len: usize, seed: u64) -> Vec<u8> {
+    let block = 2 * n;
+    let blocks = len / block;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(blocks * block);
+    for _ in 0..blocks {
+        for _ in 0..n {
+            out.push(b'0' + rng.gen_range(0..5u8));
+        }
+        for _ in 0..n {
+            out.push(b'5' + rng.gen_range(0..5u8));
+        }
+    }
+    out
+}
+
+/// The Figure 9 input: a repetition of `a` of the requested length.
+pub fn repeated_a_text(len: usize) -> Vec<u8> {
+    vec![b'a'; len]
+}
+
+/// A text accepted by the Fig. 10 expression `(([02468][13579]){5})*`:
+/// alternating even/odd digits, length rounded down to a multiple of 10.
+pub fn fig10_text(len: usize, seed: u64) -> Vec<u8> {
+    let blocks = len / 10;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let even = [b'0', b'2', b'4', b'6', b'8'];
+    let odd = [b'1', b'3', b'5', b'7', b'9'];
+    let mut out = Vec::with_capacity(blocks * 10);
+    for _ in 0..blocks * 5 {
+        out.push(*even.choose(&mut rng).unwrap());
+        out.push(*odd.choose(&mut rng).unwrap());
+    }
+    out
+}
+
+/// Uniformly random bytes (a "no match anywhere" adversarial input).
+pub fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_matcher::Regex;
+
+    #[test]
+    fn rn_text_is_accepted_by_rn() {
+        for n in [2usize, 5, 10] {
+            let re = Regex::new(&rn_pattern(n)).unwrap();
+            let text = rn_text(n, 10 * 2 * n + 3, 42);
+            assert_eq!(text.len() % (2 * n), 0);
+            assert!(re.is_match_sequential(&text), "n = {}", n);
+        }
+    }
+
+    #[test]
+    fn repeated_a_matches_fig9_pattern() {
+        let re = Regex::new(&rn_or_a_pattern(5)).unwrap();
+        assert!(re.is_match_sequential(&repeated_a_text(1000)));
+        assert!(re.is_match_sequential(&rn_text(5, 1000, 1)));
+        assert!(!re.is_match_sequential(b"aaab"));
+    }
+
+    #[test]
+    fn fig10_text_is_accepted() {
+        let re = Regex::new(fig10_pattern()).unwrap();
+        let text = fig10_text(1000, 7);
+        assert_eq!(text.len(), 1000);
+        assert!(re.is_match_sequential(&text));
+        assert_eq!(re.dfa().num_live_states(), 10);
+    }
+
+    #[test]
+    fn texts_are_deterministic_per_seed() {
+        assert_eq!(rn_text(5, 100, 9), rn_text(5, 100, 9));
+        assert_ne!(rn_text(5, 100, 9), rn_text(5, 100, 10));
+        assert_eq!(random_bytes(64, 3), random_bytes(64, 3));
+    }
+
+    #[test]
+    fn pattern_strings_are_wellformed() {
+        assert_eq!(rn_pattern(5), "([0-4]{5}[5-9]{5})*");
+        assert_eq!(rn_or_a_pattern(2), "([0-4]{2}[5-9]{2})*|a*");
+        Regex::new(&rn_pattern(50)).unwrap();
+        Regex::new(&rn_or_a_pattern(3)).unwrap();
+    }
+}

@@ -1,0 +1,229 @@
+//! A synthetic SNORT-like ruleset.
+//!
+//! The paper's Figure 3 is computed over ~20 000 PCREs extracted from the
+//! SNORT 2940 rulesets, which are not redistributable here. This module
+//! synthesizes a corpus with the same *structural* mix — literal content
+//! strings, case-insensitive keywords, URI fragments with hex escapes,
+//! bounded counted repetitions, header scans like `[^\r\n]{N,}`, IP/number
+//! templates, and a small fraction of pathological patterns chaining
+//! several `.*` — because those are the features that determine how the
+//! D-SFA size relates to the DFA size (see DESIGN.md §4 for the
+//! substitution rationale).
+//!
+//! The generator is fully deterministic for a given seed, so Figure 3 can
+//! be regenerated bit-for-bit.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A curated set of realistic, handwritten patterns in the style of SNORT
+/// web/exploit rules. These anchor the corpus; the generator adds
+/// parameterized variations around them.
+pub const CURATED_PATTERNS: &[&str] = &[
+    "(?i)user-agent\\x3a[^\\r\\n]{0,64}curl",
+    "(?i)get\\s+/[a-z0-9_\\-]{1,32}\\.php\\?id=[0-9]{1,8}",
+    "/cgi-bin/ph[a-z]{1,8}",
+    "\\x2fscripts\\x2f\\.\\.%c0%af\\.\\.\\x2f",
+    "(?i)(select|union|insert|delete)\\s+[a-z0-9_,\\* ]{1,64}\\s+from",
+    "(?i)host\\x3a\\s*[a-z0-9\\.\\-]{4,64}",
+    "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}",
+    "(?i)content-length\\x3a\\s*[0-9]{7,12}",
+    "\\x90{16,64}",
+    "(?i)\\.(exe|dll|scr|pif)\\x00",
+    "(?i)powershell(\\.exe)?\\s+-e[a-z]{0,16}\\s+[a-z0-9+/=]{32,256}",
+    "(?i)referer\\x3a[^\\r\\n]{0,32}(casino|poker|viagra)",
+    "\\x7fELF[\\x01\\x02][\\x01\\x02]",
+    "(?i)jndi\\x3a(ldap|rmi|dns)\\x3a//",
+    "(?i)etc/(passwd|shadow|group)",
+    "(?i)cmd(\\.exe)?\\s*/c\\s+[a-z0-9_\\-\\. ]{1,40}",
+    "[\\x00-\\x08\\x0b\\x0c\\x0e-\\x1f]{8,32}",
+    "(?i)authorization\\x3a\\s*basic\\s+[a-z0-9+/=]{8,128}",
+    "(?i)<script[^>]{0,64}>",
+    "(?i)eval\\(base64_decode\\(",
+    "(?i)x-forwarded-for\\x3a[^\\r\\n]{0,48}[';\\-]{2,8}",
+    "(?i)\\\\x5cpipe\\\\x5c(samr|lsarpc|netlogon)",
+    "(?i)ssh-[12]\\.[0-9]{1,2}",
+    "(?i)smtp\\s+(helo|ehlo)\\s+[a-z0-9\\.\\-]{1,48}",
+    "(?i)(wget|curl)\\s+http://[a-z0-9\\./\\-]{8,64}",
+];
+
+/// Structural shapes the generator mixes, with weights chosen so the
+/// resulting size distribution resembles the paper's Figure 3 (dominated by
+/// literal-ish patterns, a thin tail of `.*`-chained ones).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Shape {
+    /// A literal keyword, possibly case-insensitive.
+    Literal,
+    /// keyword + bounded wildcard run + keyword (header-style rule).
+    HeaderScan,
+    /// Alternation of a few keywords followed by a class run.
+    KeywordAlt,
+    /// Numeric / IP-like template with counted repetitions.
+    Numeric,
+    /// Hex-escape byte run (shellcode-ish).
+    HexRun,
+    /// A bounded repetition of a character class.
+    ClassRepeat,
+    /// The pathological shape: literals separated by several `.*`.
+    DotStarChain,
+}
+
+const WORDS: &[&str] = &[
+    "admin", "login", "passwd", "select", "union", "script", "shell", "cmd", "root", "exec",
+    "upload", "config", "backup", "token", "cookie", "session", "proxy", "agent", "host",
+    "referer", "index", "search", "query", "download", "update", "install", "setup", "debug",
+    "trace", "status", "health", "metrics", "attack", "payload", "exploit", "overflow",
+];
+
+/// Configuration of the synthetic ruleset generator.
+#[derive(Clone, Debug)]
+pub struct SnortConfig {
+    /// Number of patterns to generate (the paper uses 20 312).
+    pub count: usize,
+    /// RNG seed (the corpus is deterministic per seed).
+    pub seed: u64,
+    /// Fraction (0..=1) of pathological `.*`-chained patterns; the paper
+    /// observes roughly 0.3 % of rules in that family.
+    pub dot_star_fraction: f64,
+}
+
+impl Default for SnortConfig {
+    fn default() -> Self {
+        SnortConfig { count: 20_000, seed: 0x5FA_2013, dot_star_fraction: 0.004 }
+    }
+}
+
+/// Generates the synthetic ruleset: the curated patterns first, then
+/// generated ones up to `config.count`.
+pub fn ruleset(config: &SnortConfig) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out: Vec<String> =
+        CURATED_PATTERNS.iter().take(config.count).map(|s| s.to_string()).collect();
+    while out.len() < config.count {
+        out.push(generate_pattern(&mut rng, config));
+    }
+    out
+}
+
+fn pick_word(rng: &mut StdRng) -> &'static str {
+    WORDS.choose(rng).unwrap()
+}
+
+fn generate_pattern(rng: &mut StdRng, config: &SnortConfig) -> String {
+    let shape = if rng.gen_bool(config.dot_star_fraction) {
+        Shape::DotStarChain
+    } else {
+        *[
+            Shape::Literal,
+            Shape::Literal,
+            Shape::Literal,
+            Shape::HeaderScan,
+            Shape::HeaderScan,
+            Shape::KeywordAlt,
+            Shape::Numeric,
+            Shape::HexRun,
+            Shape::ClassRepeat,
+        ]
+        .choose(rng)
+        .unwrap()
+    };
+    let ci = if rng.gen_bool(0.6) { "(?i)" } else { "" };
+    match shape {
+        Shape::Literal => {
+            let sep = ["/", "_", "-", "\\x3a", "\\x2f", "="].choose(rng).unwrap();
+            format!("{ci}{}{}{}", pick_word(rng), sep, pick_word(rng))
+        }
+        Shape::HeaderScan => {
+            let bound = rng.gen_range(8..64);
+            format!(
+                "{ci}{}\\x3a[^\\r\\n]{{0,{bound}}}{}",
+                pick_word(rng),
+                pick_word(rng)
+            )
+        }
+        Shape::KeywordAlt => {
+            let k = rng.gen_range(2..5usize);
+            let mut words: Vec<&str> = (0..k).map(|_| pick_word(rng)).collect();
+            words.dedup();
+            let run = rng.gen_range(1..16);
+            format!("{ci}({})[a-z0-9_]{{1,{run}}}", words.join("|"))
+        }
+        Shape::Numeric => {
+            let a = rng.gen_range(1..4);
+            let b = rng.gen_range(1..6);
+            format!("{}[0-9]{{1,{a}}}\\.[0-9]{{1,{b}}}\\.[0-9]{{1,{b}}}", pick_word(rng))
+        }
+        Shape::HexRun => {
+            let byte = rng.gen_range(0x80..=0xffu32);
+            let lo = rng.gen_range(4..16);
+            let hi = lo + rng.gen_range(4..32);
+            format!("\\x{byte:02x}{{{lo},{hi}}}")
+        }
+        Shape::ClassRepeat => {
+            let class = ["[a-z0-9]", "[^\\r\\n]", "[a-f0-9]", "[\\x20-\\x7e]", "[0-9a-z+/=]"]
+                .choose(rng)
+                .unwrap();
+            let lo = rng.gen_range(1..8);
+            let hi = lo + rng.gen_range(1..24);
+            format!("{ci}{}{class}{{{lo},{hi}}}{}", pick_word(rng), pick_word(rng))
+        }
+        Shape::DotStarChain => {
+            // e.g. .*(T.*Y.*P.*E.*) — the over-square family of Sect. VI-A.
+            let stars = rng.gen_range(3..7usize);
+            let mut s = String::from(".*");
+            let word = pick_word(rng);
+            for ch in word.chars().take(stars) {
+                s.push(ch);
+                s.push_str(".*");
+            }
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfa_regex_syntax::parse;
+
+    #[test]
+    fn curated_patterns_all_parse() {
+        for p in CURATED_PATTERNS {
+            parse(p).unwrap_or_else(|e| panic!("curated pattern `{}` failed: {}", p, e));
+        }
+    }
+
+    #[test]
+    fn generated_ruleset_parses_and_is_deterministic() {
+        let config = SnortConfig { count: 500, seed: 7, dot_star_fraction: 0.01 };
+        let a = ruleset(&config);
+        let b = ruleset(&config);
+        assert_eq!(a, b, "same seed ⇒ same corpus");
+        assert_eq!(a.len(), 500);
+        for p in &a {
+            parse(p).unwrap_or_else(|e| panic!("generated pattern `{}` failed: {}", p, e));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ruleset(&SnortConfig { count: 100, seed: 1, ..Default::default() });
+        let b = ruleset(&SnortConfig { count: 100, seed: 2, ..Default::default() });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn corpus_contains_pathological_fraction() {
+        let corpus = ruleset(&SnortConfig { count: 2000, seed: 3, dot_star_fraction: 0.01 });
+        let chained = corpus.iter().filter(|p| p.matches(".*").count() >= 3).count();
+        assert!(chained >= 5, "expected a handful of .*-chained patterns, got {}", chained);
+        assert!(chained < 200, "the tail must stay thin, got {}", chained);
+    }
+
+    #[test]
+    fn small_count_returns_only_curated_prefix() {
+        let corpus = ruleset(&SnortConfig { count: 5, ..Default::default() });
+        assert_eq!(corpus.len(), 5);
+        assert_eq!(corpus[0], CURATED_PATTERNS[0]);
+    }
+}

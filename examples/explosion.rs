@@ -1,0 +1,46 @@
+//! The theoretical side (Section VII of the paper): syntactic monoids,
+//! syntactic complexity as "parallel complexity", and the state-explosion
+//! families of Facts 1 and 2.
+//!
+//! Run with: `cargo run --release --example explosion`
+
+use sfa::monoid::{fact2_dfa, pow_self, syntactic_complexity, TransitionMonoid};
+use sfa::prelude::*;
+
+fn main() {
+    // Syntactic complexity = |minimal SFA| (Sect. VII-A).
+    for pattern in ["(ab)*", "([0-4]{2}[5-9]{2})*", "(a|b)*abb"] {
+        let complexity = syntactic_complexity(pattern, 1_000_000).unwrap().unwrap();
+        let sfa = DSfa::from_pattern(pattern).unwrap();
+        println!(
+            "{:<24} syntactic complexity = {:>4}, |minimal SFA| = {:>4}",
+            pattern,
+            complexity,
+            sfa.num_states()
+        );
+        assert_eq!(complexity, sfa.num_states());
+    }
+
+    // Fact 1: a constant-size alphabet suffices for 2^n DFA blow-up.
+    println!("\nFact 1 — [ap]*[al][alp]{{n-2}} (DFA doubles with every n):");
+    for n in 2..=8usize {
+        let dfa = sfa::monoid::explosion::example3_dfa(n).unwrap();
+        println!("  n = {n}: |D| live = {}", dfa.num_live_states());
+    }
+
+    // Fact 2: three letters generating the full transformation monoid give
+    // |S_d| = |D|^|D|.
+    println!("\nFact 2 — witness DFA whose D-SFA hits |D|^|D|:");
+    for n in 2..=4usize {
+        let dfa = fact2_dfa(n);
+        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        let monoid = TransitionMonoid::of_dfa(&dfa, 10_000_000).unwrap();
+        println!(
+            "  n = {n}: |D| live = {}, |S_d| = {} (n^n + 1 = {}), |monoid| = {}",
+            dfa.num_live_states(),
+            sfa.num_states(),
+            pow_self(n) + 1,
+            monoid.len()
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Quickstart: compile a pattern through the whole pipeline
+//! (regex → NFA → DFA → minimal DFA → D-SFA) and match it sequentially and
+//! in parallel.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sfa::prelude::*;
+
+fn main() {
+    // The paper's running example (Figures 1 and 2): (ab)*.
+    let re = Regex::new("(ab)*").expect("pattern compiles");
+    println!("pattern        : {}", re.pattern());
+    println!("DFA states     : {} ({} live)", re.dfa().num_states(), re.dfa().num_live_states());
+    println!("D-SFA states   : {}   (the paper's Fig. 2 shows f0..f5)", re.sfa().num_states());
+
+    let accepted = b"ab".repeat(1 << 20); // 2 MiB of "abab…"
+    let rejected = {
+        let mut t = accepted.clone();
+        t.push(b'a');
+        t
+    };
+
+    // Algorithm 2: one table lookup per byte, sequential.
+    assert!(re.is_match_sequential(&accepted));
+    assert!(!re.is_match_sequential(&rejected));
+
+    // Algorithm 5: split anywhere, run the SFA per chunk, compose.
+    for threads in [2, 4, 8] {
+        assert!(re.is_match_parallel(&accepted, threads, Reduction::Sequential));
+        assert!(!re.is_match_parallel(&rejected, threads, Reduction::Tree));
+    }
+    println!("sequential and parallel matching agree on {} bytes", accepted.len());
+
+    // The mapping view: the SFA state reached by a chunk tells you, for
+    // every possible DFA start state, where that chunk would take it.
+    let sfa = re.sfa();
+    let f = sfa.run(b"ab");
+    println!(
+        "mapping of the chunk \"ab\": {:?} (identity on the live states)",
+        sfa.mapping(f)
+    );
+}

@@ -1,0 +1,47 @@
+//! # sfa — Simultaneous Finite Automata
+//!
+//! A reproduction of *"Simultaneous Finite Automata: An Efficient
+//! Data-Parallel Model for Regular Expression Matching"*
+//! (Ryoma Sin'ya, Kiminori Matsuzaki, Masataka Sassa — ICPP 2013).
+//!
+//! This facade crate re-exports the whole pipeline:
+//!
+//! * [`regex_syntax`] — byte-oriented pattern parsing,
+//! * [`automata`] — NFA, subset construction, DFA, Hopcroft minimization,
+//! * [`core`] — the simultaneous finite automaton (D-SFA / N-SFA) and the
+//!   correspondence construction,
+//! * [`matcher`] — sequential (Algorithm 2), speculative-parallel
+//!   (Algorithm 3) and SFA-parallel (Algorithm 5) matching,
+//! * [`monoid`] — syntactic monoids and the state-explosion families,
+//! * [`workloads`] — the SNORT-like corpus and scalability inputs.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sfa::prelude::*;
+//!
+//! let re = Regex::new("([0-4]{2}[5-9]{2})*").unwrap();
+//! let text = b"00550459".repeat(512);
+//! assert!(re.is_match_sequential(&text));
+//! assert!(re.is_match_parallel(&text, 4, Reduction::Sequential));
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use sfa_automata as automata;
+pub use sfa_core as core;
+pub use sfa_matcher as matcher;
+pub use sfa_monoid as monoid;
+pub use sfa_regex_syntax as regex_syntax;
+pub use sfa_workloads as workloads;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use sfa_automata::{Dfa, Nfa};
+    pub use sfa_core::{DSfa, LazyDSfa, NSfa, SfaConfig};
+    pub use sfa_matcher::{
+        MatchMode, ParallelSfaMatcher, Reduction, Regex, RegexBuilder, RegexSet,
+        SpeculativeDfaMatcher,
+    };
+}

@@ -1,0 +1,150 @@
+//! End-to-end integration tests spanning every crate of the workspace:
+//! pattern → NFA → DFA → minimal DFA → D-SFA → sequential / speculative /
+//! parallel matching, on the paper's own examples and on the synthetic
+//! SNORT-like corpus.
+
+use sfa::prelude::*;
+use sfa::workloads;
+
+#[test]
+fn paper_running_example_end_to_end() {
+    // Figures 1 & 2 + Example 2 of the paper.
+    let re = Regex::new("(ab)*").unwrap();
+    assert_eq!(re.dfa().num_live_states(), 2);
+    assert_eq!(re.sfa().num_states(), 6);
+
+    let input = b"ababababababab"; // Example 2's 14-byte input
+    assert!(re.is_match_sequential(input));
+    for threads in 1..=6 {
+        for reduction in [Reduction::Sequential, Reduction::Tree] {
+            assert!(re.is_match_parallel(input, threads, reduction));
+            assert!(re.is_match_speculative(input, threads, reduction));
+            assert!(!re.is_match_parallel(b"ababa", threads, reduction));
+        }
+    }
+}
+
+#[test]
+fn rn_family_sizes_and_matching() {
+    // Section VI-B: |D| = 2n; |S_d| grows quadratically, not exponentially.
+    for n in [2usize, 5, 10] {
+        let re = Regex::new(&workloads::rn_pattern(n)).unwrap();
+        assert_eq!(re.dfa().num_live_states(), 2 * n);
+        assert!(re.sfa().num_states() <= re.dfa().num_states() * re.dfa().num_states());
+
+        let text = workloads::rn_text(n, 4096, 1);
+        assert!(re.is_match_sequential(&text));
+        assert!(re.is_match_parallel(&text, 4, Reduction::Sequential));
+        assert!(re.is_match_parallel(&text, 7, Reduction::Tree));
+
+        let mut corrupted = text.clone();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] = b'x';
+        assert!(!re.is_match_sequential(&corrupted));
+        assert!(!re.is_match_parallel(&corrupted, 4, Reduction::Sequential));
+    }
+}
+
+#[test]
+fn snort_like_corpus_compiles_and_matches_consistently() {
+    let rules = workloads::ruleset(&workloads::SnortConfig {
+        count: 120,
+        seed: 99,
+        dot_star_fraction: 0.02,
+    });
+    let mut built = 0;
+    for pattern in &rules {
+        let Ok(re) = Regex::builder()
+            .max_dfa_states(1000)
+            .max_sfa_states(100_000)
+            .build(pattern)
+        else {
+            continue;
+        };
+        built += 1;
+        // Sample an accepted word from the DFA (when the language is not
+        // empty) and check all matchers agree on it and on a mangled copy.
+        let Ok(sampler) = sfa::automata::DfaSampler::new(re.dfa()) else { continue };
+        let mut rng = rand_seed(built);
+        let word = sampler.sample(200, &mut rng);
+        assert!(re.is_match_sequential(&word), "pattern {:?}", pattern);
+        assert!(re.is_match_parallel(&word, 3, Reduction::Sequential), "pattern {:?}", pattern);
+        assert!(re.is_match_speculative(&word, 3, Reduction::Tree), "pattern {:?}", pattern);
+    }
+    assert!(built >= 80, "most of the corpus must compile, built = {built}");
+}
+
+fn rand_seed(n: usize) -> impl rand::Rng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(n as u64)
+}
+
+#[test]
+fn contains_semantics_parallel_consistency() {
+    let re = Regex::builder()
+        .mode(MatchMode::Contains)
+        .build("needle[0-9]{3}")
+        .unwrap();
+    let mut haystack = vec![b'x'; 100_000];
+    assert!(!re.is_match_parallel(&haystack, 8, Reduction::Sequential));
+    // Plant a match straddling a chunk boundary (Theorem 3: any split
+    // works, including one through the middle of the match).
+    let pos = haystack.len() / 8 - 3;
+    haystack.splice(pos..pos, b"needle042".iter().copied());
+    assert!(re.is_match_sequential(&haystack));
+    for threads in [2, 4, 8, 16] {
+        assert!(re.is_match_parallel(&haystack, threads, Reduction::Sequential));
+        assert!(re.is_match_parallel(&haystack, threads, Reduction::Tree));
+    }
+}
+
+#[test]
+fn lazy_sfa_matches_eager_on_long_input() {
+    let pattern = workloads::rn_pattern(4);
+    let eager = DSfa::from_pattern(&pattern).unwrap();
+    let lazy = LazyDSfa::from_pattern(&pattern).unwrap();
+    let text = workloads::rn_text(4, 10_000, 3);
+    assert_eq!(eager.accepts(&text), lazy.accepts(&text).unwrap());
+    assert!(lazy.num_states_constructed() <= eager.num_states());
+}
+
+#[test]
+fn explosion_families_behave_as_in_section_vii() {
+    // Fact 1: DFA doubles with n.
+    let d4 = sfa::monoid::explosion::example3_dfa(4).unwrap().num_live_states();
+    let d6 = sfa::monoid::explosion::example3_dfa(6).unwrap().num_live_states();
+    assert_eq!(d4, 15);
+    assert_eq!(d6, 63);
+    // Fact 2: the witness DFA's D-SFA hits n^n + 1.
+    let dfa = sfa::monoid::fact2_dfa(3);
+    let sfa_ = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+    assert_eq!(sfa_.num_states(), 28);
+    // Syntactic complexity equals the SFA size for the running example.
+    assert_eq!(
+        sfa::monoid::syntactic_complexity("(ab)*", 1000).unwrap(),
+        Some(6)
+    );
+}
+
+#[test]
+fn nsfa_and_dsfa_agree_on_language() {
+    for pattern in ["(ab)*", "(a|b)*abb", "a{2,4}b?"] {
+        let nfa = Nfa::from_pattern(pattern).unwrap();
+        let nsfa = NSfa::from_nfa(&nfa, &SfaConfig::default()).unwrap();
+        let dsfa = DSfa::from_pattern(pattern).unwrap();
+        for input in [&b""[..], b"ab", b"abab", b"abb", b"aab", b"aaaab", b"zz"] {
+            assert_eq!(nsfa.accepts(input), dsfa.accepts(input), "{pattern:?} {input:?}");
+        }
+    }
+}
+
+#[test]
+fn error_paths_are_reported_not_panicked() {
+    assert!(Regex::new("(").is_err());
+    assert!(Regex::new("a{10,1}").is_err());
+    assert!(Regex::builder().max_dfa_states(3).build("abcdefgh").is_err());
+    // Empty input, empty pattern, single byte, all fine.
+    let re = Regex::new("").unwrap();
+    assert!(re.is_match_sequential(b""));
+    assert!(!re.is_match_parallel(b"x", 4, Reduction::Sequential));
+}
