@@ -34,11 +34,8 @@ impl Default for DfaConfig {
 /// which starts from `{I}` and explores outward.
 pub fn determinize(nfa: &Nfa, config: &DfaConfig) -> Result<Dfa, CompileError> {
     let classes = if config.compress_alphabet {
-        let sets: Vec<&sfa_regex_syntax::ByteSet> = nfa
-            .states()
-            .iter()
-            .flat_map(|s| s.transitions.iter().map(|(set, _)| set))
-            .collect();
+        let sets: Vec<&sfa_regex_syntax::ByteSet> =
+            nfa.states().iter().flat_map(|s| s.transitions.iter().map(|(set, _)| set)).collect();
         if sets.is_empty() {
             ByteClasses::single()
         } else {
@@ -57,9 +54,9 @@ pub fn determinize(nfa: &Nfa, config: &DfaConfig) -> Result<Dfa, CompileError> {
     let nfa_accepting = nfa.accepting_set();
 
     let intern = |set: StateSet,
-                      accepting: &mut Vec<bool>,
-                      worklist: &mut Vec<StateSet>,
-                      ids: &mut HashMap<StateSet, StateId>|
+                  accepting: &mut Vec<bool>,
+                  worklist: &mut Vec<StateSet>,
+                  ids: &mut HashMap<StateSet, StateId>|
      -> Result<StateId, CompileError> {
         if let Some(&id) = ids.get(&set) {
             return Ok(id);
@@ -84,8 +81,8 @@ pub fn determinize(nfa: &Nfa, config: &DfaConfig) -> Result<Dfa, CompileError> {
         processed += 1;
         // Rows are appended in state order, so the table stays row-major.
         debug_assert_eq!(table.len(), (processed - 1) * stride);
-        for class in 0..stride {
-            let next_set = nfa.step(&current, reps[class]);
+        for &rep in reps.iter().take(stride) {
+            let next_set = nfa.step(&current, rep);
             let next_id = intern(next_set, &mut accepting, &mut worklist, &mut ids)?;
             table.push(next_id);
         }

@@ -35,10 +35,7 @@ impl Dfa {
         assert!(num_states > 0, "a DFA needs at least one state");
         assert_eq!(table.len(), num_states * stride, "transition table size mismatch");
         assert!((start as usize) < num_states, "start state out of range");
-        assert!(
-            table.iter().all(|&t| (t as usize) < num_states),
-            "transition target out of range"
-        );
+        assert!(table.iter().all(|&t| (t as usize) < num_states), "transition target out of range");
         Dfa { classes, stride, table, accepting, start }
     }
 

@@ -49,7 +49,8 @@ pub fn nfa_to_dot(nfa: &Nfa, name: &str) -> String {
     }
     for (q, state) in nfa.states().iter().enumerate() {
         for (bytes, t) in &state.transitions {
-            let _ = writeln!(out, "  s{} -> s{} [label=\"{}\"];", q, t, escape(&class_label(bytes)));
+            let _ =
+                writeln!(out, "  s{} -> s{} [label=\"{}\"];", q, t, escape(&class_label(bytes)));
         }
         for t in &state.epsilon {
             let _ = writeln!(out, "  s{} -> s{} [label=\"ε\", style=dashed];", q, t);
@@ -82,13 +83,8 @@ pub fn dfa_to_dot(dfa: &Dfa, name: &str) -> String {
                 continue;
             }
             let bytes = dfa.classes().bytes_in_class(class);
-            let _ = writeln!(
-                out,
-                "  s{} -> s{} [label=\"{}\"];",
-                q,
-                t,
-                escape(&class_label(&bytes))
-            );
+            let _ =
+                writeln!(out, "  s{} -> s{} [label=\"{}\"];", q, t, escape(&class_label(&bytes)));
         }
     }
     let _ = writeln!(out, "}}");
@@ -96,10 +92,8 @@ pub fn dfa_to_dot(dfa: &Dfa, name: &str) -> String {
 }
 
 fn sanitize(name: &str) -> String {
-    let cleaned: String = name
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
-        .collect();
+    let cleaned: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' }).collect();
     if cleaned.is_empty() {
         "automaton".to_string()
     } else {

@@ -20,7 +20,9 @@ pub fn equivalent(a: &Dfa, b: &Dfa) -> bool {
 /// Returns a shortest input on which the two DFAs disagree, or `None` if
 /// they are equivalent.
 pub fn counterexample(a: &Dfa, b: &Dfa) -> Option<Vec<u8>> {
-    let mut seen: HashMap<(StateId, StateId), Option<(StateId, StateId, u8)>> = HashMap::new();
+    /// Breadcrumb back to the pair we came from, and on which byte.
+    type Parent = Option<(StateId, StateId, u8)>;
+    let mut seen: HashMap<(StateId, StateId), Parent> = HashMap::new();
     let start = (a.start(), b.start());
     seen.insert(start, None);
     let mut queue = VecDeque::new();
@@ -88,8 +90,8 @@ mod tests {
         let ce = counterexample(&a, &b).expect("languages differ");
         // The shortest separating word is the empty word.
         assert_eq!(ce, Vec::<u8>::new());
-        assert_eq!(a.accepts(&ce), true);
-        assert_eq!(b.accepts(&ce), false);
+        assert!(a.accepts(&ce));
+        assert!(!b.accepts(&ce));
     }
 
     #[test]

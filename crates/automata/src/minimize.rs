@@ -23,9 +23,9 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     // Reverse transition lists: inverse[c][t] = states q with δ(q, c) = t.
     let mut inverse: Vec<Vec<Vec<StateId>>> = vec![vec![Vec::new(); n]; stride];
     for q in 0..n {
-        for c in 0..stride {
+        for (c, inv) in inverse.iter_mut().enumerate() {
             let t = dfa.table()[q * stride + c] as usize;
-            inverse[c][t].push(q as StateId);
+            inv[t].push(q as StateId);
         }
     }
 
@@ -34,10 +34,8 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
     let mut block_of: Vec<usize> = vec![0; n];
     let mut blocks: Vec<Vec<StateId>> = Vec::new();
 
-    let accepting: Vec<StateId> =
-        (0..n as StateId).filter(|&q| dfa.is_accepting(q)).collect();
-    let rejecting: Vec<StateId> =
-        (0..n as StateId).filter(|&q| !dfa.is_accepting(q)).collect();
+    let accepting: Vec<StateId> = (0..n as StateId).filter(|&q| dfa.is_accepting(q)).collect();
+    let rejecting: Vec<StateId> = (0..n as StateId).filter(|&q| !dfa.is_accepting(q)).collect();
     for q in &accepting {
         block_of[*q as usize] = 0;
     }

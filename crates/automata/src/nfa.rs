@@ -50,11 +50,7 @@ impl Nfa {
 
     /// Builds an NFA directly from parts (used by tests and by the
     /// explosion-family constructors in `sfa-monoid`).
-    pub fn from_parts(
-        states: Vec<NfaState>,
-        start: StateId,
-        accepting: Vec<StateId>,
-    ) -> Nfa {
+    pub fn from_parts(states: Vec<NfaState>, start: StateId, accepting: Vec<StateId>) -> Nfa {
         assert!((start as usize) < states.len(), "start state out of range");
         for &q in &accepting {
             assert!((q as usize) < states.len(), "accepting state out of range");
@@ -203,11 +199,7 @@ impl Compiler {
 
     fn compile(mut self, ast: &Ast) -> Result<Nfa, CompileError> {
         let frag = self.compile_node(ast)?;
-        let nfa = Nfa {
-            states: self.states,
-            start: frag.start,
-            accepting: vec![frag.end],
-        };
+        let nfa = Nfa { states: self.states, start: frag.start, accepting: vec![frag.end] };
         Ok(nfa)
     }
 

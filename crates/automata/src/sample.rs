@@ -56,9 +56,9 @@ impl<'a> DfaSampler<'a> {
             }
         }
         let mut queue = std::collections::VecDeque::new();
-        for q in 0..n {
+        for (q, d) in dist.iter_mut().enumerate() {
             if dfa.is_accepting(q as StateId) {
-                dist[q] = 0;
+                *d = 0;
                 queue.push_back(q as StateId);
             }
         }
@@ -86,9 +86,8 @@ impl<'a> DfaSampler<'a> {
             }
         }
 
-        let class_bytes = (0..stride as u16)
-            .map(|c| dfa.classes().bytes_in_class(c).iter().collect())
-            .collect();
+        let class_bytes =
+            (0..stride as u16).map(|c| dfa.classes().bytes_in_class(c).iter().collect()).collect();
 
         Ok(DfaSampler { dfa, dist, shortest_step, live_classes, class_bytes })
     }

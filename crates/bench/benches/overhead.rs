@@ -20,9 +20,7 @@ fn benches(c: &mut Criterion) {
             b.iter(|| assert!(re.is_match_sequential(text)))
         });
         group.bench_with_input(BenchmarkId::new("sfa_2_threads", kb), &text, |b, text| {
-            b.iter(|| {
-                assert!(re.dfa().is_accepting(matcher.run(text, 2, Reduction::Sequential)))
-            })
+            b.iter(|| assert!(re.dfa().is_accepting(matcher.run(text, 2, Reduction::Sequential))))
         });
     }
     group.finish();

@@ -12,8 +12,7 @@ const INPUT_LEN: usize = 2 * 1024 * 1024;
 fn bench_family(c: &mut Criterion, figure: &str, n: usize, repeated_a: bool) {
     let pattern = if repeated_a { rn_or_a_pattern(n) } else { rn_pattern(n) };
     let re = Regex::builder().max_sfa_states(2_000_000).build(&pattern).unwrap();
-    let text =
-        if repeated_a { repeated_a_text(INPUT_LEN) } else { rn_text(n, INPUT_LEN, 0x5FA) };
+    let text = if repeated_a { repeated_a_text(INPUT_LEN) } else { rn_text(n, INPUT_LEN, 0x5FA) };
     let matcher = ParallelSfaMatcher::new(re.sfa());
 
     let mut group = c.benchmark_group(figure);
@@ -22,18 +21,18 @@ fn bench_family(c: &mut Criterion, figure: &str, n: usize, repeated_a: bool) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
 
-    group.bench_function("dfa_sequential", |b| {
-        b.iter(|| assert!(re.is_match_sequential(&text)))
-    });
+    group.bench_function("dfa_sequential", |b| b.iter(|| assert!(re.is_match_sequential(&text))));
     for threads in [1usize, 2, 4] {
         group.bench_with_input(
             BenchmarkId::new("sfa_parallel", threads),
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    assert!(re
-                        .dfa()
-                        .is_accepting(matcher.run(&text, threads, Reduction::Sequential)))
+                    assert!(re.dfa().is_accepting(matcher.run(
+                        &text,
+                        threads,
+                        Reduction::Sequential
+                    )))
                 })
             },
         );

@@ -45,9 +45,7 @@ fn benches(c: &mut Criterion) {
     .unwrap();
     let log = http_log(20_000, 97, 3);
     group.throughput(Throughput::Bytes(log.len() as u64));
-    group.bench_function("scan_http_log_4_patterns", |b| {
-        b.iter(|| assert!(set.is_match(&log)))
-    });
+    group.bench_function("scan_http_log_4_patterns", |b| b.iter(|| assert!(set.is_match(&log))));
     group.finish();
 }
 

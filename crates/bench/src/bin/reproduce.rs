@@ -20,11 +20,8 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let targets: Vec<&str> = if args.is_empty() {
-        vec!["all"]
-    } else {
-        args.iter().map(|s| s.as_str()).collect()
-    };
+    let targets: Vec<&str> =
+        if args.is_empty() { vec!["all"] } else { args.iter().map(|s| s.as_str()).collect() };
     let run = |name: &str| targets.iter().any(|&t| t == "all" || t == name);
 
     println!("SFA reproduction harness (scale = {}, cores = {})", scale(), num_cpus());
@@ -74,11 +71,11 @@ fn num_cpus() -> usize {
 /// plus the Section VI-A counts (patterns > 10 000 states, over-square,
 /// over-cube, over-quartic).
 fn fig3() {
-    let count: usize = std::env::var("SFA_SNORT_COUNT")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000);
-    println!("\n## Figure 3 — D-SFA size vs. minimal DFA size ({count} synthetic SNORT-like patterns)");
+    let count: usize =
+        std::env::var("SFA_SNORT_COUNT").ok().and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    println!(
+        "\n## Figure 3 — D-SFA size vs. minimal DFA size ({count} synthetic SNORT-like patterns)"
+    );
     let rules = workloads::ruleset(&workloads::SnortConfig { count, ..Default::default() });
     let start = Instant::now();
     let mut reports: Vec<SizeReport> = Vec::new();
@@ -201,11 +198,8 @@ fn table2() {
 /// Figures 6–9: throughput (GB/s) of sequential DFA matching (1 thread) and
 /// parallel SFA matching as the thread count grows.
 fn scalability_figure(name: &str, n: usize, fig9_repeated_a: bool) {
-    let pattern = if fig9_repeated_a {
-        workloads::rn_or_a_pattern(n)
-    } else {
-        workloads::rn_pattern(n)
-    };
+    let pattern =
+        if fig9_repeated_a { workloads::rn_or_a_pattern(n) } else { workloads::rn_pattern(n) };
     // Quick default: 8 MiB of accepted text, scaled by SFA_SCALE.
     let len = 8 * 1024 * 1024 * scale();
     println!("\n## {name} — {pattern}  (input {} MiB)", len / (1024 * 1024));

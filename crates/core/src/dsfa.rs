@@ -83,10 +83,7 @@ impl DSfa {
         }
 
         let dfa_start = dfa.start();
-        let accepting = mappings
-            .iter()
-            .map(|f| dfa.is_accepting(f.apply(dfa_start)))
-            .collect();
+        let accepting = mappings.iter().map(|f| dfa.is_accepting(f.apply(dfa_start))).collect();
 
         Ok(DSfa {
             classes: dfa.classes().clone(),
@@ -273,14 +270,9 @@ mod tests {
 
     #[test]
     fn sfa_equivalent_to_dfa() {
-        for pattern in [
-            "(ab)*",
-            "a|bc|d",
-            "(a|b)*abb",
-            "([0-4]{2}[5-9]{2})*",
-            "a{2,4}b{1,3}",
-            "(?i)get|post",
-        ] {
+        for pattern in
+            ["(ab)*", "a|bc|d", "(a|b)*abb", "([0-4]{2}[5-9]{2})*", "a{2,4}b{1,3}", "(?i)get|post"]
+        {
             let (dfa, sfa) = dsfa(pattern);
             assert!(equivalent(&dfa, &sfa.as_dfa()), "pattern {:?}", pattern);
             for input in [&b""[..], b"ab", b"abab", b"abb", b"0055", b"GET", b"zzz"] {

@@ -16,9 +16,9 @@
 use crate::dsfa::SfaStateId;
 use crate::mapping::Transformation;
 use crate::SfaConfig;
-use parking_lot::RwLock;
 use sfa_automata::{CompileError, Dfa};
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// A lazily constructed D-SFA.
 #[derive(Debug)]
@@ -77,17 +77,17 @@ impl LazyDSfa {
 
     /// Number of SFA states materialized so far.
     pub fn num_states_constructed(&self) -> usize {
-        self.inner.read().mappings.len()
+        self.inner.read().expect("lazy D-SFA lock poisoned").mappings.len()
     }
 
     /// Returns true if the given state is accepting.
     pub fn is_accepting(&self, state: SfaStateId) -> bool {
-        self.inner.read().accepting[state as usize]
+        self.inner.read().expect("lazy D-SFA lock poisoned").accepting[state as usize]
     }
 
     /// The mapping carried by a state (cloned out of the cache).
     pub fn mapping(&self, state: SfaStateId) -> Transformation {
-        self.inner.read().mappings[state as usize].clone()
+        self.inner.read().expect("lazy D-SFA lock poisoned").mappings[state as usize].clone()
     }
 
     /// Transition on a byte, constructing the target state on demand.
@@ -95,13 +95,13 @@ impl LazyDSfa {
         let stride = self.dfa.num_classes();
         let class = self.dfa.classes().class_of(byte) as usize;
         {
-            let inner = self.inner.read();
+            let inner = self.inner.read().expect("lazy D-SFA lock poisoned");
             let cached = inner.table[state as usize * stride + class];
             if cached != NONE {
                 return Ok(cached);
             }
         }
-        let mut inner = self.inner.write();
+        let mut inner = self.inner.write().expect("lazy D-SFA lock poisoned");
         // Re-check: another thread may have filled the slot while we were
         // waiting for the write lock.
         let cached = inner.table[state as usize * stride + class];
@@ -126,7 +126,7 @@ impl LazyDSfa {
                 inner.ids.insert(next.clone(), id);
                 inner.mappings.push(next);
                 inner.accepting.push(accepting);
-                inner.table.extend(std::iter::repeat(NONE).take(stride));
+                inner.table.extend(std::iter::repeat_n(NONE, stride));
                 id
             }
         };

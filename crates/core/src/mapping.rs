@@ -65,9 +65,7 @@ impl Transformation {
     /// If `self = f_w` and `other = f_v`, the result is `f_wv`.
     pub fn then(&self, other: &Transformation) -> Transformation {
         debug_assert_eq!(self.degree(), other.degree());
-        Transformation {
-            map: self.map.iter().map(|&q| other.map[q as usize]).collect(),
-        }
+        Transformation { map: self.map.iter().map(|&q| other.map[q as usize]).collect() }
     }
 
     /// Returns true if this is the identity transformation.
@@ -165,10 +163,7 @@ impl Correspondence {
 
     /// Returns true if this is the identity correspondence.
     pub fn is_identity(&self) -> bool {
-        self.map
-            .iter()
-            .enumerate()
-            .all(|(i, img)| img.len() == 1 && img.contains(i as StateId))
+        self.map.iter().enumerate().all(|(i, img)| img.len() == 1 && img.contains(i as StateId))
     }
 
     /// Total number of (state, state) pairs in the relation.
@@ -178,10 +173,7 @@ impl Correspondence {
 
     /// Memory occupied by the image sets, in bytes.
     pub fn heap_bytes(&self) -> usize {
-        self.map
-            .iter()
-            .map(|s| s.words().len() * std::mem::size_of::<u64>())
-            .sum()
+        self.map.iter().map(|s| std::mem::size_of_val(s.words())).sum()
     }
 }
 
@@ -322,10 +314,8 @@ mod tests {
 
     #[test]
     fn correspondence_identity_is_neutral() {
-        let f = Correspondence::from_sets(vec![
-            StateSet::from_iter(2, [0u32, 1]),
-            StateSet::new(2),
-        ]);
+        let f =
+            Correspondence::from_sets(vec![StateSet::from_iter(2, [0u32, 1]), StateSet::new(2)]);
         let id = Correspondence::identity(2);
         assert_eq!(id.then(&f), f);
         assert_eq!(f.then(&id), f);

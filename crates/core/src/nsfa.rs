@@ -41,16 +41,10 @@ impl NSfa {
         let n = nfa.num_states();
 
         // Reuse the same byte-class computation as the DFA construction.
-        let sets: Vec<&sfa_regex_syntax::ByteSet> = nfa
-            .states()
-            .iter()
-            .flat_map(|s| s.transitions.iter().map(|(set, _)| set))
-            .collect();
-        let classes = if sets.is_empty() {
-            ByteClasses::single()
-        } else {
-            ByteClasses::from_sets(sets)
-        };
+        let sets: Vec<&sfa_regex_syntax::ByteSet> =
+            nfa.states().iter().flat_map(|s| s.transitions.iter().map(|(set, _)| set)).collect();
+        let classes =
+            if sets.is_empty() { ByteClasses::single() } else { ByteClasses::from_sets(sets) };
         let stride = classes.count();
         let reps = classes.representatives();
 
@@ -75,9 +69,8 @@ impl NSfa {
         };
 
         // Initial state: q ↦ ε-closure(q).
-        let initial_mapping = Correspondence::from_sets(
-            (0..n as StateId).map(|q| nfa.epsilon_closure(q)).collect(),
-        );
+        let initial_mapping =
+            Correspondence::from_sets((0..n as StateId).map(|q| nfa.epsilon_closure(q)).collect());
         let initial = intern(initial_mapping, &mut mappings, &mut ids)?;
         debug_assert_eq!(initial, 0);
 
@@ -85,8 +78,7 @@ impl NSfa {
         while processed < mappings.len() {
             let current = mappings[processed].clone();
             processed += 1;
-            for class in 0..stride {
-                let byte = reps[class];
+            for &byte in reps.iter().take(stride) {
                 let next = Correspondence::from_sets(
                     (0..n as StateId).map(|q| nfa.step(current.apply(q), byte)).collect(),
                 );
@@ -97,10 +89,8 @@ impl NSfa {
 
         let nfa_start = nfa.start();
         let nfa_accepting = nfa.accepting_set();
-        let accepting = mappings
-            .iter()
-            .map(|f| f.apply(nfa_start).intersects(&nfa_accepting))
-            .collect();
+        let accepting =
+            mappings.iter().map(|f| f.apply(nfa_start).intersects(&nfa_accepting)).collect();
 
         Ok(NSfa { classes, stride, table, accepting, mappings, nfa_start, nfa_accepting })
     }
@@ -246,7 +236,8 @@ mod tests {
         for pattern in ["(ab)*", "a|bc|d", "(a|b)*abb", "[0-4]{2}[5-9]{2}", "a{2,4}"] {
             let nfa = Nfa::from_pattern(pattern).unwrap();
             let sfa = NSfa::from_nfa(&nfa, &SfaConfig::default()).unwrap();
-            for input in [&b""[..], b"a", b"ab", b"abab", b"abb", b"aabb", b"0459", b"aaaa", b"zz"] {
+            for input in [&b""[..], b"a", b"ab", b"abab", b"abb", b"aabb", b"0459", b"aaaa", b"zz"]
+            {
                 assert_eq!(
                     nfa.accepts(input),
                     sfa.accepts(input),

@@ -2,12 +2,11 @@
 //! Table III of the paper.
 
 use crate::dsfa::DSfa;
-use serde::{Deserialize, Serialize};
 use sfa_automata::Dfa;
 
 /// Size relationship between a minimal DFA and its D-SFA, as classified in
 /// Section VI-A of the paper.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum GrowthClass {
     /// `|S_d| ≤ |D|` — the SFA is no bigger than the DFA.
     AtMostLinear,
@@ -23,7 +22,7 @@ pub enum GrowthClass {
 }
 
 /// Size statistics of one pattern's DFA and D-SFA.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SizeReport {
     /// Number of states of the (minimal) DFA, including the dead state.
     pub dfa_states: usize,
@@ -63,6 +62,77 @@ impl SizeReport {
             ratio: sfa_states as f64 / dfa.num_states() as f64,
             growth,
         }
+    }
+}
+
+impl GrowthClass {
+    /// The classification's name, used in the JSON report.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            GrowthClass::AtMostLinear => "AtMostLinear",
+            GrowthClass::AtMostSquare => "AtMostSquare",
+            GrowthClass::OverSquare => "OverSquare",
+            GrowthClass::OverCube => "OverCube",
+            GrowthClass::OverQuartic => "OverQuartic",
+        }
+    }
+
+    /// Parses a classification name produced by [`GrowthClass::as_str`].
+    pub fn parse(s: &str) -> Option<GrowthClass> {
+        Some(match s {
+            "AtMostLinear" => GrowthClass::AtMostLinear,
+            "AtMostSquare" => GrowthClass::AtMostSquare,
+            "OverSquare" => GrowthClass::OverSquare,
+            "OverCube" => GrowthClass::OverCube,
+            "OverQuartic" => GrowthClass::OverQuartic,
+            _ => return None,
+        })
+    }
+}
+
+impl SizeReport {
+    /// Serializes the report to a single-line JSON object. (Hand-rolled —
+    /// the build environment vendors no serde.)
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"dfa_states\":{},\"dfa_live_states\":{},\"sfa_states\":{},",
+                "\"byte_classes\":{},\"dfa_table_bytes\":{},\"sfa_table_bytes\":{},",
+                "\"sfa_mapping_bytes\":{},\"ratio\":{},\"growth\":\"{}\"}}"
+            ),
+            self.dfa_states,
+            self.dfa_live_states,
+            self.sfa_states,
+            self.byte_classes,
+            self.dfa_table_bytes,
+            self.sfa_table_bytes,
+            self.sfa_mapping_bytes,
+            self.ratio,
+            self.growth.as_str(),
+        )
+    }
+
+    /// Parses a JSON object produced by [`SizeReport::to_json`]. Returns
+    /// `None` when a field is missing or malformed.
+    pub fn from_json(json: &str) -> Option<SizeReport> {
+        fn field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+            let needle = format!("\"{key}\":");
+            let start = json.find(&needle)? + needle.len();
+            let rest = &json[start..];
+            let end = rest.find([',', '}'])?;
+            Some(rest[..end].trim())
+        }
+        Some(SizeReport {
+            dfa_states: field(json, "dfa_states")?.parse().ok()?,
+            dfa_live_states: field(json, "dfa_live_states")?.parse().ok()?,
+            sfa_states: field(json, "sfa_states")?.parse().ok()?,
+            byte_classes: field(json, "byte_classes")?.parse().ok()?,
+            dfa_table_bytes: field(json, "dfa_table_bytes")?.parse().ok()?,
+            sfa_table_bytes: field(json, "sfa_table_bytes")?.parse().ok()?,
+            sfa_mapping_bytes: field(json, "sfa_mapping_bytes")?.parse().ok()?,
+            ratio: field(json, "ratio")?.parse().ok()?,
+            growth: GrowthClass::parse(field(json, "growth")?.trim_matches('"'))?,
+        })
     }
 }
 
@@ -145,10 +215,14 @@ mod tests {
     #[test]
     fn report_serializes_to_json() {
         let r = report("(ab)*");
-        let json = serde_json::to_string(&r).unwrap();
-        assert!(json.contains("\"sfa_states\":6"));
-        let back: SizeReport = serde_json::from_str(&json).unwrap();
+        let json = r.to_json();
+        assert!(json.contains("\"sfa_states\":6"), "{json}");
+        let back = SizeReport::from_json(&json).unwrap();
         assert_eq!(back.sfa_states, r.sfa_states);
         assert_eq!(back.growth, r.growth);
+        assert_eq!(back.dfa_table_bytes, r.dfa_table_bytes);
+        assert!((back.ratio - r.ratio).abs() < 1e-12);
+        assert!(SizeReport::from_json("{}").is_none());
+        assert!(SizeReport::from_json("{\"dfa_states\":oops}").is_none());
     }
 }

@@ -91,8 +91,7 @@ mod tests {
         let values: Vec<String> = (0..13).map(|i| format!("{i}-")).collect();
         let expected = values.concat();
         for parallel in [false, true] {
-            let combined =
-                tree_reduce(values.clone(), parallel, |a, b| format!("{a}{b}")).unwrap();
+            let combined = tree_reduce(values.clone(), parallel, |a, b| format!("{a}{b}")).unwrap();
             assert_eq!(combined, expected, "parallel = {}", parallel);
         }
     }

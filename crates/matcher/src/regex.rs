@@ -214,12 +214,7 @@ impl Regex {
 
     /// **Algorithm 3**: the prior-art speculative parallel DFA matcher
     /// (kept as a baseline).
-    pub fn is_match_speculative(
-        &self,
-        input: &[u8],
-        threads: usize,
-        reduction: Reduction,
-    ) -> bool {
+    pub fn is_match_speculative(&self, input: &[u8], threads: usize, reduction: Reduction) -> bool {
         SpeculativeDfaMatcher::new(&self.dfa).accepts(input, threads, reduction)
     }
 }
@@ -321,11 +316,7 @@ mod tests {
 
     #[test]
     fn threads_and_reduction_defaults_apply() {
-        let re = Regex::builder()
-            .threads(3)
-            .reduction(Reduction::Tree)
-            .build("(ab)*")
-            .unwrap();
+        let re = Regex::builder().threads(3).reduction(Reduction::Tree).build("(ab)*").unwrap();
         assert!(re.is_match(b"ababab"));
         assert!(!re.is_match(b"b"));
     }

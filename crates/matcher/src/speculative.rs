@@ -57,8 +57,8 @@ impl<'a> SpeculativeDfaMatcher<'a> {
                 q
             }
             Reduction::Tree => {
-                let combined = tree_reduce(partials, parallel, |a, b| a.then(b))
-                    .expect("at least one chunk");
+                let combined =
+                    tree_reduce(partials, parallel, |a, b| a.then(b)).expect("at least one chunk");
                 combined.apply(self.dfa.start())
             }
         }
@@ -100,10 +100,7 @@ mod tests {
     #[test]
     fn agrees_with_sequential_dfa() {
         check("(ab)*", &[b"", b"ab", b"abab", b"aba", b"abababababab", b"abx"]);
-        check(
-            "([0-4]{2}[5-9]{2})*",
-            &[b"", b"0055", b"005504590459", b"00550", b"555500"],
-        );
+        check("([0-4]{2}[5-9]{2})*", &[b"", b"0055", b"005504590459", b"00550", b"555500"]);
         check("(a|b)*abb", &[b"abb", b"aababb", b"ab", b"abba"]);
     }
 

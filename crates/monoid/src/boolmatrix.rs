@@ -189,7 +189,11 @@ mod tests {
         let shift = BoolMatrix::from_pairs(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
         let sg = generate_semigroup(&[shift], 100).unwrap();
         assert_eq!(sg.len(), 5);
-        let monoid = generate_monoid(&[BoolMatrix::from_pairs(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])], 100).unwrap();
+        let monoid = generate_monoid(
+            &[BoolMatrix::from_pairs(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])],
+            100,
+        )
+        .unwrap();
         assert_eq!(monoid.len(), 5, "the cycle already contains the identity");
     }
 

@@ -107,9 +107,8 @@ mod tests {
     fn example3_dfa_grows_exponentially() {
         // Fact 1: |D| ≈ 2^n (we measure 2^n − 1 live states because the
         // empty subset is the dead state).
-        let sizes: Vec<usize> = (2..=6)
-            .map(|n| example3_dfa(n).unwrap().num_live_states())
-            .collect();
+        let sizes: Vec<usize> =
+            (2..=6).map(|n| example3_dfa(n).unwrap().num_live_states()).collect();
         assert_eq!(sizes, vec![3, 7, 15, 31, 63]);
     }
 

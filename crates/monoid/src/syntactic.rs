@@ -93,12 +93,8 @@ impl TransitionMonoid {
             self.elements
                 .iter()
                 .map(|t| {
-                    let pairs: Vec<(usize, usize)> = t
-                        .as_slice()
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &j)| (i, j as usize))
-                        .collect();
+                    let pairs: Vec<(usize, usize)> =
+                        t.as_slice().iter().enumerate().map(|(i, &j)| (i, j as usize)).collect();
                     BoolMatrix::from_pairs(n, &pairs)
                 })
                 .collect(),
@@ -111,7 +107,10 @@ impl TransitionMonoid {
 ///
 /// Per the paper (Sect. VII-A) this equals the size of the minimal SFA for
 /// the same language, i.e. the parallel complexity of the expression.
-pub fn syntactic_complexity(pattern: &str, limit: usize) -> Result<Option<usize>, sfa_automata::CompileError> {
+pub fn syntactic_complexity(
+    pattern: &str,
+    limit: usize,
+) -> Result<Option<usize>, sfa_automata::CompileError> {
     let dfa = sfa_automata::minimal_dfa_from_pattern(pattern)?;
     Ok(TransitionMonoid::of_dfa(&dfa, limit).map(|m| m.len()))
 }

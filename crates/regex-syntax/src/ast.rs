@@ -215,11 +215,9 @@ impl Ast {
             Ast::Alternation(parts) => {
                 Ast::Alternation(parts.into_iter().map(|p| p.map_bottom_up(f)).collect())
             }
-            Ast::Repeat { node, min, max } => Ast::Repeat {
-                node: Box::new(node.map_bottom_up(f)),
-                min,
-                max,
-            },
+            Ast::Repeat { node, min, max } => {
+                Ast::Repeat { node: Box::new(node.map_bottom_up(f)), min, max }
+            }
         };
         f(rebuilt)
     }
@@ -290,8 +288,9 @@ mod tests {
         assert!(Ast::star(Ast::byte(b'a')).is_nullable());
         assert!(!Ast::plus(Ast::byte(b'a')).is_nullable());
         assert!(Ast::opt(Ast::byte(b'a')).is_nullable());
-        assert!(Ast::concat(vec![Ast::star(Ast::byte(b'a')), Ast::opt(Ast::byte(b'b'))])
-            .is_nullable());
+        assert!(
+            Ast::concat(vec![Ast::star(Ast::byte(b'a')), Ast::opt(Ast::byte(b'b'))]).is_nullable()
+        );
         assert!(!Ast::concat(vec![Ast::star(Ast::byte(b'a')), Ast::byte(b'b')]).is_nullable());
     }
 

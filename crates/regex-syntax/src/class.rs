@@ -109,9 +109,9 @@ impl ByteSet {
     /// Set union.
     #[inline]
     pub fn union(&self, other: &ByteSet) -> ByteSet {
-        let mut bits = [0u64; 4];
-        for i in 0..4 {
-            bits[i] = self.bits[i] | other.bits[i];
+        let mut bits = self.bits;
+        for (b, o) in bits.iter_mut().zip(&other.bits) {
+            *b |= o;
         }
         ByteSet { bits }
     }
@@ -119,9 +119,9 @@ impl ByteSet {
     /// Set intersection.
     #[inline]
     pub fn intersection(&self, other: &ByteSet) -> ByteSet {
-        let mut bits = [0u64; 4];
-        for i in 0..4 {
-            bits[i] = self.bits[i] & other.bits[i];
+        let mut bits = self.bits;
+        for (b, o) in bits.iter_mut().zip(&other.bits) {
+            *b &= o;
         }
         ByteSet { bits }
     }
@@ -129,9 +129,9 @@ impl ByteSet {
     /// Set difference (`self \ other`).
     #[inline]
     pub fn difference(&self, other: &ByteSet) -> ByteSet {
-        let mut bits = [0u64; 4];
-        for i in 0..4 {
-            bits[i] = self.bits[i] & !other.bits[i];
+        let mut bits = self.bits;
+        for (b, o) in bits.iter_mut().zip(&other.bits) {
+            *b &= !o;
         }
         ByteSet { bits }
     }
@@ -139,9 +139,9 @@ impl ByteSet {
     /// Set complement with respect to the full byte alphabet.
     #[inline]
     pub fn complement(&self) -> ByteSet {
-        let mut bits = [0u64; 4];
-        for i in 0..4 {
-            bits[i] = !self.bits[i];
+        let mut bits = self.bits;
+        for b in bits.iter_mut() {
+            *b = !*b;
         }
         ByteSet { bits }
     }

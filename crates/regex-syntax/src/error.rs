@@ -71,11 +71,7 @@ pub enum ErrorKind {
 
 impl ParseError {
     pub(crate) fn new(kind: ErrorKind, offset: usize, pattern: &[u8]) -> ParseError {
-        ParseError {
-            kind,
-            offset,
-            pattern: String::from_utf8_lossy(pattern).into_owned(),
-        }
+        ParseError { kind, offset, pattern: String::from_utf8_lossy(pattern).into_owned() }
     }
 }
 

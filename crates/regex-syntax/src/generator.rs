@@ -117,9 +117,7 @@ impl AstGenerator {
             // a short literal string
             60..=79 => {
                 let n = rng.gen_range(2..=4usize);
-                Ast::literal(
-                    (0..n).map(|_| *bytes.choose(rng).unwrap()).collect::<Vec<u8>>(),
-                )
+                Ast::literal((0..n).map(|_| *bytes.choose(rng).unwrap()).collect::<Vec<u8>>())
             }
             // a character class over a random sub-range of the alphabet
             _ => {

@@ -69,9 +69,8 @@ mod proptests {
                 inner.clone().prop_map(Ast::star),
                 inner.clone().prop_map(Ast::plus),
                 inner.clone().prop_map(Ast::opt),
-                (inner, 0u32..4, 0u32..4).prop_map(|(n, a, b)| {
-                    Ast::repeat(n, a.min(b), Some(a.max(b)))
-                }),
+                (inner, 0u32..4, 0u32..4)
+                    .prop_map(|(n, a, b)| { Ast::repeat(n, a.min(b), Some(a.max(b))) }),
             ]
         })
     }

@@ -371,7 +371,9 @@ impl<'a> State<'a> {
             };
 
             // Possible range.
-            if self.peek() == Some(b'-') && self.peek_at(1).is_some() && self.peek_at(1) != Some(b']')
+            if self.peek() == Some(b'-')
+                && self.peek_at(1).is_some()
+                && self.peek_at(1) != Some(b']')
             {
                 self.bump(); // '-'
                 let hb = self.peek().unwrap();
@@ -380,10 +382,9 @@ impl<'a> State<'a> {
                     match self.parse_class_escape()? {
                         ClassItem::Byte(x) => x,
                         ClassItem::Set(_) => {
-                            return Err(self.err(ErrorKind::InvalidClassRange {
-                                start: lo,
-                                end: 0,
-                            }));
+                            return Err(
+                                self.err(ErrorKind::InvalidClassRange { start: lo, end: 0 })
+                            );
                         }
                     }
                 } else {
@@ -468,10 +469,8 @@ impl<'a> State<'a> {
                 return Err(self.err(ErrorKind::UnsupportedAnchor));
             }
             b'1'..=b'9' => {
-                return Err(self.err(ErrorKind::UnsupportedGroup(format!(
-                    "back-reference \\{}",
-                    c as char
-                ))));
+                return Err(self
+                    .err(ErrorKind::UnsupportedGroup(format!("back-reference \\{}", c as char))));
             }
             c if !c.is_ascii_alphanumeric() => self.literal_set(c),
             c => return Err(self.err(ErrorKind::UnknownEscape(c as char))),
@@ -617,20 +616,20 @@ mod tests {
         assert_eq!(p("a*"), Ast::star(Ast::byte(b'a')));
         assert_eq!(p("a+"), Ast::plus(Ast::byte(b'a')));
         assert_eq!(p("a?"), Ast::opt(Ast::byte(b'a')));
-        assert_eq!(
-            p("ab|cd"),
-            Ast::alternation(vec![Ast::literal("ab"), Ast::literal("cd")])
-        );
+        assert_eq!(p("ab|cd"), Ast::alternation(vec![Ast::literal("ab"), Ast::literal("cd")]));
     }
 
     #[test]
     fn grouping() {
         assert_eq!(p("(ab)*"), Ast::star(Ast::literal("ab")));
         assert_eq!(p("(?:ab)+"), Ast::plus(Ast::literal("ab")));
-        assert_eq!(p("(a|b)c"), Ast::concat(vec![
-            Ast::alternation(vec![Ast::byte(b'a'), Ast::byte(b'b')]),
-            Ast::byte(b'c'),
-        ]));
+        assert_eq!(
+            p("(a|b)c"),
+            Ast::concat(vec![
+                Ast::alternation(vec![Ast::byte(b'a'), Ast::byte(b'b')]),
+                Ast::byte(b'c'),
+            ])
+        );
         assert_eq!(p("((a))"), Ast::byte(b'a'));
     }
 
@@ -667,11 +666,14 @@ mod tests {
     #[test]
     fn class_escapes() {
         assert_eq!(p("[\\d]"), Ast::Class(perl::digit()));
-        assert_eq!(p("[\\w#]"), Ast::Class({
-            let mut s = perl::word();
-            s.insert(b'#');
-            s
-        }));
+        assert_eq!(
+            p("[\\w#]"),
+            Ast::Class({
+                let mut s = perl::word();
+                s.insert(b'#');
+                s
+            })
+        );
         assert_eq!(p("[\\x41-\\x43]"), Ast::Class(ByteSet::range(b'A', b'C')));
         assert_eq!(p("[\\]]"), Ast::Class(ByteSet::singleton(b']')));
         assert_eq!(p("[\\n\\t]"), Ast::Class(ByteSet::from_bytes([b'\n', b'\t'])));
@@ -707,22 +709,23 @@ mod tests {
         assert_eq!(p("^abc$"), Ast::literal("abc"));
         assert_eq!(p("^$"), Ast::Empty);
         assert_eq!(p("\\babc\\b"), Ast::literal("abc"));
-        let strict = Parser::with_config(ParserConfig { allow_anchors: false, ..Default::default() });
+        let strict =
+            Parser::with_config(ParserConfig { allow_anchors: false, ..Default::default() });
         assert_eq!(strict.parse("^abc").unwrap_err().kind, ErrorKind::UnsupportedAnchor);
     }
 
     #[test]
     fn inline_flags() {
         assert_eq!(p("(?i)a"), Ast::Class(ByteSet::from_bytes([b'a', b'A'])));
-        assert_eq!(p("(?i:a)b"), Ast::concat(vec![
-            Ast::Class(ByteSet::from_bytes([b'a', b'A'])),
-            Ast::byte(b'b'),
-        ]));
+        assert_eq!(
+            p("(?i:a)b"),
+            Ast::concat(vec![Ast::Class(ByteSet::from_bytes([b'a', b'A'])), Ast::byte(b'b'),])
+        );
         // flag scope ends with the group
-        assert_eq!(p("((?i)a)b"), Ast::concat(vec![
-            Ast::Class(ByteSet::from_bytes([b'a', b'A'])),
-            Ast::byte(b'b'),
-        ]));
+        assert_eq!(
+            p("((?i)a)b"),
+            Ast::concat(vec![Ast::Class(ByteSet::from_bytes([b'a', b'A'])), Ast::byte(b'b'),])
+        );
         assert_eq!(p("(?i)[a-b]"), Ast::Class(ByteSet::from_bytes([b'a', b'b', b'A', b'B'])));
         // (?m) and (?x) are accepted and ignored
         assert_eq!(p("(?m)ab"), Ast::literal("ab"));
@@ -730,7 +733,8 @@ mod tests {
 
     #[test]
     fn case_insensitive_config() {
-        let parser = Parser::with_config(ParserConfig { case_insensitive: true, ..Default::default() });
+        let parser =
+            Parser::with_config(ParserConfig { case_insensitive: true, ..Default::default() });
         assert_eq!(parser.parse("a").unwrap(), Ast::Class(ByteSet::from_bytes([b'a', b'A'])));
     }
 
@@ -768,7 +772,10 @@ mod tests {
         assert_eq!(perr("*a"), ErrorKind::RepetitionMissingOperand);
         assert_eq!(perr("+"), ErrorKind::RepetitionMissingOperand);
         assert_eq!(perr("a{5,2}"), ErrorKind::InvalidRepetitionRange { min: 5, max: 2 });
-        assert_eq!(perr("a{9999999}"), ErrorKind::RepetitionTooLarge { bound: 9999999, limit: 2000 });
+        assert_eq!(
+            perr("a{9999999}"),
+            ErrorKind::RepetitionTooLarge { bound: 9999999, limit: 2000 }
+        );
         assert_eq!(perr("[z-a]"), ErrorKind::InvalidClassRange { start: b'z', end: b'a' });
         assert_eq!(perr("\\q"), ErrorKind::UnknownEscape('q'));
         assert_eq!(perr("\\xzz"), ErrorKind::InvalidHexEscape);
@@ -787,7 +794,10 @@ mod tests {
     fn nested_quantifiers() {
         assert_eq!(p("(a*)*"), Ast::star(Ast::star(Ast::byte(b'a'))));
         assert_eq!(p("a*?"), Ast::opt(Ast::star(Ast::byte(b'a'))));
-        assert_eq!(p("(a{2}){3}"), Ast::repeat(Ast::repeat(Ast::byte(b'a'), 2, Some(2)), 3, Some(3)));
+        assert_eq!(
+            p("(a{2}){3}"),
+            Ast::repeat(Ast::repeat(Ast::byte(b'a'), 2, Some(2)), 3, Some(3))
+        );
     }
 
     #[test]

@@ -119,11 +119,7 @@ fn write_class(set: &ByteSet, out: &mut String) {
 
     // General case: a bracketed class. Use the complement when it is much
     // smaller (for readability only — either form round-trips).
-    let (negate, body) = if set.len() > 128 {
-        (true, set.complement())
-    } else {
-        (false, *set)
-    };
+    let (negate, body) = if set.len() > 128 { (true, set.complement()) } else { (false, *set) };
     out.push('[');
     if negate {
         out.push('^');

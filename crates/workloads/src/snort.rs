@@ -135,11 +135,7 @@ fn generate_pattern(rng: &mut StdRng, config: &SnortConfig) -> String {
         }
         Shape::HeaderScan => {
             let bound = rng.gen_range(8..64);
-            format!(
-                "{ci}{}\\x3a[^\\r\\n]{{0,{bound}}}{}",
-                pick_word(rng),
-                pick_word(rng)
-            )
+            format!("{ci}{}\\x3a[^\\r\\n]{{0,{bound}}}{}", pick_word(rng), pick_word(rng))
         }
         Shape::KeywordAlt => {
             let k = rng.gen_range(2..5usize);

@@ -35,8 +35,5 @@ fn main() {
     // every possible DFA start state, where that chunk would take it.
     let sfa = re.sfa();
     let f = sfa.run(b"ab");
-    println!(
-        "mapping of the chunk \"ab\": {:?} (identity on the live states)",
-        sfa.mapping(f)
-    );
+    println!("mapping of the chunk \"ab\": {:?} (identity on the live states)", sfa.mapping(f));
 }

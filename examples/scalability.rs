@@ -47,8 +47,7 @@ fn main() {
     );
 
     for threads in [2usize, 4, 8] {
-        let mut run_par =
-            || assert!(re.is_match_parallel(&text, threads, Reduction::Sequential));
+        let mut run_par = || assert!(re.is_match_parallel(&text, threads, Reduction::Sequential));
         let par = best(&mut run_par);
         println!(
             "{:>8}  {:>12.2?}  {:>10.3}  (Algorithm 5, parallel SFA)",

@@ -1,0 +1,276 @@
+//! Workspace-local stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking crate, providing the subset the SFA benches use. The build
+//! environment has no access to crates.io, so this shim keeps
+//! `cargo bench` self-contained.
+//!
+//! It is a plain best-of-N wall-clock harness: no outlier analysis, no
+//! HTML reports, no statistical regression testing — each benchmark prints
+//! one line with the best observed iteration time (and throughput when one
+//! was declared via [`BenchmarkGroup::throughput`]).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared data volume of one iteration, used for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId { id: name.to_string() }
+    }
+}
+
+/// Runs one benchmark routine repeatedly.
+pub struct Bencher {
+    iters: u64,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    best: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping the best observed iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run untimed until the warm-up budget is spent.
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+        let measurement_end = Instant::now() + self.measurement_time;
+        let mut best = Duration::MAX;
+        let mut done = 0u64;
+        while done < self.iters || Instant::now() < measurement_end {
+            let start = Instant::now();
+            black_box(routine());
+            best = best.min(start.elapsed());
+            done += 1;
+            if done >= self.iters && Instant::now() >= measurement_end {
+                break;
+            }
+            if done >= 10_000_000 {
+                break;
+            }
+        }
+        self.best = Some(best);
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Sets the untimed warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the timed measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares the data volume of one iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            best: None,
+        };
+        routine(&mut bencher);
+        self.report(&id, bencher.best);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    fn report(&self, id: &BenchmarkId, best: Option<Duration>) {
+        let Some(best) = best else {
+            println!("{}/{}: no measurement (Bencher::iter never called)", self.name, id.id);
+            return;
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let gb_per_sec = bytes as f64 / 1e9 / best.as_secs_f64().max(1e-12);
+                format!("  ({gb_per_sec:.3} GB/s)")
+            }
+            Some(Throughput::Elements(n)) => {
+                let elem_per_sec = n as f64 / best.as_secs_f64().max(1e-12);
+                format!("  ({elem_per_sec:.0} elem/s)")
+            }
+            None => String::new(),
+        };
+        println!("{}/{}: best {:?}{}", self.name, id.id, best, rate);
+    }
+
+    /// Ends the group (prints a trailing blank line, like criterion's
+    /// summary separator).
+    pub fn finish(self) {
+        let _ = &self.criterion;
+        println!();
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(500),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `routine` outside any group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        let mut group = self.benchmark_group(id.to_string());
+        group.bench_function(BenchmarkId::from_parameter("base"), routine);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a function running the given benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` to run the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_routines() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Bytes(1024));
+        let mut runs = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert!(runs >= 3, "routine must run at least sample_size times, ran {runs}");
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &x| {
+            b.iter(|| black_box(x * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("dfa", 5).id, "dfa/5");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    criterion_group!(smoke, noop_target);
+
+    fn noop_target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("noop");
+        group.sample_size(1);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+        group.bench_function("nothing", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    #[test]
+    fn criterion_group_macro_produces_runnable_fn() {
+        smoke();
+    }
+}

@@ -1,0 +1,686 @@
+//! Workspace-local stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, providing the subset the SFA property suites use. The build
+//! environment has no access to crates.io, so this shim keeps the workspace
+//! self-contained while preserving the `proptest!` test-authoring style.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case reports its **seed** instead, and seeds
+//!   recorded in `proptest-regressions/seeds.txt` (one `test_name seed` pair
+//!   per line) are replayed first on every run,
+//! * strategies are sampled with a deterministic per-test RNG, so a given
+//!   checkout always runs the same cases (`PROPTEST_CASES` scales the count),
+//! * string strategies support the character-class subset actually used in
+//!   this workspace (e.g. `"[a-e]{0,12}"`), not full regex syntax.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use rand::prelude::*;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Runner configuration; only the case count is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test (regression seeds run in addition).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Deliberately small so the full workspace suite stays fast; raise
+        // locally with PROPTEST_CASES=1024.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// A failed test case (produced by `prop_assert!` and friends).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A value generator. The shim equivalent of proptest's `Strategy`, minus
+/// shrinking: `sample` draws one value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value from the strategy.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: each of `depth` levels draws either a
+    /// leaf from `self` or one application of `recurse` over the previous
+    /// level. `desired_size` and `expected_branch_size` are accepted for
+    /// proptest signature compatibility but not used by the shim.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = boxed(self);
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = boxed(recurse(current.clone()));
+            current = boxed(Union::new(vec![leaf.clone(), deeper]));
+        }
+        current
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        boxed(self)
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always produces a clone of its value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A cloneable, type-erased strategy (shared, like real proptest's).
+pub struct BoxedStrategy<T>(std::sync::Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Type-erases a strategy (the building block of [`prop_oneof!`]).
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+    BoxedStrategy(std::sync::Arc::new(strategy))
+}
+
+/// A uniform choice between strategies of a common value type.
+pub struct Union<T> {
+    branches: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given branches (must be non-empty).
+    pub fn new(branches: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        Union { branches }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.branches.len());
+        self.branches[i].sample(rng)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_strategy_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Uniform choice between strategies, mirroring `proptest::prop_oneof!`.
+/// Weighted branches (`weight => strategy`) are not supported by the shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for a type: any value at all.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_strategy_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u8, u16, u32, u64, usize, i32, i64);
+
+/// String strategies from class-and-repeat patterns such as `"[a-e]{0,12}"`.
+///
+/// Supported atoms: literal characters, `.` (printable ASCII) and classes
+/// `[x-y…]` of ranges/single characters; each atom may carry `*`, `+`, `?`,
+/// `{n}` or `{lo,hi}`. Anything fancier panics — this shim backs the
+/// workspace's own suites, not arbitrary patterns.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        pattern::sample_pattern(self, rng)
+    }
+}
+
+mod pattern {
+    use super::*;
+
+    const UNBOUNDED_CAP: u32 = 8;
+
+    struct Atom {
+        choices: Vec<u8>,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let bytes = pattern.as_bytes();
+        let mut i = 0;
+        let mut atoms = Vec::new();
+        while i < bytes.len() {
+            let choices = match bytes[i] {
+                b'[' => {
+                    let close = pattern[i..]
+                        .find(']')
+                        .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"))
+                        + i;
+                    let mut choices = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && bytes[j + 1] == b'-' {
+                            choices.extend(bytes[j]..=bytes[j + 2]);
+                            j += 3;
+                        } else {
+                            choices.push(bytes[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    choices
+                }
+                b'.' => {
+                    i += 1;
+                    (0x20..=0x7e).collect()
+                }
+                b'\\' if pattern[i..].starts_with("\\PC") => {
+                    i += 3;
+                    (0x20..=0x7e).collect()
+                }
+                b'\\' if i + 1 < bytes.len() => {
+                    i += 2;
+                    vec![bytes[i - 1]]
+                }
+                b'(' | b')' | b'|' | b'{' | b'}' | b'*' | b'+' | b'?' => panic!(
+                    "pattern {pattern:?} uses syntax the proptest shim does not support \
+                     (groups/alternation); extend shims/proptest if a suite needs it"
+                ),
+                b => {
+                    i += 1;
+                    vec![b]
+                }
+            };
+            // Optional repetition suffix.
+            let (min, max) = if i < bytes.len() {
+                match bytes[i] {
+                    b'*' => {
+                        i += 1;
+                        (0, UNBOUNDED_CAP)
+                    }
+                    b'+' => {
+                        i += 1;
+                        (1, UNBOUNDED_CAP)
+                    }
+                    b'?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    b'{' => {
+                        let close = pattern[i..]
+                            .find('}')
+                            .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"))
+                            + i;
+                        let body = &pattern[i + 1..close];
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("repeat lower bound"),
+                                hi.trim().parse().expect("repeat upper bound"),
+                            ),
+                            None => {
+                                let n = body.trim().parse().expect("repeat count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "bad repetition {min}..{max} in pattern {pattern:?}");
+            atoms.push(Atom { choices, min, max });
+        }
+        atoms
+    }
+
+    pub fn sample_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = Vec::new();
+        for atom in parse(pattern) {
+            let n = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..n {
+                out.push(*atom.choices.choose(rng).expect("empty class in pattern"));
+            }
+        }
+        String::from_utf8(out).expect("patterns are ASCII")
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// A strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `size.start..size.end` elements of `element` per generated vector.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helper types (`prop::sample`).
+pub mod sample {
+    use super::*;
+
+    /// A position into a collection of as-yet-unknown length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects the index into `0..len`. Panics when `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut StdRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Namespace mirror of `proptest::prop`.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything a `proptest!`-style test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, boxed, prop, proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+        TestCaseError, Union,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof};
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn regression_seeds(path: &str, test_name: &str) -> Vec<u64> {
+    let Ok(contents) = std::fs::read_to_string(path) else { return Vec::new() };
+    contents
+        .lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let (name, seed) = line.split_once(char::is_whitespace)?;
+            (name == test_name).then(|| seed.trim().parse().ok())?
+        })
+        .collect()
+}
+
+/// Drives one `proptest!` test: replays the committed regression seeds for
+/// `test_name` from `regressions_path`, then runs `config.cases` (or
+/// `$PROPTEST_CASES`) deterministically derived fresh cases.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, regressions_path: &str, f: F)
+where
+    F: Fn(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let cases =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(config.cases);
+    let mut seeds = regression_seeds(regressions_path, test_name);
+    let base = fnv1a(test_name);
+    seeds.extend(
+        (0..cases as u64).map(|i| base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))),
+    );
+
+    for seed in seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        let failure = match outcome {
+            Ok(Ok(())) => None,
+            Ok(Err(e)) => Some(e.to_string()),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                Some(format!("panicked: {msg}"))
+            }
+        };
+        if let Some(msg) = failure {
+            panic!(
+                "proptest case failed: {msg}\n\
+                 test: {test_name}, seed: {seed}\n\
+                 To pin this case, add the line `{test_name} {seed}` to {regressions_path}"
+            );
+        }
+    }
+}
+
+/// Defines property tests. Mirrors proptest's macro of the same name for
+/// the subset grammar `fn name(arg in strategy, …) { body }`, with an
+/// optional `#![proptest_config(…)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            // `#[test]` arrives through `$meta`, exactly like real proptest.
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_config: $crate::ProptestConfig = $config;
+                $crate::run_cases(
+                    __proptest_config,
+                    stringify!($name),
+                    concat!(env!("CARGO_MANIFEST_DIR"), "/proptest-regressions/seeds.txt"),
+                    |__proptest_rng| {
+                        $(let $arg = $crate::Strategy::sample(&($strategy), __proptest_rng);)+
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// `assert_ne!` for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Skips the rest of the case when `cond` is false (no retry bookkeeping —
+/// the case simply passes, like a proptest rejection that never exhausts).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::run_cases;
+    use rand::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn string_pattern_respects_class_and_bounds(s in "[a-e]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()), "bad length {}", s.len());
+            prop_assert!(s.bytes().all(|b| (b'a'..=b'e').contains(&b)), "bad byte in {s:?}");
+        }
+
+        #[test]
+        fn vec_strategy_respects_bounds(v in prop::collection::vec(any::<u8>(), 1..8)) {
+            prop_assert!((1..8).contains(&v.len()));
+        }
+
+        #[test]
+        fn ranges_are_strategies(x in 3usize..9, idx in any::<prop::sample::Index>()) {
+            prop_assert!((3..9).contains(&x));
+            let i = idx.index(x);
+            prop_assert!(i < x);
+        }
+    }
+
+    #[test]
+    fn pattern_star_plus_opt_literal() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"ab?c*[0-9]+", &mut rng);
+            assert!(s.starts_with('a'), "{s:?}");
+            let rest = &s[1..];
+            let rest = rest.strip_prefix('b').unwrap_or(rest);
+            let digits = rest.trim_start_matches('c');
+            assert!(!digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed")]
+    fn failing_case_reports_seed() {
+        run_cases(ProptestConfig::with_cases(4), "always_fails", "/nonexistent", |_rng| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn regression_seed_file_parsing() {
+        let dir = std::env::temp_dir().join("sfa-proptest-shim-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("seeds.txt");
+        std::fs::write(&path, "# comment\nmy_test 123\nother_test 7\nmy_test 456\n").unwrap();
+        let seeds = super::regression_seeds(path.to_str().unwrap(), "my_test");
+        assert_eq!(seeds, vec![123, 456]);
+        assert_eq!(super::regression_seeds("/nonexistent", "my_test"), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,298 @@
+//! Workspace-local stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate, providing the small API subset the SFA workspace uses.
+//!
+//! The build environment has no access to crates.io, so this shim keeps the
+//! workspace self-contained. It is **not** cryptographically secure and not
+//! statistically rigorous — it exists to drive test-input generation and
+//! sampling, where determinism per seed is the property that matters.
+//!
+//! Implemented surface:
+//!
+//! * [`RngCore`] — `next_u32` / `next_u64` / `fill_bytes`,
+//! * [`Rng`] — `gen_range` over `Range` / `RangeInclusive` of the common
+//!   integer types, `gen_bool`,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`rngs::StdRng`] — an xoshiro256++ generator seeded via SplitMix64,
+//! * [`seq::SliceRandom`] — `choose` and `shuffle`,
+//! * a [`prelude`] re-exporting all of the above.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range. Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// High-level convenience methods on top of [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `0.0..=1.0`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 uniform mantissa bits, the same construction rand uses.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be created from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanded via SplitMix64.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++ seeded with
+    /// SplitMix64. Deterministic per seed, which is all the test and
+    /// workload generation code relies on.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> StdRng {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related random helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random selection and shuffling on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+/// The most commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(5..=5u32);
+            assert_eq!(y, 5);
+            let z = rng.gen_range(0..2u8);
+            assert!(z < 2);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((600..1400).contains(&heads), "suspicious coin: {heads}/2000");
+    }
+
+    #[test]
+    fn fill_bytes_fills_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut buf = [0u8; 37];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let items = [1, 2, 3, 4, 5];
+        for _ in 0..50 {
+            assert!(items.contains(items.choose(&mut rng).unwrap()));
+        }
+        assert_eq!([0u8; 0].choose(&mut rng), None);
+        let mut v: Vec<u32> = (0..100).collect();
+        let orig = v.clone();
+        v.shuffle(&mut rng);
+        assert_ne!(v, orig, "100 elements should not shuffle to identity");
+        v.sort_unstable();
+        assert_eq!(v, orig);
+    }
+}

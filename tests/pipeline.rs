@@ -54,10 +54,7 @@ fn snort_like_corpus_compiles_and_matches_consistently() {
     });
     let mut built = 0;
     for pattern in &rules {
-        let Ok(re) = Regex::builder()
-            .max_dfa_states(1000)
-            .max_sfa_states(100_000)
-            .build(pattern)
+        let Ok(re) = Regex::builder().max_dfa_states(1000).max_sfa_states(100_000).build(pattern)
         else {
             continue;
         };
@@ -81,10 +78,7 @@ fn rand_seed(n: usize) -> impl rand::Rng {
 
 #[test]
 fn contains_semantics_parallel_consistency() {
-    let re = Regex::builder()
-        .mode(MatchMode::Contains)
-        .build("needle[0-9]{3}")
-        .unwrap();
+    let re = Regex::builder().mode(MatchMode::Contains).build("needle[0-9]{3}").unwrap();
     let mut haystack = vec![b'x'; 100_000];
     assert!(!re.is_match_parallel(&haystack, 8, Reduction::Sequential));
     // Plant a match straddling a chunk boundary (Theorem 3: any split
@@ -120,10 +114,7 @@ fn explosion_families_behave_as_in_section_vii() {
     let sfa_ = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
     assert_eq!(sfa_.num_states(), 28);
     // Syntactic complexity equals the SFA size for the running example.
-    assert_eq!(
-        sfa::monoid::syntactic_complexity("(ab)*", 1000).unwrap(),
-        Some(6)
-    );
+    assert_eq!(sfa::monoid::syntactic_complexity("(ab)*", 1000).unwrap(), Some(6));
 }
 
 #[test]
