@@ -18,7 +18,10 @@ fn benches(c: &mut Criterion) {
         });
         let dfa = sfa_automata::minimal_dfa_from_pattern(&pattern).unwrap();
         group.bench_with_input(BenchmarkId::new("dsfa", n), &dfa, |b, dfa| {
-            b.iter(|| DSfa::from_dfa(dfa, &SfaConfig { max_states: 2_000_000 }).unwrap())
+            b.iter(|| {
+                DSfa::from_dfa(dfa, &SfaConfig { max_states: 2_000_000, ..SfaConfig::default() })
+                    .unwrap()
+            })
         });
     }
     group.finish();

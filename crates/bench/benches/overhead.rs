@@ -2,13 +2,16 @@
 //! on small inputs (the thread-creation/reduction overhead crossover).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sfa_matcher::{ParallelSfaMatcher, Reduction, Regex};
+use sfa_matcher::{Engine, ParallelSfaMatcher, Reduction, Regex};
 use sfa_workloads::{fig10_pattern, fig10_text};
 use std::time::Duration;
 
 fn benches(c: &mut Criterion) {
     let re = Regex::new(fig10_pattern()).unwrap();
-    let matcher = ParallelSfaMatcher::new(re.sfa());
+    // A dedicated 2-worker pool so the series really measures 2-way
+    // chunking regardless of the machine's CPU count (the global engine
+    // would cap the chunk count at available_parallelism).
+    let matcher = ParallelSfaMatcher::with_engine(re.sfa(), Engine::new(2));
     let mut group = c.benchmark_group("fig10_small_inputs");
     group.sample_size(20);
     group.warm_up_time(Duration::from_millis(200));

@@ -3,7 +3,7 @@
 //! family, swept over thread counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sfa_matcher::{ParallelSfaMatcher, Reduction, Regex};
+use sfa_matcher::{Engine, ParallelSfaMatcher, Reduction, Regex};
 use sfa_workloads::{repeated_a_text, rn_or_a_pattern, rn_pattern, rn_text};
 use std::time::Duration;
 
@@ -13,7 +13,6 @@ fn bench_family(c: &mut Criterion, figure: &str, n: usize, repeated_a: bool) {
     let pattern = if repeated_a { rn_or_a_pattern(n) } else { rn_pattern(n) };
     let re = Regex::builder().max_sfa_states(2_000_000).build(&pattern).unwrap();
     let text = if repeated_a { repeated_a_text(INPUT_LEN) } else { rn_text(n, INPUT_LEN, 0x5FA) };
-    let matcher = ParallelSfaMatcher::new(re.sfa());
 
     let mut group = c.benchmark_group(figure);
     group.throughput(Throughput::Bytes(text.len() as u64));
@@ -23,6 +22,9 @@ fn bench_family(c: &mut Criterion, figure: &str, n: usize, repeated_a: bool) {
 
     group.bench_function("dfa_sequential", |b| b.iter(|| assert!(re.is_match_sequential(&text))));
     for threads in [1usize, 2, 4] {
+        // A dedicated pool per sweep point so the scan really runs on
+        // `threads` workers regardless of the machine's CPU count.
+        let matcher = ParallelSfaMatcher::with_engine(re.sfa(), Engine::new(threads));
         group.bench_with_input(
             BenchmarkId::new("sfa_parallel", threads),
             &threads,

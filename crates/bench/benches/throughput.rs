@@ -1,0 +1,156 @@
+//! Throughput of repeated `is_match` calls — the server workload that
+//! motivated the persistent pool engine.
+//!
+//! Measures matches/sec at 1 KB / 64 KB / 4 MB inputs across 1–16 workers,
+//! comparing three executions of Algorithm 5:
+//!
+//! * `pool`  — the persistent worker-pool [`Engine`] (long-lived threads
+//!   parked on a condvar; tiny inputs run inline),
+//! * `spawn` — the old executor's behavior, reproduced here as a baseline:
+//!   one fresh scoped OS thread per chunk on **every call**,
+//! * `dfa_sequential` — Algorithm 2 as the single-thread reference.
+//!
+//! Two acceptance checks run alongside the timings: the pool must beat the
+//! thread-per-call baseline by ≥ 5× on 1 KB inputs at 8 workers, and the
+//! `/proc`-observed thread count must stay constant across 10 000
+//! `is_match` calls.
+//!
+//! `SFA_BENCH_SMOKE=1` shrinks everything to a single iteration so CI can
+//! run the bench as a smoke test.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sfa_matcher::{split_chunks, Engine, Reduction, Regex};
+use std::time::{Duration, Instant};
+
+const KB: usize = 1024;
+const PATTERN: &str = "([0-4]{2}[5-9]{2})*";
+const WORKER_SWEEP: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn smoke() -> bool {
+    std::env::var_os("SFA_BENCH_SMOKE").is_some()
+}
+
+fn accepted_text(len: usize) -> Vec<u8> {
+    let mut text = b"00550459".repeat(len / 8 + 1);
+    text.truncate(len & !7); // keep a multiple of the period → accepted
+    text
+}
+
+/// The pre-pool executor, kept as the measurement baseline: split, spawn
+/// one scoped OS thread per chunk, join, reduce sequentially.
+fn spawn_per_call_is_match(re: &Regex, input: &[u8], threads: usize) -> bool {
+    let sfa = re.sfa();
+    let chunks = split_chunks(input, threads);
+    let partials: Vec<_> = if chunks.len() <= 1 {
+        chunks.into_iter().map(|c| sfa.run(c)).collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                chunks.into_iter().map(|c| scope.spawn(move || sfa.run(c))).collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+    };
+    let mut q = sfa.dfa_start();
+    for &f in &partials {
+        q = sfa.mapping(f).apply(q);
+    }
+    sfa.dfa_is_accepting(q)
+}
+
+fn bench_input_size(c: &mut Criterion, re: &Regex, engines: &[Engine], len: usize, label: &str) {
+    let text = accepted_text(len);
+    let mut group = c.benchmark_group(format!("throughput_{label}"));
+    group.throughput(Throughput::Elements(1)); // elem/s == matches/sec
+    if smoke() {
+        group.sample_size(1);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+    } else {
+        group.sample_size(20);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(800));
+    }
+
+    group.bench_function("dfa_sequential", |b| b.iter(|| assert!(re.is_match_sequential(&text))));
+    for (engine, &workers) in engines.iter().zip(WORKER_SWEEP.iter()) {
+        let matcher = sfa_matcher::ParallelSfaMatcher::with_engine(re.sfa(), engine.clone());
+        group.bench_with_input(BenchmarkId::new("pool", workers), &workers, |b, &w| {
+            b.iter(|| assert!(matcher.accepts(&text, w, Reduction::Sequential)))
+        });
+        group.bench_with_input(BenchmarkId::new("spawn", workers), &workers, |b, &w| {
+            b.iter(|| assert!(spawn_per_call_is_match(re, &text, w)))
+        });
+    }
+    group.finish();
+}
+
+/// Times `calls` repetitions of `f` and returns calls per second.
+fn rate(calls: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..calls {
+        f();
+    }
+    calls as f64 / start.elapsed().as_secs_f64().max(1e-12)
+}
+
+/// Acceptance check: at 1 KB inputs and 8 requested workers, the pool
+/// engine must deliver ≥ 5× the matches/sec of the thread-per-call
+/// baseline (it avoids 8 thread spawns per call).
+fn acceptance_small_input_speedup(c: &mut Criterion) {
+    let _ = &c;
+    let engine = Engine::new(8);
+    let re = Regex::builder().engine(engine).threads(8).build(PATTERN).unwrap();
+    let text = accepted_text(KB);
+    let (pool_calls, spawn_calls) = if smoke() { (200, 20) } else { (20_000, 2_000) };
+    // Warm both paths (pool creation, allocator).
+    assert!(re.is_match(&text));
+    assert!(spawn_per_call_is_match(&re, &text, 8));
+    let pool_rate = rate(pool_calls, || assert!(re.is_match(&text)));
+    let spawn_rate = rate(spawn_calls, || assert!(spawn_per_call_is_match(&re, &text, 8)));
+    let speedup = pool_rate / spawn_rate;
+    println!(
+        "acceptance/1kb_8workers: pool {pool_rate:.0} matches/s, \
+         spawn-per-call {spawn_rate:.0} matches/s, speedup {speedup:.1}x\n"
+    );
+    if !smoke() {
+        assert!(speedup >= 5.0, "pool must be ≥5x the thread-per-call baseline, got {speedup:.1}x");
+    }
+}
+
+fn proc_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status.lines().find_map(|l| l.strip_prefix("Threads:")).and_then(|v| v.trim().parse().ok())
+}
+
+/// Acceptance check: the process thread count stays constant across 10 000
+/// `is_match` calls — the pool is created once and only ever reused.
+fn acceptance_constant_thread_count(c: &mut Criterion) {
+    let _ = &c;
+    let re = Regex::builder().engine(Engine::new(8)).threads(8).build(PATTERN).unwrap();
+    let text = accepted_text(64 * KB); // large enough to engage the pool
+    assert!(re.is_match(&text)); // materialize the pool
+    let Some(before) = proc_thread_count() else {
+        println!("acceptance/thread_count: /proc unavailable, skipped\n");
+        return;
+    };
+    let calls = if smoke() { 500 } else { 10_000 };
+    for _ in 0..calls {
+        assert!(re.is_match(&text));
+    }
+    let after = proc_thread_count().expect("/proc vanished mid-run");
+    println!("acceptance/thread_count: {before} before, {after} after {calls} is_match calls\n");
+    assert_eq!(before, after, "thread count must not grow with is_match calls");
+}
+
+fn benches(c: &mut Criterion) {
+    let engines: Vec<Engine> = WORKER_SWEEP.iter().map(|&w| Engine::new(w)).collect();
+    let re = Regex::new(PATTERN).unwrap();
+    for (len, label) in [(KB, "1kb"), (64 * KB, "64kb"), (4 * KB * KB, "4mb")] {
+        bench_input_size(c, &re, &engines, len, label);
+    }
+    acceptance_small_input_speedup(c);
+    acceptance_constant_thread_count(c);
+}
+
+criterion_group!(throughput, benches);
+criterion_main!(throughput);

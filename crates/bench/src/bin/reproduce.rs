@@ -183,7 +183,10 @@ fn table2() {
         let pattern = workloads::rn_pattern(n);
         let nfa = sfa_automata::Nfa::from_pattern(&pattern).unwrap();
         let re = Regex::new(&pattern).unwrap();
-        let nsfa = sfa_core::NSfa::from_nfa(&nfa, &SfaConfig { max_states: 2_000_000 });
+        let nsfa = sfa_core::NSfa::from_nfa(
+            &nfa,
+            &SfaConfig { max_states: 2_000_000, ..SfaConfig::default() },
+        );
         println!(
             "{:>6} {:>10} {:>10} {:>10} {:>12}",
             n,
@@ -224,8 +227,11 @@ fn scalability_figure(name: &str, n: usize, fig9_repeated_a: bool) {
     });
     println!("{:>8} {:>14} {:>14}", "threads", "DFA seq GB/s", "SFA par GB/s");
     println!("{:>8} {:>14.3} {:>14}", 1, seq.gb_per_sec(), "-");
-    let matcher = ParallelSfaMatcher::new(re.sfa());
     for threads in thread_sweep().into_iter().filter(|&t| t > 1) {
+        // A dedicated pool per sweep point so the scan really runs on
+        // `threads` workers (the shared global engine caps the chunk
+        // count at the machine's CPU count).
+        let matcher = ParallelSfaMatcher::with_engine(re.sfa(), sfa_matcher::Engine::new(threads));
         let par = measure(text.len(), runs, || {
             assert!(re.dfa().is_accepting(matcher.run(&text, threads, Reduction::Sequential)));
         });
@@ -273,7 +279,9 @@ fn table3() {
         let dfa = sfa_automata::minimal_dfa_from_pattern(&pattern).unwrap();
         let dfa_time = t0.elapsed();
         let t1 = Instant::now();
-        let sfa = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 2_000_000 }).unwrap();
+        let sfa =
+            DSfa::from_dfa(&dfa, &SfaConfig { max_states: 2_000_000, ..SfaConfig::default() })
+                .unwrap();
         let sfa_time = t1.elapsed();
         println!(
             "{:>6} {:>12.4} {:>10} {:>14.4} {:>12}",

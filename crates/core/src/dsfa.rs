@@ -24,6 +24,17 @@ pub struct DSfa {
     classes: ByteClasses,
     stride: usize,
     table: Vec<SfaStateId>,
+    /// Premultiplied dense `256 × |S_d|` byte→state table (row `s` holds
+    /// the successor of `s` for every raw byte value), built when
+    /// [`SfaConfig::premultiply`] is set and the table fits the size
+    /// ceiling. Fuses the `class_of` indirection out of the hot loop.
+    byte_table: Option<Box<[SfaStateId]>>,
+    /// `sink[s]` is true when every transition of `s` loops back to `s` —
+    /// once reached, the mapping can never change again, so a chunk run may
+    /// stop early (the constant/synchronizing-word early exit: the all-dead
+    /// mapping is always a sink, and in `Contains` mode so is the
+    /// constant-to-accepting mapping).
+    sink: Box<[bool]>,
     accepting: Vec<bool>,
     mappings: Vec<Transformation>,
     dfa_start: StateId,
@@ -85,10 +96,35 @@ impl DSfa {
         let dfa_start = dfa.start();
         let accepting = mappings.iter().map(|f| dfa.is_accepting(f.apply(dfa_start))).collect();
 
+        let num_states = mappings.len();
+        let sink: Box<[bool]> = (0..num_states)
+            .map(|s| (0..stride).all(|c| table[s * stride + c] == s as SfaStateId))
+            .collect();
+
+        let classes = dfa.classes().clone();
+        let byte_table = if config.premultiply
+            && num_states.saturating_mul(256).saturating_mul(std::mem::size_of::<SfaStateId>())
+                <= SfaConfig::PREMULTIPLY_MAX_BYTES
+        {
+            let mut dense = vec![0 as SfaStateId; num_states * 256];
+            for s in 0..num_states {
+                let row = &table[s * stride..(s + 1) * stride];
+                let dense_row = &mut dense[s * 256..(s + 1) * 256];
+                for (byte, slot) in dense_row.iter_mut().enumerate() {
+                    *slot = row[classes.class_of(byte as u8) as usize];
+                }
+            }
+            Some(dense.into_boxed_slice())
+        } else {
+            None
+        };
+
         Ok(DSfa {
-            classes: dfa.classes().clone(),
+            classes,
             stride,
             table,
+            byte_table,
+            sink,
             accepting,
             mappings,
             dfa_start,
@@ -167,7 +203,27 @@ impl DSfa {
     /// Transition on a byte — one table lookup, exactly like the DFA.
     #[inline]
     pub fn next_state(&self, state: SfaStateId, byte: u8) -> SfaStateId {
-        self.next_by_class(state, self.classes.class_of(byte))
+        if let Some(bt) = &self.byte_table {
+            bt[state as usize * 256 + byte as usize]
+        } else {
+            self.next_by_class(state, self.classes.class_of(byte))
+        }
+    }
+
+    /// True when the premultiplied dense byte table was built (see
+    /// [`SfaConfig::premultiply`]).
+    #[inline]
+    pub fn premultiplied(&self) -> bool {
+        self.byte_table.is_some()
+    }
+
+    /// True when every transition of `state` loops back to itself: the
+    /// mapping carried by the state can never change again, whatever input
+    /// follows. [`DSfa::run_from`] stops as soon as it reaches such a
+    /// state.
+    #[inline]
+    pub fn is_sink(&self, state: SfaStateId) -> bool {
+        self.sink[state as usize]
     }
 
     /// Runs the SFA over `input` starting from the identity state.
@@ -178,10 +234,42 @@ impl DSfa {
     /// Runs the SFA over `input` from an arbitrary state (each worker of
     /// Algorithm 5 calls this on its chunk, always starting from the
     /// identity state).
+    ///
+    /// Two hot-loop refinements over the naive walk:
+    /// * with a premultiplied table the per-byte step is a single dense
+    ///   lookup, no `class_of` indirection;
+    /// * reaching a sink state (a constant mapping that can no longer
+    ///   change, e.g. the all-dead mapping after a synchronizing word)
+    ///   stops the scan early — the remaining bytes cannot alter the
+    ///   result. A sink can only ever be entered, never left, so the
+    ///   `sink` bitmap is consulted only when the state changes; the
+    ///   common self-looping byte costs just the lookup and a register
+    ///   compare.
     pub fn run_from(&self, state: SfaStateId, input: &[u8]) -> SfaStateId {
         let mut f = state;
-        for &b in input {
-            f = self.next_state(f, b);
+        if self.sink[f as usize] {
+            return f;
+        }
+        if let Some(bt) = &self.byte_table {
+            for &b in input {
+                let next = bt[f as usize * 256 + b as usize];
+                if next != f {
+                    f = next;
+                    if self.sink[f as usize] {
+                        return f;
+                    }
+                }
+            }
+        } else {
+            for &b in input {
+                let next = self.next_by_class(f, self.classes.class_of(b));
+                if next != f {
+                    f = next;
+                    if self.sink[f as usize] {
+                        return f;
+                    }
+                }
+            }
         }
         f
     }
@@ -206,9 +294,15 @@ impl DSfa {
         self.mappings.iter().position(|m| m == mapping).map(|i| i as SfaStateId)
     }
 
-    /// Bytes occupied by the transition table.
+    /// Bytes occupied by the (class-compressed) transition table.
     pub fn table_bytes(&self) -> usize {
         self.table.len() * std::mem::size_of::<SfaStateId>()
+    }
+
+    /// Bytes occupied by the premultiplied dense byte table (0 when it was
+    /// not built).
+    pub fn byte_table_bytes(&self) -> usize {
+        self.byte_table.as_ref().map_or(0, |t| t.len() * std::mem::size_of::<SfaStateId>())
     }
 
     /// Bytes occupied by the state mappings (needed by the reduction step).
@@ -334,7 +428,8 @@ mod tests {
     #[test]
     fn state_limit_enforced() {
         let dfa = minimal_dfa_from_pattern("([0-4]{5}[5-9]{5})*").unwrap();
-        let err = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 50 }).unwrap_err();
+        let err = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 50, ..SfaConfig::default() })
+            .unwrap_err();
         assert_eq!(err, CompileError::TooManyStates { limit: 50 });
     }
 
@@ -352,6 +447,56 @@ mod tests {
         let (_, sfa) = dsfa("(ab)*");
         assert_eq!(sfa.table_bytes(), sfa.num_states() * sfa.num_classes() * 4);
         assert_eq!(sfa.mapping_bytes(), sfa.num_states() * sfa.num_dfa_states() * 4);
+    }
+
+    #[test]
+    fn premultiplied_table_agrees_with_class_rows() {
+        let dfa = minimal_dfa_from_pattern("(a|b)*abb").unwrap();
+        let fast = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        let slow = DSfa::from_dfa(&dfa, &SfaConfig { premultiply: false, ..SfaConfig::default() })
+            .unwrap();
+        assert!(fast.premultiplied());
+        assert!(!slow.premultiplied());
+        assert_eq!(fast.byte_table_bytes(), fast.num_states() * 256 * 4);
+        assert_eq!(slow.byte_table_bytes(), 0);
+        // Every single-byte step agrees between the dense and the
+        // class-compressed layout.
+        for s in 0..fast.num_states() as SfaStateId {
+            for byte in 0..=255u8 {
+                assert_eq!(fast.next_state(s, byte), slow.next_state(s, byte));
+            }
+        }
+        for input in [&b""[..], b"abb", b"aababb", b"zzz", b"abba"] {
+            assert_eq!(fast.run(input), slow.run(input));
+            assert_eq!(fast.accepts(input), dfa.accepts(input));
+        }
+    }
+
+    #[test]
+    fn sink_states_are_constant_and_absorbing() {
+        let (_, sfa) = dsfa("(ab)*");
+        let mut sinks = 0;
+        for s in 0..sfa.num_states() as SfaStateId {
+            if sfa.is_sink(s) {
+                sinks += 1;
+                // A sink's mapping is constant and survives any further byte.
+                assert!(sfa.mapping(s).is_constant());
+                for byte in [b'a', b'b', b'z'] {
+                    assert_eq!(sfa.next_state(s, byte), s);
+                }
+            }
+        }
+        // (ab)* has exactly one sink: the all-dead mapping (reached e.g.
+        // after the synchronizing word "aa").
+        assert_eq!(sinks, 1);
+        let dead = sfa.run(b"aa");
+        assert!(sfa.is_sink(dead));
+        // The early exit must not change the result: a long tail after the
+        // synchronizing word still lands in the same state.
+        let mut long = b"aa".to_vec();
+        long.resize(long.len() + 10_000, b'a');
+        assert_eq!(sfa.run(&long), dead);
+        assert!(!sfa.accepts(&long));
     }
 
     #[test]

@@ -191,7 +191,7 @@ mod tests {
     #[test]
     fn lazy_state_limit() {
         let dfa = sfa_automata::minimal_dfa_from_pattern("([0-4]{3}[5-9]{3})*").unwrap();
-        let lazy = LazyDSfa::new(dfa, SfaConfig { max_states: 3 });
+        let lazy = LazyDSfa::new(dfa, SfaConfig { max_states: 3, ..SfaConfig::default() });
         let err = lazy.run(b"0123456789012345").unwrap_err();
         assert_eq!(err, CompileError::TooManyStates { limit: 3 });
     }

@@ -59,11 +59,31 @@ pub struct SfaConfig {
     /// the paper's evaluation (`r_500`, with 1 000 999 states, needs the
     /// limit raised explicitly — the benchmark harness does so).
     pub max_states: usize,
+    /// Build a premultiplied dense `256 × |S_d|` byte→state transition
+    /// table at construction time, fusing the byte-class indirection out of
+    /// the hot matching loop (one true table lookup per byte, exactly the
+    /// paper's fixed-row layout). Costs `256 × |S_d| × 4` bytes of extra
+    /// memory on top of the class-compressed rows, so it is skipped —
+    /// regardless of this flag — once that table would exceed
+    /// [`SfaConfig::PREMULTIPLY_MAX_BYTES`]. Memory-constrained builds can
+    /// set this to `false` to keep class rows only.
+    ///
+    /// Only [`DSfa`] consumes this flag; [`LazyDSfa`] (which materializes
+    /// states on demand) and [`NSfa`] (whose states are correspondences,
+    /// not table rows) ignore it.
+    pub premultiply: bool,
+}
+
+impl SfaConfig {
+    /// Hard ceiling on the premultiplied table size (64 MiB, i.e. 65 536
+    /// SFA states): beyond this the dense table is not built even when
+    /// [`SfaConfig::premultiply`] is set.
+    pub const PREMULTIPLY_MAX_BYTES: usize = 64 << 20;
 }
 
 impl Default for SfaConfig {
     fn default() -> Self {
-        SfaConfig { max_states: 1_000_000 }
+        SfaConfig { max_states: 1_000_000, premultiply: true }
     }
 }
 
@@ -104,7 +124,7 @@ mod proptests {
         #[test]
         fn dsfa_equivalent_to_dfa(seed in any::<u64>()) {
             let Some(dfa) = random_small_dfa(seed) else { return Ok(()) };
-            let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 200_000 }) else { return Ok(()) };
+            let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 200_000, ..SfaConfig::default() }) else { return Ok(()) };
             prop_assert!(equivalent(&dfa, &sfa.as_dfa()));
         }
 
@@ -113,7 +133,7 @@ mod proptests {
         #[test]
         fn any_split_composes_to_whole(seed in any::<u64>(), input in "[a-d]{0,30}", cut in any::<prop::sample::Index>()) {
             let Some(dfa) = random_small_dfa(seed) else { return Ok(()) };
-            let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 200_000 }) else { return Ok(()) };
+            let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 200_000, ..SfaConfig::default() }) else { return Ok(()) };
             let bytes = input.as_bytes();
             let cut = cut.index(bytes.len() + 1).min(bytes.len());
             let (w1, w2) = bytes.split_at(cut);
@@ -133,8 +153,8 @@ mod proptests {
         #[test]
         fn lazy_agrees_with_eager(seed in any::<u64>(), inputs in prop::collection::vec("[a-d]{0,16}", 1..6)) {
             let Some(dfa) = random_small_dfa(seed) else { return Ok(()) };
-            let Ok(eager) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 200_000 }) else { return Ok(()) };
-            let lazy = LazyDSfa::new(dfa.clone(), SfaConfig { max_states: 200_000 });
+            let Ok(eager) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 200_000, ..SfaConfig::default() }) else { return Ok(()) };
+            let lazy = LazyDSfa::new(dfa.clone(), SfaConfig { max_states: 200_000, ..SfaConfig::default() });
             for input in &inputs {
                 prop_assert_eq!(eager.accepts(input.as_bytes()), lazy.accepts(input.as_bytes()).unwrap());
             }
@@ -148,7 +168,7 @@ mod proptests {
             let mut rng = StdRng::seed_from_u64(seed);
             let ast = small_generator().generate(&mut rng);
             let Ok(nfa) = Nfa::from_ast(&ast) else { return Ok(()) };
-            let Ok(nsfa) = NSfa::from_nfa(&nfa, &SfaConfig { max_states: 50_000 }) else { return Ok(()) };
+            let Ok(nsfa) = NSfa::from_nfa(&nfa, &SfaConfig { max_states: 50_000, ..SfaConfig::default() }) else { return Ok(()) };
             for input in &inputs {
                 prop_assert_eq!(nfa.accepts(input.as_bytes()), nsfa.accepts(input.as_bytes()));
             }

@@ -286,7 +286,8 @@ mod tests {
     #[test]
     fn state_limit_enforced() {
         let nfa = Nfa::from_pattern("(a|b)*a(a|b){6}").unwrap();
-        let err = NSfa::from_nfa(&nfa, &SfaConfig { max_states: 10 }).unwrap_err();
+        let err = NSfa::from_nfa(&nfa, &SfaConfig { max_states: 10, ..SfaConfig::default() })
+            .unwrap_err();
         assert_eq!(err, CompileError::TooManyStates { limit: 10 });
     }
 

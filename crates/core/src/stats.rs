@@ -93,7 +93,13 @@ impl GrowthClass {
 impl SizeReport {
     /// Serializes the report to a single-line JSON object. (Hand-rolled —
     /// the build environment vendors no serde.)
+    ///
+    /// A non-finite `ratio` (`NaN`/`±inf` — `{}` would format those bare,
+    /// which is invalid JSON) is serialized as `null`;
+    /// [`SizeReport::from_json`] reads `null` back as `NaN`.
     pub fn to_json(&self) -> String {
+        let ratio =
+            if self.ratio.is_finite() { self.ratio.to_string() } else { "null".to_string() };
         format!(
             concat!(
                 "{{\"dfa_states\":{},\"dfa_live_states\":{},\"sfa_states\":{},",
@@ -107,7 +113,7 @@ impl SizeReport {
             self.dfa_table_bytes,
             self.sfa_table_bytes,
             self.sfa_mapping_bytes,
-            self.ratio,
+            ratio,
             self.growth.as_str(),
         )
     }
@@ -130,7 +136,10 @@ impl SizeReport {
             dfa_table_bytes: field(json, "dfa_table_bytes")?.parse().ok()?,
             sfa_table_bytes: field(json, "sfa_table_bytes")?.parse().ok()?,
             sfa_mapping_bytes: field(json, "sfa_mapping_bytes")?.parse().ok()?,
-            ratio: field(json, "ratio")?.parse().ok()?,
+            ratio: match field(json, "ratio")? {
+                "null" => f64::NAN,
+                s => s.parse().ok()?,
+            },
             growth: GrowthClass::parse(field(json, "growth")?.trim_matches('"'))?,
         })
     }
@@ -224,5 +233,24 @@ mod tests {
         assert!((back.ratio - r.ratio).abs() < 1e-12);
         assert!(SizeReport::from_json("{}").is_none());
         assert!(SizeReport::from_json("{\"dfa_states\":oops}").is_none());
+    }
+
+    #[test]
+    fn non_finite_ratio_round_trips_as_null() {
+        let mut r = report("(ab)*");
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            r.ratio = bad;
+            let json = r.to_json();
+            assert!(json.contains("\"ratio\":null"), "{json}");
+            // Still valid JSON: no bare NaN/inf tokens anywhere.
+            assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+            let back = SizeReport::from_json(&json).expect("null ratio must parse");
+            assert!(back.ratio.is_nan(), "non-finite ratios read back as NaN");
+            assert_eq!(back.sfa_states, r.sfa_states);
+        }
+        // Finite ratios are unaffected.
+        r.ratio = 2.5;
+        let back = SizeReport::from_json(&r.to_json()).unwrap();
+        assert!((back.ratio - 2.5).abs() < 1e-12);
     }
 }

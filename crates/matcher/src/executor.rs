@@ -1,12 +1,25 @@
-//! A tiny fork/join executor over scoped OS threads.
+//! Free-function façade over the [global engine](crate::pool::Engine::global).
 //!
-//! The paper's matcher uses `p` long-lived pthreads with one contiguous
-//! chunk each; `std::thread::scope` gives us the same execution model with
-//! compile-time data-race freedom. The executor also provides the pairwise
-//! tree combine used by the "parallel reduction" variants of Algorithm 3
-//! and Algorithm 5.
+//! Historically this module *was* the executor: a fork/join layer that
+//! spawned one scoped OS thread per chunk on every call. That per-call
+//! spawning was the crate's worst scalability bug — a server calling
+//! `is_match` millions of times paid thread-creation latency dwarfing the
+//! matching itself — so the execution model now lives in [`crate::pool`]:
+//! a persistent worker pool matching the paper's long-lived-pthreads
+//! design. These functions keep the old call shape and simply run on the
+//! shared global pool; code that wants its own pool size or lifecycle uses
+//! [`Engine`](crate::pool::Engine) directly.
+//!
+//! One behavioral difference from the fork/join era: concurrency is now
+//! bounded at the pool's worker count plus the calling thread, not one
+//! thread per item. Closures must therefore not block on one another
+//! (e.g. item 0 waiting on a channel fed by item k) — with more items
+//! than workers, the unblocking item may still be queued. Chunk matching
+//! never does this; independent, compute-only items are the contract.
 
-/// Runs `work` over every item of `items` — one thread per item when
+use crate::pool::Engine;
+
+/// Runs `work` over every item of `items` — on the global worker pool when
 /// `parallel` is true, on the calling thread otherwise — and returns the
 /// results in item order.
 pub fn map_chunks<T, R, F>(items: Vec<T>, parallel: bool, work: F) -> Vec<R>
@@ -15,53 +28,21 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    if !parallel || items.len() <= 1 {
-        return items.into_iter().enumerate().map(|(i, item)| work(i, item)).collect();
-    }
-    let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
-    results.resize_with(items.len(), || None);
-    std::thread::scope(|scope| {
-        let work = &work;
-        let mut handles = Vec::with_capacity(items.len());
-        for (i, item) in items.into_iter().enumerate() {
-            handles.push(scope.spawn(move || (i, work(i, item))));
-        }
-        for handle in handles {
-            let (i, r) = handle.join().expect("worker thread panicked");
-            results[i] = Some(r);
-        }
-    });
-    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    Engine::global().map_chunks(items, parallel, work)
 }
 
 /// Tree (logarithmic-depth) reduction with an associative operator.
 ///
-/// Each round combines adjacent pairs; rounds run their pair combinations on
-/// separate threads when `parallel` is true. This is the `O(c · log p)`
-/// reduction of Table II, where `c` is the cost of one composition.
-pub fn tree_reduce<T, F>(mut values: Vec<T>, parallel: bool, combine: F) -> Option<T>
+/// Each round combines adjacent pairs; rounds run their pair combinations
+/// on the global worker pool when `parallel` is true. This is the
+/// `O(c · log p)` reduction of Table II, where `c` is the cost of one
+/// composition.
+pub fn tree_reduce<T, F>(values: Vec<T>, parallel: bool, combine: F) -> Option<T>
 where
     T: Send,
     F: Fn(&T, &T) -> T + Sync,
 {
-    if values.is_empty() {
-        return None;
-    }
-    while values.len() > 1 {
-        let pairs: Vec<(T, Option<T>)> = {
-            let mut it = values.into_iter();
-            let mut pairs = Vec::new();
-            while let Some(a) = it.next() {
-                pairs.push((a, it.next()));
-            }
-            pairs
-        };
-        values = map_chunks(pairs, parallel, |_, (a, b)| match b {
-            Some(b) => combine(&a, &b),
-            None => a,
-        });
-    }
-    values.pop()
+    Engine::global().tree_reduce(values, parallel, combine)
 }
 
 #[cfg(test)]

@@ -16,6 +16,16 @@
 //! plus the chunking and reduction machinery they share and a high-level
 //! [`Regex`] / [`RegexSet`] front end.
 //!
+//! ## Execution model
+//!
+//! Parallel matching runs on a persistent worker pool (the
+//! [`pool::Engine`]): `p` long-lived threads parked on a condvar — the
+//! paper's pthread model — created once and reused for every call, so a
+//! server issuing millions of `is_match` calls keeps a constant thread
+//! count. A `threads` argument caps the number of chunks (itself capped at
+//! the pool's worker count); it never spawns threads. Inputs too small to
+//! amortize the pool hand-off run inline on the calling thread.
+//!
 //! ## Example
 //!
 //! ```
@@ -28,17 +38,21 @@
 //! ```
 
 #![deny(missing_docs)]
-#![forbid(unsafe_code)]
+// The only unsafe code in the crate is the scoped-job lifetime erasure in
+// `pool` (see the safety comment there); everything else stays checked.
+#![deny(unsafe_code)]
 
 pub mod chunk;
 pub mod executor;
 pub mod parallel;
+pub mod pool;
 pub mod regex;
 pub mod speculative;
 
 pub use chunk::{split_chunks, split_chunks_with_offsets};
 pub use executor::{map_chunks, tree_reduce};
 pub use parallel::{ParallelNSfaMatcher, ParallelSfaMatcher};
+pub use pool::{ChunkPlan, Engine, WorkerPool, MIN_POOL_CHUNK_BYTES};
 pub use regex::{default_threads, MatchMode, Regex, RegexBuilder, RegexSet};
 pub use speculative::SpeculativeDfaMatcher;
 
@@ -92,7 +106,7 @@ mod proptests {
             let Ok(nfa) = Nfa::from_ast(&ast) else { return Ok(()) };
             let Ok(dfa) = determinize(&nfa, &DfaConfig { max_states: 400, ..Default::default() }) else { return Ok(()) };
             let dfa = minimize(&dfa);
-            let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 100_000 }) else { return Ok(()) };
+            let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 100_000, ..SfaConfig::default() }) else { return Ok(()) };
 
             let expected = dfa.accepts(input.as_bytes());
             let spec = SpeculativeDfaMatcher::new(&dfa);
@@ -100,6 +114,41 @@ mod proptests {
             for reduction in [Reduction::Sequential, Reduction::Tree] {
                 prop_assert_eq!(spec.accepts(input.as_bytes(), threads, reduction), expected);
                 prop_assert_eq!(par.accepts(input.as_bytes(), threads, reduction), expected);
+            }
+        }
+
+        /// Pool-based execution agrees with inline execution for random
+        /// patterns and inputs: the same chunk batch, mapped through a
+        /// multi-worker pool and through the calling thread, produces
+        /// identical partial states and identical verdicts.
+        #[test]
+        fn pool_and_inline_execution_agree(
+            seed in any::<u64>(),
+            input in "[a-c]{0,200}",
+            chunks in 1usize..7,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ast = small_generator().generate(&mut rng);
+            let Ok(nfa) = Nfa::from_ast(&ast) else { return Ok(()) };
+            let Ok(dfa) = determinize(&nfa, &DfaConfig { max_states: 400, ..Default::default() }) else { return Ok(()) };
+            let dfa = minimize(&dfa);
+            let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 100_000, ..SfaConfig::default() }) else { return Ok(()) };
+
+            // One shared engine across all generated cases — spawning a
+            // fresh pool per case would be pure thread-creation churn.
+            static ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+            let engine = ENGINE.get_or_init(|| Engine::new(4));
+            let pieces = split_chunks(input.as_bytes(), chunks);
+            let pooled = engine.map_chunks(pieces.clone(), true, |_, c| sfa.run(c));
+            let inline = engine.map_chunks(pieces, false, |_, c| sfa.run(c));
+            prop_assert_eq!(pooled, inline);
+
+            // End to end: a matcher on the dedicated pool agrees with the
+            // sequential DFA whatever the plan decides.
+            let matcher = ParallelSfaMatcher::with_engine(&sfa, engine.clone());
+            let expected = dfa.accepts(input.as_bytes());
+            for reduction in [Reduction::Sequential, Reduction::Tree] {
+                prop_assert_eq!(matcher.accepts(input.as_bytes(), chunks, reduction), expected);
             }
         }
 

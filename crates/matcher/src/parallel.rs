@@ -6,9 +6,16 @@
 //! produces a single SFA state `f_i`. The partial results are then reduced
 //! either sequentially in `O(p)` (walk the mappings starting from the DFA's
 //! start state) or as a logarithmic-depth tree of mapping compositions.
+//!
+//! Chunks execute on a persistent [`Engine`] (the paper's long-lived
+//! pthreads; see [`crate::pool`]): by default the process-wide shared pool,
+//! or a dedicated one via [`ParallelSfaMatcher::with_engine`]. The
+//! requested `threads` count only caps the chunk count — it never spawns
+//! threads — and inputs too small to amortize the pool hand-off run inline
+//! on the calling thread.
 
 use crate::chunk::split_chunks;
-use crate::executor::{map_chunks, tree_reduce};
+use crate::pool::{ChunkPlan, Engine};
 use crate::Reduction;
 use sfa_automata::{StateId, StateSet};
 use sfa_core::{DSfa, NSfa, SfaStateId, Transformation};
@@ -17,25 +24,50 @@ use sfa_core::{DSfa, NSfa, SfaStateId, Transformation};
 #[derive(Clone, Debug)]
 pub struct ParallelSfaMatcher<'a> {
     sfa: &'a DSfa,
+    engine: Engine,
 }
 
 impl<'a> ParallelSfaMatcher<'a> {
-    /// Creates a matcher over the given D-SFA.
+    /// Creates a matcher over the given D-SFA, running on the shared
+    /// [global engine](Engine::global).
     pub fn new(sfa: &'a DSfa) -> ParallelSfaMatcher<'a> {
-        ParallelSfaMatcher { sfa }
+        ParallelSfaMatcher::with_engine(sfa, Engine::global().clone())
+    }
+
+    /// Creates a matcher over the given D-SFA, running on a specific
+    /// engine (e.g. a dedicated pool with a chosen worker count).
+    pub fn with_engine(sfa: &'a DSfa, engine: Engine) -> ParallelSfaMatcher<'a> {
+        ParallelSfaMatcher { sfa, engine }
+    }
+
+    /// The engine this matcher submits chunk batches to.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The chunk phase for an already-decided plan (shared by
+    /// [`chunk_states`](Self::chunk_states) and [`run`](Self::run) so the
+    /// plan is computed exactly once per call).
+    fn partial_states(&self, input: &[u8], plan: ChunkPlan) -> Vec<SfaStateId> {
+        let chunks = split_chunks(input, plan.chunks);
+        self.engine.map_chunks(chunks, plan.use_pool, |_, chunk| self.sfa.run(chunk))
     }
 
     /// Runs the chunk phase (lines 1–5 of Algorithm 5): each chunk is
     /// processed independently starting from the identity state.
+    ///
+    /// The input is cut into at most `threads.min(workers)` chunks (the
+    /// engine's chunk-count cap), which run on the pool only when each
+    /// chunk is large enough to amortize the hand-off.
     pub fn chunk_states(&self, input: &[u8], threads: usize) -> Vec<SfaStateId> {
-        let chunks = split_chunks(input, threads);
-        map_chunks(chunks, threads > 1, |_, chunk| self.sfa.run(chunk))
+        self.partial_states(input, self.engine.plan_chunks(input.len(), threads))
     }
 
     /// Runs the full parallel computation and returns the final DFA state
     /// reached from the DFA's start state.
     pub fn run(&self, input: &[u8], threads: usize, reduction: Reduction) -> StateId {
-        let partials = self.chunk_states(input, threads);
+        let plan = self.engine.plan_chunks(input.len(), threads);
+        let partials = self.partial_states(input, plan);
         match reduction {
             Reduction::Sequential => {
                 // S_fin ← I; for i: S_fin ← f_i(S_fin)   — O(p) lookups.
@@ -48,7 +80,9 @@ impl<'a> ParallelSfaMatcher<'a> {
             Reduction::Tree => {
                 let mappings: Vec<Transformation> =
                     partials.iter().map(|&f| self.sfa.mapping(f).clone()).collect();
-                let combined = tree_reduce(mappings, threads > 1, |a, b| a.then(b))
+                let combined = self
+                    .engine
+                    .tree_reduce(mappings, plan.use_pool, |a, b| a.then(b))
                     .expect("at least one chunk");
                 combined.apply(self.sfa.dfa_start())
             }
@@ -69,23 +103,37 @@ impl<'a> ParallelSfaMatcher<'a> {
 #[derive(Clone, Debug)]
 pub struct ParallelNSfaMatcher<'a> {
     sfa: &'a NSfa,
+    engine: Engine,
 }
 
 impl<'a> ParallelNSfaMatcher<'a> {
-    /// Creates a matcher over the given N-SFA.
+    /// Creates a matcher over the given N-SFA, running on the shared
+    /// [global engine](Engine::global).
     pub fn new(sfa: &'a NSfa) -> ParallelNSfaMatcher<'a> {
-        ParallelNSfaMatcher { sfa }
+        ParallelNSfaMatcher::with_engine(sfa, Engine::global().clone())
+    }
+
+    /// Creates a matcher over the given N-SFA, running on a specific
+    /// engine.
+    pub fn with_engine(sfa: &'a NSfa, engine: Engine) -> ParallelNSfaMatcher<'a> {
+        ParallelNSfaMatcher { sfa, engine }
+    }
+
+    /// The chunk phase for an already-decided plan.
+    fn partial_states(&self, input: &[u8], plan: ChunkPlan) -> Vec<SfaStateId> {
+        let chunks = split_chunks(input, plan.chunks);
+        self.engine.map_chunks(chunks, plan.use_pool, |_, chunk| self.sfa.run(chunk))
     }
 
     /// Runs the chunk phase of Algorithm 5.
     pub fn chunk_states(&self, input: &[u8], threads: usize) -> Vec<SfaStateId> {
-        let chunks = split_chunks(input, threads);
-        map_chunks(chunks, threads > 1, |_, chunk| self.sfa.run(chunk))
+        self.partial_states(input, self.engine.plan_chunks(input.len(), threads))
     }
 
     /// Whole-input membership test.
     pub fn accepts(&self, input: &[u8], threads: usize, reduction: Reduction) -> bool {
-        let partials = self.chunk_states(input, threads);
+        let plan = self.engine.plan_chunks(input.len(), threads);
+        let partials = self.partial_states(input, plan);
         match reduction {
             Reduction::Sequential => {
                 // Walk the correspondences with a frontier set — this is the
@@ -101,7 +149,9 @@ impl<'a> ParallelNSfaMatcher<'a> {
             Reduction::Tree => {
                 let mappings: Vec<sfa_core::Correspondence> =
                     partials.iter().map(|&f| self.sfa.mapping(f).clone()).collect();
-                let combined = tree_reduce(mappings, threads > 1, |a, b| a.then(b))
+                let combined = self
+                    .engine
+                    .tree_reduce(mappings, plan.use_pool, |a, b| a.then(b))
                     .expect("at least one chunk");
                 self.sfa.mapping_is_accepting(&combined)
             }
@@ -115,10 +165,17 @@ mod tests {
     use sfa_automata::minimal_dfa_from_pattern;
     use sfa_core::SfaConfig;
 
+    /// A dedicated multi-worker engine so the pool path is exercised even
+    /// on single-CPU CI machines (the global engine would cap every plan
+    /// at one chunk there).
+    fn test_engine() -> Engine {
+        Engine::new(8)
+    }
+
     fn check_dsfa(pattern: &str, inputs: &[&[u8]]) {
         let dfa = minimal_dfa_from_pattern(pattern).unwrap();
         let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
-        let matcher = ParallelSfaMatcher::new(&sfa);
+        let matcher = ParallelSfaMatcher::with_engine(&sfa, test_engine());
         for &input in inputs {
             let expected = dfa.accepts(input);
             for threads in [1usize, 2, 3, 4, 8] {
@@ -149,12 +206,45 @@ mod tests {
     }
 
     #[test]
+    fn algorithm5_agrees_on_pool_sized_inputs() {
+        // Inputs long enough that the chunk batch actually goes through
+        // the worker pool (per-chunk share above the inline threshold).
+        let dfa = minimal_dfa_from_pattern("([0-4]{2}[5-9]{2})*").unwrap();
+        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        let matcher = ParallelSfaMatcher::with_engine(&sfa, test_engine());
+        let accepted = b"00550459".repeat(16 * 1024); // 128 KiB, in the language
+        let mut rejected = accepted.clone();
+        rejected.push(b'5');
+        for threads in [2usize, 4, 8, 10_000] {
+            for reduction in [Reduction::Sequential, Reduction::Tree] {
+                assert!(matcher.engine().plan_chunks(accepted.len(), threads).use_pool);
+                assert!(matcher.accepts(&accepted, threads, reduction));
+                assert!(!matcher.accepts(&rejected, threads, reduction));
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_thread_counts_are_capped_at_the_pool_size() {
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        let engine = Engine::new(4);
+        let matcher = ParallelSfaMatcher::with_engine(&sfa, engine);
+        let input = b"ab".repeat(50_000);
+        // One "thread" per byte is requested; the matcher cuts at most
+        // `workers` chunks and spawns nothing.
+        let states = matcher.chunk_states(&input, input.len());
+        assert_eq!(states.len(), 4);
+        assert!(matcher.accepts(&input, input.len(), Reduction::Tree));
+    }
+
+    #[test]
     fn paper_example2_walkthrough() {
         // Example 2: w = ababababababab split over 4 workers as
         // aba | baba | bab | abab, reduced to an accepting state.
         let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
         let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
-        let matcher = ParallelSfaMatcher::new(&sfa);
+        let matcher = ParallelSfaMatcher::with_engine(&sfa, Engine::new(4));
         let input = b"ababababababab";
         assert_eq!(input.len(), 14);
         for reduction in [Reduction::Sequential, Reduction::Tree] {
@@ -176,7 +266,7 @@ mod tests {
         for pattern in ["(ab)*", "(a|b)*abb", "a{2,4}b"] {
             let nfa = Nfa::from_pattern(pattern).unwrap();
             let sfa = NSfa::from_nfa(&nfa, &SfaConfig::default()).unwrap();
-            let matcher = ParallelNSfaMatcher::new(&sfa);
+            let matcher = ParallelNSfaMatcher::with_engine(&sfa, test_engine());
             for input in [&b""[..], b"ab", b"abab", b"abb", b"aabb", b"aaab", b"zz"] {
                 let expected = nfa.accepts(input);
                 assert_eq!(
@@ -186,6 +276,51 @@ mod tests {
                     pattern,
                     input
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn nsfa_sequential_reduction_agrees() {
+        use sfa_automata::Nfa;
+        // The Sequential path walks the correspondences with a frontier
+        // set — previously only the Tree path was tested.
+        for pattern in ["(ab)*", "(a|b)*abb", "a{2,4}b", "a|bc|d"] {
+            let nfa = Nfa::from_pattern(pattern).unwrap();
+            let sfa = NSfa::from_nfa(&nfa, &SfaConfig::default()).unwrap();
+            let matcher = ParallelNSfaMatcher::with_engine(&sfa, test_engine());
+            for input in
+                [&b""[..], b"a", b"ab", b"abab", b"abb", b"aabb", b"aaaab", b"bc", b"d", b"zz"]
+            {
+                let expected = nfa.accepts(input);
+                for threads in [1usize, 2, 4, 8] {
+                    assert_eq!(
+                        matcher.accepts(input, threads, Reduction::Sequential),
+                        expected,
+                        "pattern {:?} input {:?} threads {}",
+                        pattern,
+                        input,
+                        threads
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nsfa_sequential_reduction_empty_input_single_chunk() {
+        use sfa_automata::Nfa;
+        // An empty input yields exactly one (empty) chunk, so the
+        // Sequential walk starts from partials[0] alone; (ab)* accepts ε,
+        // ab does not.
+        for (pattern, expected) in [("(ab)*", true), ("ab", false)] {
+            let nfa = Nfa::from_pattern(pattern).unwrap();
+            let sfa = NSfa::from_nfa(&nfa, &SfaConfig::default()).unwrap();
+            let matcher = ParallelNSfaMatcher::with_engine(&sfa, test_engine());
+            assert_eq!(matcher.chunk_states(b"", 8).len(), 1);
+            for threads in [1usize, 8] {
+                assert_eq!(matcher.accepts(b"", threads, Reduction::Sequential), expected);
+                assert_eq!(matcher.accepts(b"", threads, Reduction::Tree), expected);
             }
         }
     }

@@ -7,6 +7,7 @@
 //! the lower-level crates stay available for research use.
 
 use crate::parallel::ParallelSfaMatcher;
+use crate::pool::Engine;
 use crate::speculative::SpeculativeDfaMatcher;
 use crate::Reduction;
 use sfa_automata::{determinize, minimize, CompileError, Dfa, DfaConfig, Nfa};
@@ -36,6 +37,7 @@ pub struct RegexBuilder {
     mode: MatchMode,
     threads: usize,
     reduction: Reduction,
+    engine: Option<Engine>,
 }
 
 impl Default for RegexBuilder {
@@ -47,6 +49,7 @@ impl Default for RegexBuilder {
             mode: MatchMode::Whole,
             threads: default_threads(),
             reduction: Reduction::Sequential,
+            engine: None,
         }
     }
 }
@@ -99,7 +102,17 @@ impl RegexBuilder {
         self
     }
 
-    /// Default number of worker threads used by `is_match`.
+    /// Default parallelism used by `is_match`: the number of chunks the
+    /// input is cut into, further capped at the engine's worker count at
+    /// match time.
+    ///
+    /// A value of `0` is treated as `1` — the crate-wide clamping rule:
+    /// everywhere a parallelism degree is requested
+    /// ([`threads`](RegexBuilder::threads),
+    /// [`split_chunks`](crate::split_chunks),
+    /// [`Engine::plan_chunks`], [`crate::pool::WorkerPool::new`]), zero
+    /// requested units of parallelism means sequential execution, never an
+    /// error and never "no work at all".
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -108,6 +121,14 @@ impl RegexBuilder {
     /// Default reduction strategy used by `is_match`.
     pub fn reduction(mut self, reduction: Reduction) -> Self {
         self.reduction = reduction;
+        self
+    }
+
+    /// Execution engine for parallel matching. Defaults to the shared
+    /// process-wide pool ([`Engine::global`], one worker per CPU); pass a
+    /// dedicated [`Engine`] to control the worker count or pool lifetime.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
         self
     }
 
@@ -131,6 +152,7 @@ impl RegexBuilder {
             mode: self.mode,
             threads: self.threads,
             reduction: self.reduction,
+            engine: self.engine.clone(),
             nfa_states: nfa.num_states(),
             dfa,
             sfa,
@@ -139,12 +161,18 @@ impl RegexBuilder {
 }
 
 /// A compiled pattern with sequential and parallel matching.
+///
+/// Parallel matching runs on a persistent worker pool (the shared
+/// [`Engine::global`] unless one was set via [`RegexBuilder::engine`]):
+/// repeated `is_match` calls reuse the same long-lived threads, so the
+/// process thread count stays constant however many matches are issued.
 #[derive(Clone, Debug)]
 pub struct Regex {
     pattern: String,
     mode: MatchMode,
     threads: usize,
     reduction: Reduction,
+    engine: Option<Engine>,
     nfa_states: usize,
     dfa: Dfa,
     sfa: DSfa,
@@ -191,6 +219,12 @@ impl Regex {
         SizeReport::new(&self.dfa, &self.sfa)
     }
 
+    /// The execution engine parallel matching runs on (the shared global
+    /// pool unless one was configured via [`RegexBuilder::engine`]).
+    pub fn engine(&self) -> &Engine {
+        self.engine.as_ref().unwrap_or_else(|| Engine::global())
+    }
+
     /// Matches using the configured default thread count and reduction
     /// (parallel SFA matching when more than one thread is configured).
     pub fn is_match(&self, input: &[u8]) -> bool {
@@ -206,16 +240,23 @@ impl Regex {
         self.dfa.accepts(input)
     }
 
-    /// **Algorithm 5**: parallel SFA matching with an explicit thread count
-    /// and reduction strategy.
+    /// **Algorithm 5**: parallel SFA matching with an explicit parallelism
+    /// degree and reduction strategy.
+    ///
+    /// `threads` caps the chunk count — the work runs on the configured
+    /// persistent engine, so no threads are spawned per call and a request
+    /// like `is_match_parallel(input, 10_000, ..)` uses at most the pool's
+    /// worker count.
     pub fn is_match_parallel(&self, input: &[u8], threads: usize, reduction: Reduction) -> bool {
-        ParallelSfaMatcher::new(&self.sfa).accepts(input, threads, reduction)
+        ParallelSfaMatcher::with_engine(&self.sfa, self.engine().clone())
+            .accepts(input, threads, reduction)
     }
 
     /// **Algorithm 3**: the prior-art speculative parallel DFA matcher
     /// (kept as a baseline).
     pub fn is_match_speculative(&self, input: &[u8], threads: usize, reduction: Reduction) -> bool {
-        SpeculativeDfaMatcher::new(&self.dfa).accepts(input, threads, reduction)
+        SpeculativeDfaMatcher::with_engine(&self.dfa, self.engine().clone())
+            .accepts(input, threads, reduction)
     }
 }
 
@@ -348,6 +389,43 @@ mod tests {
         assert!(set.is_match(b"HEAD /status"));
         assert!(!set.is_match(b"PUT /upload"));
         assert!(set.regex().sfa().num_states() > 0);
+    }
+
+    #[test]
+    fn zero_parallelism_clamps_to_one_everywhere() {
+        // The crate-wide rule: requesting 0 units of parallelism means
+        // sequential execution — identical to requesting 1, never a panic
+        // and never "no work".
+        let re = Regex::builder().threads(0).build("(ab)*").unwrap();
+        assert!(re.is_match(b"abab"));
+        assert!(!re.is_match(b"aba"));
+        assert!(re.is_match_parallel(b"abab", 0, Reduction::Tree));
+        assert!(re.is_match_speculative(b"abab", 0, Reduction::Sequential));
+        // split_chunks applies the same clamp…
+        assert_eq!(crate::split_chunks(b"xyz", 0), crate::split_chunks(b"xyz", 1));
+        // …and so do the pool and the chunk planner.
+        let engine = Engine::new(0);
+        assert_eq!(engine.workers(), 1);
+        assert_eq!(engine.plan_chunks(1 << 20, 0).chunks, 1);
+    }
+
+    #[test]
+    fn dedicated_engine_is_used_for_parallel_matching() {
+        let engine = Engine::new(3);
+        let re = Regex::builder()
+            .engine(engine)
+            .threads(3)
+            .reduction(Reduction::Tree)
+            .build("([0-4]{2}[5-9]{2})*")
+            .unwrap();
+        assert_eq!(re.engine().workers(), 3);
+        let text = b"00550459".repeat(8 * 1024); // 64 KiB → pool path
+        assert!(re.engine().plan_chunks(text.len(), 3).use_pool);
+        assert!(re.is_match(&text));
+        assert!(re.is_match_parallel(&text, 3, Reduction::Sequential));
+        // Default-engine regexes report the shared global pool.
+        let plain = Regex::new("(ab)*").unwrap();
+        assert_eq!(plain.engine().workers(), Engine::global().workers());
     }
 
     #[test]

@@ -8,9 +8,13 @@
 //! to the sequential matcher as soon as the DFA is large. It is implemented
 //! here as the baseline that the SFA matcher (Algorithm 5) is compared
 //! against.
+//!
+//! Like [`ParallelSfaMatcher`](crate::ParallelSfaMatcher), chunks run on a
+//! persistent [`Engine`] — the `threads` argument caps the chunk count at
+//! the pool's worker count and never spawns threads.
 
 use crate::chunk::split_chunks;
-use crate::executor::{map_chunks, tree_reduce};
+use crate::pool::Engine;
 use crate::Reduction;
 use sfa_automata::{Dfa, StateId};
 use sfa_core::Transformation;
@@ -19,12 +23,19 @@ use sfa_core::Transformation;
 #[derive(Clone, Debug)]
 pub struct SpeculativeDfaMatcher<'a> {
     dfa: &'a Dfa,
+    engine: Engine,
 }
 
 impl<'a> SpeculativeDfaMatcher<'a> {
-    /// Creates a matcher over the given DFA.
+    /// Creates a matcher over the given DFA, running on the shared
+    /// [global engine](Engine::global).
     pub fn new(dfa: &'a Dfa) -> SpeculativeDfaMatcher<'a> {
-        SpeculativeDfaMatcher { dfa }
+        SpeculativeDfaMatcher::with_engine(dfa, Engine::global().clone())
+    }
+
+    /// Creates a matcher over the given DFA, running on a specific engine.
+    pub fn with_engine(dfa: &'a Dfa, engine: Engine) -> SpeculativeDfaMatcher<'a> {
+        SpeculativeDfaMatcher { dfa, engine }
     }
 
     /// Simulates one chunk from **all** states simultaneously (lines 1–7 of
@@ -42,11 +53,13 @@ impl<'a> SpeculativeDfaMatcher<'a> {
     }
 
     /// Runs the parallel computation and returns the final DFA state
-    /// reached from the start state.
+    /// reached from the start state. The input is cut into at most
+    /// `threads.min(workers)` chunks.
     pub fn run(&self, input: &[u8], threads: usize, reduction: Reduction) -> StateId {
-        let chunks = split_chunks(input, threads);
-        let parallel = threads > 1;
-        let partials = map_chunks(chunks, parallel, |_, chunk| self.simulate_chunk(chunk));
+        let plan = self.engine.plan_chunks(input.len(), threads);
+        let chunks = split_chunks(input, plan.chunks);
+        let partials =
+            self.engine.map_chunks(chunks, plan.use_pool, |_, chunk| self.simulate_chunk(chunk));
         match reduction {
             Reduction::Sequential => {
                 // qfinal ← q0; for i: qfinal ← T_i[qfinal]
@@ -57,8 +70,10 @@ impl<'a> SpeculativeDfaMatcher<'a> {
                 q
             }
             Reduction::Tree => {
-                let combined =
-                    tree_reduce(partials, parallel, |a, b| a.then(b)).expect("at least one chunk");
+                let combined = self
+                    .engine
+                    .tree_reduce(partials, plan.use_pool, |a, b| a.then(b))
+                    .expect("at least one chunk");
                 combined.apply(self.dfa.start())
             }
         }
@@ -75,9 +90,13 @@ mod tests {
     use super::*;
     use sfa_automata::minimal_dfa_from_pattern;
 
+    fn test_engine() -> Engine {
+        Engine::new(8)
+    }
+
     fn check(pattern: &str, inputs: &[&[u8]]) {
         let dfa = minimal_dfa_from_pattern(pattern).unwrap();
-        let matcher = SpeculativeDfaMatcher::new(&dfa);
+        let matcher = SpeculativeDfaMatcher::with_engine(&dfa, test_engine());
         for &input in inputs {
             let expected = dfa.accepts(input);
             for threads in [1usize, 2, 3, 4, 7] {
@@ -118,8 +137,20 @@ mod tests {
     #[test]
     fn more_threads_than_bytes() {
         let dfa = minimal_dfa_from_pattern("a{3}").unwrap();
-        let matcher = SpeculativeDfaMatcher::new(&dfa);
+        let matcher = SpeculativeDfaMatcher::with_engine(&dfa, test_engine());
         assert!(matcher.accepts(b"aaa", 64, Reduction::Tree));
         assert!(!matcher.accepts(b"aa", 64, Reduction::Sequential));
+    }
+
+    #[test]
+    fn pool_sized_inputs_agree_with_sequential_dfa() {
+        let dfa = minimal_dfa_from_pattern("([0-4]{2}[5-9]{2})*").unwrap();
+        let matcher = SpeculativeDfaMatcher::with_engine(&dfa, test_engine());
+        let text = b"00550459".repeat(8 * 1024); // 64 KiB
+        for threads in [2usize, 8, 1_000_000] {
+            for reduction in [Reduction::Sequential, Reduction::Tree] {
+                assert!(matcher.accepts(&text, threads, reduction));
+            }
+        }
     }
 }

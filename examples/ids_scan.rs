@@ -17,9 +17,16 @@ fn main() {
         // keeps the combined automaton small enough for an eager D-SFA.
         "(?i)union[ +]{1,3}select",
     ];
+    // A dedicated 4-worker pool so the "4 threads" figure below is honest
+    // even on machines with fewer CPUs (the default engine caps the chunk
+    // count at available_parallelism).
     let set = RegexSet::new(
         rules.iter().copied(),
-        &Regex::builder().mode(MatchMode::Contains).max_dfa_states(50_000).max_sfa_states(500_000),
+        &Regex::builder()
+            .mode(MatchMode::Contains)
+            .max_dfa_states(50_000)
+            .max_sfa_states(500_000)
+            .engine(Engine::new(4)),
     )
     .expect("ruleset compiles");
 

@@ -47,7 +47,12 @@ fn main() {
     );
 
     for threads in [2usize, 4, 8] {
-        let mut run_par = || assert!(re.is_match_parallel(&text, threads, Reduction::Sequential));
+        // A dedicated pool per sweep point so the scan really runs on
+        // `threads` workers regardless of the machine's CPU count (the
+        // default engine caps the chunk count at available_parallelism).
+        let matcher = ParallelSfaMatcher::with_engine(re.sfa(), Engine::new(threads));
+        let mut run_par =
+            || assert!(re.dfa().is_accepting(matcher.run(&text, threads, Reduction::Sequential)));
         let par = best(&mut run_par);
         println!(
             "{:>8}  {:>12.2?}  {:>10.3}  (Algorithm 5, parallel SFA)",

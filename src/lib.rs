@@ -41,7 +41,7 @@ pub mod prelude {
     pub use sfa_automata::{Dfa, Nfa};
     pub use sfa_core::{DSfa, LazyDSfa, NSfa, SfaConfig};
     pub use sfa_matcher::{
-        MatchMode, ParallelSfaMatcher, Reduction, Regex, RegexBuilder, RegexSet,
-        SpeculativeDfaMatcher,
+        Engine, MatchMode, ParallelSfaMatcher, Reduction, Regex, RegexBuilder, RegexSet,
+        SpeculativeDfaMatcher, WorkerPool,
     };
 }
