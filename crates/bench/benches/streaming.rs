@@ -1,0 +1,176 @@
+//! Streaming and batched matching throughput — the two workload shapes the
+//! `stream` module opens: many small request-sized haystacks served as one
+//! pool batch, and block-wise (arrival-time) matching of a log stream.
+//!
+//! * `batch_10k_256b` — 10 000 haystacks of 256 bytes each, matched one
+//!   `is_match` call at a time vs. one `is_match_batch` call at 8 workers.
+//!   Acceptance check (multi-core, non-smoke runs): the batch must deliver
+//!   ≥ 2× the matches/sec of the per-call loop.
+//! * `stream_log_replay` — the `sfa-workloads` log-replay scenario fed
+//!   block by block through a `StreamMatcher`, against the whole-buffer
+//!   `is_match` baseline, at small (sub-pool) and large (pooled) block
+//!   sizes — plus the saturated-stream case where the verdict is decided
+//!   early and the tail is never scanned.
+//!
+//! `SFA_BENCH_SMOKE=1` shrinks everything to a single iteration so CI can
+//! run this bench as a smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sfa_matcher::{default_threads, Engine, MatchMode, Regex};
+use sfa_workloads::{log_stream, log_stream_bytes, StreamConfig};
+use std::time::{Duration, Instant};
+
+const PATTERN: &str = "attack[0-9]{2}";
+const BATCH: usize = 10_000;
+const HAYSTACK_LEN: usize = 256;
+const BATCH_WORKERS: usize = 8;
+
+fn smoke() -> bool {
+    std::env::var_os("SFA_BENCH_SMOKE").is_some()
+}
+
+/// 10k deterministic 256-byte request lines; one in 100 contains the
+/// needle (an IDS-realistic hit rate).
+fn request_haystacks() -> Vec<Vec<u8>> {
+    (0..BATCH)
+        .map(|i| {
+            let mut line = format!("GET /path/{i:06}?q={} HTTP/1.1 ", (i * 2654435761usize) % 997);
+            if i % 100 == 37 {
+                line.push_str("attack42 ");
+            }
+            let mut bytes = line.into_bytes();
+            while bytes.len() < HAYSTACK_LEN {
+                bytes.push(b'x');
+            }
+            bytes.truncate(HAYSTACK_LEN);
+            bytes
+        })
+        .collect()
+}
+
+fn configure(group: &mut criterion::BenchmarkGroup) {
+    if smoke() {
+        group.sample_size(1);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+    } else {
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(800));
+    }
+}
+
+/// The shared batch workload: an 8-worker Contains-mode regex and the 10k
+/// request corpus, warmed and cross-checked (batch == per-call verdicts,
+/// exactly 1% hits) so the bench and the acceptance check below measure
+/// the same thing.
+fn batch_setup() -> (Regex, Vec<Vec<u8>>) {
+    let re = Regex::builder()
+        .mode(MatchMode::Contains)
+        .engine(Engine::new(BATCH_WORKERS))
+        .threads(BATCH_WORKERS)
+        .build(PATTERN)
+        .unwrap();
+    let haystacks = request_haystacks();
+    let refs: Vec<&[u8]> = haystacks.iter().map(|h| h.as_slice()).collect();
+    let expected: Vec<bool> = refs.iter().map(|h| re.is_match(h)).collect();
+    assert_eq!(expected.iter().filter(|&&m| m).count(), BATCH / 100);
+    assert_eq!(re.is_match_batch(&refs), expected);
+    (re, haystacks)
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let (re, haystacks) = batch_setup();
+    let refs: Vec<&[u8]> = haystacks.iter().map(|h| h.as_slice()).collect();
+    let mut group = c.benchmark_group("batch_10k_256b");
+    group.throughput(Throughput::Elements(BATCH as u64)); // elem/s == matches/sec
+    configure(&mut group);
+    group.bench_function("per_call", |b| b.iter(|| refs.iter().filter(|h| re.is_match(h)).count()));
+    group.bench_function("batch", |b| {
+        b.iter(|| re.is_match_batch(&refs).into_iter().filter(|&m| m).count())
+    });
+    group.finish();
+}
+
+/// Times `calls` repetitions of `f` and returns calls per second.
+fn rate(calls: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..calls {
+        f();
+    }
+    calls as f64 / start.elapsed().as_secs_f64().max(1e-12)
+}
+
+/// Acceptance check: one `is_match_batch` call over 10k 256-byte haystacks
+/// at 8 workers must deliver ≥ 2× the matches/sec of calling `is_match`
+/// per haystack. (Skipped on machines without enough cores to host the
+/// workers, and in smoke mode.)
+fn acceptance_batch_speedup() {
+    let (re, haystacks) = batch_setup();
+    let refs: Vec<&[u8]> = haystacks.iter().map(|h| h.as_slice()).collect();
+    let rounds = if smoke() { 1 } else { 20 };
+    let hits = BATCH / 100;
+    let batch_rate =
+        rate(rounds, || assert_eq!(re.is_match_batch(&refs).len(), BATCH)) * BATCH as f64;
+    let per_call_rate =
+        rate(rounds, || assert!(refs.iter().filter(|h| re.is_match(h)).count() == hits))
+            * BATCH as f64;
+    let speedup = batch_rate / per_call_rate;
+    println!(
+        "acceptance/batch_10k_256b_8workers: batch {batch_rate:.0} matches/s, \
+         per-call {per_call_rate:.0} matches/s, speedup {speedup:.1}x\n"
+    );
+    if !smoke() && default_threads() >= 4 {
+        assert!(speedup >= 2.0, "batch must be ≥2x per-call at 8 workers, got {speedup:.1}x");
+    }
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let re = Regex::builder()
+        .mode(MatchMode::Contains)
+        .engine(Engine::new(BATCH_WORKERS))
+        .threads(BATCH_WORKERS)
+        .build("/cgi-bin/ph[a-z]{1,8}")
+        .unwrap();
+    let lines = if smoke() { 2_000 } else { 20_000 };
+    for (label, mean_block, attack_every) in [
+        ("1kb_blocks", 1024, 0),       // sub-pool blocks, no hit: full scan
+        ("64kb_blocks", 64 * 1024, 0), // pooled blocks, no hit: full scan
+        ("saturating", 1024, 100),     // early hit: the tail is never scanned
+    ] {
+        let config = StreamConfig { lines, attack_every, mean_block, seed: 42 };
+        let blocks = log_stream(&config);
+        let corpus = log_stream_bytes(&config);
+        let expected = re.is_match(&corpus);
+        assert_eq!(expected, attack_every != 0);
+
+        let mut group = c.benchmark_group(format!("stream_log_replay_{label}"));
+        group.throughput(Throughput::Bytes(corpus.len() as u64));
+        configure(&mut group);
+        group.bench_function("whole_buffer", |b| {
+            b.iter(|| assert_eq!(re.is_match(&corpus), expected))
+        });
+        group.bench_function("stream_feed", |b| {
+            b.iter(|| {
+                let mut stream = re.stream();
+                for block in &blocks {
+                    stream.feed(block);
+                    if stream.verdict().is_some() {
+                        break; // saturated: the verdict is final
+                    }
+                }
+                assert_eq!(stream.finish(), expected);
+            })
+        });
+        group.finish();
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    bench_batch(c);
+    acceptance_batch_speedup();
+    bench_stream(c);
+}
+
+criterion_group!(streaming, benches);
+criterion_main!(streaming);

@@ -14,6 +14,7 @@ use crate::mapping::Transformation;
 use crate::SfaConfig;
 use sfa_automata::{ByteClasses, CompileError, Dfa, StateId};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// Identifier of an SFA state.
 pub type SfaStateId = u32;
@@ -37,6 +38,12 @@ pub struct DSfa {
     sink: Box<[bool]>,
     accepting: Vec<bool>,
     mappings: Vec<Transformation>,
+    /// Mapping → state-id index, built lazily on the first
+    /// [`state_of`](DSfa::state_of) / [`compose_states`](DSfa::compose_states)
+    /// call that needs it (streaming composition does; the chunk-scan hot
+    /// paths never do). Costs roughly as much memory as `mappings` itself,
+    /// which is why it is not built eagerly for every SFA.
+    state_index: OnceLock<HashMap<Transformation, SfaStateId>>,
     dfa_start: StateId,
     dfa_accepting: Vec<bool>,
 }
@@ -127,6 +134,7 @@ impl DSfa {
             sink,
             accepting,
             mappings,
+            state_index: OnceLock::new(),
             dfa_start,
             dfa_accepting: dfa.accepting().to_vec(),
         })
@@ -286,12 +294,52 @@ impl DSfa {
         self.mapping(a).then(self.mapping(b))
     }
 
+    /// Composes two SFA states *as states*: the state whose mapping is
+    /// `f_w ⋄ f_v` when `a = f_w` and `b = f_v`.
+    ///
+    /// This is total: the reachable transformations are closed under
+    /// composition (Lemma 1 — `f_w ⋄ f_v = f_wv`, the mapping of an actual
+    /// word), so the composite is always an existing state. It is what lets
+    /// a streaming matcher fold the per-block states produced by parallel
+    /// chunk scans into one running state and keep matching from it.
+    ///
+    /// Three compositions resolve without touching the mapping index:
+    /// identity on either side is a no-op, and a [sink](DSfa::is_sink) on
+    /// the left absorbs anything (a sink's image state loops on every byte,
+    /// so no suffix can move it). The general case composes the two
+    /// mappings (`O(|D|)`) and resolves the result through the lazily built
+    /// state index.
+    pub fn compose_states(&self, a: SfaStateId, b: SfaStateId) -> SfaStateId {
+        if a == self.initial() {
+            return b;
+        }
+        if b == self.initial() || self.is_sink(a) {
+            return a;
+        }
+        let composed = self.compose(a, b);
+        *self
+            .state_index()
+            .get(&composed)
+            .expect("SFA states are closed under composition (Lemma 1)")
+    }
+
     /// Looks up the SFA state corresponding to a transformation, if that
     /// transformation is reachable (i.e. is an actual SFA state).
+    ///
+    /// The first call builds a mapping → id hash index (costing about as
+    /// much memory as the mappings themselves); subsequent calls are one
+    /// hash lookup.
     pub fn state_of(&self, mapping: &Transformation) -> Option<SfaStateId> {
-        // Linear scan is fine for the sizes where this is used (tests,
-        // diagnostics); the hot paths never call it.
-        self.mappings.iter().position(|m| m == mapping).map(|i| i as SfaStateId)
+        self.state_index().get(mapping).copied()
+    }
+
+    /// The lazily built mapping → state-id index backing
+    /// [`state_of`](DSfa::state_of) and
+    /// [`compose_states`](DSfa::compose_states).
+    fn state_index(&self) -> &HashMap<Transformation, SfaStateId> {
+        self.state_index.get_or_init(|| {
+            self.mappings.iter().enumerate().map(|(i, m)| (m.clone(), i as SfaStateId)).collect()
+        })
     }
 
     /// Bytes occupied by the (class-compressed) transition table.
@@ -423,6 +471,40 @@ mod tests {
         // Lemma 1: f_{w1} ⋄ f_{w2} = f_{w1 w2}.
         assert_eq!(&sfa.compose(f1, f2), sfa.mapping(f12));
         assert_eq!(sfa.state_of(&sfa.compose(f1, f2)), Some(f12));
+    }
+
+    #[test]
+    fn compose_states_matches_concatenated_run() {
+        // compose_states is the state-level form of Lemma 1: for any two
+        // reachable states the composite is again a state, and it is the
+        // state of the concatenated word.
+        let (_, sfa) = dsfa("([0-4]{2}[5-9]{2})*");
+        let words: [&[u8]; 5] = [b"", b"0456", b"0055044", b"9", b"005504590055"];
+        for w1 in words {
+            for w2 in words {
+                let f1 = sfa.run(w1);
+                let f2 = sfa.run(w2);
+                let mut whole = w1.to_vec();
+                whole.extend_from_slice(w2);
+                assert_eq!(sfa.compose_states(f1, f2), sfa.run(&whole), "w1 {:?} w2 {:?}", w1, w2);
+            }
+        }
+    }
+
+    #[test]
+    fn compose_states_shortcuts_identity_and_sink() {
+        let (_, sfa) = dsfa("(ab)*");
+        let id = sfa.initial();
+        let f = sfa.run(b"ab");
+        let dead = sfa.run(b"aa");
+        assert!(sfa.is_sink(dead));
+        // Identity is neutral on both sides.
+        assert_eq!(sfa.compose_states(id, f), f);
+        assert_eq!(sfa.compose_states(f, id), f);
+        // A sink on the left absorbs any right-hand state.
+        for g in 0..sfa.num_states() as SfaStateId {
+            assert_eq!(sfa.compose_states(dead, g), dead);
+        }
     }
 
     #[test]

@@ -11,10 +11,8 @@
 /// Fewer slices are returned when the input is shorter than the requested
 /// chunk count; an empty input yields a single empty slice so that callers
 /// always have at least one unit of work. A `chunks` of `0` is treated as
-/// `1` — the crate-wide clamping rule shared with
-/// [`RegexBuilder::threads`](crate::RegexBuilder::threads) and the
-/// [`Engine`](crate::pool::Engine): zero requested units of parallelism
-/// means sequential execution.
+/// `1` — the [crate-wide `0 ⇒ 1` clamp](crate) (see "The `0 ⇒ 1`
+/// parallelism clamp" in the crate docs).
 pub fn split_chunks(input: &[u8], chunks: usize) -> Vec<&[u8]> {
     let chunks = chunks.max(1);
     if input.is_empty() {

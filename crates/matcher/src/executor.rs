@@ -8,7 +8,7 @@
 //! a persistent worker pool matching the paper's long-lived-pthreads
 //! design. These functions keep the old call shape and simply run on the
 //! shared global pool; code that wants its own pool size or lifecycle uses
-//! [`Engine`](crate::pool::Engine) directly.
+//! [`Engine`] directly.
 //!
 //! One behavioral difference from the fork/join era: concurrency is now
 //! bounded at the pool's worker count plus the calling thread, not one

@@ -13,8 +13,11 @@
 //! | Algorithm 3 | [`SpeculativeDfaMatcher`] | `|D|` lookups |
 //! | Algorithm 5 | [`ParallelSfaMatcher`] | 1 lookup |
 //!
-//! plus the chunking and reduction machinery they share and a high-level
-//! [`Regex`] / [`RegexSet`] front end.
+//! plus the chunking and reduction machinery they share, a high-level
+//! [`Regex`] / [`RegexSet`] front end, and two request-serving workload
+//! shapes built on the same decomposition property: streaming matching
+//! over arriving blocks ([`stream::StreamMatcher`]) and batched matching
+//! of many small haystacks ([`Regex::is_match_batch`]).
 //!
 //! ## Execution model
 //!
@@ -25,6 +28,17 @@
 //! count. A `threads` argument caps the number of chunks (itself capped at
 //! the pool's worker count); it never spawns threads. Inputs too small to
 //! amortize the pool hand-off run inline on the calling thread.
+//!
+//! ## The `0 ⇒ 1` parallelism clamp
+//!
+//! One rule applies crate-wide, everywhere a degree of parallelism is
+//! requested: **requesting `0` units of parallelism means `1`** —
+//! sequential execution, never an error and never "no work at all". The
+//! rule is enforced (and its tests live) at every entry point that takes a
+//! count: [`RegexBuilder::threads`], [`split_chunks`],
+//! [`Engine::plan_chunks`](pool::Engine::plan_chunks) and
+//! [`WorkerPool::new`](pool::WorkerPool::new); their docs link back here
+//! rather than restating the rule.
 //!
 //! ## Example
 //!
@@ -48,6 +62,7 @@ pub mod parallel;
 pub mod pool;
 pub mod regex;
 pub mod speculative;
+pub mod stream;
 
 pub use chunk::{split_chunks, split_chunks_with_offsets};
 pub use executor::{map_chunks, tree_reduce};
@@ -55,6 +70,7 @@ pub use parallel::{ParallelNSfaMatcher, ParallelSfaMatcher};
 pub use pool::{ChunkPlan, Engine, WorkerPool, MIN_POOL_CHUNK_BYTES};
 pub use regex::{default_threads, MatchMode, Regex, RegexBuilder, RegexSet};
 pub use speculative::SpeculativeDfaMatcher;
+pub use stream::StreamMatcher;
 
 /// How the per-chunk partial results are combined (Section V-B of the
 /// paper: "we reduce the results either in parallel with associative binary
@@ -158,6 +174,74 @@ mod proptests {
             let chunks = split_chunks(&input, threads);
             let glued: Vec<u8> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
             prop_assert_eq!(glued, input);
+        }
+
+        /// Sequential, parallel, speculative and streaming matching agree
+        /// in `Contains` mode under adversarial chunk and feed boundaries —
+        /// including every split through the middle of a planted match
+        /// occurrence (the paper's Theorem 3: any division of the word
+        /// works, so a boundary inside the needle must not lose the match).
+        #[test]
+        fn contains_mode_all_matchers_and_streaming_agree(
+            needle in "[a-c]{2,5}",
+            prefix in "[a-c]{0,30}",
+            suffix in "[a-c]{0,30}",
+            plant in any::<bool>(),
+            threads in 1usize..9,
+            extra_cut in any::<prop::sample::Index>(),
+        ) {
+            // A shared multi-worker engine so the parallel paths exercise
+            // real chunking even on single-CPU CI machines.
+            static ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+            let engine = ENGINE.get_or_init(|| Engine::new(4));
+            let re = Regex::builder()
+                .mode(MatchMode::Contains)
+                .threads(threads)
+                .engine(engine.clone())
+                .build(&needle)
+                .unwrap();
+
+            let mut haystack = prefix.clone().into_bytes();
+            let needle_at = haystack.len();
+            if plant {
+                haystack.extend_from_slice(needle.as_bytes());
+            }
+            haystack.extend_from_slice(suffix.as_bytes());
+
+            let expected = re.is_match_sequential(&haystack);
+            if plant {
+                // The needle is literally present, so Contains must hit.
+                prop_assert!(expected);
+            }
+            for reduction in [Reduction::Sequential, Reduction::Tree] {
+                prop_assert_eq!(re.is_match_parallel(&haystack, threads, reduction), expected);
+                prop_assert_eq!(re.is_match_speculative(&haystack, threads, reduction), expected);
+            }
+
+            // Streaming: cut at every boundary through the needle's
+            // occurrence (splitting the match mid-pattern), plus one
+            // arbitrary extra cut elsewhere.
+            let other = extra_cut.index(haystack.len() + 1);
+            for cut in needle_at..=(needle_at + needle.len()).min(haystack.len()) {
+                let cuts = [cut.min(other), cut.max(other)];
+                let mut stream = re.stream();
+                let mut start = 0;
+                for &c in &cuts {
+                    if c > start {
+                        stream.feed(&haystack[start..c]);
+                        start = c;
+                    }
+                }
+                stream.feed(&haystack[start..]);
+                prop_assert_eq!(stream.finish(), expected);
+            }
+
+            // Byte-at-a-time feeding is the most adversarial split of all.
+            let mut stream = re.stream();
+            for b in &haystack {
+                stream.feed(std::slice::from_ref(b));
+            }
+            prop_assert_eq!(stream.finish(), expected);
         }
     }
 }

@@ -41,7 +41,7 @@
 //! Chunk jobs borrow the input text and the automaton from the submitting
 //! stack frame, while worker threads are `'static`. Like every scoped pool
 //! (crossbeam, rayon), the hand-off therefore erases the job's lifetime in
-//! one well-contained `unsafe` spot ([`erase`]) whose soundness rests on
+//! one well-contained `unsafe` spot (`erase`) whose soundness rests on
 //! the batch protocol: `scope_map` does not return — by value or by
 //! unwinding — until the completion latch has counted every job as
 //! finished *and dropped*, so no erased job can outlive the data it
@@ -160,7 +160,8 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns a pool of `workers.max(1)` long-lived threads (named
-    /// `sfa-worker-<i>`), parked until work arrives.
+    /// `sfa-worker-<i>`), parked until work arrives — `0` workers means a
+    /// pool of one (the [crate-wide `0 ⇒ 1` clamp](crate)).
     pub fn new(workers: usize) -> WorkerPool {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
@@ -329,8 +330,8 @@ impl Engine {
     }
 
     /// Decides chunk count and pool usage for an input of `input_len`
-    /// bytes and a requested parallelism of `threads` (0 is treated as 1,
-    /// the crate-wide clamping rule).
+    /// bytes and a requested parallelism of `threads` (`0` is treated as
+    /// `1` — the [crate-wide `0 ⇒ 1` clamp](crate)).
     pub fn plan_chunks(&self, input_len: usize, threads: usize) -> ChunkPlan {
         let chunks = threads.clamp(1, self.workers());
         let use_pool = chunks > 1 && input_len / chunks >= MIN_POOL_CHUNK_BYTES;

@@ -7,13 +7,14 @@
 //! the lower-level crates stay available for research use.
 
 use crate::parallel::ParallelSfaMatcher;
-use crate::pool::Engine;
+use crate::pool::{Engine, MIN_POOL_CHUNK_BYTES};
 use crate::speculative::SpeculativeDfaMatcher;
+use crate::stream::StreamMatcher;
 use crate::Reduction;
 use sfa_automata::{determinize, minimize, CompileError, Dfa, DfaConfig, Nfa};
 use sfa_core::{DSfa, SfaConfig, SizeReport};
 use sfa_regex_syntax::ast::Ast;
-use sfa_regex_syntax::class::perl;
+use sfa_regex_syntax::class::{perl, ByteSet};
 use sfa_regex_syntax::{Parser, ParserConfig};
 
 /// How the pattern is applied to the input.
@@ -55,8 +56,13 @@ impl Default for RegexBuilder {
 }
 
 /// The default worker count: one per available CPU.
+///
+/// Queried from the OS once and cached for the rest of the process, so
+/// per-request hot paths can construct a [`RegexBuilder`] (which calls
+/// this) without a syscall.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
 }
 
 impl RegexBuilder {
@@ -102,17 +108,12 @@ impl RegexBuilder {
         self
     }
 
-    /// Default parallelism used by `is_match`: the number of chunks the
-    /// input is cut into, further capped at the engine's worker count at
-    /// match time.
+    /// Default parallelism used by `is_match` (and streaming / batching):
+    /// the number of chunks the input is cut into, further capped at the
+    /// engine's worker count at match time.
     ///
-    /// A value of `0` is treated as `1` — the crate-wide clamping rule:
-    /// everywhere a parallelism degree is requested
-    /// ([`threads`](RegexBuilder::threads),
-    /// [`split_chunks`](crate::split_chunks),
-    /// [`Engine::plan_chunks`], [`crate::pool::WorkerPool::new`]), zero
-    /// requested units of parallelism means sequential execution, never an
-    /// error and never "no work at all".
+    /// `0` is treated as `1` — the [crate-wide `0 ⇒ 1` clamp](crate)
+    /// (see "The `0 ⇒ 1` parallelism clamp" in the crate docs).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
@@ -136,6 +137,13 @@ impl RegexBuilder {
     pub fn build(&self, pattern: &str) -> Result<Regex, CompileError> {
         let parser = Parser::with_config(self.parser.clone());
         let ast = parser.parse(pattern)?;
+        self.build_from_ast(pattern.to_string(), ast)
+    }
+
+    /// Compiles an already-parsed AST (shared by [`build`](Self::build) and
+    /// [`RegexSet::new`], which needs to hand in ASTs no pattern string
+    /// produces — e.g. the void language of an empty set).
+    fn build_from_ast(&self, pattern: String, ast: Ast) -> Result<Regex, CompileError> {
         let ast = match self.mode {
             MatchMode::Whole => ast,
             MatchMode::Contains => Ast::concat(vec![
@@ -148,7 +156,7 @@ impl RegexBuilder {
         let dfa = minimize(&determinize(&nfa, &self.dfa)?);
         let sfa = DSfa::from_dfa(&dfa, &self.sfa)?;
         Ok(Regex {
-            pattern: pattern.to_string(),
+            pattern,
             mode: self.mode,
             threads: self.threads,
             reduction: self.reduction,
@@ -225,6 +233,30 @@ impl Regex {
         self.engine.as_ref().unwrap_or_else(|| Engine::global())
     }
 
+    /// The default parallelism configured via [`RegexBuilder::threads`]
+    /// (used by [`is_match`](Regex::is_match), streaming and batching).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Starts a [`StreamMatcher`]: incremental matching over input that
+    /// arrives in blocks, with the same verdict as [`is_match`] on the
+    /// concatenated stream. See [`crate::stream`].
+    ///
+    /// [`is_match`]: Regex::is_match
+    ///
+    /// ```
+    /// use sfa_matcher::Regex;
+    ///
+    /// let re = Regex::new("(ab)*").unwrap();
+    /// let mut stream = re.stream();
+    /// stream.feed(b"aba").feed(b"bab");
+    /// assert!(stream.finish()); // same as re.is_match(b"ababab")
+    /// ```
+    pub fn stream(&self) -> StreamMatcher<'_> {
+        StreamMatcher::new(self)
+    }
+
     /// Matches using the configured default thread count and reduction
     /// (parallel SFA matching when more than one thread is configured).
     pub fn is_match(&self, input: &[u8]) -> bool {
@@ -258,6 +290,65 @@ impl Regex {
         SpeculativeDfaMatcher::with_engine(&self.dfa, self.engine().clone())
             .accepts(input, threads, reduction)
     }
+
+    /// Matches many haystacks as **one** pool batch, returning one verdict
+    /// per haystack (in order).
+    ///
+    /// This is the request-serving dual of chunk parallelism: instead of
+    /// splitting one large input across workers, it spreads many (typically
+    /// small) inputs across workers, paying one pool hand-off for the whole
+    /// batch instead of one dispatch decision per call. Each small haystack
+    /// is scanned sequentially (Algorithm 2) inside its worker — for the
+    /// per-request inputs this API exists for, that is the fastest path. A
+    /// haystack large enough that a plain [`is_match`](Regex::is_match)
+    /// would cut it into pool chunks is matched that way instead, so a
+    /// size-skewed batch never serializes its biggest element on one
+    /// worker.
+    ///
+    /// The small haystacks are cut into at most
+    /// [`threads`](RegexBuilder::threads) contiguous shards (capped at the
+    /// engine's worker count); batches whose total size is too small to
+    /// amortize the hand-off run inline.
+    ///
+    /// ```
+    /// use sfa_matcher::Regex;
+    ///
+    /// let re = Regex::new("(ab)*").unwrap();
+    /// let verdicts = re.is_match_batch(&[&b"abab"[..], b"aba", b""]);
+    /// assert_eq!(verdicts, vec![true, false, true]);
+    /// ```
+    pub fn is_match_batch(&self, haystacks: &[&[u8]]) -> Vec<bool> {
+        let engine = self.engine();
+        let shards = self.threads.clamp(1, engine.workers());
+        let mut out = vec![false; haystacks.len()];
+        // Oversized haystacks go through their own chunk-parallel plan;
+        // everything below the pool threshold is collected for sharding.
+        let mut small: Vec<usize> = Vec::with_capacity(haystacks.len());
+        for (i, h) in haystacks.iter().enumerate() {
+            if engine.plan_chunks(h.len(), self.threads).use_pool {
+                out[i] = self.is_match_parallel(h, self.threads, self.reduction);
+            } else {
+                small.push(i);
+            }
+        }
+        let total: usize = small.iter().map(|&i| haystacks[i].len()).sum();
+        if shards <= 1 || small.len() <= 1 || total / shards < MIN_POOL_CHUNK_BYTES {
+            for &i in &small {
+                out[i] = self.is_match_sequential(haystacks[i]);
+            }
+            return out;
+        }
+        let shard_len = small.len().div_ceil(shards);
+        let verdicts = engine
+            .map_chunks(small.chunks(shard_len).collect(), true, |_, shard| {
+                shard.iter().map(|&i| self.is_match_sequential(haystacks[i])).collect::<Vec<_>>()
+            })
+            .concat();
+        for (&i, v) in small.iter().zip(verdicts) {
+            out[i] = v;
+        }
+        out
+    }
 }
 
 /// A set of patterns compiled into one automaton ("does any pattern
@@ -271,11 +362,22 @@ pub struct RegexSet {
 impl RegexSet {
     /// Compiles the alternation of all patterns with the given builder
     /// settings.
+    ///
+    /// An **empty** pattern list compiles to the *void* language: a set
+    /// with no rules matches nothing, in either match mode. (The union of
+    /// zero languages is empty — it is not the empty *string*, which an
+    /// empty alternation AST would otherwise collapse to.)
     pub fn new<'a, I>(patterns: I, builder: &RegexBuilder) -> Result<RegexSet, CompileError>
     where
         I: IntoIterator<Item = &'a str>,
     {
         let patterns: Vec<String> = patterns.into_iter().map(|s| s.to_string()).collect();
+        if patterns.is_empty() {
+            let void = Ast::Class(ByteSet::EMPTY);
+            let label = sfa_regex_syntax::to_pattern(&void);
+            let regex = builder.build_from_ast(label, void)?;
+            return Ok(RegexSet { patterns, regex });
+        }
         let parser = Parser::with_config(builder.parser.clone());
         let mut branches = Vec::with_capacity(patterns.len());
         for p in &patterns {
@@ -299,6 +401,20 @@ impl RegexSet {
     /// True if any pattern matches (under the builder's match mode).
     pub fn is_match(&self, input: &[u8]) -> bool {
         self.regex.is_match(input)
+    }
+
+    /// Matches many haystacks as one pool batch — "does any pattern match
+    /// this request?", amortized across the whole batch. Verdicts are in
+    /// haystack order. See [`Regex::is_match_batch`].
+    pub fn match_batch(&self, haystacks: &[&[u8]]) -> Vec<bool> {
+        self.regex.is_match_batch(haystacks)
+    }
+
+    /// Starts a [`StreamMatcher`] over the combined automaton: incremental
+    /// "does any pattern match?" over input arriving in blocks. See
+    /// [`crate::stream`].
+    pub fn stream(&self) -> StreamMatcher<'_> {
+        self.regex.stream()
     }
 }
 
@@ -389,6 +505,66 @@ mod tests {
         assert!(set.is_match(b"HEAD /status"));
         assert!(!set.is_match(b"PUT /upload"));
         assert!(set.regex().sfa().num_states() > 0);
+    }
+
+    #[test]
+    fn empty_regex_set_matches_nothing() {
+        // The empty union is the empty *language*, not the empty string:
+        // previously Ast::alternation([]) collapsed to Ast::Empty, so an
+        // empty set matched "" in Whole mode and *everything* in Contains
+        // mode.
+        let set = RegexSet::new([], &Regex::builder()).unwrap();
+        assert!(set.patterns().is_empty());
+        assert!(!set.is_match(b""));
+        assert!(!set.is_match(b"anything"));
+
+        let contains = RegexSet::new([], &Regex::builder().mode(MatchMode::Contains)).unwrap();
+        assert!(!contains.is_match(b""));
+        assert!(!contains.is_match(b"GET /index HTTP/1.1"));
+        assert_eq!(contains.match_batch(&[&b""[..], b"x", b"attack"]), vec![false; 3]);
+
+        // A single-pattern set still behaves exactly like its one pattern.
+        let single = RegexSet::new(["(ab)*"], &Regex::builder()).unwrap();
+        assert_eq!(single.patterns().len(), 1);
+        assert!(single.is_match(b"abab"));
+        assert!(single.is_match(b""));
+        assert!(!single.is_match(b"aba"));
+    }
+
+    #[test]
+    fn default_threads_is_cached_and_sane() {
+        let first = default_threads();
+        assert!(first >= 1);
+        // Cached: repeated calls agree (and are a single atomic load).
+        for _ in 0..1000 {
+            assert_eq!(default_threads(), first);
+        }
+        assert_eq!(RegexBuilder::default().threads, first);
+    }
+
+    #[test]
+    fn batch_matching_agrees_with_per_call() {
+        let engine = Engine::new(4);
+        let re = Regex::builder().engine(engine).threads(4).build("(ab)*").unwrap();
+        // Haystacks big enough (in total) to engage the pool.
+        let accepted = b"ab".repeat(4096);
+        let rejected = b"ab".repeat(4095 + 1)[..8191].to_vec();
+        // One oversized haystack (its own plan engages the pool) mixed into
+        // the small ones: it takes the chunk-parallel path, not a shard.
+        let huge = b"ab".repeat(128 * 1024);
+        let mut haystacks: Vec<&[u8]> = Vec::new();
+        for i in 0..64 {
+            haystacks.push(if i % 3 == 0 { &rejected } else { &accepted });
+        }
+        haystacks.push(b"");
+        haystacks.push(b"ab");
+        haystacks.push(&huge);
+        haystacks.push(b"ba");
+        let expected: Vec<bool> = haystacks.iter().map(|h| re.is_match(h)).collect();
+        assert_eq!(re.is_match_batch(&haystacks), expected);
+        // Degenerate batches stay inline and correct.
+        assert_eq!(re.is_match_batch(&[]), Vec::<bool>::new());
+        assert_eq!(re.is_match_batch(&[&b"abab"[..]]), vec![true]);
     }
 
     #[test]

@@ -1,0 +1,294 @@
+//! Streaming (online) matching over input that arrives in blocks.
+//!
+//! Theorem 3 of the paper says the SFA computation decomposes at *any*
+//! division of the word — the matcher exploits that for space-parallelism
+//! (chunks of one buffer on many workers), but the same property works in
+//! *time*: the division points can be the arrival boundaries of network
+//! reads or log tails. A [`StreamMatcher`] keeps the SFA state reached by
+//! everything fed so far; each [`feed`](StreamMatcher::feed) advances it by
+//! one block, and because `f_w ⋄ f_v = f_wv` (Lemma 1) the state after the
+//! last block is exactly the state of the concatenated input — no
+//! buffering, no re-scanning, any block sizes.
+//!
+//! Within a single large block the two parallelisms compose: the block is
+//! cut into chunks on the regex's [`Engine`](crate::pool::Engine) exactly
+//! like a whole-buffer [`is_match`](crate::Regex::is_match), and the chunk
+//! states are folded into the running state with
+//! [`DSfa::compose_states`](sfa_core::DSfa::compose_states). Small blocks
+//! (the common case for request-serving workloads) never touch the pool:
+//! feeding them is a plain continuation of the table walk, one lookup per
+//! byte.
+//!
+//! Once the running state reaches a *sink* (a mapping no suffix can change
+//! — the all-dead mapping after a synchronizing word, or the
+//! constant-accept mapping of a `Contains` scan that has seen its needle),
+//! the verdict is final: [`verdict`](StreamMatcher::verdict) reports it
+//! without waiting for the stream to end, and every further `feed` is a
+//! counter bump, not a scan. Long streams are therefore cheap after
+//! saturation (cf. Gusev et al., *Principal ideal languages and
+//! synchronizing automata*: converging states make the tail free).
+//!
+//! ```
+//! use sfa_matcher::{MatchMode, Regex};
+//!
+//! let re = Regex::builder().mode(MatchMode::Contains).build("attack[0-9]{2}").unwrap();
+//! let mut stream = re.stream();
+//! // The needle may straddle feed boundaries arbitrarily.
+//! stream.feed(b"GET /atta").feed(b"ck4").feed(b"2/index.html");
+//! assert!(stream.finish());
+//! // A Contains match saturates: the verdict is already final and the
+//! // rest of the stream will not be scanned at all.
+//! assert_eq!(stream.verdict(), Some(true));
+//! stream.reset();
+//! assert!(!stream.feed(b"benign traffic").finish());
+//! ```
+
+use crate::chunk::split_chunks;
+use crate::regex::Regex;
+use sfa_core::SfaStateId;
+
+/// An incremental matcher: the state of a [`Regex`] run over a stream of
+/// input blocks. See the [module docs](self) for the model.
+///
+/// Created by [`Regex::stream`] (or
+/// [`RegexSet::stream`](crate::RegexSet::stream)); borrows the compiled
+/// regex, so many concurrent streams can share one compilation.
+#[derive(Clone, Debug)]
+pub struct StreamMatcher<'r> {
+    regex: &'r Regex,
+    state: SfaStateId,
+    bytes_fed: u64,
+    blocks_fed: u64,
+}
+
+impl<'r> StreamMatcher<'r> {
+    /// Starts a stream at the identity state (no input fed yet).
+    pub(crate) fn new(regex: &'r Regex) -> StreamMatcher<'r> {
+        StreamMatcher { regex, state: regex.sfa().initial(), bytes_fed: 0, blocks_fed: 0 }
+    }
+
+    /// The regex this stream is matching against.
+    pub fn regex(&self) -> &'r Regex {
+        self.regex
+    }
+
+    /// Advances the running state by one block of input.
+    ///
+    /// The verdict after any sequence of `feed`s equals
+    /// [`is_match`](Regex::is_match) on the concatenation of the blocks —
+    /// the blocks may split the input anywhere, including mid-match.
+    ///
+    /// Blocks big enough to amortize the hand-off are cut into chunks and
+    /// scanned on the regex's engine in parallel (using the regex's
+    /// configured thread cap); smaller blocks continue the table walk
+    /// inline. After [saturation](StreamMatcher::is_saturated) this is
+    /// `O(1)`: the block is counted but not scanned.
+    pub fn feed(&mut self, block: &[u8]) -> &mut Self {
+        self.bytes_fed += block.len() as u64;
+        self.blocks_fed += 1;
+        let sfa = self.regex.sfa();
+        if sfa.is_sink(self.state) {
+            return self; // saturated: no suffix can change the verdict
+        }
+        let plan = self.regex.engine().plan_chunks(block.len(), self.regex.threads());
+        if !plan.use_pool {
+            self.state = sfa.run_from(self.state, block);
+        } else {
+            // Chunk phase of Algorithm 5 within the block, then fold the
+            // chunk states into the running state (Lemma 1 twice over).
+            let chunks = split_chunks(block, plan.chunks);
+            let partials = self.regex.engine().map_chunks(chunks, true, |_, c| sfa.run(c));
+            for f in partials {
+                self.state = sfa.compose_states(self.state, f);
+                if sfa.is_sink(self.state) {
+                    break;
+                }
+            }
+        }
+        self
+    }
+
+    /// The verdict over everything fed so far: would the concatenated
+    /// blocks match?
+    ///
+    /// Non-consuming and always available — a stream can keep feeding
+    /// after asking (e.g. a per-line verdict over a growing log).
+    pub fn finish(&self) -> bool {
+        self.regex.sfa().is_accepting(self.state)
+    }
+
+    /// The final verdict, if it is already decided: `Some` once the stream
+    /// has [saturated](StreamMatcher::is_saturated) (no possible suffix can
+    /// change the answer), `None` while further input still matters.
+    ///
+    /// In `Contains` mode a hit saturates to `Some(true)`, so an IDS-style
+    /// scanner can stop reading a connection at the first match.
+    pub fn verdict(&self) -> Option<bool> {
+        self.is_saturated().then(|| self.finish())
+    }
+
+    /// True once the running state is a sink: the mapping can never change
+    /// again, every further [`feed`](StreamMatcher::feed) is a no-op bump
+    /// and [`verdict`](StreamMatcher::verdict) is final.
+    pub fn is_saturated(&self) -> bool {
+        self.regex.sfa().is_sink(self.state)
+    }
+
+    /// The SFA state reached by the input fed so far (the transformation
+    /// `f_w` of the concatenated blocks `w`).
+    pub fn sfa_state(&self) -> SfaStateId {
+        self.state
+    }
+
+    /// Total bytes fed since construction or the last reset.
+    pub fn bytes_fed(&self) -> u64 {
+        self.bytes_fed
+    }
+
+    /// Number of `feed` calls since construction or the last reset.
+    pub fn blocks_fed(&self) -> u64 {
+        self.blocks_fed
+    }
+
+    /// Rewinds to the identity state so the matcher can be reused for a new
+    /// stream without touching the compiled regex.
+    pub fn reset(&mut self) {
+        self.state = self.regex.sfa().initial();
+        self.bytes_fed = 0;
+        self.blocks_fed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pool::Engine;
+    use crate::regex::{MatchMode, Regex};
+
+    /// Splits `input` at the given positions and feeds the pieces.
+    fn verdict_via_stream(re: &Regex, input: &[u8], cuts: &[usize]) -> bool {
+        let mut stream = re.stream();
+        let mut start = 0;
+        for &cut in cuts {
+            let cut = cut.min(input.len());
+            if cut > start {
+                stream.feed(&input[start..cut]);
+                start = cut;
+            }
+        }
+        stream.feed(&input[start..]);
+        stream.finish()
+    }
+
+    #[test]
+    fn streaming_agrees_with_whole_buffer_on_any_split() {
+        let re = Regex::new("([0-4]{2}[5-9]{2})*").unwrap();
+        let inputs: Vec<&[u8]> = vec![b"", b"0055", b"005504590459", b"00550", b"555500"];
+        for input in inputs {
+            let expected = re.is_match(input);
+            // Every single cut position, plus byte-at-a-time.
+            for cut in 0..=input.len() {
+                assert_eq!(verdict_via_stream(&re, input, &[cut]), expected, "cut {cut}");
+            }
+            let every_byte: Vec<usize> = (0..=input.len()).collect();
+            assert_eq!(verdict_via_stream(&re, input, &every_byte), expected);
+        }
+    }
+
+    #[test]
+    fn feed_boundaries_may_split_a_match_mid_needle() {
+        let re = Regex::builder().mode(MatchMode::Contains).build("needle[0-9]{3}").unwrap();
+        let haystack = b"xxxxxneedle042yyyyy";
+        assert!(re.is_match(haystack));
+        // Cut through every position of the needle occurrence.
+        for cut in 5..14 {
+            assert!(verdict_via_stream(&re, haystack, &[cut]), "cut {cut}");
+            assert!(verdict_via_stream(&re, haystack, &[cut, cut + 1]), "cuts {cut},{}", cut + 1);
+        }
+        assert!(!verdict_via_stream(&re, b"xxxxxneedle04yyyyy", &[7, 9, 11]));
+    }
+
+    #[test]
+    fn large_blocks_run_their_chunks_on_the_pool() {
+        let engine = Engine::new(4);
+        let re = Regex::builder().engine(engine).threads(4).build("([0-4]{2}[5-9]{2})*").unwrap();
+        let block = b"00550459".repeat(8 * 1024); // 64 KiB → pool path
+        assert!(re.engine().plan_chunks(block.len(), re.threads()).use_pool);
+        let mut stream = re.stream();
+        stream.feed(&block).feed(&block).feed(b"0055");
+        assert!(stream.finish());
+        assert_eq!(stream.bytes_fed(), 2 * block.len() as u64 + 4);
+        assert_eq!(stream.blocks_fed(), 3);
+        // A trailing partial period flips the verdict.
+        stream.feed(b"9");
+        assert!(!stream.finish());
+        // Mixed block sizes agree with the whole buffer.
+        let mut whole = block.repeat(2);
+        whole.extend_from_slice(b"00559");
+        assert_eq!(stream.finish(), re.is_match(&whole));
+    }
+
+    #[test]
+    fn saturation_short_circuits_and_fixes_the_verdict() {
+        let re = Regex::builder().mode(MatchMode::Contains).build("attack[0-9]{2}").unwrap();
+        let mut stream = re.stream();
+        assert_eq!(stream.verdict(), None);
+        stream.feed(b"GET /atta").feed(b"ck42/");
+        // Contains hit → constant-accept sink → final verdict.
+        assert_eq!(stream.verdict(), Some(true));
+        assert!(stream.is_saturated());
+        let state = stream.sfa_state();
+        // Further feeds are counted but cannot move the state.
+        stream.feed(&b"y".repeat(1 << 20));
+        assert_eq!(stream.sfa_state(), state);
+        assert!(stream.finish());
+        assert_eq!(stream.blocks_fed(), 3);
+
+        // Whole-input mode saturates on the dead state instead.
+        let re = Regex::new("(ab)*").unwrap();
+        let mut stream = re.stream();
+        stream.feed(b"aa");
+        assert_eq!(stream.verdict(), Some(false));
+        stream.feed(b"abab");
+        assert!(!stream.finish());
+    }
+
+    #[test]
+    fn reset_rewinds_to_a_fresh_stream() {
+        let re = Regex::new("(ab)*").unwrap();
+        let mut stream = re.stream();
+        stream.feed(b"ab").feed(b"ab");
+        assert!(stream.finish());
+        assert_eq!(stream.bytes_fed(), 4);
+        stream.reset();
+        assert_eq!(stream.bytes_fed(), 0);
+        assert_eq!(stream.blocks_fed(), 0);
+        assert!(stream.finish(), "(ab)* accepts the empty stream");
+        stream.feed(b"a");
+        assert!(!stream.finish());
+    }
+
+    #[test]
+    fn empty_blocks_are_harmless() {
+        let re = Regex::new("(ab)*").unwrap();
+        let mut stream = re.stream();
+        stream.feed(b"").feed(b"ab").feed(b"").feed(b"");
+        assert!(stream.finish());
+        assert_eq!(stream.bytes_fed(), 2);
+        assert_eq!(stream.blocks_fed(), 4);
+    }
+
+    #[test]
+    fn regex_set_streams_too() {
+        use crate::regex::RegexSet;
+        let set = RegexSet::new(
+            ["GET /[a-z]+", "POST /login"],
+            &Regex::builder().mode(MatchMode::Contains),
+        )
+        .unwrap();
+        let mut stream = set.stream();
+        stream.feed(b"POST /log").feed(b"in HTTP/1.1");
+        assert!(stream.finish());
+        stream.reset();
+        assert!(!stream.feed(b"PUT /upload").finish());
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! Workload generators for the SFA experiments: the synthetic SNORT-like
 //! ruleset behind Figure 3, the `r_n` scalability family and its accepted
-//! input texts behind Figures 6–10 and Table III, plus generic corpora.
+//! input texts behind Figures 6–10 and Table III, the streaming log-replay
+//! scenario (a corpus cut into arrival-time blocks), plus generic corpora.
 //!
 //! Everything is deterministic for a given seed so every figure of
 //! EXPERIMENTS.md can be regenerated exactly.
@@ -12,11 +13,13 @@
 
 pub mod scalability;
 pub mod snort;
+pub mod streaming;
 
 pub use scalability::{
     fig10_pattern, fig10_text, random_bytes, repeated_a_text, rn_or_a_pattern, rn_pattern, rn_text,
 };
 pub use snort::{ruleset, SnortConfig, CURATED_PATTERNS};
+pub use streaming::{log_stream, log_stream_bytes, StreamConfig};
 
 /// An HTTP-log-like line-oriented corpus (used by the examples): a mix of
 /// benign request lines with a configurable number of "attack" lines

@@ -1,0 +1,98 @@
+//! Streaming log-replay scenario: a log corpus cut into arrival-time
+//! blocks, the way a matcher actually receives input when it tails a log
+//! file or scans a network connection.
+//!
+//! The blocks deliberately ignore line structure — a real `read()` returns
+//! however many bytes the kernel has, so attack needles routinely straddle
+//! block boundaries. Replaying the blocks through a
+//! `StreamMatcher` must give the same verdict as matching the whole
+//! concatenated log, which is exactly what the integration tests assert.
+//!
+//! Everything is deterministic for a given seed.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration of the streaming log-replay scenario.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Number of log lines in the underlying corpus.
+    pub lines: usize,
+    /// One attack line every `attack_every` lines (0 ⇒ no attacks) — the
+    /// same knob as [`http_log`](crate::http_log).
+    pub attack_every: usize,
+    /// Mean arrival-block size in bytes. Actual blocks are uniform in
+    /// `1..=2·mean`, so boundaries land anywhere, including mid-line and
+    /// mid-needle.
+    pub mean_block: usize,
+    /// RNG seed (corpus and block boundaries are both derived from it).
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { lines: 1000, attack_every: 50, mean_block: 512, seed: 0 }
+    }
+}
+
+/// Generates the log-replay stream: the [`http_log`](crate::http_log)
+/// corpus for `(lines, attack_every, seed)`, cut into arrival blocks of
+/// random size `1..=2·mean_block`.
+///
+/// The concatenation of the returned blocks is exactly the corpus, so a
+/// streaming matcher fed block by block must agree with a whole-buffer
+/// matcher run on [`log_stream_bytes`].
+pub fn log_stream(config: &StreamConfig) -> Vec<Vec<u8>> {
+    let corpus = log_stream_bytes(config);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5f5f_5f5f_5f5f_5f5f);
+    let mean = config.mean_block.max(1);
+    let mut blocks = Vec::with_capacity(corpus.len() / mean + 1);
+    let mut start = 0;
+    while start < corpus.len() {
+        let len = rng.gen_range(1..=2 * mean).min(corpus.len() - start);
+        blocks.push(corpus[start..start + len].to_vec());
+        start += len;
+    }
+    blocks
+}
+
+/// The whole-buffer form of the same scenario: the concatenation of every
+/// block [`log_stream`] yields for this configuration.
+pub fn log_stream_bytes(config: &StreamConfig) -> Vec<u8> {
+    crate::http_log(config.lines, config.attack_every, config.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_concatenate_to_the_corpus() {
+        let config = StreamConfig { lines: 200, attack_every: 10, mean_block: 64, seed: 7 };
+        let blocks = log_stream(&config);
+        let corpus = log_stream_bytes(&config);
+        let glued: Vec<u8> = blocks.iter().flatten().copied().collect();
+        assert_eq!(glued, corpus);
+        assert!(blocks.len() > 1);
+        assert!(blocks.iter().all(|b| !b.is_empty() && b.len() <= 128));
+    }
+
+    #[test]
+    fn block_boundaries_cut_lines() {
+        // With a mean block far below the line length distribution, most
+        // boundaries must fall mid-line — the adversarial case the
+        // scenario exists for.
+        let config = StreamConfig { lines: 300, attack_every: 5, mean_block: 16, seed: 3 };
+        let blocks = log_stream(&config);
+        let mid_line_cuts = blocks.iter().filter(|b| b.last().copied() != Some(b'\n')).count();
+        assert!(mid_line_cuts * 2 > blocks.len(), "most cuts should be mid-line");
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let config = StreamConfig::default();
+        assert_eq!(log_stream(&config), log_stream(&config));
+        let other = StreamConfig { seed: 1, ..StreamConfig::default() };
+        assert_ne!(log_stream(&config), log_stream(&other));
+    }
+}

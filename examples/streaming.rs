@@ -1,0 +1,74 @@
+//! Streaming and batched matching: replay a log as arrival-time blocks
+//! through a `StreamMatcher` (verdict identical to the whole buffer, no
+//! buffering), then serve a batch of small request lines through one pool
+//! batch instead of one dispatch per call.
+//!
+//! Run with: `cargo run --release --example streaming`
+
+use sfa::prelude::*;
+use sfa::workloads::{self, StreamConfig};
+
+fn main() {
+    let re = Regex::builder()
+        .mode(MatchMode::Contains)
+        .engine(Engine::new(4))
+        .threads(4)
+        .build("/cgi-bin/ph[a-z]{1,8}")
+        .expect("pattern compiles");
+
+    // --- Streaming: the log arrives in reads of ~1 KiB, needles may
+    // straddle block boundaries.
+    let config = StreamConfig { lines: 20_000, attack_every: 5_000, mean_block: 1024, seed: 7 };
+    let blocks = workloads::log_stream(&config);
+    let corpus = workloads::log_stream_bytes(&config);
+    println!(
+        "replaying {} KiB of log data as {} arrival blocks",
+        corpus.len() / 1024,
+        blocks.len()
+    );
+
+    let mut stream = re.stream();
+    let mut decided_after = None;
+    for block in &blocks {
+        stream.feed(block);
+        if stream.verdict().is_some() {
+            decided_after = Some(stream.bytes_fed());
+            break; // saturated: no further input can change the verdict
+        }
+    }
+    assert_eq!(stream.finish(), re.is_match(&corpus));
+    println!("stream verdict: {} (same as the whole buffer)", stream.finish());
+    match decided_after {
+        Some(bytes) => println!(
+            "verdict was final after {} KiB — the remaining {} KiB were never scanned",
+            bytes / 1024,
+            (corpus.len() as u64 - bytes) / 1024
+        ),
+        None => println!("stream never saturated: every byte was scanned"),
+    }
+
+    // --- Batching: 10 000 request-sized haystacks in one pool batch.
+    let requests: Vec<Vec<u8>> = (0..10_000)
+        .map(|i| {
+            if i % 500 == 123 {
+                format!("GET /cgi-bin/phf?id={i} HTTP/1.1").into_bytes()
+            } else {
+                format!("GET /index/{i} HTTP/1.1").into_bytes()
+            }
+        })
+        .collect();
+    let refs: Vec<&[u8]> = requests.iter().map(|r| r.as_slice()).collect();
+
+    let t0 = std::time::Instant::now();
+    let per_call: usize = refs.iter().filter(|h| re.is_match(h)).count();
+    let t_per_call = t0.elapsed();
+
+    let t1 = std::time::Instant::now();
+    let batch = re.is_match_batch(&refs).into_iter().filter(|&m| m).count();
+    let t_batch = t1.elapsed();
+
+    assert_eq!(per_call, batch);
+    println!("{batch} of {} requests flagged", refs.len());
+    println!("per-call is_match  : {t_per_call:>10.2?}");
+    println!("one is_match_batch : {t_batch:>10.2?} (4 workers)");
+}

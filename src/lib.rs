@@ -42,6 +42,6 @@ pub mod prelude {
     pub use sfa_core::{DSfa, LazyDSfa, NSfa, SfaConfig};
     pub use sfa_matcher::{
         Engine, MatchMode, ParallelSfaMatcher, Reduction, Regex, RegexBuilder, RegexSet,
-        SpeculativeDfaMatcher, WorkerPool,
+        SpeculativeDfaMatcher, StreamMatcher, WorkerPool,
     };
 }

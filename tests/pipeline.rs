@@ -130,6 +130,72 @@ fn nsfa_and_dsfa_agree_on_language() {
 }
 
 #[test]
+fn streaming_log_replay_agrees_with_whole_buffer() {
+    // The streaming scenario end to end: a log cut into arrival blocks
+    // (boundaries anywhere, including mid-needle) fed through a
+    // StreamMatcher gives the whole-buffer verdict, for hit-free,
+    // hit-bearing, sub-pool and pooled block sizes.
+    let re = Regex::builder()
+        .mode(MatchMode::Contains)
+        .engine(Engine::new(4))
+        .threads(4)
+        .build("/cgi-bin/ph[a-z]{1,8}")
+        .unwrap();
+    for (attack_every, mean_block) in [(0usize, 256usize), (1000, 64), (97, 8192)] {
+        let config = workloads::StreamConfig { lines: 3_000, attack_every, mean_block, seed: 11 };
+        let blocks = workloads::log_stream(&config);
+        let corpus = workloads::log_stream_bytes(&config);
+        let expected = re.is_match(&corpus);
+        assert_eq!(expected, attack_every != 0, "attack_every {attack_every}");
+
+        let mut stream = re.stream();
+        for block in &blocks {
+            stream.feed(block);
+        }
+        assert_eq!(stream.finish(), expected, "attack_every {attack_every}");
+        assert_eq!(stream.bytes_fed(), corpus.len() as u64);
+        assert_eq!(stream.blocks_fed(), blocks.len() as u64);
+        // A hit saturates the stream (constant-accept sink), so the
+        // verdict is final before the end of a hit-bearing stream.
+        assert_eq!(stream.verdict(), expected.then_some(true));
+        stream.reset();
+        assert!(!stream.finish());
+    }
+}
+
+#[test]
+fn batch_matching_over_request_lines() {
+    let re = Regex::builder().mode(MatchMode::Contains).build("/cgi-bin/ph[a-z]{1,8}").unwrap();
+    let corpus = workloads::http_log(2_000, 40, 5);
+    let lines: Vec<&[u8]> = corpus.split(|&b| b == b'\n').collect();
+    let expected: Vec<bool> = lines.iter().map(|l| re.is_match(l)).collect();
+    assert_eq!(expected.iter().filter(|&&m| m).count(), 2_000 / 40);
+    assert_eq!(re.is_match_batch(&lines), expected);
+    // The RegexSet form answers "does any rule match?" per request.
+    let set = RegexSet::new(
+        ["/cgi-bin/ph[a-z]{1,8}", "(?i)etc/passwd"],
+        &Regex::builder().mode(MatchMode::Contains),
+    )
+    .unwrap();
+    assert_eq!(set.match_batch(&lines), expected);
+}
+
+#[test]
+fn empty_regex_set_is_void_end_to_end() {
+    for mode in [MatchMode::Whole, MatchMode::Contains] {
+        let set = RegexSet::new([], &Regex::builder().mode(mode)).unwrap();
+        assert!(!set.is_match(b""));
+        assert!(!set.is_match(b"GET /index HTTP/1.1"));
+        let mut stream = set.stream();
+        stream.feed(b"anything").feed(b"at all");
+        assert!(!stream.finish());
+        // The void stream is saturated from the start: its verdict can
+        // never change.
+        assert_eq!(stream.verdict(), Some(false));
+    }
+}
+
+#[test]
 fn error_paths_are_reported_not_panicked() {
     assert!(Regex::new("(").is_err());
     assert!(Regex::new("a{10,1}").is_err());
