@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig3|fig45|fig6|fig7|fig8|fig9|fig10|table2|table3|facts] ...
+//! reproduce [all|fig3|fig45|fig6|fig7|fig8|fig9|fig10|table2|table3|facts|backends] ...
 //! ```
 //!
 //! Input sizes are scaled for a laptop-class machine; set `SFA_SCALE=64`
@@ -60,6 +60,9 @@ fn main() {
     }
     if run("facts") {
         facts();
+    }
+    if run("backends") {
+        backends();
     }
 }
 
@@ -168,7 +171,8 @@ fn fig45() {
     let dot_dir = std::path::Path::new("target/reproduce");
     std::fs::create_dir_all(dot_dir).ok();
     let dfa_dot = sfa_automata::dot::dfa_to_dot(re.dfa(), "fig4_r2_dfa");
-    let sfa_dot = sfa_automata::dot::dfa_to_dot(&re.sfa().as_dfa(), "fig5_r2_dsfa");
+    let eager = re.sfa().eager().expect("default builds are eager");
+    let sfa_dot = sfa_automata::dot::dfa_to_dot(&eager.as_dfa(), "fig5_r2_dsfa");
     std::fs::write(dot_dir.join("fig4_r2_dfa.dot"), &dfa_dot).ok();
     std::fs::write(dot_dir.join("fig5_r2_dsfa.dot"), &sfa_dot).ok();
     println!("Graphviz written to target/reproduce/fig4_r2_dfa.dot and fig5_r2_dsfa.dot");
@@ -208,13 +212,16 @@ fn scalability_figure(name: &str, n: usize, fig9_repeated_a: bool) {
     println!("\n## {name} — {pattern}  (input {} MiB)", len / (1024 * 1024));
     let build_start = Instant::now();
     let re = Regex::builder().max_sfa_states(2_000_000).build(&pattern).unwrap();
+    let report = re.size_report();
     println!(
-        "|D| = {} live, |S_d| = {}, SFA table {} KiB, mappings {} KiB (built in {:.2?})",
+        "|D| = {} live, |S_d| = {}, SFA table {} KiB, mappings {} KiB (built in {:.2?}, {} backend, {} states materialized)",
         re.dfa().num_live_states(),
         re.sfa().num_states(),
         re.sfa().table_bytes() / 1024,
         re.sfa().mapping_bytes() / 1024,
-        build_start.elapsed()
+        build_start.elapsed(),
+        report.backend,
+        report.materialized_states,
     );
     let text = if fig9_repeated_a {
         workloads::repeated_a_text(len)
@@ -340,6 +347,40 @@ fn facts() {
         t_sfa.gb_per_sec(),
         re.dfa().num_live_states()
     );
+}
+
+/// Backends: the Section V-A on-the-fly construction on the repo's
+/// explosion witness — the untamed ids_scan SQLi rule, whose *eager*
+/// D-SFA exceeds 750 000 states while lazy matching materializes a few
+/// dozen. Prints the full size report, backend kind and live
+/// materialized-state count included.
+fn backends() {
+    use sfa_matcher::{BackendChoice, MatchMode};
+    println!("\n## Backends — eager explosion vs. on-the-fly construction (Sect. V-A)");
+    println!("rule: {}", workloads::SQLI_RULE);
+    let builder = Regex::builder().mode(MatchMode::Contains).max_sfa_states(20_000);
+    let t0 = Instant::now();
+    let eager_err = builder.clone().backend(BackendChoice::Eager).build(workloads::SQLI_RULE);
+    println!(
+        "eager backend : {} (after {:.2?}; the full automaton exceeds 750k states)",
+        eager_err.err().map(|e| e.to_string()).unwrap_or_else(|| "unexpectedly fit".into()),
+        t0.elapsed()
+    );
+    let t1 = Instant::now();
+    let re = builder.backend(BackendChoice::Auto).build(workloads::SQLI_RULE).unwrap();
+    println!("auto backend  : fell back to {} in {:.2?}", re.backend_kind(), t1.elapsed());
+    let log = workloads::http_log(20_000, 97, 0xBEEF);
+    let mut attack = log.clone();
+    attack.extend_from_slice(b"GET /q?u=union select name, pass from users HTTP/1.1\n");
+    let t2 = Instant::now();
+    assert!(!re.is_match_parallel(&log, num_cpus(), Reduction::Sequential));
+    assert!(re.is_match_parallel(&attack, num_cpus(), Reduction::Sequential));
+    println!(
+        "scanned 2 × {} KiB in {:.2?} (clean log: no match; injected log: match)",
+        log.len() / 1024,
+        t2.elapsed()
+    );
+    println!("size report   : {}", re.size_report().to_json());
 }
 
 fn pct(part: usize, total: usize) -> f64 {

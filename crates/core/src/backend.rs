@@ -1,0 +1,363 @@
+//! The pluggable D-SFA backend abstraction.
+//!
+//! Everything above `sfa-core` — the chunk scanners, the parallel and
+//! streaming matchers, the `Regex` facade — needs only a small surface
+//! from the automaton: run a chunk from a state, test acceptance, detect
+//! sinks, compose states, report sizes. [`SfaBackend`] captures that
+//! surface over the two representations this crate provides:
+//!
+//! * **Eager** ([`DSfa`]) — the full correspondence construction
+//!   (Algorithm 4): every reachable transformation materialized and
+//!   premultiplied up front. Fastest per byte (a dense table lookup), but
+//!   construction is `O(|S_d|)` in time and memory and *fails* on the
+//!   explosion families of Section VII.
+//! * **Lazy** ([`LazyDSfa`]) — the on-the-fly construction (Section V-A):
+//!   states materialize only when an input actually reaches them, "at
+//!   most n states for input text of length n even if the number of
+//!   states in DFA explodes". Pays a read-lock and a class indirection on
+//!   the hot path, but makes every pattern *feasible*.
+//!
+//! Dispatch is a two-arm enum rather than a trait object: the matcher
+//! layer stays object-free and monomorphization-free (one `Regex` type,
+//! not `Regex<B>`), and the branch predicts perfectly since a given
+//! matcher only ever holds one variant.
+
+use crate::dsfa::{DSfa, SfaStateId};
+use crate::lazy::LazyDSfa;
+use crate::mapping::Transformation;
+use sfa_automata::StateId;
+
+/// Which D-SFA representation a backend uses. See the
+/// [module docs](self) for the trade-off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Fully materialized, premultiplied tables (Algorithm 4).
+    Eager,
+    /// On-the-fly construction (Section V-A): states materialize as
+    /// inputs visit them.
+    Lazy,
+}
+
+impl BackendKind {
+    /// The kind's name, used in the JSON size report.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            BackendKind::Eager => "Eager",
+            BackendKind::Lazy => "Lazy",
+        }
+    }
+
+    /// Parses a kind name produced by [`BackendKind::as_str`].
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        Some(match s {
+            "Eager" => BackendKind::Eager,
+            "Lazy" => BackendKind::Lazy,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A D-SFA behind one of the two representations, exposing exactly the
+/// operations the matcher layer needs. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub enum SfaBackend {
+    /// The eager, fully materialized [`DSfa`].
+    Eager(DSfa),
+    /// The on-the-fly [`LazyDSfa`].
+    Lazy(LazyDSfa),
+}
+
+impl From<DSfa> for SfaBackend {
+    fn from(sfa: DSfa) -> SfaBackend {
+        SfaBackend::Eager(sfa)
+    }
+}
+
+impl From<LazyDSfa> for SfaBackend {
+    fn from(sfa: LazyDSfa) -> SfaBackend {
+        SfaBackend::Lazy(sfa)
+    }
+}
+
+impl SfaBackend {
+    /// Which representation this backend uses.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            SfaBackend::Eager(_) => BackendKind::Eager,
+            SfaBackend::Lazy(_) => BackendKind::Lazy,
+        }
+    }
+
+    /// The eager automaton, when this backend is eager.
+    pub fn eager(&self) -> Option<&DSfa> {
+        match self {
+            SfaBackend::Eager(sfa) => Some(sfa),
+            SfaBackend::Lazy(_) => None,
+        }
+    }
+
+    /// The lazy automaton, when this backend is lazy.
+    pub fn lazy(&self) -> Option<&LazyDSfa> {
+        match self {
+            SfaBackend::Eager(_) => None,
+            SfaBackend::Lazy(sfa) => Some(sfa),
+        }
+    }
+
+    /// The initial state (always the identity mapping `f_I`).
+    #[inline]
+    pub fn initial(&self) -> SfaStateId {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.initial(),
+            SfaBackend::Lazy(sfa) => sfa.initial(),
+        }
+    }
+
+    /// Transition on a byte, constructing the target on demand for lazy
+    /// backends.
+    #[inline]
+    pub fn next_state(&self, state: SfaStateId, byte: u8) -> SfaStateId {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.next_state(state, byte),
+            SfaBackend::Lazy(sfa) => sfa.next_state(state, byte),
+        }
+    }
+
+    /// Runs the SFA over `input` from the identity state (the chunk phase
+    /// of Algorithm 5 for one chunk).
+    pub fn run(&self, input: &[u8]) -> SfaStateId {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.run(input),
+            SfaBackend::Lazy(sfa) => sfa.run(input),
+        }
+    }
+
+    /// Runs the SFA over `input` from an arbitrary state, with the
+    /// backend's sink early-exit.
+    pub fn run_from(&self, state: SfaStateId, input: &[u8]) -> SfaStateId {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.run_from(state, input),
+            SfaBackend::Lazy(sfa) => sfa.run_from(state, input),
+        }
+    }
+
+    /// Whole-input membership using the SFA alone.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        self.is_accepting(self.run(input))
+    }
+
+    /// Returns true if the SFA state is accepting
+    /// (`F_s = { f | f(q_0) ∈ F_D }`).
+    #[inline]
+    pub fn is_accepting(&self, state: SfaStateId) -> bool {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.is_accepting(state),
+            SfaBackend::Lazy(sfa) => sfa.is_accepting(state),
+        }
+    }
+
+    /// True when the mapping carried by `state` can never change again —
+    /// matchers stop scanning and streams saturate on such states.
+    #[inline]
+    pub fn is_sink(&self, state: SfaStateId) -> bool {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.is_sink(state),
+            SfaBackend::Lazy(sfa) => sfa.is_sink(state),
+        }
+    }
+
+    /// Composes two SFA states *as states* (`f_w ⋄ f_v = f_wv`, Lemma 1).
+    /// On the lazy backend the composite is interned — it may materialize
+    /// a state no input has walked to yet.
+    pub fn compose_states(&self, a: SfaStateId, b: SfaStateId) -> SfaStateId {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.compose_states(a, b),
+            SfaBackend::Lazy(sfa) => sfa.compose_states(a, b),
+        }
+    }
+
+    /// The mapping carried by a state, cloned out of the backend (lazy
+    /// backends cannot hand out references into their locked cache).
+    pub fn mapping(&self, state: SfaStateId) -> Transformation {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.mapping(state).clone(),
+            SfaBackend::Lazy(sfa) => sfa.mapping(state),
+        }
+    }
+
+    /// Applies the mapping of `state` to one DFA state — the sequential
+    /// reduction's `f(q)` lookup, clone-free on both backends.
+    #[inline]
+    pub fn apply(&self, state: SfaStateId, q: StateId) -> StateId {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.mapping(state).apply(q),
+            SfaBackend::Lazy(sfa) => sfa.apply(state, q),
+        }
+    }
+
+    /// Looks up the SFA state of a transformation, if materialized (lazy)
+    /// / reachable (eager).
+    pub fn state_of(&self, mapping: &Transformation) -> Option<SfaStateId> {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.state_of(mapping),
+            SfaBackend::Lazy(sfa) => sfa.state_of(mapping),
+        }
+    }
+
+    /// The start state of the source DFA.
+    #[inline]
+    pub fn dfa_start(&self) -> StateId {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.dfa_start(),
+            SfaBackend::Lazy(sfa) => sfa.dfa_start(),
+        }
+    }
+
+    /// Returns true if the DFA state is accepting (used by reductions).
+    #[inline]
+    pub fn dfa_is_accepting(&self, q: StateId) -> bool {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.dfa_is_accepting(q),
+            SfaBackend::Lazy(sfa) => sfa.dfa_is_accepting(q),
+        }
+    }
+
+    /// Number of *materialized* SFA states: the full `|S_d|` for an eager
+    /// backend, the states visited so far for a lazy one (a live count
+    /// that grows as inputs explore the automaton).
+    pub fn num_states(&self) -> usize {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.num_states(),
+            SfaBackend::Lazy(sfa) => sfa.num_states_constructed(),
+        }
+    }
+
+    /// Number of states of the source DFA.
+    #[inline]
+    pub fn num_dfa_states(&self) -> usize {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.num_dfa_states(),
+            SfaBackend::Lazy(sfa) => sfa.num_dfa_states(),
+        }
+    }
+
+    /// Number of byte classes (row width of the transition table).
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.num_classes(),
+            SfaBackend::Lazy(sfa) => sfa.num_classes(),
+        }
+    }
+
+    /// Bytes occupied by the (materialized) class-compressed transition
+    /// rows.
+    pub fn table_bytes(&self) -> usize {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.table_bytes(),
+            SfaBackend::Lazy(sfa) => sfa.table_bytes(),
+        }
+    }
+
+    /// Bytes occupied by the premultiplied dense byte table (eager only;
+    /// always 0 for lazy backends, which never premultiply).
+    pub fn byte_table_bytes(&self) -> usize {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.byte_table_bytes(),
+            SfaBackend::Lazy(_) => 0,
+        }
+    }
+
+    /// Bytes occupied by the (materialized) state mappings.
+    pub fn mapping_bytes(&self) -> usize {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.mapping_bytes(),
+            SfaBackend::Lazy(sfa) => sfa.mapping_bytes(),
+        }
+    }
+
+    /// True when the eager backend built its premultiplied byte table
+    /// (see [`crate::SfaConfig::premultiply`]); always false for lazy.
+    pub fn premultiplied(&self) -> bool {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.premultiplied(),
+            SfaBackend::Lazy(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SfaConfig;
+
+    fn both(pattern: &str) -> (SfaBackend, SfaBackend) {
+        let dfa = sfa_automata::minimal_dfa_from_pattern(pattern).unwrap();
+        let eager = SfaBackend::from(DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap());
+        let lazy = SfaBackend::from(LazyDSfa::new(dfa));
+        (eager, lazy)
+    }
+
+    #[test]
+    fn kinds_and_accessors() {
+        let (eager, lazy) = both("(ab)*");
+        assert_eq!(eager.kind(), BackendKind::Eager);
+        assert_eq!(lazy.kind(), BackendKind::Lazy);
+        assert!(eager.eager().is_some() && eager.lazy().is_none());
+        assert!(lazy.lazy().is_some() && lazy.eager().is_none());
+        assert_eq!(BackendKind::parse("Eager"), Some(BackendKind::Eager));
+        assert_eq!(BackendKind::parse("Lazy"), Some(BackendKind::Lazy));
+        assert_eq!(BackendKind::parse("???"), None);
+        assert_eq!(BackendKind::Lazy.to_string(), "Lazy");
+    }
+
+    #[test]
+    fn backends_agree_on_the_full_surface() {
+        for pattern in ["(ab)*", "([0-4]{2}[5-9]{2})*", "(a|b)*abb", "a|bc|d"] {
+            let (eager, lazy) = both(pattern);
+            assert_eq!(eager.num_dfa_states(), lazy.num_dfa_states());
+            assert_eq!(eager.num_classes(), lazy.num_classes());
+            assert_eq!(eager.dfa_start(), lazy.dfa_start());
+            for input in [&b""[..], b"ab", b"abab", b"abb", b"0055", b"bc", b"zz"] {
+                let fe = eager.run(input);
+                let fl = lazy.run(input);
+                assert_eq!(eager.is_accepting(fe), lazy.is_accepting(fl), "{pattern} {input:?}");
+                assert_eq!(eager.is_sink(fe), lazy.is_sink(fl));
+                assert_eq!(eager.accepts(input), lazy.accepts(input));
+                assert_eq!(eager.mapping(fe), lazy.mapping(fl));
+                for q in 0..eager.num_dfa_states() as StateId {
+                    assert_eq!(eager.apply(fe, q), lazy.apply(fl, q));
+                }
+            }
+            // compose_states agrees through the mapping level.
+            let (ae, al) = (eager.run(b"ab"), lazy.run(b"ab"));
+            let (be, bl) = (eager.run(b"ba"), lazy.run(b"ba"));
+            assert_eq!(
+                eager.mapping(eager.compose_states(ae, be)),
+                lazy.mapping(lazy.compose_states(al, bl)),
+                "{pattern}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_reporting_reflects_materialization() {
+        let (eager, lazy) = both("([0-4]{2}[5-9]{2})*");
+        assert_eq!(lazy.num_states(), 1, "fresh lazy backend: identity only");
+        assert!(eager.num_states() > 1);
+        lazy.run(b"00550459");
+        assert!(lazy.num_states() > 1);
+        assert!(lazy.num_states() <= eager.num_states());
+        assert!(lazy.table_bytes() <= eager.table_bytes());
+        assert!(lazy.mapping_bytes() <= eager.mapping_bytes());
+        assert_eq!(lazy.byte_table_bytes(), 0);
+        assert!(!lazy.premultiplied());
+        assert!(eager.premultiplied());
+    }
+}

@@ -18,9 +18,18 @@
 //!   mappings and their associative composition (`⋄`),
 //! * [`DSfa`] — the SFA built from a DFA via the correspondence
 //!   construction (Algorithm 4), plus [`LazyDSfa`] for on-the-fly
-//!   construction,
+//!   construction (Section V-A),
+//! * [`SfaBackend`] — the pluggable-backend abstraction the matcher layer
+//!   runs on: eager or lazy behind one surface,
 //! * [`NSfa`] — the SFA built directly from an NFA,
 //! * [`stats`] — the size reports behind Figure 3 of the paper.
+//!
+//! ## Which knobs apply to which backend
+//!
+//! | [`SfaConfig`] knob | [`DSfa`] (eager) | [`LazyDSfa`] | [`NSfa`] |
+//! |---|---|---|---|
+//! | `max_states` | enforced: construction fails with `TooManyStates` | **ignored** — the cache is bounded by the states actually visited (≤ one per input byte) | enforced |
+//! | `premultiply` | builds the dense 256-column byte table (≤ 64 MiB) | **ignored** — states may never materialize, so no dense table | ignored (states are correspondences, not table rows) |
 //!
 //! ## Example
 //!
@@ -37,12 +46,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod dsfa;
 pub mod lazy;
 pub mod mapping;
 pub mod nsfa;
 pub mod stats;
 
+pub use backend::{BackendKind, SfaBackend};
 pub use dsfa::{DSfa, SfaStateId};
 pub use lazy::LazyDSfa;
 pub use mapping::{Correspondence, Transformation};
@@ -52,8 +63,13 @@ pub use stats::{GrowthClass, SizeReport};
 /// Configuration of the correspondence construction (Algorithm 4).
 #[derive(Clone, Debug)]
 pub struct SfaConfig {
-    /// Upper bound on the number of SFA states. Construction fails with
+    /// Upper bound on the number of SFA states in the **eager**
+    /// constructions: [`DSfa`] and [`NSfa`] fail with
     /// [`sfa_automata::CompileError::TooManyStates`] when exceeded.
+    /// [`LazyDSfa`] does not consult it — the on-the-fly cache is bounded
+    /// by the states an input actually visits (at most one per byte), so
+    /// capping it would defeat the construction's purpose (see the
+    /// [knob matrix](crate) above).
     ///
     /// The default (1 000 000) accommodates the largest automaton used in
     /// the paper's evaluation (`r_500`, with 1 000 999 states, needs the
@@ -68,9 +84,10 @@ pub struct SfaConfig {
     /// [`SfaConfig::PREMULTIPLY_MAX_BYTES`]. Memory-constrained builds can
     /// set this to `false` to keep class rows only.
     ///
-    /// Only [`DSfa`] consumes this flag; [`LazyDSfa`] (which materializes
-    /// states on demand) and [`NSfa`] (whose states are correspondences,
-    /// not table rows) ignore it.
+    /// Only [`DSfa`] consumes this flag; [`LazyDSfa`] (whose states may
+    /// never materialize, so a dense table over them cannot be built up
+    /// front) and [`NSfa`] (whose states are correspondences, not table
+    /// rows) ignore it — see the [knob matrix](crate) above.
     pub premultiply: bool,
 }
 
@@ -154,9 +171,9 @@ mod proptests {
         fn lazy_agrees_with_eager(seed in any::<u64>(), inputs in prop::collection::vec("[a-d]{0,16}", 1..6)) {
             let Some(dfa) = random_small_dfa(seed) else { return Ok(()) };
             let Ok(eager) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 200_000, ..SfaConfig::default() }) else { return Ok(()) };
-            let lazy = LazyDSfa::new(dfa.clone(), SfaConfig { max_states: 200_000, ..SfaConfig::default() });
+            let lazy = LazyDSfa::new(dfa.clone());
             for input in &inputs {
-                prop_assert_eq!(eager.accepts(input.as_bytes()), lazy.accepts(input.as_bytes()).unwrap());
+                prop_assert_eq!(eager.accepts(input.as_bytes()), lazy.accepts(input.as_bytes()));
             }
             prop_assert!(lazy.num_states_constructed() <= eager.num_states());
         }

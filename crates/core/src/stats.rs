@@ -1,6 +1,7 @@
 //! Size statistics for DFA/SFA pairs — the raw material of Figure 3 and
 //! Table III of the paper.
 
+use crate::backend::{BackendKind, SfaBackend};
 use crate::dsfa::DSfa;
 use sfa_automata::Dfa;
 
@@ -22,14 +23,30 @@ pub enum GrowthClass {
 }
 
 /// Size statistics of one pattern's DFA and D-SFA.
+///
+/// For an **eager** backend every field describes the fully materialized
+/// automaton. For a **lazy** backend the SFA-side fields
+/// (`sfa_states`, table/mapping bytes, `ratio`, `growth`) describe the
+/// states *materialized so far* — a live lower bound on `|S_d|` that
+/// grows as inputs explore the automaton; re-query after matching to see
+/// how much the traffic actually touched.
 #[derive(Clone, Debug)]
 pub struct SizeReport {
+    /// Which backend produced the SFA-side numbers.
+    pub backend: BackendKind,
     /// Number of states of the (minimal) DFA, including the dead state.
     pub dfa_states: usize,
     /// Number of live DFA states (the count the paper reports as `|D|`).
     pub dfa_live_states: usize,
-    /// Number of D-SFA states (`|S_d|`).
+    /// Number of D-SFA states: the full `|S_d|` for an eager backend, the
+    /// materialized count for a lazy one (equals
+    /// [`materialized_states`](SizeReport::materialized_states) there).
     pub sfa_states: usize,
+    /// Number of SFA states actually materialized in memory at report
+    /// time. Equal to `sfa_states` for eager backends; for lazy backends
+    /// this is the live cache size — the number the paper bounds by the
+    /// input length in Section V-A.
+    pub materialized_states: usize,
     /// Number of byte classes shared by both transition tables.
     pub byte_classes: usize,
     /// DFA transition-table size in bytes.
@@ -46,21 +63,49 @@ pub struct SizeReport {
 }
 
 impl SizeReport {
-    /// Computes the report for a DFA / D-SFA pair.
+    /// Computes the report for a DFA / eager D-SFA pair.
     pub fn new(dfa: &Dfa, sfa: &DSfa) -> SizeReport {
-        let dfa_live_states = dfa.num_live_states();
-        let sfa_states = sfa.num_states();
-        let growth = classify(dfa.num_states(), sfa_states);
+        Self::build(
+            dfa,
+            BackendKind::Eager,
+            sfa.num_states(),
+            sfa.table_bytes(),
+            sfa.mapping_bytes(),
+        )
+    }
+
+    /// Computes the report for a DFA and whichever backend sits on top of
+    /// it. For lazy backends the SFA-side numbers are a snapshot of the
+    /// materialized cache (see the type docs).
+    pub fn of_backend(dfa: &Dfa, backend: &SfaBackend) -> SizeReport {
+        Self::build(
+            dfa,
+            backend.kind(),
+            backend.num_states(),
+            backend.table_bytes(),
+            backend.mapping_bytes(),
+        )
+    }
+
+    fn build(
+        dfa: &Dfa,
+        backend: BackendKind,
+        sfa_states: usize,
+        sfa_table_bytes: usize,
+        sfa_mapping_bytes: usize,
+    ) -> SizeReport {
         SizeReport {
+            backend,
             dfa_states: dfa.num_states(),
-            dfa_live_states,
+            dfa_live_states: dfa.num_live_states(),
             sfa_states,
+            materialized_states: sfa_states,
             byte_classes: dfa.num_classes(),
             dfa_table_bytes: dfa.table_bytes(),
-            sfa_table_bytes: sfa.table_bytes(),
-            sfa_mapping_bytes: sfa.mapping_bytes(),
+            sfa_table_bytes,
+            sfa_mapping_bytes,
             ratio: sfa_states as f64 / dfa.num_states() as f64,
-            growth,
+            growth: classify(dfa.num_states(), sfa_states),
         }
     }
 }
@@ -102,13 +147,16 @@ impl SizeReport {
             if self.ratio.is_finite() { self.ratio.to_string() } else { "null".to_string() };
         format!(
             concat!(
-                "{{\"dfa_states\":{},\"dfa_live_states\":{},\"sfa_states\":{},",
+                "{{\"backend\":\"{}\",\"dfa_states\":{},\"dfa_live_states\":{},",
+                "\"sfa_states\":{},\"materialized_states\":{},",
                 "\"byte_classes\":{},\"dfa_table_bytes\":{},\"sfa_table_bytes\":{},",
                 "\"sfa_mapping_bytes\":{},\"ratio\":{},\"growth\":\"{}\"}}"
             ),
+            self.backend.as_str(),
             self.dfa_states,
             self.dfa_live_states,
             self.sfa_states,
+            self.materialized_states,
             self.byte_classes,
             self.dfa_table_bytes,
             self.sfa_table_bytes,
@@ -129,9 +177,11 @@ impl SizeReport {
             Some(rest[..end].trim())
         }
         Some(SizeReport {
+            backend: BackendKind::parse(field(json, "backend")?.trim_matches('"'))?,
             dfa_states: field(json, "dfa_states")?.parse().ok()?,
             dfa_live_states: field(json, "dfa_live_states")?.parse().ok()?,
             sfa_states: field(json, "sfa_states")?.parse().ok()?,
+            materialized_states: field(json, "materialized_states")?.parse().ok()?,
             byte_classes: field(json, "byte_classes")?.parse().ok()?,
             dfa_table_bytes: field(json, "dfa_table_bytes")?.parse().ok()?,
             sfa_table_bytes: field(json, "sfa_table_bytes")?.parse().ok()?,
@@ -226,13 +276,46 @@ mod tests {
         let r = report("(ab)*");
         let json = r.to_json();
         assert!(json.contains("\"sfa_states\":6"), "{json}");
+        assert!(json.contains("\"backend\":\"Eager\""), "{json}");
+        assert!(json.contains("\"materialized_states\":6"), "{json}");
         let back = SizeReport::from_json(&json).unwrap();
+        assert_eq!(back.backend, BackendKind::Eager);
         assert_eq!(back.sfa_states, r.sfa_states);
+        assert_eq!(back.materialized_states, r.materialized_states);
         assert_eq!(back.growth, r.growth);
         assert_eq!(back.dfa_table_bytes, r.dfa_table_bytes);
         assert!((back.ratio - r.ratio).abs() < 1e-12);
         assert!(SizeReport::from_json("{}").is_none());
         assert!(SizeReport::from_json("{\"dfa_states\":oops}").is_none());
+    }
+
+    #[test]
+    fn lazy_backend_report_counts_materialized_states() {
+        use crate::LazyDSfa;
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let backend = SfaBackend::from(LazyDSfa::new(dfa.clone()));
+        let fresh = SizeReport::of_backend(&dfa, &backend);
+        assert_eq!(fresh.backend, BackendKind::Lazy);
+        assert_eq!(fresh.materialized_states, 1, "identity only before any input");
+        assert_eq!(fresh.sfa_states, 1);
+
+        backend.run(b"abab");
+        let after = SizeReport::of_backend(&dfa, &backend);
+        assert!(after.materialized_states > 1, "the run materialized states");
+        assert!(after.materialized_states <= 6, "never more than the eager |S_d|");
+        assert!(after.sfa_table_bytes >= fresh.sfa_table_bytes);
+        // The lazy report round-trips through JSON like the eager one.
+        let back = SizeReport::from_json(&after.to_json()).unwrap();
+        assert_eq!(back.backend, BackendKind::Lazy);
+        assert_eq!(back.materialized_states, after.materialized_states);
+
+        // The eager constructor and of_backend agree on an eager backend.
+        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        let via_new = SizeReport::new(&dfa, &sfa);
+        let via_backend = SizeReport::of_backend(&dfa, &SfaBackend::from(sfa));
+        assert_eq!(via_new.backend, via_backend.backend);
+        assert_eq!(via_new.sfa_states, via_backend.sfa_states);
+        assert_eq!(via_new.materialized_states, via_backend.materialized_states);
     }
 
     #[test]

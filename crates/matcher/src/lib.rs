@@ -19,6 +19,21 @@
 //! over arriving blocks ([`stream::StreamMatcher`]) and batched matching
 //! of many small haystacks ([`Regex::is_match_batch`]).
 //!
+//! ## Backends
+//!
+//! Every SFA matcher in this crate runs over the pluggable
+//! [`SfaBackend`]: the eager
+//! [`DSfa`](sfa_core::DSfa) tables, or the on-the-fly
+//! [`LazyDSfa`](sfa_core::LazyDSfa) of the paper's Section V-A, which
+//! materializes at most one state per input byte and therefore stays
+//! feasible on patterns whose eager D-SFA explodes.
+//! [`RegexBuilder::backend`] picks one — or [`BackendChoice::Auto`],
+//! which compiles eagerly and falls back to lazy when
+//! [`RegexBuilder::max_sfa_states`] is exceeded. Which builder knobs each
+//! backend honors is tabulated in the [`sfa_core`] crate docs; the
+//! README's "Backends & state explosion" section walks through the
+//! trade-off on a real ruleset.
+//!
 //! ## Execution model
 //!
 //! Parallel matching runs on a persistent worker pool (the
@@ -68,7 +83,10 @@ pub use chunk::{split_chunks, split_chunks_with_offsets};
 pub use executor::{map_chunks, tree_reduce};
 pub use parallel::{ParallelNSfaMatcher, ParallelSfaMatcher};
 pub use pool::{ChunkPlan, Engine, WorkerPool, MIN_POOL_CHUNK_BYTES};
-pub use regex::{default_threads, MatchMode, Regex, RegexBuilder, RegexSet};
+pub use regex::{default_threads, BackendChoice, MatchMode, Regex, RegexBuilder, RegexSet};
+// Re-exported so `Regex::backend_kind` / `Regex::sfa` return types are
+// nameable from this crate alone.
+pub use sfa_core::{BackendKind, SfaBackend};
 pub use speculative::SpeculativeDfaMatcher;
 pub use stream::StreamMatcher;
 
@@ -92,7 +110,7 @@ mod proptests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sfa_automata::{determinize, minimize, DfaConfig, Nfa};
-    use sfa_core::{DSfa, SfaConfig};
+    use sfa_core::{DSfa, SfaBackend, SfaConfig};
     use sfa_regex_syntax::generator::{AstGenerator, GeneratorConfig};
     use sfa_regex_syntax::ByteSet;
 
@@ -123,10 +141,11 @@ mod proptests {
             let Ok(dfa) = determinize(&nfa, &DfaConfig { max_states: 400, ..Default::default() }) else { return Ok(()) };
             let dfa = minimize(&dfa);
             let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 100_000, ..SfaConfig::default() }) else { return Ok(()) };
+            let backend = SfaBackend::from(sfa);
 
             let expected = dfa.accepts(input.as_bytes());
             let spec = SpeculativeDfaMatcher::new(&dfa);
-            let par = ParallelSfaMatcher::new(&sfa);
+            let par = ParallelSfaMatcher::new(&backend);
             for reduction in [Reduction::Sequential, Reduction::Tree] {
                 prop_assert_eq!(spec.accepts(input.as_bytes(), threads, reduction), expected);
                 prop_assert_eq!(par.accepts(input.as_bytes(), threads, reduction), expected);
@@ -149,19 +168,20 @@ mod proptests {
             let Ok(dfa) = determinize(&nfa, &DfaConfig { max_states: 400, ..Default::default() }) else { return Ok(()) };
             let dfa = minimize(&dfa);
             let Ok(sfa) = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 100_000, ..SfaConfig::default() }) else { return Ok(()) };
+            let backend = SfaBackend::from(sfa);
 
             // One shared engine across all generated cases — spawning a
             // fresh pool per case would be pure thread-creation churn.
             static ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
             let engine = ENGINE.get_or_init(|| Engine::new(4));
             let pieces = split_chunks(input.as_bytes(), chunks);
-            let pooled = engine.map_chunks(pieces.clone(), true, |_, c| sfa.run(c));
-            let inline = engine.map_chunks(pieces, false, |_, c| sfa.run(c));
+            let pooled = engine.map_chunks(pieces.clone(), true, |_, c| backend.run(c));
+            let inline = engine.map_chunks(pieces, false, |_, c| backend.run(c));
             prop_assert_eq!(pooled, inline);
 
             // End to end: a matcher on the dedicated pool agrees with the
             // sequential DFA whatever the plan decides.
-            let matcher = ParallelSfaMatcher::with_engine(&sfa, engine.clone());
+            let matcher = ParallelSfaMatcher::with_engine(&backend, engine.clone());
             let expected = dfa.accepts(input.as_bytes());
             for reduction in [Reduction::Sequential, Reduction::Tree] {
                 prop_assert_eq!(matcher.accepts(input.as_bytes(), chunks, reduction), expected);
@@ -242,6 +262,72 @@ mod proptests {
                 stream.feed(std::slice::from_ref(b));
             }
             prop_assert_eq!(stream.finish(), expected);
+        }
+
+        /// The eager and lazy backends agree everywhere: same verdicts on
+        /// the sequential, parallel (both reductions), speculative and
+        /// streaming paths for random patterns and inputs; the lazy cache
+        /// never materializes more states than the eager `|S_d|`, and
+        /// once driven to a fixpoint it materializes exactly `|S_d|`.
+        #[test]
+        fn eager_and_lazy_backends_agree(
+            seed in any::<u64>(),
+            inputs in prop::collection::vec("[a-c]{0,40}", 1..5),
+            threads in 1usize..9,
+            cut in any::<prop::sample::Index>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ast = small_generator().generate(&mut rng);
+            let pattern = sfa_regex_syntax::to_pattern(&ast);
+            static ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+            let engine = ENGINE.get_or_init(|| Engine::new(4));
+            let builder = Regex::builder()
+                .threads(threads)
+                .engine(engine.clone())
+                .max_dfa_states(400)
+                .max_sfa_states(100_000);
+            let Ok(eager) = builder.clone().backend(BackendChoice::Eager).build(&pattern) else { return Ok(()) };
+            let lazy = builder.backend(BackendChoice::Lazy).build(&pattern).unwrap();
+            prop_assert_eq!(lazy.backend_kind(), sfa_core::BackendKind::Lazy);
+
+            for input in &inputs {
+                let bytes = input.as_bytes();
+                let expected = eager.is_match_sequential(bytes);
+                prop_assert_eq!(lazy.is_match_sequential(bytes), expected);
+                for reduction in [Reduction::Sequential, Reduction::Tree] {
+                    prop_assert_eq!(eager.is_match_parallel(bytes, threads, reduction), expected);
+                    prop_assert_eq!(lazy.is_match_parallel(bytes, threads, reduction), expected);
+                    prop_assert_eq!(lazy.is_match_speculative(bytes, threads, reduction), expected);
+                }
+                // Streaming: one arbitrary cut, then byte-at-a-time.
+                let cut = cut.index(bytes.len() + 1).min(bytes.len());
+                let mut se = eager.stream();
+                let mut sl = lazy.stream();
+                se.feed(&bytes[..cut]).feed(&bytes[cut..]);
+                sl.feed(&bytes[..cut]).feed(&bytes[cut..]);
+                prop_assert_eq!(se.finish(), expected);
+                prop_assert_eq!(sl.finish(), expected);
+                let mut sl = lazy.stream();
+                for b in bytes {
+                    sl.feed(std::slice::from_ref(b));
+                }
+                prop_assert_eq!(sl.finish(), expected);
+            }
+
+            // The lazy cache is bounded by the eager state count…
+            let full = eager.sfa().num_states();
+            prop_assert!(lazy.sfa().num_states() <= full);
+            // …and driving every transition of every materialized state
+            // to a fixpoint materializes exactly the eager SFA.
+            let cache = lazy.sfa().lazy().expect("lazy backend");
+            let mut done = 0;
+            while done < cache.num_states_constructed() {
+                for class in 0..cache.num_classes() as u16 {
+                    cache.next_by_class(done as sfa_core::SfaStateId, class);
+                }
+                done += 1;
+            }
+            prop_assert_eq!(cache.num_states_constructed(), full);
         }
     }
 }

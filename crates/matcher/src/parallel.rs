@@ -13,30 +13,38 @@
 //! requested `threads` count only caps the chunk count — it never spawns
 //! threads — and inputs too small to amortize the pool hand-off run inline
 //! on the calling thread.
+//!
+//! The matcher is written against [`SfaBackend`], so the chunk phase runs
+//! identically over the eager [`DSfa`](sfa_core::DSfa) and the on-the-fly
+//! [`LazyDSfa`](sfa_core::LazyDSfa): with a lazy backend the pool workers
+//! share one state cache (materializing states as their chunks visit
+//! them), which is exactly the paper's Section V-A construction applied
+//! to Algorithm 5.
 
 use crate::chunk::split_chunks;
 use crate::pool::{ChunkPlan, Engine};
 use crate::Reduction;
 use sfa_automata::{StateId, StateSet};
-use sfa_core::{DSfa, NSfa, SfaStateId, Transformation};
+use sfa_core::{NSfa, SfaBackend, SfaStateId, Transformation};
 
-/// The parallel matcher over a D-SFA.
+/// The parallel matcher over a D-SFA behind either
+/// [backend](SfaBackend).
 #[derive(Clone, Debug)]
 pub struct ParallelSfaMatcher<'a> {
-    sfa: &'a DSfa,
+    sfa: &'a SfaBackend,
     engine: Engine,
 }
 
 impl<'a> ParallelSfaMatcher<'a> {
-    /// Creates a matcher over the given D-SFA, running on the shared
+    /// Creates a matcher over the given backend, running on the shared
     /// [global engine](Engine::global).
-    pub fn new(sfa: &'a DSfa) -> ParallelSfaMatcher<'a> {
+    pub fn new(sfa: &'a SfaBackend) -> ParallelSfaMatcher<'a> {
         ParallelSfaMatcher::with_engine(sfa, Engine::global().clone())
     }
 
-    /// Creates a matcher over the given D-SFA, running on a specific
+    /// Creates a matcher over the given backend, running on a specific
     /// engine (e.g. a dedicated pool with a chosen worker count).
-    pub fn with_engine(sfa: &'a DSfa, engine: Engine) -> ParallelSfaMatcher<'a> {
+    pub fn with_engine(sfa: &'a SfaBackend, engine: Engine) -> ParallelSfaMatcher<'a> {
         ParallelSfaMatcher { sfa, engine }
     }
 
@@ -73,13 +81,13 @@ impl<'a> ParallelSfaMatcher<'a> {
                 // S_fin ← I; for i: S_fin ← f_i(S_fin)   — O(p) lookups.
                 let mut q = self.sfa.dfa_start();
                 for &f in &partials {
-                    q = self.sfa.mapping(f).apply(q);
+                    q = self.sfa.apply(f, q);
                 }
                 q
             }
             Reduction::Tree => {
                 let mappings: Vec<Transformation> =
-                    partials.iter().map(|&f| self.sfa.mapping(f).clone()).collect();
+                    partials.iter().map(|&f| self.sfa.mapping(f)).collect();
                 let combined = self
                     .engine
                     .tree_reduce(mappings, plan.use_pool, |a, b| a.then(b))
@@ -163,7 +171,7 @@ impl<'a> ParallelNSfaMatcher<'a> {
 mod tests {
     use super::*;
     use sfa_automata::minimal_dfa_from_pattern;
-    use sfa_core::SfaConfig;
+    use sfa_core::{DSfa, LazyDSfa, SfaConfig};
 
     /// A dedicated multi-worker engine so the pool path is exercised even
     /// on single-CPU CI machines (the global engine would cap every plan
@@ -172,24 +180,34 @@ mod tests {
         Engine::new(8)
     }
 
-    fn check_dsfa(pattern: &str, inputs: &[&[u8]]) {
+    /// Both backends over the same minimal DFA.
+    fn backends(pattern: &str) -> (sfa_automata::Dfa, [SfaBackend; 2]) {
         let dfa = minimal_dfa_from_pattern(pattern).unwrap();
-        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
-        let matcher = ParallelSfaMatcher::with_engine(&sfa, test_engine());
-        for &input in inputs {
-            let expected = dfa.accepts(input);
-            for threads in [1usize, 2, 3, 4, 8] {
-                for reduction in [Reduction::Sequential, Reduction::Tree] {
-                    assert_eq!(
-                        matcher.accepts(input, threads, reduction),
-                        expected,
-                        "pattern {:?}, input len {}, {} threads, {:?}",
-                        pattern,
-                        input.len(),
-                        threads,
-                        reduction
-                    );
-                    assert_eq!(matcher.run(input, threads, reduction), dfa.run(input));
+        let eager = SfaBackend::from(DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap());
+        let lazy = SfaBackend::from(LazyDSfa::new(dfa.clone()));
+        (dfa, [eager, lazy])
+    }
+
+    fn check_dsfa(pattern: &str, inputs: &[&[u8]]) {
+        let (dfa, backends) = backends(pattern);
+        for backend in &backends {
+            let matcher = ParallelSfaMatcher::with_engine(backend, test_engine());
+            for &input in inputs {
+                let expected = dfa.accepts(input);
+                for threads in [1usize, 2, 3, 4, 8] {
+                    for reduction in [Reduction::Sequential, Reduction::Tree] {
+                        assert_eq!(
+                            matcher.accepts(input, threads, reduction),
+                            expected,
+                            "pattern {:?} ({:?} backend), input len {}, {} threads, {:?}",
+                            pattern,
+                            backend.kind(),
+                            input.len(),
+                            threads,
+                            reduction
+                        );
+                        assert_eq!(matcher.run(input, threads, reduction), dfa.run(input));
+                    }
                 }
             }
         }
@@ -208,34 +226,53 @@ mod tests {
     #[test]
     fn algorithm5_agrees_on_pool_sized_inputs() {
         // Inputs long enough that the chunk batch actually goes through
-        // the worker pool (per-chunk share above the inline threshold).
-        let dfa = minimal_dfa_from_pattern("([0-4]{2}[5-9]{2})*").unwrap();
-        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
-        let matcher = ParallelSfaMatcher::with_engine(&sfa, test_engine());
-        let accepted = b"00550459".repeat(16 * 1024); // 128 KiB, in the language
-        let mut rejected = accepted.clone();
-        rejected.push(b'5');
-        for threads in [2usize, 4, 8, 10_000] {
-            for reduction in [Reduction::Sequential, Reduction::Tree] {
-                assert!(matcher.engine().plan_chunks(accepted.len(), threads).use_pool);
-                assert!(matcher.accepts(&accepted, threads, reduction));
-                assert!(!matcher.accepts(&rejected, threads, reduction));
+        // the worker pool (per-chunk share above the inline threshold) —
+        // on the lazy backend this is also the path where pool workers
+        // race to materialize the shared cache.
+        let (_, backends) = backends("([0-4]{2}[5-9]{2})*");
+        for backend in &backends {
+            let matcher = ParallelSfaMatcher::with_engine(backend, test_engine());
+            let accepted = b"00550459".repeat(16 * 1024); // 128 KiB, in the language
+            let mut rejected = accepted.clone();
+            rejected.push(b'5');
+            for threads in [2usize, 4, 8, 10_000] {
+                for reduction in [Reduction::Sequential, Reduction::Tree] {
+                    assert!(matcher.engine().plan_chunks(accepted.len(), threads).use_pool);
+                    assert!(matcher.accepts(&accepted, threads, reduction));
+                    assert!(!matcher.accepts(&rejected, threads, reduction));
+                }
             }
         }
     }
 
     #[test]
     fn absurd_thread_counts_are_capped_at_the_pool_size() {
-        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
-        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
-        let engine = Engine::new(4);
-        let matcher = ParallelSfaMatcher::with_engine(&sfa, engine);
-        let input = b"ab".repeat(50_000);
-        // One "thread" per byte is requested; the matcher cuts at most
-        // `workers` chunks and spawns nothing.
-        let states = matcher.chunk_states(&input, input.len());
-        assert_eq!(states.len(), 4);
-        assert!(matcher.accepts(&input, input.len(), Reduction::Tree));
+        let (_, backends) = backends("(ab)*");
+        for backend in &backends {
+            let engine = Engine::new(4);
+            let matcher = ParallelSfaMatcher::with_engine(backend, engine);
+            let input = b"ab".repeat(50_000);
+            // One "thread" per byte is requested; the matcher cuts at most
+            // `workers` chunks and spawns nothing.
+            let states = matcher.chunk_states(&input, input.len());
+            assert_eq!(states.len(), 4);
+            assert!(matcher.accepts(&input, input.len(), Reduction::Tree));
+        }
+    }
+
+    #[test]
+    fn lazy_backend_materializes_only_chunk_visited_states() {
+        // The point of the lazy backend under Algorithm 5: a pool-sized
+        // scan of an explosion-free input touches a handful of states.
+        let (_, backends) = backends("([0-4]{5}[5-9]{5})*");
+        let lazy = backends[1].lazy().expect("second backend is lazy");
+        let matcher = ParallelSfaMatcher::with_engine(&backends[1], test_engine());
+        let input = b"0000055555".repeat(8 * 1024); // 80 KiB → pool path
+        assert!(matcher.accepts(&input, 8, Reduction::Sequential));
+        // The eager SFA has 110 states; chunk walks + the reduction's
+        // composites stay far below (each chunk revisits one short cycle).
+        assert!(lazy.num_states_constructed() < 60, "{}", lazy.num_states_constructed());
+        assert!(lazy.num_states_constructed() <= backends[0].num_states());
     }
 
     #[test]
@@ -243,7 +280,7 @@ mod tests {
         // Example 2: w = ababababababab split over 4 workers as
         // aba | baba | bab | abab, reduced to an accepting state.
         let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
-        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        let sfa = SfaBackend::from(DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap());
         let matcher = ParallelSfaMatcher::with_engine(&sfa, Engine::new(4));
         let input = b"ababababababab";
         assert_eq!(input.len(), 14);

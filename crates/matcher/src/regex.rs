@@ -12,7 +12,7 @@ use crate::speculative::SpeculativeDfaMatcher;
 use crate::stream::StreamMatcher;
 use crate::Reduction;
 use sfa_automata::{determinize, minimize, CompileError, Dfa, DfaConfig, Nfa};
-use sfa_core::{DSfa, SfaConfig, SizeReport};
+use sfa_core::{BackendKind, DSfa, LazyDSfa, SfaBackend, SfaConfig, SizeReport};
 use sfa_regex_syntax::ast::Ast;
 use sfa_regex_syntax::class::{perl, ByteSet};
 use sfa_regex_syntax::{Parser, ParserConfig};
@@ -29,12 +29,35 @@ pub enum MatchMode {
     Contains,
 }
 
+/// Which D-SFA [backend](SfaBackend) the builder compiles, chosen via
+/// [`RegexBuilder::backend`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Always build the eager [`DSfa`] (Algorithm 4). Compilation fails
+    /// with [`CompileError::TooManyStates`] when the automaton exceeds
+    /// [`RegexBuilder::max_sfa_states`] — the historical behavior, and
+    /// the default.
+    #[default]
+    Eager,
+    /// Always build the on-the-fly [`LazyDSfa`] (Section V-A): states
+    /// materialize at match time, at most one per input byte, so
+    /// compilation never hits a state limit.
+    Lazy,
+    /// Compile eagerly, and **fall back to the lazy backend** when the
+    /// eager construction exceeds [`RegexBuilder::max_sfa_states`] —
+    /// instead of returning `TooManyStates`. This is how production
+    /// engines pick a representation per pattern: dense tables when they
+    /// fit, on-the-fly construction when they explode.
+    Auto,
+}
+
 /// Builder for [`Regex`] with all pipeline knobs.
 #[derive(Clone, Debug)]
 pub struct RegexBuilder {
     parser: ParserConfig,
     dfa: DfaConfig,
     sfa: SfaConfig,
+    backend: BackendChoice,
     mode: MatchMode,
     threads: usize,
     reduction: Reduction,
@@ -47,6 +70,7 @@ impl Default for RegexBuilder {
             parser: ParserConfig::default(),
             dfa: DfaConfig::default(),
             sfa: SfaConfig::default(),
+            backend: BackendChoice::default(),
             mode: MatchMode::Whole,
             threads: default_threads(),
             reduction: Reduction::Sequential,
@@ -102,9 +126,23 @@ impl RegexBuilder {
         self
     }
 
-    /// SFA state limit.
+    /// SFA state limit for the **eager** construction. What happens when
+    /// it is exceeded depends on [`backend`](RegexBuilder::backend):
+    /// `Eager` fails compilation, `Auto` falls back to the lazy backend,
+    /// and `Lazy` never runs the eager construction at all (the lazy
+    /// cache is bounded by the input, not by this limit — see the
+    /// [knob matrix](sfa_core) in the core crate docs).
     pub fn max_sfa_states(mut self, limit: usize) -> Self {
         self.sfa.max_states = limit;
+        self
+    }
+
+    /// Which D-SFA backend to compile: eager tables, on-the-fly (lazy)
+    /// construction, or [`Auto`](BackendChoice::Auto) — eager with a lazy
+    /// fallback when [`max_sfa_states`](RegexBuilder::max_sfa_states) is
+    /// exceeded. Defaults to [`Eager`](BackendChoice::Eager).
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -154,7 +192,17 @@ impl RegexBuilder {
         };
         let nfa = Nfa::from_ast(&ast)?;
         let dfa = minimize(&determinize(&nfa, &self.dfa)?);
-        let sfa = DSfa::from_dfa(&dfa, &self.sfa)?;
+        let backend = match self.backend {
+            BackendChoice::Eager => SfaBackend::Eager(DSfa::from_dfa(&dfa, &self.sfa)?),
+            BackendChoice::Lazy => SfaBackend::Lazy(LazyDSfa::new(dfa.clone())),
+            BackendChoice::Auto => match DSfa::from_dfa(&dfa, &self.sfa) {
+                Ok(sfa) => SfaBackend::Eager(sfa),
+                Err(CompileError::TooManyStates { .. }) => {
+                    SfaBackend::Lazy(LazyDSfa::new(dfa.clone()))
+                }
+                Err(e) => return Err(e),
+            },
+        };
         Ok(Regex {
             pattern,
             mode: self.mode,
@@ -163,7 +211,7 @@ impl RegexBuilder {
             engine: self.engine.clone(),
             nfa_states: nfa.num_states(),
             dfa,
-            sfa,
+            backend,
         })
     }
 }
@@ -183,7 +231,7 @@ pub struct Regex {
     engine: Option<Engine>,
     nfa_states: usize,
     dfa: Dfa,
-    sfa: DSfa,
+    backend: SfaBackend,
 }
 
 impl Regex {
@@ -212,9 +260,19 @@ impl Regex {
         &self.dfa
     }
 
-    /// The D-SFA backing this regex.
-    pub fn sfa(&self) -> &DSfa {
-        &self.sfa
+    /// The D-SFA backend backing this regex — eager tables or the
+    /// on-the-fly construction, depending on
+    /// [`RegexBuilder::backend`] (and, for
+    /// [`Auto`](BackendChoice::Auto), on whether the eager construction
+    /// fit [`RegexBuilder::max_sfa_states`]).
+    pub fn sfa(&self) -> &SfaBackend {
+        &self.backend
+    }
+
+    /// Which backend this regex compiled to — useful for observing the
+    /// [`Auto`](BackendChoice::Auto) decision.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend.kind()
     }
 
     /// Number of states of the intermediate NFA (Table II's `|N|`).
@@ -222,9 +280,12 @@ impl Regex {
         self.nfa_states
     }
 
-    /// Size report for this pattern (the Figure 3 data point).
+    /// Size report for this pattern (the Figure 3 data point). With a
+    /// lazy backend the SFA-side numbers are a live snapshot of the
+    /// materialized cache — query again after matching to see how many
+    /// states the traffic visited (see [`SizeReport`]).
     pub fn size_report(&self) -> SizeReport {
-        SizeReport::new(&self.dfa, &self.sfa)
+        SizeReport::of_backend(&self.dfa, &self.backend)
     }
 
     /// The execution engine parallel matching runs on (the shared global
@@ -280,7 +341,7 @@ impl Regex {
     /// like `is_match_parallel(input, 10_000, ..)` uses at most the pool's
     /// worker count.
     pub fn is_match_parallel(&self, input: &[u8], threads: usize, reduction: Reduction) -> bool {
-        ParallelSfaMatcher::with_engine(&self.sfa, self.engine().clone())
+        ParallelSfaMatcher::with_engine(&self.backend, self.engine().clone())
             .accepts(input, threads, reduction)
     }
 
@@ -484,6 +545,77 @@ mod tests {
         assert_eq!(err, CompileError::TooManyStates { limit: 4 });
         let err = Regex::builder().max_dfa_states(2).build("abcdef").unwrap_err();
         assert_eq!(err, CompileError::TooManyStates { limit: 2 });
+    }
+
+    #[test]
+    fn explicit_lazy_backend_matches_like_eager() {
+        let eager = Regex::builder().backend(BackendChoice::Eager).build("(ab)*").unwrap();
+        let lazy = Regex::builder().backend(BackendChoice::Lazy).build("(ab)*").unwrap();
+        assert_eq!(eager.backend_kind(), sfa_core::BackendKind::Eager);
+        assert_eq!(lazy.backend_kind(), sfa_core::BackendKind::Lazy);
+        for input in [&b""[..], b"ab", b"abab", b"aba", b"zz"] {
+            assert_eq!(eager.is_match(input), lazy.is_match(input), "{input:?}");
+            for threads in [1, 4] {
+                for reduction in [Reduction::Sequential, Reduction::Tree] {
+                    assert_eq!(
+                        eager.is_match_parallel(input, threads, reduction),
+                        lazy.is_match_parallel(input, threads, reduction)
+                    );
+                }
+            }
+        }
+        // The lazy report is live: it grows as inputs visit states.
+        assert!(lazy.size_report().materialized_states <= eager.size_report().sfa_states);
+    }
+
+    #[test]
+    fn auto_backend_falls_back_to_lazy_when_eager_explodes() {
+        // Under the 4-state cap the eager construction fails…
+        let pattern = "([0-4]{3}[5-9]{3})*";
+        let eager_err =
+            Regex::builder().max_sfa_states(4).backend(BackendChoice::Eager).build(pattern);
+        assert!(matches!(eager_err, Err(CompileError::TooManyStates { limit: 4 })));
+        // …so Auto compiles the same pattern lazily instead of erroring.
+        let auto =
+            Regex::builder().max_sfa_states(4).backend(BackendChoice::Auto).build(pattern).unwrap();
+        assert_eq!(auto.backend_kind(), sfa_core::BackendKind::Lazy);
+        assert!(auto.is_match(b"000555"));
+        assert!(!auto.is_match(b"00055"));
+        assert!(auto.is_match_parallel(&b"000555111666".repeat(64), 4, Reduction::Tree));
+        // The lazy cache may exceed the *eager* cap — that cap is about
+        // up-front construction, not about visited states.
+        let report = auto.size_report();
+        assert_eq!(report.backend, sfa_core::BackendKind::Lazy);
+        assert!(report.materialized_states >= 1);
+
+        // When the eager construction fits, Auto keeps it.
+        let auto = Regex::builder().backend(BackendChoice::Auto).build("(ab)*").unwrap();
+        assert_eq!(auto.backend_kind(), sfa_core::BackendKind::Eager);
+        assert_eq!(auto.size_report().sfa_states, 6);
+
+        // Non-state-limit errors still propagate under Auto.
+        assert!(Regex::builder().backend(BackendChoice::Auto).build("(unclosed").is_err());
+        let err = Regex::builder().backend(BackendChoice::Auto).max_dfa_states(2).build("abcdef");
+        assert!(matches!(err, Err(CompileError::TooManyStates { limit: 2 })));
+    }
+
+    #[test]
+    fn auto_fallback_streams_and_batches_correctly() {
+        let auto = Regex::builder()
+            .max_sfa_states(8)
+            .backend(BackendChoice::Auto)
+            .mode(MatchMode::Contains)
+            .build("needle[0-9]{3}")
+            .unwrap();
+        assert_eq!(auto.backend_kind(), sfa_core::BackendKind::Lazy);
+        let mut stream = auto.stream();
+        stream.feed(b"xxxneed").feed(b"le04").feed(b"2yyy");
+        assert!(stream.finish());
+        assert_eq!(stream.verdict(), Some(true), "Contains hit saturates on the lazy backend too");
+        assert_eq!(
+            auto.is_match_batch(&[&b"needle042"[..], b"needle04", b"zz needle123 zz"]),
+            vec![true, false, true]
+        );
     }
 
     #[test]

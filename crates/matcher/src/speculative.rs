@@ -12,6 +12,11 @@
 //! Like [`ParallelSfaMatcher`](crate::ParallelSfaMatcher), chunks run on a
 //! persistent [`Engine`] — the `threads` argument caps the chunk count at
 //! the pool's worker count and never spawns threads.
+//!
+//! Unlike the SFA matchers, this baseline is independent of the
+//! [`SfaBackend`](crate::SfaBackend) choice: it simulates the *DFA*
+//! directly (recomputing per chunk what an SFA pre-computes), so a
+//! `Regex` on the lazy backend still exposes it unchanged.
 
 use crate::chunk::split_chunks;
 use crate::pool::Engine;

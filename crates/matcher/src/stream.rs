@@ -14,10 +14,13 @@
 //! cut into chunks on the regex's [`Engine`](crate::pool::Engine) exactly
 //! like a whole-buffer [`is_match`](crate::Regex::is_match), and the chunk
 //! states are folded into the running state with
-//! [`DSfa::compose_states`](sfa_core::DSfa::compose_states). Small blocks
-//! (the common case for request-serving workloads) never touch the pool:
-//! feeding them is a plain continuation of the table walk, one lookup per
-//! byte.
+//! [`SfaBackend::compose_states`](sfa_core::SfaBackend::compose_states).
+//! Small blocks (the common case for request-serving workloads) never
+//! touch the pool: feeding them is a plain continuation of the table
+//! walk, one lookup per byte. All of this runs identically over the
+//! eager and the on-the-fly (lazy) [backend](sfa_core::SfaBackend) — on
+//! a lazy backend the stream materializes states as the traffic visits
+//! them, and a composition may intern a state no input has walked to.
 //!
 //! Once the running state reaches a *sink* (a mapping no suffix can change
 //! — the all-dead mapping after a synchronizing word, or the
@@ -275,6 +278,39 @@ mod tests {
         assert!(stream.finish());
         assert_eq!(stream.bytes_fed(), 2);
         assert_eq!(stream.blocks_fed(), 4);
+    }
+
+    #[test]
+    fn lazy_backend_streams_identically() {
+        use crate::regex::BackendChoice;
+        // The same stream, eager vs lazy, block sizes spanning the inline
+        // and pool paths — including a composition of pool-chunk states
+        // into the running state on the lazy cache.
+        let build = |choice| {
+            Regex::builder()
+                .backend(choice)
+                .engine(Engine::new(4))
+                .threads(4)
+                .build("([0-4]{2}[5-9]{2})*")
+                .unwrap()
+        };
+        let eager = build(BackendChoice::Eager);
+        let lazy = build(BackendChoice::Lazy);
+        let big = b"00550459".repeat(8 * 1024); // 64 KiB → pool path
+        let blocks: [&[u8]; 5] = [b"0055", &big, b"04", b"59", &big];
+        let mut se = eager.stream();
+        let mut sl = lazy.stream();
+        for block in blocks {
+            se.feed(block);
+            sl.feed(block);
+            assert_eq!(se.finish(), sl.finish());
+            assert_eq!(se.verdict(), sl.verdict());
+        }
+        assert!(se.finish(), "the concatenation is in the language");
+        // A lazy stream saturates exactly like the eager one.
+        let mut sl = lazy.stream();
+        sl.feed(b"x");
+        assert_eq!(sl.verdict(), Some(false));
     }
 
     #[test]

@@ -47,6 +47,29 @@ pub const CURATED_PATTERNS: &[&str] = &[
     "(?i)(wget|curl)\\s+http://[a-z0-9\\./\\-]{8,64}",
 ];
 
+/// The full SQL-injection scan rule of the `ids_scan` example, untamed.
+///
+/// Its D-SFA is the repo's canonical explosion witness: in `Contains`
+/// mode the `\s+` separator, the long permissive class run and the
+/// keyword alternation interact so that the *eager* correspondence
+/// construction exceeds 750 000 states (measured: the combined
+/// [`IDS_SCAN_RULES`] automaton blows through a 750 001-state cap while
+/// its minimal DFA has only 787 states), which is why an earlier
+/// revision had to replace it with a bounded `[ +]{1,3}` separator. The
+/// lazy backend (`BackendChoice::Auto` / `Lazy` in `sfa-matcher`) makes
+/// the original rule feasible again: scanning a multi-megabyte HTTP log
+/// materializes only a few dozen states.
+pub const SQLI_RULE: &str = "(?i)(select|union)\\s+[a-z0-9_, ]{1,40}\\s+from";
+
+/// The `ids_scan` example's full ruleset — [`SQLI_RULE`] included in its
+/// original, untamed form.
+pub const IDS_SCAN_RULES: &[&str] = &[
+    "/cgi-bin/ph[a-z]{1,8}",
+    "(?i)etc/(passwd|shadow|group)",
+    "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}",
+    SQLI_RULE,
+];
+
 /// Structural shapes the generator mixes, with weights chosen so the
 /// resulting size distribution resembles the paper's Figure 3 (dominated by
 /// literal-ish patterns, a thin tail of `.*`-chained ones).
@@ -187,6 +210,47 @@ mod tests {
         for p in CURATED_PATTERNS {
             parse(p).unwrap_or_else(|e| panic!("curated pattern `{}` failed: {}", p, e));
         }
+    }
+
+    #[test]
+    fn ids_scan_rules_parse_and_include_the_untamed_sqli_rule() {
+        for p in IDS_SCAN_RULES {
+            parse(p).unwrap_or_else(|e| panic!("ids_scan rule `{}` failed: {}", p, e));
+        }
+        assert!(IDS_SCAN_RULES.contains(&SQLI_RULE));
+        assert!(SQLI_RULE.contains("\\s+"), "the rule must keep its untamed separator");
+    }
+
+    #[test]
+    fn sqli_rule_explodes_eagerly_but_runs_lazily() {
+        use sfa_matcher::{BackendChoice, BackendKind, MatchMode, Reduction, Regex};
+        // A small cap keeps the eager attempt cheap; the real automaton
+        // explodes far beyond it (>750k states, measured — see
+        // `SQLI_RULE`'s docs).
+        let builder = Regex::builder().mode(MatchMode::Contains).max_sfa_states(2_000);
+        assert!(
+            builder.clone().backend(BackendChoice::Eager).build(SQLI_RULE).is_err(),
+            "the untamed rule must overflow the eager construction"
+        );
+        let re = builder.backend(BackendChoice::Auto).build(SQLI_RULE).unwrap();
+        assert_eq!(re.backend_kind(), BackendKind::Lazy);
+        assert!(re.is_match(b"GET /q?u=UNION  SELECT name, pass FROM users"));
+        assert!(re.is_match_parallel(
+            &b"benign "
+                .repeat(2_000)
+                .into_iter()
+                .chain(*b"union select x from y")
+                .collect::<Vec<_>>(),
+            4,
+            Reduction::Tree
+        ));
+        assert!(!re.is_match(b"GET /index.html HTTP/1.1"));
+        let report = re.size_report();
+        assert!(
+            report.materialized_states < 2_000,
+            "lazy matching stays bounded, got {}",
+            report.materialized_states
+        );
     }
 
     #[test]

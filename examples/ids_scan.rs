@@ -1,6 +1,15 @@
 //! Intrusion-detection-style scanning: compile a small ruleset of
 //! SNORT-like patterns into one automaton and scan an HTTP log for hits,
-//! comparing sequential and data-parallel matching.
+//! comparing sequential, data-parallel and streaming matching.
+//!
+//! The ruleset ([`sfa::workloads::IDS_SCAN_RULES`]) is the *full* one,
+//! untamed SQLi rule included: its eager D-SFA exceeds 750 000 states
+//! (an earlier revision had to weaken the rule to keep eager
+//! construction feasible), so the set is compiled with
+//! `backend(BackendChoice::Auto)` — the builder tries the eager tables,
+//! overflows the state cap, and falls back to the paper's Section V-A
+//! on-the-fly construction, which materializes only the states the log
+//! actually visits.
 //!
 //! Run with: `cargo run --release --example ids_scan`
 
@@ -8,37 +17,38 @@ use sfa::prelude::*;
 use sfa::workloads;
 
 fn main() {
-    let rules = [
-        "/cgi-bin/ph[a-z]{1,8}",
-        "(?i)etc/(passwd|shadow|group)",
-        "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}",
-        // A `\s+`-separated variant explodes past 750k SFA states on its
-        // own (over-square growth, Section VII); the bounded separator
-        // keeps the combined automaton small enough for an eager D-SFA.
-        "(?i)union[ +]{1,3}select",
-    ];
     // A dedicated 4-worker pool so the "4 threads" figure below is honest
     // even on machines with fewer CPUs (the default engine caps the chunk
-    // count at available_parallelism).
+    // count at available_parallelism). The 50k-state cap bounds the eager
+    // attempt; the full construction would blow through 750k states.
     let set = RegexSet::new(
-        rules.iter().copied(),
+        workloads::IDS_SCAN_RULES.iter().copied(),
         &Regex::builder()
             .mode(MatchMode::Contains)
+            .backend(BackendChoice::Auto)
             .max_dfa_states(50_000)
-            .max_sfa_states(500_000)
-            .engine(Engine::new(4)),
+            .max_sfa_states(50_000)
+            .engine(Engine::new(4))
+            .threads(4),
     )
-    .expect("ruleset compiles");
+    .expect("ruleset compiles (Auto falls back to the lazy backend)");
 
+    let report = set.regex().size_report();
     println!(
-        "combined automaton: DFA = {} states, D-SFA = {} states",
+        "combined automaton: DFA = {} states, backend = {} ({} SFA states materialized)",
         set.regex().dfa().num_states(),
-        set.regex().sfa().num_states()
+        report.backend,
+        report.materialized_states
     );
+    assert_eq!(report.backend, BackendKind::Lazy, "the untamed ruleset needs the lazy fallback");
 
     // A synthetic HTTP log with an attack line every 97 lines.
     let log = workloads::http_log(50_000, 97, 0xBEEF);
-    println!("scanning {} KiB of log data against {} rules", log.len() / 1024, rules.len());
+    println!(
+        "scanning {} KiB of log data against {} rules",
+        log.len() / 1024,
+        set.patterns().len()
+    );
 
     let t0 = std::time::Instant::now();
     let hit_seq = set.regex().is_match_sequential(&log);
@@ -48,12 +58,33 @@ fn main() {
     let hit_par = set.regex().is_match_parallel(&log, 4, Reduction::Sequential);
     let t_par = t1.elapsed();
 
+    // Streaming: the same log arriving in 8 KiB blocks must agree, and a
+    // Contains hit saturates the stream (the verdict is final early).
+    let mut stream = set.stream();
+    let mut hit_stream = false;
+    for block in log.chunks(8 * 1024) {
+        stream.feed(block);
+        if stream.verdict() == Some(true) {
+            hit_stream = true;
+            break;
+        }
+    }
+
     assert_eq!(hit_seq, hit_par);
+    assert_eq!(hit_seq, hit_stream);
     println!("attack present: {}", hit_seq);
     println!("sequential DFA scan : {:>10.2?}", t_seq);
     println!("parallel SFA scan   : {:>10.2?} (4 threads)", t_par);
 
-    // A clean log must not match.
+    let after = set.regex().size_report();
+    println!(
+        "lazy backend materialized {} states scanning the log \
+         (eager construction needed > 750 000)",
+        after.materialized_states
+    );
+    assert!(after.materialized_states < 1_000, "on-the-fly construction stays bounded");
+
+    // A clean log must not match — including the untamed SQLi rule.
     let clean = workloads::http_log(10_000, 0, 0xBEEF);
     assert!(!set.is_match(&clean));
     println!("clean log correctly reports no match");

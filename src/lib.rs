@@ -8,10 +8,12 @@
 //!
 //! * [`regex_syntax`] — byte-oriented pattern parsing,
 //! * [`automata`] — NFA, subset construction, DFA, Hopcroft minimization,
-//! * [`core`] — the simultaneous finite automaton (D-SFA / N-SFA) and the
-//!   correspondence construction,
+//! * [`core`] — the simultaneous finite automaton (D-SFA / N-SFA), the
+//!   correspondence construction, and the pluggable eager/lazy backend
+//!   abstraction ([`core::SfaBackend`]),
 //! * [`matcher`] — sequential (Algorithm 2), speculative-parallel
-//!   (Algorithm 3) and SFA-parallel (Algorithm 5) matching,
+//!   (Algorithm 3) and SFA-parallel (Algorithm 5) matching over either
+//!   backend,
 //! * [`monoid`] — syntactic monoids and the state-explosion families,
 //! * [`workloads`] — the SNORT-like corpus and scalability inputs.
 //!
@@ -39,9 +41,9 @@ pub use sfa_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use sfa_automata::{Dfa, Nfa};
-    pub use sfa_core::{DSfa, LazyDSfa, NSfa, SfaConfig};
+    pub use sfa_core::{BackendKind, DSfa, LazyDSfa, NSfa, SfaBackend, SfaConfig};
     pub use sfa_matcher::{
-        Engine, MatchMode, ParallelSfaMatcher, Reduction, Regex, RegexBuilder, RegexSet,
-        SpeculativeDfaMatcher, StreamMatcher, WorkerPool,
+        BackendChoice, Engine, MatchMode, ParallelSfaMatcher, Reduction, Regex, RegexBuilder,
+        RegexSet, SpeculativeDfaMatcher, StreamMatcher, WorkerPool,
     };
 }

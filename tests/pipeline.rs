@@ -98,8 +98,61 @@ fn lazy_sfa_matches_eager_on_long_input() {
     let eager = DSfa::from_pattern(&pattern).unwrap();
     let lazy = LazyDSfa::from_pattern(&pattern).unwrap();
     let text = workloads::rn_text(4, 10_000, 3);
-    assert_eq!(eager.accepts(&text), lazy.accepts(&text).unwrap());
+    assert_eq!(eager.accepts(&text), lazy.accepts(&text));
     assert!(lazy.num_states_constructed() <= eager.num_states());
+}
+
+#[test]
+fn untamed_ids_scan_ruleset_runs_on_the_auto_backend() {
+    // The acceptance scenario of the backend refactor: the full ids_scan
+    // ruleset — untamed SQLi rule included — fails eager construction but
+    // compiles under backend(Auto), matches correctly via the parallel
+    // and streaming paths, and materializes a bounded number of states.
+    // The 2 000-state cap keeps the (failing) eager attempts cheap in
+    // debug builds; the full construction exceeds 750k states anyway.
+    let builder = Regex::builder()
+        .mode(MatchMode::Contains)
+        .max_dfa_states(50_000)
+        .max_sfa_states(2_000)
+        .engine(Engine::new(4))
+        .threads(4);
+    let eager = RegexSet::new(
+        workloads::IDS_SCAN_RULES.iter().copied(),
+        &builder.clone().backend(BackendChoice::Eager),
+    );
+    assert!(eager.is_err(), "the untamed ruleset must overflow the eager construction");
+
+    let set = RegexSet::new(
+        workloads::IDS_SCAN_RULES.iter().copied(),
+        &builder.backend(BackendChoice::Auto),
+    )
+    .unwrap();
+    assert_eq!(set.regex().backend_kind(), BackendKind::Lazy);
+
+    let log = workloads::http_log(5_000, 97, 0xBEEF);
+    assert!(set.is_match(&log), "the log plants /cgi-bin/ hits");
+    for threads in [2, 4] {
+        assert!(set.regex().is_match_parallel(&log, threads, Reduction::Sequential));
+        assert!(set.regex().is_match_parallel(&log, threads, Reduction::Tree));
+    }
+    // Streaming: arrival-time blocks, including one cutting mid-rule.
+    let mut stream = set.stream();
+    let sqli = b"GET /q?u=union  select name, pass from users HTTP/1.1\n";
+    let clean = workloads::http_log(200, 0, 7);
+    stream.feed(&clean).feed(&sqli[..17]).feed(&sqli[17..]);
+    assert_eq!(stream.verdict(), Some(true), "a Contains hit saturates the stream");
+
+    // Bounded materialization: far below the 2 000-state eager cap the
+    // construction overflowed (let alone the >750k full size).
+    let report = set.regex().size_report();
+    assert_eq!(report.backend, BackendKind::Lazy);
+    assert!(report.materialized_states < 1_000, "got {}", report.materialized_states);
+    assert_eq!(report.materialized_states, report.sfa_states);
+
+    // A clean log still reports no match on every path.
+    let clean_big = workloads::http_log(2_000, 0, 0xBEEF);
+    assert!(!set.is_match(&clean_big));
+    assert!(!set.regex().is_match_parallel(&clean_big, 4, Reduction::Tree));
 }
 
 #[test]
