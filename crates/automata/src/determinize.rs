@@ -5,6 +5,7 @@ use crate::byteclass::ByteClasses;
 use crate::dfa::Dfa;
 use crate::error::CompileError;
 use crate::nfa::{Nfa, StateId};
+use crate::pattern::{PatternId, PatternSet};
 use crate::stateset::StateSet;
 use sfa_regex_syntax::ast::Ast;
 use std::collections::HashMap;
@@ -48,31 +49,67 @@ pub fn determinize(nfa: &Nfa, config: &DfaConfig) -> Result<Dfa, CompileError> {
     let reps = classes.representatives();
 
     let mut table: Vec<StateId> = Vec::new();
-    let mut accepting: Vec<bool> = Vec::new();
+    let mut accept_index: Vec<u32> = Vec::new();
     let mut ids: HashMap<StateSet, StateId> = HashMap::new();
     let mut worklist: Vec<StateSet> = Vec::new();
-    let nfa_accepting = nfa.accepting_set();
+
+    // Per-pattern NFA accept sets: a DFA subset state accepts pattern `p`
+    // iff it contains one of pattern p's accept states. Distinct pattern
+    // accept sets are interned so states sharing one share an allocation.
+    let pattern_count = nfa.pattern_count();
+    let pattern_sets = nfa.pattern_accept_sets();
+    let mut accept_sets: Vec<PatternSet> = vec![PatternSet::new(pattern_count)];
+    let mut accept_set_ids: HashMap<PatternSet, u32> = HashMap::new();
+    accept_set_ids.insert(accept_sets[0].clone(), 0);
 
     let intern = |set: StateSet,
-                  accepting: &mut Vec<bool>,
+                  accept_index: &mut Vec<u32>,
                   worklist: &mut Vec<StateSet>,
-                  ids: &mut HashMap<StateSet, StateId>|
+                  ids: &mut HashMap<StateSet, StateId>,
+                  accept_sets: &mut Vec<PatternSet>,
+                  accept_set_ids: &mut HashMap<PatternSet, u32>|
      -> Result<StateId, CompileError> {
         if let Some(&id) = ids.get(&set) {
             return Ok(id);
         }
-        let id = accepting.len() as StateId;
-        if accepting.len() >= config.max_states {
+        let id = accept_index.len() as StateId;
+        if accept_index.len() >= config.max_states {
             return Err(CompileError::TooManyStates { limit: config.max_states });
         }
-        accepting.push(set.intersects(&nfa_accepting));
+        let pats = PatternSet::from_iter(
+            pattern_count,
+            pattern_sets
+                .iter()
+                .enumerate()
+                .filter(|(_, ps)| set.intersects(ps))
+                .map(|(p, _)| p as PatternId),
+        );
+        // get-then-insert rather than entry(): nearly every state hits an
+        // already-interned set, and entry() would clone the key per call.
+        let set_id = match accept_set_ids.get(&pats) {
+            Some(&id) => id,
+            None => {
+                let id = accept_sets.len() as u32;
+                accept_sets.push(pats.clone());
+                accept_set_ids.insert(pats, id);
+                id
+            }
+        };
+        accept_index.push(set_id);
         ids.insert(set.clone(), id);
         worklist.push(set);
         Ok(id)
     };
 
     let start_set = nfa.start_closure();
-    let start = intern(start_set, &mut accepting, &mut worklist, &mut ids)?;
+    let start = intern(
+        start_set,
+        &mut accept_index,
+        &mut worklist,
+        &mut ids,
+        &mut accept_sets,
+        &mut accept_set_ids,
+    )?;
     debug_assert_eq!(start, 0);
 
     let mut processed = 0usize;
@@ -83,12 +120,26 @@ pub fn determinize(nfa: &Nfa, config: &DfaConfig) -> Result<Dfa, CompileError> {
         debug_assert_eq!(table.len(), (processed - 1) * stride);
         for &rep in reps.iter().take(stride) {
             let next_set = nfa.step(&current, rep);
-            let next_id = intern(next_set, &mut accepting, &mut worklist, &mut ids)?;
+            let next_id = intern(
+                next_set,
+                &mut accept_index,
+                &mut worklist,
+                &mut ids,
+                &mut accept_sets,
+                &mut accept_set_ids,
+            )?;
             table.push(next_id);
         }
     }
 
-    Ok(Dfa::from_parts(classes, table, accepting, start))
+    Ok(Dfa::from_parts_with_patterns(
+        classes,
+        table,
+        accept_index,
+        accept_sets,
+        start,
+        pattern_count,
+    ))
 }
 
 /// Convenience: AST → NFA → DFA.
@@ -227,5 +278,42 @@ mod tests {
         assert!(d.accepts(b""));
         assert!(!d.accepts(b"x"));
         assert_eq!(d.num_classes(), 1);
+    }
+
+    #[test]
+    fn multi_pattern_accept_sets_follow_the_nfa() {
+        let nfa = Nfa::from_patterns(["(ab)*", "a+", "[ab]{2}"]).unwrap();
+        let d = determinize(&nfa, &DfaConfig::default()).unwrap();
+        assert_eq!(d.pattern_count(), 3);
+        for input in [&b""[..], b"a", b"ab", b"aa", b"ba", b"abab", b"aaa", b"b"] {
+            let via_nfa = nfa.matching_patterns(input);
+            let via_dfa = d.matching_patterns(input);
+            assert_eq!(&via_nfa, via_dfa, "input {:?}", input);
+            assert_eq!(d.accepts(input), !via_dfa.is_empty(), "input {:?}", input);
+        }
+        // "ab" fires (ab)* and [ab]{2} simultaneously.
+        let hits = d.matching_patterns(b"ab");
+        assert_eq!(hits.iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn single_pattern_accept_sets_are_zero_or_singleton() {
+        let d = dfa("(ab)*");
+        assert_eq!(d.pattern_count(), 1);
+        for q in 0..d.num_states() as StateId {
+            let set = d.accept_set(q);
+            assert_eq!(d.is_accepting(q), !set.is_empty());
+            assert_eq!(set.len(), d.is_accepting(q) as usize);
+        }
+    }
+
+    #[test]
+    fn empty_pattern_list_determinizes_to_void() {
+        let nfa = Nfa::from_asts(&[]).unwrap();
+        let d = determinize(&nfa, &DfaConfig::default()).unwrap();
+        assert_eq!(d.pattern_count(), 0);
+        assert!(d.is_empty_language());
+        assert!(!d.accepts(b""));
+        assert!(d.matching_patterns(b"anything").is_empty());
     }
 }

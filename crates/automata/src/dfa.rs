@@ -3,6 +3,7 @@
 
 use crate::byteclass::ByteClasses;
 use crate::nfa::StateId;
+use crate::pattern::PatternSet;
 
 /// A complete deterministic finite automaton.
 ///
@@ -17,26 +18,65 @@ pub struct Dfa {
     table: Vec<StateId>,
     accepting: Vec<bool>,
     start: StateId,
+    /// Number of original patterns compiled into this automaton (see
+    /// [`crate::pattern`]); 1 for single-pattern constructions.
+    pattern_count: usize,
+    /// Per-state index into `accept_sets` (parallel to `accepting`).
+    /// Distinct accept sets are interned, so states sharing a set share
+    /// one [`PatternSet`] allocation.
+    accept_index: Vec<u32>,
+    /// The distinct pattern accept sets; entry 0 is always the empty set.
+    accept_sets: Vec<PatternSet>,
 }
 
 impl Dfa {
     /// Builds a DFA from raw parts. Panics if the parts are inconsistent.
     ///
     /// `table` must have `accepting.len() * classes.count()` entries and
-    /// every entry must be a valid state id.
+    /// every entry must be a valid state id. The result is a
+    /// single-pattern automaton: every accepting state's
+    /// [accept set](Dfa::accept_set) is `{0}`.
     pub fn from_parts(
         classes: ByteClasses,
         table: Vec<StateId>,
         accepting: Vec<bool>,
         start: StateId,
     ) -> Dfa {
+        let accept_index = accepting.iter().map(|&a| a as u32).collect();
+        let accept_sets = vec![PatternSet::new(1), PatternSet::singleton(1, 0)];
+        Dfa::from_parts_with_patterns(classes, table, accept_index, accept_sets, start, 1)
+    }
+
+    /// Builds a multi-pattern DFA from raw parts: each state carries an
+    /// index into the interned `accept_sets` table (entry 0 must be the
+    /// empty set over `pattern_count` patterns); a state is accepting
+    /// exactly when its accept set is non-empty. Panics if the parts are
+    /// inconsistent.
+    pub fn from_parts_with_patterns(
+        classes: ByteClasses,
+        table: Vec<StateId>,
+        accept_index: Vec<u32>,
+        accept_sets: Vec<PatternSet>,
+        start: StateId,
+        pattern_count: usize,
+    ) -> Dfa {
         let stride = classes.count();
-        let num_states = accepting.len();
+        let num_states = accept_index.len();
         assert!(num_states > 0, "a DFA needs at least one state");
         assert_eq!(table.len(), num_states * stride, "transition table size mismatch");
         assert!((start as usize) < num_states, "start state out of range");
         assert!(table.iter().all(|&t| (t as usize) < num_states), "transition target out of range");
-        Dfa { classes, stride, table, accepting, start }
+        assert!(!accept_sets.is_empty() && accept_sets[0].is_empty(), "accept set 0 must be empty");
+        assert!(
+            accept_sets.iter().all(|s| s.patterns() == pattern_count),
+            "accept sets must range over pattern_count patterns"
+        );
+        assert!(
+            accept_index.iter().all(|&i| (i as usize) < accept_sets.len()),
+            "accept index out of range"
+        );
+        let accepting = accept_index.iter().map(|&i| !accept_sets[i as usize].is_empty()).collect();
+        Dfa { classes, stride, table, accepting, start, pattern_count, accept_index, accept_sets }
     }
 
     /// Number of states, including the dead state if one is reachable
@@ -84,6 +124,41 @@ impl Dfa {
         &self.accepting
     }
 
+    /// Number of original patterns compiled into this automaton (1 for
+    /// single-pattern constructions, 0 for the empty pattern list).
+    #[inline]
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// The set of patterns `state` accepts — the per-rule verdict of a
+    /// multi-pattern automaton. Empty exactly when the state is not
+    /// accepting.
+    #[inline]
+    pub fn accept_set(&self, state: StateId) -> &PatternSet {
+        &self.accept_sets[self.accept_index[state as usize] as usize]
+    }
+
+    /// Per-state indices into [`distinct_accept_sets`](Dfa::distinct_accept_sets)
+    /// (used to rebuild derived automata without re-interning).
+    pub fn accept_indices(&self) -> &[u32] {
+        &self.accept_index
+    }
+
+    /// The interned distinct pattern accept sets (entry 0 is the empty
+    /// set).
+    pub fn distinct_accept_sets(&self) -> &[PatternSet] {
+        &self.accept_sets
+    }
+
+    /// Which patterns the whole input matches: run the automaton and
+    /// read the final state's [accept set](Dfa::accept_set) — one pass,
+    /// all per-pattern verdicts (the sequential form; the parallel and
+    /// streaming forms live in `sfa-matcher`).
+    pub fn matching_patterns(&self, input: &[u8]) -> &PatternSet {
+        self.accept_set(self.run(input))
+    }
+
     /// Transition on a byte class.
     #[inline]
     pub fn next_by_class(&self, state: StateId, class: u16) -> StateId {
@@ -128,9 +203,11 @@ impl Dfa {
         self.is_accepting(self.run(input))
     }
 
-    /// For every state, whether an accepting state is reachable from it.
-    pub fn live_states(&self) -> Vec<bool> {
-        // Backward reachability from the accepting states.
+    /// The reverse adjacency of the transition graph: `reverse[t]` lists
+    /// the states with some transition into `t` (one entry per edge, so a
+    /// state appears once per byte class leading to `t`). Shared by every
+    /// backward-propagation analysis on the DFA.
+    fn reverse_edges(&self) -> Vec<Vec<StateId>> {
         let n = self.num_states();
         let mut reverse: Vec<Vec<StateId>> = vec![Vec::new(); n];
         for q in 0..n {
@@ -139,23 +216,92 @@ impl Dfa {
                 reverse[t].push(q as StateId);
             }
         }
-        let mut live = vec![false; n];
-        let mut stack: Vec<StateId> = Vec::new();
-        for (q, &acc) in self.accepting.iter().enumerate() {
-            if acc {
-                live[q] = true;
-                stack.push(q as StateId);
-            }
-        }
+        reverse
+    }
+
+    /// Saturates `marked` backward over `reverse`: every predecessor of a
+    /// marked state becomes marked. `stack` must hold the initially
+    /// marked seeds.
+    fn propagate_backward(reverse: &[Vec<StateId>], marked: &mut [bool], mut stack: Vec<StateId>) {
         while let Some(q) = stack.pop() {
             for &p in &reverse[q as usize] {
-                if !live[p as usize] {
-                    live[p as usize] = true;
+                if !marked[p as usize] {
+                    marked[p as usize] = true;
                     stack.push(p);
                 }
             }
         }
+    }
+
+    /// For every state, whether an accepting state is reachable from it.
+    pub fn live_states(&self) -> Vec<bool> {
+        // Backward reachability from the accepting states.
+        let reverse = self.reverse_edges();
+        let mut live = vec![false; self.num_states()];
+        let mut seeds: Vec<StateId> = Vec::new();
+        for (q, &acc) in self.accepting.iter().enumerate() {
+            if acc {
+                live[q] = true;
+                seeds.push(q as StateId);
+            }
+        }
+        Self::propagate_backward(&reverse, &mut live, seeds);
         live
+    }
+
+    /// For every state, whether the boolean accept verdict is already
+    /// *decided* there: every state reachable from it (itself included)
+    /// agrees on accepting vs. rejecting, so no suffix can change a
+    /// match-or-not answer. A streaming matcher can finalize its verdict
+    /// as soon as it enters a decided state — e.g. the absorbing accept
+    /// region of a `Contains`-mode scan right after the first hit.
+    pub fn verdict_decided_states(&self) -> Vec<bool> {
+        self.verdict_and_accept_set_decided_states().0
+    }
+
+    /// For every state, whether the full pattern *accept set* is already
+    /// decided: every reachable state carries the same accept set, so no
+    /// suffix can change which patterns match. Implies (and is generally
+    /// stricter than) [`verdict_decided_states`](Dfa::verdict_decided_states) —
+    /// in a multi-pattern `Contains` scan the boolean verdict freezes at
+    /// the first rule hit, while the set verdict stays open until every
+    /// rule's fate is frozen.
+    pub fn accept_set_decided_states(&self) -> Vec<bool> {
+        self.verdict_and_accept_set_decided_states().1
+    }
+
+    /// Both decidedness bitmaps — `(verdict, accept set)` — from one
+    /// pass: each is the greatest fixpoint of "my key equals every
+    /// successor's key" (the keys being the accepting bit and the accept
+    /// set index), computed over a single shared reverse graph instead of
+    /// rebuilding the `O(n · stride)` adjacency per bitmap. A state is
+    /// *undecided* if some transition changes its key or leads to an
+    /// undecided state; undecidedness propagates backward.
+    pub fn verdict_and_accept_set_decided_states(&self) -> (Vec<bool>, Vec<bool>) {
+        let n = self.num_states();
+        let reverse = self.reverse_edges();
+        // bad_set ⊇ bad_any pointwise in the end (equal accept sets imply
+        // equal accepting bits), but each needs its own seeding pass.
+        let mut bad_any = vec![false; n];
+        let mut bad_set = vec![false; n];
+        let mut seeds_any: Vec<StateId> = Vec::new();
+        let mut seeds_set: Vec<StateId> = Vec::new();
+        for q in 0..n {
+            for c in 0..self.stride {
+                let t = self.table[q * self.stride + c] as usize;
+                if !bad_any[q] && self.accepting[t] != self.accepting[q] {
+                    bad_any[q] = true;
+                    seeds_any.push(q as StateId);
+                }
+                if !bad_set[q] && self.accept_index[t] != self.accept_index[q] {
+                    bad_set[q] = true;
+                    seeds_set.push(q as StateId);
+                }
+            }
+        }
+        Self::propagate_backward(&reverse, &mut bad_any, seeds_any);
+        Self::propagate_backward(&reverse, &mut bad_set, seeds_set);
+        (bad_any.into_iter().map(|b| !b).collect(), bad_set.into_iter().map(|b| !b).collect())
     }
 
     /// Returns the dead (failure-sink) state if the DFA has exactly one
@@ -279,6 +425,18 @@ mod tests {
     #[should_panic(expected = "start state out of range")]
     fn from_parts_validates_start() {
         Dfa::from_parts(ByteClasses::single(), vec![0], vec![true], 5);
+    }
+
+    #[test]
+    fn decided_states_on_paper_example() {
+        let d = paper_d1();
+        // Only the dead state 2 is decided: from 0 and 1 both verdicts
+        // are still reachable.
+        assert_eq!(d.verdict_decided_states(), vec![false, false, true]);
+        assert_eq!(d.accept_set_decided_states(), vec![false, false, true]);
+        // A universal single state is decided.
+        let all = Dfa::from_parts(ByteClasses::single(), vec![0], vec![true], 0);
+        assert_eq!(all.verdict_decided_states(), vec![true]);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod equivalence;
 pub mod error;
 pub mod minimize;
 pub mod nfa;
+pub mod pattern;
 pub mod sample;
 pub mod stateset;
 
@@ -47,6 +48,7 @@ pub use dfa::Dfa;
 pub use error::CompileError;
 pub use minimize::{minimal_dfa_from_pattern, minimize};
 pub use nfa::{Nfa, NfaState, StateId};
+pub use pattern::{PatternId, PatternSet};
 pub use sample::{sample_accepted, DfaSampler};
 pub use stateset::StateSet;
 

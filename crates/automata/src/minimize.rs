@@ -31,34 +31,37 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
 
     // Partition data structures.
     // block_of[q] = index of the block containing q.
+    //
+    // The initial partition groups states by their pattern *accept set*,
+    // not merely by the accepting bit: in a multi-pattern automaton two
+    // states accepting different rule subsets are distinguishable (the
+    // per-rule verdict differs), so they must never merge. For a
+    // single-pattern DFA the accept sets are {} and {0} and this reduces
+    // to the classic accepting/rejecting split.
     let mut block_of: Vec<usize> = vec![0; n];
     let mut blocks: Vec<Vec<StateId>> = Vec::new();
-
-    let accepting: Vec<StateId> = (0..n as StateId).filter(|&q| dfa.is_accepting(q)).collect();
-    let rejecting: Vec<StateId> = (0..n as StateId).filter(|&q| !dfa.is_accepting(q)).collect();
-    for q in &accepting {
-        block_of[*q as usize] = 0;
-    }
-    match (accepting.is_empty(), rejecting.is_empty()) {
-        (false, false) => {
-            for q in &rejecting {
-                block_of[*q as usize] = 1;
-            }
-            blocks.push(accepting);
-            blocks.push(rejecting);
-        }
-        (false, true) => blocks.push(accepting),
-        (true, false) => blocks.push(rejecting),
-        (true, true) => unreachable!("n > 0"),
-    }
-
-    // Hopcroft worklist: (block index, class index).
-    let mut worklist: Vec<(usize, usize)> = Vec::new();
     {
-        // Start from the smaller of the two initial blocks (or the only one).
-        let pivot = if blocks.len() == 2 && blocks[1].len() < blocks[0].len() { 1 } else { 0 };
+        let mut group_of_set: std::collections::HashMap<u32, usize> =
+            std::collections::HashMap::new();
+        for (q, &set_idx) in dfa.accept_indices().iter().enumerate() {
+            let b = *group_of_set.entry(set_idx).or_insert_with(|| {
+                blocks.push(Vec::new());
+                blocks.len() - 1
+            });
+            block_of[q] = b;
+            blocks[b].push(q as StateId);
+        }
+    }
+
+    // Hopcroft worklist: (block index, class index). Seeding every block
+    // except one largest is the standard generalization to a many-class
+    // initial partition; seeding *all* of them is also sound and keeps
+    // the code simple (the initial partition has few blocks — one per
+    // distinct accept set).
+    let mut worklist: Vec<(usize, usize)> = Vec::new();
+    for b in 0..blocks.len() {
         for c in 0..stride {
-            worklist.push((pivot, c));
+            worklist.push((b, c));
         }
     }
 
@@ -139,17 +142,27 @@ pub fn minimize(dfa: &Dfa) -> Dfa {
 
     let num_new = order.len();
     let mut table = vec![0 as StateId; num_new * stride];
-    let mut accepting = vec![false; num_new];
+    let mut accept_index = vec![0u32; num_new];
     for (new_idx, &b) in order.iter().enumerate() {
         let rep = blocks[b][0] as usize;
-        accepting[new_idx] = dfa.is_accepting(rep as StateId);
+        // Every member of a block shares one accept set (the initial
+        // partition split by accept set and refinement only splits), so
+        // the representative's index stands for the whole block.
+        accept_index[new_idx] = dfa.accept_indices()[rep];
         for c in 0..stride {
             let t_block = block_of[dfa.table()[rep * stride + c] as usize];
             table[new_idx * stride + c] = new_id[t_block].expect("reachable block numbered");
         }
     }
 
-    Dfa::from_parts(dfa.classes().clone(), table, accepting, 0)
+    Dfa::from_parts_with_patterns(
+        dfa.classes().clone(),
+        table,
+        accept_index,
+        dfa.distinct_accept_sets().to_vec(),
+        0,
+        dfa.pattern_count(),
+    )
 }
 
 /// Convenience: pattern → NFA → DFA → minimal DFA with default settings.
@@ -261,5 +274,44 @@ mod tests {
     fn single_state_dfa_is_fixed_point() {
         let d = min("(?s).*");
         assert_eq!(minimize(&d).num_states(), 1);
+    }
+
+    #[test]
+    fn multi_pattern_minimization_preserves_accept_sets() {
+        use crate::nfa::Nfa;
+        let nfa = Nfa::from_patterns(["(ab)*", "a+", "[ab]{2}", "ab"]).unwrap();
+        let full = crate::determinize::determinize(&nfa, &Default::default()).unwrap();
+        let reduced = minimize(&full);
+        assert!(reduced.num_states() <= full.num_states());
+        assert_eq!(reduced.pattern_count(), 4);
+        for input in [&b""[..], b"a", b"ab", b"aa", b"ba", b"abab", b"aaa", b"bb"] {
+            assert_eq!(
+                full.matching_patterns(input),
+                reduced.matching_patterns(input),
+                "input {:?}",
+                input
+            );
+        }
+        // "ab" is accepted by three patterns at once; the states carrying
+        // the sets {0,2,3} and e.g. {1} must stay distinct.
+        assert_eq!(reduced.matching_patterns(b"ab").iter().collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(reduced.matching_patterns(b"a").iter().collect::<Vec<_>>(), vec![1]);
+        // Idempotent on the multi-pattern automaton too.
+        let again = minimize(&reduced);
+        assert_eq!(again.num_states(), reduced.num_states());
+    }
+
+    #[test]
+    fn states_with_distinct_accept_sets_never_merge() {
+        use crate::nfa::Nfa;
+        // Language-equal branches with different identities: "a" and "a".
+        // Any-match minimization would merge their accept states; the
+        // per-pattern partition must keep the combined accept set {0,1}
+        // intact (both rules fire on "a").
+        let nfa = Nfa::from_patterns(["a", "a"]).unwrap();
+        let reduced =
+            minimize(&crate::determinize::determinize(&nfa, &Default::default()).unwrap());
+        assert_eq!(reduced.matching_patterns(b"a").iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(reduced.matching_patterns(b"b").is_empty());
     }
 }

@@ -7,6 +7,7 @@
 //! states for a pattern of size `m` (Table II of the paper).
 
 use crate::error::CompileError;
+use crate::pattern::PatternId;
 use crate::stateset::StateSet;
 use sfa_regex_syntax::ast::Ast;
 use sfa_regex_syntax::class::ByteSet;
@@ -34,6 +35,14 @@ pub struct Nfa {
     states: Vec<NfaState>,
     start: StateId,
     accepting: Vec<StateId>,
+    /// The pattern each accepting state belongs to (parallel to
+    /// `accepting`). Single-pattern constructions tag everything with
+    /// pattern 0.
+    accept_pattern: Vec<PatternId>,
+    /// Number of original patterns this NFA was compiled from (1 for the
+    /// single-pattern constructors, 0 for the empty pattern list — the
+    /// void language).
+    pattern_count: usize,
 }
 
 impl Nfa {
@@ -48,14 +57,46 @@ impl Nfa {
         Nfa::from_ast(&ast)
     }
 
+    /// Compiles a list of pattern ASTs into **one** NFA whose accept
+    /// states remember which pattern they came from.
+    ///
+    /// Structurally this is the alternation of the patterns (a fresh
+    /// start state with an ε-transition into each branch), but unlike
+    /// compiling `p0|p1|…` the accept state of branch `i` is tagged with
+    /// [`PatternId`] `i`, so the subset construction can carry per-DFA-state
+    /// pattern accept sets ([`crate::PatternSet`]) and a downstream
+    /// matcher can report *which* patterns matched, not just whether any
+    /// did.
+    ///
+    /// An empty list yields the void language: one state, nothing
+    /// accepting, [`pattern_count`](Nfa::pattern_count) 0 — the union of
+    /// zero languages is empty.
+    pub fn from_asts(asts: &[Ast]) -> Result<Nfa, CompileError> {
+        Compiler::new().compile_set(asts)
+    }
+
+    /// Convenience: parse each pattern with default syntax settings and
+    /// compile the tagged union (see [`Nfa::from_asts`]).
+    pub fn from_patterns<'a, I>(patterns: I) -> Result<Nfa, CompileError>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let asts =
+            patterns.into_iter().map(sfa_regex_syntax::parse).collect::<Result<Vec<_>, _>>()?;
+        Nfa::from_asts(&asts)
+    }
+
     /// Builds an NFA directly from parts (used by tests and by the
-    /// explosion-family constructors in `sfa-monoid`).
+    /// explosion-family constructors in `sfa-monoid`). The result is a
+    /// single-pattern automaton: every accepting state is tagged with
+    /// pattern 0.
     pub fn from_parts(states: Vec<NfaState>, start: StateId, accepting: Vec<StateId>) -> Nfa {
         assert!((start as usize) < states.len(), "start state out of range");
         for &q in &accepting {
             assert!((q as usize) < states.len(), "accepting state out of range");
         }
-        Nfa { states, start, accepting }
+        let accept_pattern = vec![0; accepting.len()];
+        Nfa { states, start, accepting, accept_pattern, pattern_count: 1 }
     }
 
     /// Number of states (`|N|` in the paper).
@@ -76,6 +117,30 @@ impl Nfa {
     /// Accepting states as a [`StateSet`].
     pub fn accepting_set(&self) -> StateSet {
         StateSet::from_iter(self.num_states(), self.accepting.iter().copied())
+    }
+
+    /// Number of original patterns this NFA was compiled from (see
+    /// [`Nfa::from_asts`]). Single-pattern constructions report 1.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// The pattern tag of each accepting state, parallel to
+    /// [`accepting`](Nfa::accepting).
+    pub fn accept_patterns(&self) -> &[PatternId] {
+        &self.accept_pattern
+    }
+
+    /// For every pattern, the set of NFA states accepting it (indexed by
+    /// [`PatternId`]; length [`pattern_count`](Nfa::pattern_count)).
+    /// The subset construction intersects DFA subset states against these
+    /// to compute per-state pattern accept sets.
+    pub fn pattern_accept_sets(&self) -> Vec<StateSet> {
+        let mut sets = vec![StateSet::new(self.num_states()); self.pattern_count];
+        for (&q, &p) in self.accepting.iter().zip(&self.accept_pattern) {
+            sets[p as usize].insert(q);
+        }
+        sets
     }
 
     /// Returns the state with the given id.
@@ -153,6 +218,28 @@ impl Nfa {
         current.intersects(&accepting)
     }
 
+    /// Per-pattern membership by subset simulation: the set of patterns
+    /// whose branch accepts `input`. The multi-pattern analogue of
+    /// [`accepts`](Nfa::accepts), used as the semantic oracle for the
+    /// per-pattern pipeline tests.
+    pub fn matching_patterns(&self, input: &[u8]) -> crate::PatternSet {
+        let mut current = self.start_closure();
+        for &b in input {
+            if current.is_empty() {
+                break;
+            }
+            current = self.step(&current, b);
+        }
+        let sets = self.pattern_accept_sets();
+        crate::PatternSet::from_iter(
+            self.pattern_count,
+            sets.iter()
+                .enumerate()
+                .filter(|(_, s)| current.intersects(s))
+                .map(|(p, _)| p as PatternId),
+        )
+    }
+
     /// Returns the set of bytes that have an outgoing transition anywhere in
     /// the automaton (useful for alphabet statistics).
     pub fn used_bytes(&self) -> ByteSet {
@@ -199,8 +286,30 @@ impl Compiler {
 
     fn compile(mut self, ast: &Ast) -> Result<Nfa, CompileError> {
         let frag = self.compile_node(ast)?;
-        let nfa = Nfa { states: self.states, start: frag.start, accepting: vec![frag.end] };
+        let nfa = Nfa {
+            states: self.states,
+            start: frag.start,
+            accepting: vec![frag.end],
+            accept_pattern: vec![0],
+            pattern_count: 1,
+        };
         Ok(nfa)
+    }
+
+    /// Compiles each AST as its own branch under a shared start state,
+    /// tagging branch `i`'s accept state with pattern `i` (the
+    /// pattern-preserving alternation behind [`Nfa::from_asts`]).
+    fn compile_set(mut self, asts: &[Ast]) -> Result<Nfa, CompileError> {
+        let start = self.add_state();
+        let mut accepting = Vec::with_capacity(asts.len());
+        let mut accept_pattern = Vec::with_capacity(asts.len());
+        for (i, ast) in asts.iter().enumerate() {
+            let frag = self.compile_node(ast)?;
+            self.add_epsilon(start, frag.start);
+            accepting.push(frag.end);
+            accept_pattern.push(i as PatternId);
+        }
+        Ok(Nfa { states: self.states, start, accepting, accept_pattern, pattern_count: asts.len() })
     }
 
     fn compile_node(&mut self, ast: &Ast) -> Result<Frag, CompileError> {
@@ -477,6 +586,59 @@ mod tests {
         let used = n.used_bytes();
         assert!(used.contains(b'a') && used.contains(b'b') && used.contains(b'c'));
         assert_eq!(used.len(), 3);
+    }
+
+    #[test]
+    fn from_asts_tags_accept_states_per_pattern() {
+        let n = Nfa::from_patterns(["(ab)*", "a+", "b"]).unwrap();
+        assert_eq!(n.pattern_count(), 3);
+        assert_eq!(n.accepting().len(), 3);
+        assert_eq!(n.accept_patterns(), &[0, 1, 2]);
+        // Any-match semantics are the union of the branches.
+        assert!(n.accepts(b""));
+        assert!(n.accepts(b"ab"));
+        assert!(n.accepts(b"aaa"));
+        assert!(n.accepts(b"b"));
+        assert!(!n.accepts(b"ba"));
+        // Per-pattern semantics distinguish the branches.
+        let hits = n.matching_patterns(b"ab");
+        assert!(hits.contains(0) && !hits.contains(1) && !hits.contains(2));
+        let hits = n.matching_patterns(b"a");
+        assert!(!hits.contains(0) && hits.contains(1));
+        let hits = n.matching_patterns(b"b");
+        assert_eq!(hits.iter().collect::<Vec<_>>(), vec![2]);
+        let hits = n.matching_patterns(b"");
+        assert_eq!(hits.iter().collect::<Vec<_>>(), vec![0], "only (ab)* is nullable");
+        assert!(n.matching_patterns(b"ba").is_empty());
+    }
+
+    #[test]
+    fn from_asts_overlapping_patterns_all_fire() {
+        // "a" is accepted by patterns 0 and 2 simultaneously.
+        let n = Nfa::from_patterns(["a", "aa", "[ab]"]).unwrap();
+        let hits = n.matching_patterns(b"a");
+        assert_eq!(hits.iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(n.matching_patterns(b"aa").iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn empty_pattern_list_is_void() {
+        let n = Nfa::from_asts(&[]).unwrap();
+        assert_eq!(n.pattern_count(), 0);
+        assert_eq!(n.num_states(), 1);
+        assert!(!n.accepts(b""));
+        assert!(!n.accepts(b"a"));
+        assert!(n.matching_patterns(b"").is_empty());
+        assert!(n.pattern_accept_sets().is_empty());
+    }
+
+    #[test]
+    fn single_pattern_constructors_report_one_pattern() {
+        let n = nfa("(ab)*");
+        assert_eq!(n.pattern_count(), 1);
+        assert_eq!(n.accept_patterns(), &[0]);
+        assert_eq!(n.matching_patterns(b"abab").iter().collect::<Vec<_>>(), vec![0]);
+        assert!(n.matching_patterns(b"aba").is_empty());
     }
 
     #[test]

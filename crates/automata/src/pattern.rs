@@ -1,0 +1,190 @@
+//! Pattern identities for multi-pattern (rule-set) matching.
+//!
+//! A rule-set workload — the paper's motivating IDS scenario — compiles
+//! many patterns into *one* automaton but still needs to know **which**
+//! rules fired, not just whether any did. The identity of each original
+//! pattern is threaded through the whole pipeline as a [`PatternId`]:
+//! [`Nfa::from_asts`](crate::Nfa::from_asts) tags each alternation
+//! branch's accept state, the subset construction unions the tags of the
+//! NFA states inside each DFA state into a [`PatternSet`], minimization
+//! refines by accept *set* (so two states that accept different rule
+//! subsets are never merged), and the D-SFA backends in `sfa-core` expose
+//! the set of the final state — one pass over the input yields the full
+//! per-rule verdict, under any execution strategy (the accept predicate
+//! got richer, but Theorem 3 composition is untouched).
+
+use crate::stateset::{StateSet, StateSetIter};
+use std::fmt;
+
+/// Identifier of an original pattern in a multi-pattern automaton:
+/// the index of the pattern in the list it was compiled from.
+pub type PatternId = u32;
+
+/// A set of [`PatternId`]s backed by a bit vector — which patterns of a
+/// multi-pattern automaton a state accepts.
+///
+/// Every set carries the number of patterns of its automaton (the
+/// *universe*), fixed at creation; sets from the same automaton can be
+/// unioned and compared cheaply. A thin wrapper over the crate's
+/// [`StateSet`] bitset with pattern-flavored contracts: inserting an
+/// out-of-universe id is a hard error, membership outside the universe
+/// is simply `false`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct PatternSet {
+    bits: StateSet,
+}
+
+impl PatternSet {
+    /// Creates an empty set over a universe of `patterns` patterns.
+    pub fn new(patterns: usize) -> PatternSet {
+        PatternSet { bits: StateSet::new(patterns) }
+    }
+
+    /// Creates a set containing a single pattern.
+    pub fn singleton(patterns: usize, id: PatternId) -> PatternSet {
+        let mut s = PatternSet::new(patterns);
+        s.insert(id);
+        s
+    }
+
+    /// Creates a set from an iterator of pattern ids.
+    pub fn from_iter<I: IntoIterator<Item = PatternId>>(patterns: usize, iter: I) -> PatternSet {
+        let mut s = PatternSet::new(patterns);
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+
+    /// The number of patterns in the universe (not the cardinality — see
+    /// [`len`](PatternSet::len)).
+    #[inline]
+    pub fn patterns(&self) -> usize {
+        self.bits.universe()
+    }
+
+    /// Inserts a pattern id. Returns true if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not below [`patterns`](PatternSet::patterns).
+    #[inline]
+    pub fn insert(&mut self, id: PatternId) -> bool {
+        assert!((id as usize) < self.patterns(), "pattern id out of range");
+        self.bits.insert(id)
+    }
+
+    /// Returns true if the pattern id is present. Ids outside the
+    /// universe are never present.
+    #[inline]
+    pub fn contains(&self, id: PatternId) -> bool {
+        (id as usize) < self.patterns() && self.bits.contains(id)
+    }
+
+    /// The number of patterns in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns true if no pattern is present.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// In-place union with a set over the same universe.
+    pub fn union_with(&mut self, other: &PatternSet) {
+        self.bits.union_with(&other.bits);
+    }
+
+    /// Iterates over the pattern ids in increasing order.
+    pub fn iter(&self) -> PatternSetIter<'_> {
+        PatternSetIter { inner: self.bits.iter() }
+    }
+}
+
+/// Iterator over the pattern ids of a [`PatternSet`].
+pub struct PatternSetIter<'a> {
+    inner: StateSetIter<'a>,
+}
+
+impl Iterator for PatternSetIter<'_> {
+    type Item = PatternId;
+
+    fn next(&mut self) -> Option<PatternId> {
+        self.inner.next()
+    }
+}
+
+impl fmt::Debug for PatternSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = PatternSet::new(70);
+        assert!(s.is_empty());
+        assert_eq!(s.patterns(), 70);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0) && s.contains(64));
+        assert!(!s.contains(1));
+        assert!(!s.contains(1000), "ids outside the universe are never present");
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern id out of range")]
+    fn insert_out_of_range_panics() {
+        PatternSet::new(3).insert(3);
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let s = PatternSet::from_iter(130, [5u32, 129, 64, 0, 63]);
+        let v: Vec<PatternId> = s.iter().collect();
+        assert_eq!(v, vec![0, 5, 63, 64, 129]);
+    }
+
+    #[test]
+    fn union_and_equality() {
+        let mut a = PatternSet::from_iter(10, [1u32, 2]);
+        let b = PatternSet::from_iter(10, [2u32, 7]);
+        a.union_with(&b);
+        assert_eq!(a, PatternSet::from_iter(10, [1u32, 2, 7]));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = PatternSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.iter().count(), 0);
+        assert!(!s.contains(0));
+    }
+
+    #[test]
+    fn hash_uses_contents() {
+        use std::collections::HashSet;
+        let a = PatternSet::from_iter(100, [1u32, 50]);
+        let b = PatternSet::from_iter(100, [50u32, 1]);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+
+    #[test]
+    fn debug_lists_members() {
+        let s = PatternSet::from_iter(5, [0u32, 3]);
+        assert_eq!(format!("{s:?}"), "{0, 3}");
+    }
+}

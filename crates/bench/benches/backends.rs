@@ -21,7 +21,7 @@
 //! run this bench as a smoke test.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sfa_matcher::{BackendChoice, BackendKind, Engine, MatchMode, Reduction, Regex};
+use sfa_matcher::{BackendChoice, BackendKind, Engine, MatchMode, Reduction, Regex, Strategy};
 use std::time::Duration;
 
 const SMALL_PATTERN: &str = "([0-4]{2}[5-9]{2})*";
@@ -74,8 +74,8 @@ fn bench_small(c: &mut Criterion) {
         assert_eq!(eager.is_match(input), lazy.is_match(input));
         for reduction in [Reduction::Sequential, Reduction::Tree] {
             assert_eq!(
-                eager.is_match_parallel(input, WORKERS, reduction),
-                lazy.is_match_parallel(input, WORKERS, reduction)
+                eager.is_match_with(input, Strategy::Parallel { threads: WORKERS, reduction }),
+                lazy.is_match_with(input, Strategy::Parallel { threads: WORKERS, reduction })
             );
         }
     }
@@ -92,7 +92,12 @@ fn bench_small(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("parallel_4w", label), re, |b, re| {
-            b.iter(|| assert!(re.is_match_parallel(&text, WORKERS, Reduction::Sequential)))
+            b.iter(|| {
+                assert!(re.is_match_with(
+                    &text,
+                    Strategy::Parallel { threads: WORKERS, reduction: Reduction::Sequential }
+                ))
+            })
         });
     }
     group.finish();

@@ -1,0 +1,140 @@
+//! Multi-pattern (rule-set) matching: one combined automaton with
+//! per-pattern verdicts vs. N individually compiled regexes.
+//!
+//! * `multimatch_log` — the ids_scan ruleset (untamed SQLi rule included,
+//!   Auto → lazy backend) over the 2.4 MiB HTTP log: one
+//!   `RegexSet::matches` pass vs. N single-pattern `is_match` scans.
+//! * `multimatch_lines` — a 6-keyword ruleset over 10 000 request
+//!   lines: `matches_batch` (one pool batch, per-rule verdicts) vs. N
+//!   per-pattern `is_match_batch` sweeps.
+//!
+//! Acceptance checks (always on): the combined set's per-rule verdicts
+//! equal the individually compiled patterns' verdicts, on every input.
+//!
+//! `SFA_BENCH_SMOKE=1` shrinks everything to a single iteration so CI can
+//! run this bench as a smoke test.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sfa_matcher::{BackendChoice, MatchMode, Regex, RegexBuilder, RegexSet, Strategy};
+use sfa_workloads as workloads;
+use std::time::Duration;
+
+fn smoke() -> bool {
+    std::env::var_os("SFA_BENCH_SMOKE").is_some()
+}
+
+fn configure(group: &mut criterion::BenchmarkGroup<'_>) {
+    if smoke() {
+        group.sample_size(1);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+    } else {
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(1500));
+    }
+}
+
+fn builder() -> RegexBuilder {
+    Regex::builder()
+        .mode(MatchMode::Contains)
+        .backend(BackendChoice::Auto)
+        .max_dfa_states(50_000)
+        .max_sfa_states(2_000)
+}
+
+/// The ids_scan ruleset over the HTTP log: one combined pass yielding all
+/// per-rule verdicts vs. N individual scans.
+fn bench_log(c: &mut Criterion) {
+    let rules = workloads::IDS_SCAN_RULES;
+    let set = RegexSet::new(rules.iter().copied(), &builder()).expect("ruleset compiles");
+    let singles: Vec<Regex> =
+        rules.iter().map(|p| builder().build(p).expect("rule compiles")).collect();
+
+    let mut log = workloads::http_log(50_000, 97, 0xBEEF);
+    log.extend_from_slice(b"GET /q?u=union  select name, pass from users HTTP/1.1 200 17\n");
+    log.extend_from_slice(b"GET /../../etc/passwd HTTP/1.1 403 0\n");
+
+    // Acceptance: the combined per-rule verdicts equal the individual
+    // compilations' verdicts.
+    let fired = set.matches(&log);
+    for (i, re) in singles.iter().enumerate() {
+        assert_eq!(fired.matched(i), re.is_match_with(&log, Strategy::Sequential), "rule {i}");
+    }
+    assert_eq!(fired.iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+
+    let mut group = c.benchmark_group("multimatch_log");
+    configure(&mut group);
+    group.throughput(Throughput::Bytes(log.len() as u64));
+    group.bench_function("combined_set_matches", |b| {
+        b.iter(|| {
+            let m = set.matches_with(&log, Strategy::Sequential);
+            assert!(m.matched_any());
+        })
+    });
+    group.bench_function("individual_regexes", |b| {
+        b.iter(|| {
+            let mut any = false;
+            for re in &singles {
+                any |= re.is_match_with(&log, Strategy::Sequential);
+            }
+            assert!(any);
+        })
+    });
+    group.finish();
+}
+
+/// A 6-keyword ruleset over 10k request lines, batched: per-rule
+/// verdicts from one combined `matches_batch` vs. N per-pattern sweeps.
+///
+/// Six rules, not more: a per-rule `Contains` automaton must remember
+/// *which* rules already hit, and every hit-flag combination is reachable
+/// (any subset of keywords can occur in some input), so the DFA grows
+/// with `2^rules` — the price of exact per-rule verdicts in one pass.
+fn bench_lines(c: &mut Criterion) {
+    let rules: Vec<String> = ["admin", "login", "passwd", "select", "union", "attack"]
+        .iter()
+        .map(|kw| format!("(?i){kw}[a-z0-9_]{{0,8}}"))
+        .collect();
+    // The subset construction visits far more states than the 912 the
+    // minimal per-rule DFA keeps, so this group needs a looser DFA cap
+    // than the ids_scan group.
+    let builder = builder().max_dfa_states(2_000_000);
+    let set = RegexSet::new(rules.iter().map(|s| s.as_str()), &builder).expect("set compiles");
+    let singles: Vec<Regex> =
+        rules.iter().map(|p| builder.build(p).expect("rule compiles")).collect();
+
+    let corpus = workloads::http_log(10_000, 41, 7);
+    let lines: Vec<&[u8]> = corpus.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+
+    // Acceptance on a sample of lines: per-rule equality.
+    for line in lines.iter().step_by(97) {
+        let m = set.matches(line);
+        for (i, re) in singles.iter().enumerate() {
+            assert_eq!(m.matched(i), re.is_match(line), "rule {i} line {:?}", line);
+        }
+    }
+
+    let total: usize = lines.iter().map(|l| l.len()).sum();
+    let mut group = c.benchmark_group("multimatch_lines");
+    configure(&mut group);
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_function("combined_matches_batch", |b| {
+        b.iter(|| {
+            let verdicts = set.matches_batch(&lines);
+            assert_eq!(verdicts.len(), lines.len());
+        })
+    });
+    group.bench_function("individual_is_match_batch", |b| {
+        b.iter(|| {
+            for re in &singles {
+                let verdicts = re.is_match_batch(&lines);
+                assert_eq!(verdicts.len(), lines.len());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_log, bench_lines);
+criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! on small inputs (the thread-creation/reduction overhead crossover).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sfa_matcher::{Engine, ParallelSfaMatcher, Reduction, Regex};
+use sfa_matcher::{Engine, ParallelSfaMatcher, Reduction, Regex, Strategy};
 use sfa_workloads::{fig10_pattern, fig10_text};
 use std::time::Duration;
 
@@ -20,7 +20,7 @@ fn benches(c: &mut Criterion) {
         let text = fig10_text(kb * 1000, 42);
         group.throughput(Throughput::Bytes(text.len() as u64));
         group.bench_with_input(BenchmarkId::new("dfa_sequential", kb), &text, |b, text| {
-            b.iter(|| assert!(re.is_match_sequential(text)))
+            b.iter(|| assert!(re.is_match_with(text, Strategy::Sequential)))
         });
         group.bench_with_input(BenchmarkId::new("sfa_2_threads", kb), &text, |b, text| {
             b.iter(|| assert!(re.dfa().is_accepting(matcher.run(text, 2, Reduction::Sequential))))

@@ -3,7 +3,7 @@
 //! count — the per-byte `O(|D|)` overhead the paper eliminates.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use sfa_matcher::{ParallelSfaMatcher, Reduction, Regex, SpeculativeDfaMatcher};
+use sfa_matcher::{ParallelSfaMatcher, Reduction, Regex, SpeculativeDfaMatcher, Strategy};
 use sfa_workloads::{rn_pattern, rn_text};
 use std::time::Duration;
 
@@ -30,7 +30,7 @@ fn benches(c: &mut Criterion) {
         b.iter(|| assert!(spec.accepts(&text, 4, Reduction::Sequential)))
     });
     group.bench_function("algorithm2_sequential_dfa", |b| {
-        b.iter(|| assert!(re.is_match_sequential(&text)))
+        b.iter(|| assert!(re.is_match_with(&text, Strategy::Sequential)))
     });
     group.finish();
 }

@@ -3,7 +3,7 @@
 //! family, swept over thread counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sfa_matcher::{Engine, ParallelSfaMatcher, Reduction, Regex};
+use sfa_matcher::{Engine, ParallelSfaMatcher, Reduction, Regex, Strategy};
 use sfa_workloads::{repeated_a_text, rn_or_a_pattern, rn_pattern, rn_text};
 use std::time::Duration;
 
@@ -20,7 +20,9 @@ fn bench_family(c: &mut Criterion, figure: &str, n: usize, repeated_a: bool) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_secs(1));
 
-    group.bench_function("dfa_sequential", |b| b.iter(|| assert!(re.is_match_sequential(&text))));
+    group.bench_function("dfa_sequential", |b| {
+        b.iter(|| assert!(re.is_match_with(&text, Strategy::Sequential)))
+    });
     for threads in [1usize, 2, 4] {
         // A dedicated pool per sweep point so the scan really runs on
         // `threads` workers regardless of the machine's CPU count.

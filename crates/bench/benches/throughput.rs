@@ -19,7 +19,7 @@
 //! run the bench as a smoke test.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sfa_matcher::{split_chunks, Engine, Reduction, Regex};
+use sfa_matcher::{split_chunks, Engine, Reduction, Regex, Strategy};
 use std::time::{Duration, Instant};
 
 const KB: usize = 1024;
@@ -71,7 +71,9 @@ fn bench_input_size(c: &mut Criterion, re: &Regex, engines: &[Engine], len: usiz
         group.measurement_time(Duration::from_millis(800));
     }
 
-    group.bench_function("dfa_sequential", |b| b.iter(|| assert!(re.is_match_sequential(&text))));
+    group.bench_function("dfa_sequential", |b| {
+        b.iter(|| assert!(re.is_match_with(&text, Strategy::Sequential)))
+    });
     for (engine, &workers) in engines.iter().zip(WORKER_SWEEP.iter()) {
         let matcher = sfa_matcher::ParallelSfaMatcher::with_engine(re.sfa(), engine.clone());
         group.bench_with_input(BenchmarkId::new("pool", workers), &workers, |b, &w| {

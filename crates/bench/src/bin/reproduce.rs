@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig3|fig45|fig6|fig7|fig8|fig9|fig10|table2|table3|facts|backends] ...
+//! reproduce [all|fig3|fig45|fig6|fig7|fig8|fig9|fig10|table2|table3|facts|backends|multimatch] ...
 //! ```
 //!
 //! Input sizes are scaled for a laptop-class machine; set `SFA_SCALE=64`
@@ -13,7 +13,7 @@
 
 use sfa_bench::{measure, scale, thread_sweep};
 use sfa_core::{DSfa, GrowthClass, SfaConfig, SizeReport};
-use sfa_matcher::{ParallelSfaMatcher, Reduction, Regex, SpeculativeDfaMatcher};
+use sfa_matcher::{ParallelSfaMatcher, Reduction, Regex, SpeculativeDfaMatcher, Strategy};
 use sfa_monoid::{fact2_dfa, pow_self, TransitionMonoid};
 use sfa_workloads as workloads;
 use std::time::Instant;
@@ -63,6 +63,9 @@ fn main() {
     }
     if run("backends") {
         backends();
+    }
+    if run("multimatch") {
+        multimatch();
     }
 }
 
@@ -230,7 +233,7 @@ fn scalability_figure(name: &str, n: usize, fig9_repeated_a: bool) {
     };
     let runs = 3;
     let seq = measure(text.len(), runs, || {
-        assert!(re.is_match_sequential(&text));
+        assert!(re.is_match_with(&text, Strategy::Sequential));
     });
     println!("{:>8} {:>14} {:>14}", "threads", "DFA seq GB/s", "SFA par GB/s");
     println!("{:>8} {:>14.3} {:>14}", 1, seq.gb_per_sec(), "-");
@@ -260,7 +263,7 @@ fn fig10() {
     for kb in [100usize, 200, 400, 600, 800, 1000] {
         let text = workloads::fig10_text(kb * 1000, 42);
         let seq = measure(text.len(), 5, || {
-            assert!(re.is_match_sequential(&text));
+            assert!(re.is_match_with(&text, Strategy::Sequential));
         });
         let par = measure(text.len(), 5, || {
             assert!(re.dfa().is_accepting(matcher.run(&text, 2, Reduction::Sequential)));
@@ -373,14 +376,74 @@ fn backends() {
     let mut attack = log.clone();
     attack.extend_from_slice(b"GET /q?u=union select name, pass from users HTTP/1.1\n");
     let t2 = Instant::now();
-    assert!(!re.is_match_parallel(&log, num_cpus(), Reduction::Sequential));
-    assert!(re.is_match_parallel(&attack, num_cpus(), Reduction::Sequential));
+    assert!(!re.is_match_with(
+        &log,
+        Strategy::Parallel { threads: num_cpus(), reduction: Reduction::Sequential }
+    ));
+    assert!(re.is_match_with(
+        &attack,
+        Strategy::Parallel { threads: num_cpus(), reduction: Reduction::Sequential }
+    ));
     println!(
         "scanned 2 × {} KiB in {:.2?} (clean log: no match; injected log: match)",
         log.len() / 1024,
         t2.elapsed()
     );
     println!("size report   : {}", re.size_report().to_json());
+}
+
+/// Multi-pattern (rule-set) matching: compile the ids_scan ruleset as one
+/// automaton, scan the 2.4 MiB HTTP log, and report **which rules fired**
+/// — the per-pattern verdicts that make the combined automaton usable as
+/// an IDS engine — plus the cost of one combined pass vs. N individual
+/// scans.
+fn multimatch() {
+    use sfa_matcher::{BackendChoice, MatchMode, RegexSet, Strategy};
+    println!("\n## Multi-pattern matching — which rules fired (RegexSet::matches)");
+    let builder = Regex::builder()
+        .mode(MatchMode::Contains)
+        .backend(BackendChoice::Auto)
+        .max_dfa_states(50_000)
+        .max_sfa_states(2_000);
+    let t0 = Instant::now();
+    let set = RegexSet::new(workloads::IDS_SCAN_RULES.iter().copied(), &builder).unwrap();
+    println!(
+        "compiled {} rules into one automaton in {:.2?} (DFA = {} states, {} backend)",
+        set.len(),
+        t0.elapsed(),
+        set.regex().dfa().num_states(),
+        set.regex().backend_kind()
+    );
+    let mut log = workloads::http_log(50_000, 97, 0xBEEF);
+    log.extend_from_slice(b"GET /q?u=union  select name, pass from users HTTP/1.1 200 17\n");
+    log.extend_from_slice(b"GET /../../etc/passwd HTTP/1.1 403 0\n");
+
+    // Sequential on both sides so the printed ratio isolates the
+    // multi-pattern gain (one combined pass vs N passes), not the worker
+    // pool — matching what benches/multimatch.rs measures.
+    let t1 = Instant::now();
+    let fired = set.matches_with(&log, Strategy::Sequential);
+    let combined = t1.elapsed();
+    println!("scanned {} KiB in {:.2?}; rules fired:", log.len() / 1024, combined);
+    for (i, pattern) in set.patterns().iter().enumerate() {
+        println!("  rule {i} [{}] {}", if fired.matched(i) { "FIRED" } else { "  -  " }, pattern);
+    }
+
+    // The baseline an IDS would otherwise run: N individual automata.
+    let singles: Vec<Regex> =
+        workloads::IDS_SCAN_RULES.iter().map(|p| builder.build(p).unwrap()).collect();
+    let t2 = Instant::now();
+    for (i, re) in singles.iter().enumerate() {
+        assert_eq!(re.is_match_with(&log, Strategy::Sequential), fired.matched(i));
+    }
+    let individual = t2.elapsed();
+    println!(
+        "one combined pass: {:.2?}   vs. {} individual scans: {:.2?}  ({:.1}x)",
+        combined,
+        singles.len(),
+        individual,
+        individual.as_secs_f64() / combined.as_secs_f64()
+    );
 }
 
 fn pct(part: usize, total: usize) -> f64 {

@@ -25,7 +25,7 @@
 use crate::dsfa::{DSfa, SfaStateId};
 use crate::lazy::LazyDSfa;
 use crate::mapping::Transformation;
-use sfa_automata::StateId;
+use sfa_automata::{PatternSet, StateId};
 
 /// Which D-SFA representation a backend uses. See the
 /// [module docs](self) for the trade-off.
@@ -228,6 +228,38 @@ impl SfaBackend {
         }
     }
 
+    /// Number of original patterns compiled into the source DFA (1 for
+    /// single-pattern automata, 0 for an empty pattern set).
+    #[inline]
+    pub fn pattern_count(&self) -> usize {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.pattern_count(),
+            SfaBackend::Lazy(sfa) => sfa.pattern_count(),
+        }
+    }
+
+    /// The set of patterns a source-DFA state accepts — how a reduction's
+    /// final DFA state turns into the per-rule verdict.
+    #[inline]
+    pub fn dfa_accepting_patterns(&self, q: StateId) -> &PatternSet {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.dfa_accepting_patterns(q),
+            SfaBackend::Lazy(sfa) => sfa.dfa_accepting_patterns(q),
+        }
+    }
+
+    /// The set of patterns matched when the whole input lands in `state`
+    /// (the accept set of `f(q_0)`) — the multi-pattern refinement of
+    /// [`is_accepting`](SfaBackend::is_accepting), identical across both
+    /// backends. Streaming matchers read their per-rule verdict here.
+    #[inline]
+    pub fn accepting_patterns(&self, state: SfaStateId) -> &PatternSet {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.accepting_patterns(state),
+            SfaBackend::Lazy(sfa) => sfa.accepting_patterns(state),
+        }
+    }
+
     /// Number of *materialized* SFA states: the full `|S_d|` for an eager
     /// backend, the states visited so far for a lazy one (a live count
     /// that grows as inputs explore the automaton).
@@ -343,6 +375,25 @@ mod tests {
                 lazy.mapping(lazy.compose_states(al, bl)),
                 "{pattern}"
             );
+        }
+    }
+
+    #[test]
+    fn accepting_patterns_dispatch_identically() {
+        use sfa_automata::{determinize, minimize, DfaConfig, Nfa};
+        let nfa = Nfa::from_patterns(["(ab)*", "a+"]).unwrap();
+        let dfa = minimize(&determinize(&nfa, &DfaConfig::default()).unwrap());
+        let eager = SfaBackend::from(DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap());
+        let lazy = SfaBackend::from(LazyDSfa::new(dfa.clone()));
+        assert_eq!(eager.pattern_count(), 2);
+        assert_eq!(lazy.pattern_count(), 2);
+        for input in [&b""[..], b"a", b"ab", b"aa", b"abab", b"zz"] {
+            let pe = eager.accepting_patterns(eager.run(input));
+            let pl = lazy.accepting_patterns(lazy.run(input));
+            assert_eq!(pe, pl, "input {:?}", input);
+            assert_eq!(pe, dfa.matching_patterns(input));
+            assert_eq!(eager.dfa_accepting_patterns(dfa.run(input)), pe);
+            assert_eq!(lazy.dfa_accepting_patterns(dfa.run(input)), pl);
         }
     }
 

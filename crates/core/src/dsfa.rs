@@ -12,7 +12,7 @@
 
 use crate::mapping::Transformation;
 use crate::SfaConfig;
-use sfa_automata::{ByteClasses, CompileError, Dfa, StateId};
+use sfa_automata::{ByteClasses, CompileError, Dfa, PatternSet, StateId};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -46,6 +46,14 @@ pub struct DSfa {
     state_index: OnceLock<HashMap<Transformation, SfaStateId>>,
     dfa_start: StateId,
     dfa_accepting: Vec<bool>,
+    /// Number of original patterns compiled into the source DFA.
+    pattern_count: usize,
+    /// Per-DFA-state index into `dfa_accept_sets` (copied from the source
+    /// DFA): which patterns each DFA state accepts.
+    dfa_accept_index: Vec<u32>,
+    /// The distinct pattern accept sets of the source DFA (entry 0 is the
+    /// empty set).
+    dfa_accept_sets: Vec<PatternSet>,
 }
 
 impl DSfa {
@@ -137,6 +145,9 @@ impl DSfa {
             state_index: OnceLock::new(),
             dfa_start,
             dfa_accepting: dfa.accepting().to_vec(),
+            pattern_count: dfa.pattern_count(),
+            dfa_accept_index: dfa.accept_indices().to_vec(),
+            dfa_accept_sets: dfa.distinct_accept_sets().to_vec(),
         })
     }
 
@@ -194,6 +205,32 @@ impl DSfa {
     #[inline]
     pub fn is_accepting(&self, state: SfaStateId) -> bool {
         self.accepting[state as usize]
+    }
+
+    /// Number of original patterns compiled into the source DFA (1 for
+    /// single-pattern automata).
+    #[inline]
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// The set of patterns a source-DFA state accepts (the per-rule
+    /// verdict carried through from compilation — used by the reductions,
+    /// which end on a DFA state).
+    #[inline]
+    pub fn dfa_accepting_patterns(&self, q: StateId) -> &PatternSet {
+        &self.dfa_accept_sets[self.dfa_accept_index[q as usize] as usize]
+    }
+
+    /// The set of patterns matched when the whole input lands in `state`:
+    /// the accept set of `f(q_0)`. The multi-pattern refinement of
+    /// [`is_accepting`](DSfa::is_accepting) — non-empty exactly when the
+    /// state accepts — and the hook the streaming matcher reads its
+    /// per-rule verdict from. `O(1)`: one mapping lookup plus one
+    /// interned-set index.
+    #[inline]
+    pub fn accepting_patterns(&self, state: SfaStateId) -> &PatternSet {
+        self.dfa_accepting_patterns(self.mappings[state as usize].apply(self.dfa_start))
     }
 
     /// The mapping (transformation) carried by an SFA state.
@@ -513,6 +550,25 @@ mod tests {
         let err = DSfa::from_dfa(&dfa, &SfaConfig { max_states: 50, ..SfaConfig::default() })
             .unwrap_err();
         assert_eq!(err, CompileError::TooManyStates { limit: 50 });
+    }
+
+    #[test]
+    fn accepting_patterns_refine_is_accepting() {
+        use sfa_automata::{determinize, minimize, DfaConfig, Nfa};
+        let nfa = Nfa::from_patterns(["(ab)*", "a+", "[ab]{2}"]).unwrap();
+        let dfa = minimize(&determinize(&nfa, &DfaConfig::default()).unwrap());
+        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        assert_eq!(sfa.pattern_count(), 3);
+        for input in [&b""[..], b"a", b"ab", b"aa", b"abab", b"ba", b"zz"] {
+            let state = sfa.run(input);
+            let pats = sfa.accepting_patterns(state);
+            assert_eq!(pats, dfa.matching_patterns(input), "input {:?}", input);
+            assert_eq!(sfa.is_accepting(state), !pats.is_empty(), "input {:?}", input);
+            assert_eq!(pats, sfa.dfa_accepting_patterns(dfa.run(input)));
+        }
+        // "ab" fires (ab)* and [ab]{2} together in a single pass.
+        let hits = sfa.accepting_patterns(sfa.run(b"ab"));
+        assert_eq!(hits.iter().collect::<Vec<_>>(), vec![0, 2]);
     }
 
     #[test]

@@ -41,7 +41,7 @@
 
 use crate::dsfa::SfaStateId;
 use crate::mapping::Transformation;
-use sfa_automata::{CompileError, Dfa, StateId};
+use sfa_automata::{CompileError, Dfa, PatternSet, StateId};
 use std::collections::HashMap;
 use std::sync::RwLock;
 
@@ -152,6 +152,27 @@ impl LazyDSfa {
     #[inline]
     pub fn dfa_is_accepting(&self, q: StateId) -> bool {
         self.dfa.is_accepting(q)
+    }
+
+    /// Number of original patterns compiled into the source DFA.
+    #[inline]
+    pub fn pattern_count(&self) -> usize {
+        self.dfa.pattern_count()
+    }
+
+    /// The set of patterns a source-DFA state accepts (no lock needed —
+    /// the accept sets live on the DFA, outside the cache).
+    #[inline]
+    pub fn dfa_accepting_patterns(&self, q: StateId) -> &PatternSet {
+        self.dfa.accept_set(q)
+    }
+
+    /// The set of patterns matched when the whole input lands in `state`:
+    /// the accept set of `f(q_0)`. Takes the read lock to apply the
+    /// cached mapping, then indexes the DFA's interned accept sets.
+    pub fn accepting_patterns(&self, state: SfaStateId) -> &PatternSet {
+        let q = self.apply(state, self.dfa.start());
+        self.dfa.accept_set(q)
     }
 
     /// Returns true if the given state is accepting.
@@ -462,6 +483,26 @@ mod tests {
         assert_eq!(lazy.compose_states(f, id), f);
         for g in 0..lazy.num_states_constructed() as SfaStateId {
             assert_eq!(lazy.compose_states(dead, g), dead);
+        }
+    }
+
+    #[test]
+    fn accepting_patterns_agree_with_eager() {
+        use sfa_automata::{determinize, minimize, DfaConfig, Nfa};
+        let nfa = Nfa::from_patterns(["(ab)*", "a+", "[ab]{2}"]).unwrap();
+        let dfa = minimize(&determinize(&nfa, &DfaConfig::default()).unwrap());
+        let eager = DSfa::from_dfa(&dfa, &crate::SfaConfig::default()).unwrap();
+        let lazy = LazyDSfa::new(dfa);
+        assert_eq!(lazy.pattern_count(), 3);
+        for input in [&b""[..], b"a", b"ab", b"aa", b"abab", b"ba", b"zz"] {
+            let fe = eager.run(input);
+            let fl = lazy.run(input);
+            assert_eq!(
+                eager.accepting_patterns(fe),
+                lazy.accepting_patterns(fl),
+                "input {:?}",
+                input
+            );
         }
     }
 

@@ -34,6 +34,10 @@ pub enum GrowthClass {
 pub struct SizeReport {
     /// Which backend produced the SFA-side numbers.
     pub backend: BackendKind,
+    /// Number of original patterns compiled into the automaton (1 for a
+    /// single pattern, the rule count for a `RegexSet`, 0 for an empty
+    /// set).
+    pub patterns: usize,
     /// Number of states of the (minimal) DFA, including the dead state.
     pub dfa_states: usize,
     /// Number of live DFA states (the count the paper reports as `|D|`).
@@ -96,6 +100,7 @@ impl SizeReport {
     ) -> SizeReport {
         SizeReport {
             backend,
+            patterns: dfa.pattern_count(),
             dfa_states: dfa.num_states(),
             dfa_live_states: dfa.num_live_states(),
             sfa_states,
@@ -147,12 +152,13 @@ impl SizeReport {
             if self.ratio.is_finite() { self.ratio.to_string() } else { "null".to_string() };
         format!(
             concat!(
-                "{{\"backend\":\"{}\",\"dfa_states\":{},\"dfa_live_states\":{},",
+                "{{\"backend\":\"{}\",\"patterns\":{},\"dfa_states\":{},\"dfa_live_states\":{},",
                 "\"sfa_states\":{},\"materialized_states\":{},",
                 "\"byte_classes\":{},\"dfa_table_bytes\":{},\"sfa_table_bytes\":{},",
                 "\"sfa_mapping_bytes\":{},\"ratio\":{},\"growth\":\"{}\"}}"
             ),
             self.backend.as_str(),
+            self.patterns,
             self.dfa_states,
             self.dfa_live_states,
             self.sfa_states,
@@ -178,6 +184,7 @@ impl SizeReport {
         }
         Some(SizeReport {
             backend: BackendKind::parse(field(json, "backend")?.trim_matches('"'))?,
+            patterns: field(json, "patterns")?.parse().ok()?,
             dfa_states: field(json, "dfa_states")?.parse().ok()?,
             dfa_live_states: field(json, "dfa_live_states")?.parse().ok()?,
             sfa_states: field(json, "sfa_states")?.parse().ok()?,
@@ -278,8 +285,10 @@ mod tests {
         assert!(json.contains("\"sfa_states\":6"), "{json}");
         assert!(json.contains("\"backend\":\"Eager\""), "{json}");
         assert!(json.contains("\"materialized_states\":6"), "{json}");
+        assert!(json.contains("\"patterns\":1"), "{json}");
         let back = SizeReport::from_json(&json).unwrap();
         assert_eq!(back.backend, BackendKind::Eager);
+        assert_eq!(back.patterns, 1);
         assert_eq!(back.sfa_states, r.sfa_states);
         assert_eq!(back.materialized_states, r.materialized_states);
         assert_eq!(back.growth, r.growth);

@@ -5,19 +5,36 @@
 //! Efficient Data-Parallel Model for Regular Expression Matching"*
 //! (Sin'ya, Matsuzaki, Sassa — ICPP 2013).
 //!
-//! Three matchers are provided, matching the paper's algorithms:
+//! Three matchers are provided, matching the paper's algorithms — all
+//! selected through one composable [`Strategy`] value consumed by the
+//! single [`Regex::run`] execution core:
 //!
-//! | Paper | Implementation | Work per byte |
-//! |---|---|---|
-//! | Algorithm 2 | [`sfa_automata::Dfa::accepts`] / [`Regex::is_match_sequential`] | 1 lookup |
-//! | Algorithm 3 | [`SpeculativeDfaMatcher`] | `|D|` lookups |
-//! | Algorithm 5 | [`ParallelSfaMatcher`] | 1 lookup |
+//! | Paper | [`Strategy`] | Implementation | Work per byte |
+//! |---|---|---|---|
+//! | Algorithm 2 | `Sequential` | [`sfa_automata::Dfa::accepts`] | 1 lookup |
+//! | Algorithm 3 | `Speculative { .. }` | [`SpeculativeDfaMatcher`] | `|D|` lookups |
+//! | Algorithm 5 | `Parallel { .. }` | [`ParallelSfaMatcher`] | 1 lookup |
 //!
 //! plus the chunking and reduction machinery they share, a high-level
 //! [`Regex`] / [`RegexSet`] front end, and two request-serving workload
 //! shapes built on the same decomposition property: streaming matching
 //! over arriving blocks ([`stream::StreamMatcher`]) and batched matching
 //! of many small haystacks ([`Regex::is_match_batch`]).
+//!
+//! ## Per-pattern (rule-set) verdicts
+//!
+//! A [`RegexSet`] compiles many rules into **one** automaton and reports
+//! *which* rules matched, not just whether any did:
+//! [`RegexSet::matches`] returns a [`SetMatches`] bitset from a single
+//! pass over the input, [`RegexSet::matches_batch`] does it for a whole
+//! batch, and [`StreamMatcher::set_matches`] /
+//! [`StreamMatcher::set_verdict`] report it incrementally over a stream.
+//! The rule identities are threaded through compilation (every layer
+//! from the NFA down carries pattern accept sets — see
+//! [`sfa_automata::pattern`]), so the verdict costs one interned-bitset
+//! lookup at the final state and is identical under every [`Strategy`]
+//! and both backends: only the accept predicate got richer, the
+//! Theorem 3 chunk composition is untouched.
 //!
 //! ## Backends
 //!
@@ -58,12 +75,12 @@
 //! ## Example
 //!
 //! ```
-//! use sfa_matcher::{Regex, Reduction};
+//! use sfa_matcher::{Regex, Strategy};
 //!
 //! let re = Regex::new("([0-4]{2}[5-9]{2})*").unwrap();
 //! let text = b"00550459".repeat(1000);
-//! assert!(re.is_match_sequential(&text));                       // Algorithm 2
-//! assert!(re.is_match_parallel(&text, 4, Reduction::Sequential)); // Algorithm 5
+//! assert!(re.is_match_with(&text, Strategy::Sequential));  // Algorithm 2
+//! assert!(re.is_match_with(&text, Strategy::parallel(4))); // Algorithm 5
 //! ```
 
 #![deny(missing_docs)]
@@ -73,21 +90,27 @@
 
 pub mod chunk;
 pub mod executor;
+pub mod matches;
 pub mod parallel;
 pub mod pool;
 pub mod regex;
 pub mod speculative;
+pub mod strategy;
 pub mod stream;
 
 pub use chunk::{split_chunks, split_chunks_with_offsets};
 pub use executor::{map_chunks, tree_reduce};
+pub use matches::SetMatches;
 pub use parallel::{ParallelNSfaMatcher, ParallelSfaMatcher};
 pub use pool::{ChunkPlan, Engine, WorkerPool, MIN_POOL_CHUNK_BYTES};
 pub use regex::{default_threads, BackendChoice, MatchMode, Regex, RegexBuilder, RegexSet};
-// Re-exported so `Regex::backend_kind` / `Regex::sfa` return types are
-// nameable from this crate alone.
+// Re-exported so `Regex::backend_kind` / `Regex::sfa` /
+// `SetMatches::as_pattern_set` return types are nameable from this crate
+// alone.
+pub use sfa_automata::{PatternId, PatternSet};
 pub use sfa_core::{BackendKind, SfaBackend};
 pub use speculative::SpeculativeDfaMatcher;
+pub use strategy::Strategy;
 pub use stream::StreamMatcher;
 
 /// How the per-chunk partial results are combined (Section V-B of the
@@ -105,7 +128,15 @@ pub enum Reduction {
 
 #[cfg(test)]
 mod proptests {
+    // The deprecated wrappers stay under property coverage until removal:
+    // they are one-line shims over the `Strategy` core, and these suites
+    // prove shim and core agree on every generated case.
+    #![allow(deprecated)]
+
     use super::*;
+    // `proptest::prelude::Strategy` (the generator trait) shadows our
+    // execution-strategy enum inside this module; alias ours.
+    use crate::strategy::Strategy as Exec;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -328,6 +359,99 @@ mod proptests {
                 done += 1;
             }
             prop_assert_eq!(cache.num_states_constructed(), full);
+        }
+
+        /// `RegexSet::matches` agrees with compiling each pattern
+        /// individually — for random pattern sets and inputs, in both
+        /// match modes, across the sequential / parallel / speculative
+        /// strategies (both reductions) and both backends, and through
+        /// streaming under adversarial feed boundaries (an arbitrary cut
+        /// plus byte-at-a-time).
+        #[test]
+        fn set_matches_agree_with_individual_patterns(
+            seed in any::<u64>(),
+            num_patterns in 1usize..5,
+            inputs in prop::collection::vec("[a-c]{0,30}", 1..4),
+            threads in 1usize..9,
+            contains in any::<bool>(),
+            lazy_backend in any::<bool>(),
+            cut in any::<prop::sample::Index>(),
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let generator = small_generator();
+            let patterns: Vec<String> = (0..num_patterns)
+                .map(|_| sfa_regex_syntax::to_pattern(&generator.generate(&mut rng)))
+                .collect();
+            let pattern_refs: Vec<&str> = patterns.iter().map(|s| s.as_str()).collect();
+
+            static ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+            let engine = ENGINE.get_or_init(|| Engine::new(4));
+            let mode = if contains { MatchMode::Contains } else { MatchMode::Whole };
+            let backend =
+                if lazy_backend { BackendChoice::Lazy } else { BackendChoice::Eager };
+            let builder = Regex::builder()
+                .mode(mode)
+                .threads(threads)
+                .engine(engine.clone())
+                .max_dfa_states(20_000)
+                .max_sfa_states(500_000);
+            // The combined automaton can explode where the singles fit
+            // (or vice versa); skip such cases — agreement is only
+            // defined when everything compiles.
+            let Ok(set) = RegexSet::new(pattern_refs.iter().copied(), &builder.clone().backend(backend)) else { return Ok(()) };
+            let Ok(singles) = pattern_refs
+                .iter()
+                .map(|p| builder.build(p))
+                .collect::<Result<Vec<_>, _>>() else { return Ok(()) };
+            prop_assert_eq!(set.len(), num_patterns);
+
+            for input in &inputs {
+                let bytes = input.as_bytes();
+                let expected: Vec<bool> =
+                    singles.iter().map(|re| re.is_match_with(bytes, Exec::Sequential)).collect();
+
+                let mut strategies = vec![Exec::Auto, Exec::Sequential];
+                for reduction in [Reduction::Sequential, Reduction::Tree] {
+                    strategies.push(Exec::Parallel { threads, reduction });
+                    strategies.push(Exec::Speculative { threads, reduction });
+                }
+                for strategy in strategies {
+                    let m = set.matches_with(bytes, strategy);
+                    prop_assert_eq!(m.pattern_count(), num_patterns);
+                    for (i, &want) in expected.iter().enumerate() {
+                        prop_assert_eq!(
+                            m.matched(i), want,
+                            "pattern {} ({:?}) input {:?} strategy {:?} mode {:?} backend {:?}",
+                            i, &patterns[i], input, strategy, mode, backend
+                        );
+                    }
+                    prop_assert_eq!(m.matched_any(), set.is_match(bytes));
+                }
+
+                // The batch form agrees with the per-call form.
+                let batch = set.matches_batch(&[bytes, bytes]);
+                prop_assert_eq!(&batch[0], &set.matches(bytes));
+                prop_assert_eq!(&batch[1], &batch[0]);
+
+                // Streaming: an arbitrary cut, then byte-at-a-time — the
+                // per-rule verdict must survive any feed boundary.
+                let cut = cut.index(bytes.len() + 1).min(bytes.len());
+                let mut stream = set.stream();
+                stream.feed(&bytes[..cut]).feed(&bytes[cut..]);
+                let streamed = stream.set_matches();
+                for (i, &want) in expected.iter().enumerate() {
+                    prop_assert_eq!(streamed.matched(i), want, "stream cut {} pattern {}", cut, i);
+                }
+                // A decided set verdict must equal the final verdict.
+                if let Some(final_set) = stream.set_verdict() {
+                    prop_assert_eq!(&final_set, &streamed);
+                }
+                let mut stream = set.stream();
+                for b in bytes {
+                    stream.feed(std::slice::from_ref(b));
+                }
+                prop_assert_eq!(&stream.set_matches(), &streamed);
+            }
         }
     }
 }

@@ -1,0 +1,144 @@
+//! Per-pattern match results for multi-pattern (rule-set) matching.
+//!
+//! A [`RegexSet`](crate::RegexSet) compiles many rules into one automaton;
+//! [`SetMatches`] is what a single pass over the input yields: the set of
+//! rules that fired. The per-rule identities are threaded through the
+//! whole pipeline at *compile* time (see [`sfa_automata::pattern`]), so
+//! reading the verdict is one interned-bitset lookup at the final state —
+//! no per-rule rescan, and the same answer under every
+//! [`Strategy`](crate::Strategy) and both backends.
+
+use sfa_automata::{PatternId, PatternSet};
+use std::fmt;
+
+/// The set of patterns of a [`RegexSet`](crate::RegexSet) (or
+/// multi-pattern [`Regex`](crate::Regex)) that matched an input.
+///
+/// Backed by the automaton's interned accept bitset. Pattern indices
+/// correspond to the order the patterns were given at compile time.
+///
+/// ```
+/// use sfa_matcher::{Regex, RegexSet};
+///
+/// let set = RegexSet::new(["(ab)*", "a+", "b"], &Regex::builder()).unwrap();
+/// let m = set.matches(b"ab");
+/// assert!(m.matched(0) && !m.matched(1) && !m.matched(2));
+/// assert_eq!(m.iter().collect::<Vec<_>>(), vec![0]);
+/// assert_eq!(m.len(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct SetMatches {
+    set: PatternSet,
+}
+
+impl SetMatches {
+    /// Wraps an accept set produced by the automaton.
+    pub(crate) fn new(set: PatternSet) -> SetMatches {
+        SetMatches { set }
+    }
+
+    /// Returns true if the pattern with the given index matched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is not below
+    /// [`pattern_count`](SetMatches::pattern_count).
+    pub fn matched(&self, index: usize) -> bool {
+        assert!(index < self.set.patterns(), "pattern index out of range");
+        self.set.contains(index as PatternId)
+    }
+
+    /// Returns true if at least one pattern matched (the any-match
+    /// verdict of [`is_match`](crate::RegexSet::is_match)).
+    pub fn matched_any(&self) -> bool {
+        !self.set.is_empty()
+    }
+
+    /// The number of patterns that matched.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Returns true if no pattern matched.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// The total number of patterns the set was compiled from (matched or
+    /// not).
+    pub fn pattern_count(&self) -> usize {
+        self.set.patterns()
+    }
+
+    /// Iterates over the indices of the matched patterns in increasing
+    /// order.
+    pub fn iter(&self) -> SetMatchesIter<'_> {
+        SetMatchesIter { inner: self.set.iter() }
+    }
+
+    /// The underlying pattern bitset.
+    pub fn as_pattern_set(&self) -> &PatternSet {
+        &self.set
+    }
+}
+
+impl fmt::Debug for SetMatches {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a SetMatches {
+    type Item = usize;
+    type IntoIter = SetMatchesIter<'a>;
+
+    fn into_iter(self) -> SetMatchesIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the matched pattern indices of a [`SetMatches`].
+pub struct SetMatchesIter<'a> {
+    inner: sfa_automata::pattern::PatternSetIter<'a>,
+}
+
+impl Iterator for SetMatchesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        self.inner.next().map(|id| id as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_iteration() {
+        let m = SetMatches::new(PatternSet::from_iter(5, [1u32, 3]));
+        assert!(m.matched_any());
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.pattern_count(), 5);
+        assert!(!m.matched(0) && m.matched(1) && m.matched(3) && !m.matched(4));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!((&m).into_iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(format!("{m:?}"), "{1, 3}");
+    }
+
+    #[test]
+    fn empty_verdict() {
+        let m = SetMatches::new(PatternSet::new(3));
+        assert!(!m.matched_any());
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert_eq!(m.iter().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern index out of range")]
+    fn matched_out_of_range_panics() {
+        SetMatches::new(PatternSet::new(2)).matched(2);
+    }
+}

@@ -5,8 +5,8 @@
 //! that with `std::thread::scope`, which spawns (and joins) one fresh OS
 //! thread per chunk on **every call** — fine for a single 1 GB scan,
 //! catastrophic for a server answering millions of small `is_match`
-//! requests, and `is_match_parallel(input, 10_000, ..)` would happily ask
-//! the OS for 10 000 threads.
+//! requests, and a `Strategy::Parallel { threads: 10_000, .. }` call
+//! would happily ask the OS for 10 000 threads.
 //!
 //! This module replaces that executor with the paper's actual execution
 //! model:

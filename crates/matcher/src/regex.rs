@@ -6,15 +6,17 @@
 //! This is the API a downstream user of the library is expected to touch;
 //! the lower-level crates stay available for research use.
 
+use crate::matches::SetMatches;
 use crate::parallel::ParallelSfaMatcher;
 use crate::pool::{Engine, MIN_POOL_CHUNK_BYTES};
 use crate::speculative::SpeculativeDfaMatcher;
+use crate::strategy::Strategy;
 use crate::stream::StreamMatcher;
 use crate::Reduction;
-use sfa_automata::{determinize, minimize, CompileError, Dfa, DfaConfig, Nfa};
+use sfa_automata::{determinize, minimize, CompileError, Dfa, DfaConfig, Nfa, StateId};
 use sfa_core::{BackendKind, DSfa, LazyDSfa, SfaBackend, SfaConfig, SizeReport};
 use sfa_regex_syntax::ast::Ast;
-use sfa_regex_syntax::class::{perl, ByteSet};
+use sfa_regex_syntax::class::perl;
 use sfa_regex_syntax::{Parser, ParserConfig};
 
 /// How the pattern is applied to the input.
@@ -62,6 +64,7 @@ pub struct RegexBuilder {
     threads: usize,
     reduction: Reduction,
     engine: Option<Engine>,
+    track_patterns: bool,
 }
 
 impl Default for RegexBuilder {
@@ -75,6 +78,7 @@ impl Default for RegexBuilder {
             threads: default_threads(),
             reduction: Reduction::Sequential,
             engine: None,
+            track_patterns: true,
         }
     }
 }
@@ -171,26 +175,69 @@ impl RegexBuilder {
         self
     }
 
+    /// Whether a multi-pattern [`RegexSet`] keeps each pattern's identity
+    /// through compilation (default `true`).
+    ///
+    /// Per-rule verdicts have an automaton-size cost: the DFA must
+    /// remember *which* rules already matched, and every hit-combination
+    /// of independent `Contains` rules is reachable, so it can grow with
+    /// `2^rules`. A set that will only ever be asked the any-match
+    /// questions ([`RegexSet::is_match`] / [`RegexSet::match_batch`] /
+    /// [`StreamMatcher::finish`]) can pass `false` to compile the plain
+    /// union instead — the pre-per-rule automaton, often several times
+    /// smaller. On such a set the per-rule APIs ([`RegexSet::matches`]
+    /// and friends) panic rather than misreport.
+    ///
+    /// Single-pattern [`Regex::new`]/[`build`](RegexBuilder::build)
+    /// compilations are unaffected (one pattern tracks for free).
+    pub fn track_patterns(mut self, yes: bool) -> Self {
+        self.track_patterns = yes;
+        self
+    }
+
     /// Compiles the pattern through the full pipeline.
     pub fn build(&self, pattern: &str) -> Result<Regex, CompileError> {
         let parser = Parser::with_config(self.parser.clone());
         let ast = parser.parse(pattern)?;
-        self.build_from_ast(pattern.to_string(), ast)
+        self.build_from_asts(pattern.to_string(), vec![ast])
     }
 
-    /// Compiles an already-parsed AST (shared by [`build`](Self::build) and
-    /// [`RegexSet::new`], which needs to hand in ASTs no pattern string
-    /// produces — e.g. the void language of an empty set).
-    fn build_from_ast(&self, pattern: String, ast: Ast) -> Result<Regex, CompileError> {
-        let ast = match self.mode {
-            MatchMode::Whole => ast,
-            MatchMode::Contains => Ast::concat(vec![
-                Ast::star(Ast::Class(perl::any())),
-                ast,
-                Ast::star(Ast::Class(perl::any())),
-            ]),
+    /// Compiles already-parsed pattern ASTs, one per branch (shared by
+    /// [`build`](Self::build) and [`RegexSet::new`], which hands its
+    /// branches in directly — no re-serialize/re-parse round trip).
+    ///
+    /// Each branch keeps its identity: branch `i`'s accept states are
+    /// tagged with pattern id `i` through the NFA → DFA → D-SFA pipeline,
+    /// so [`Regex::matches`] can report *which* branches fired. In
+    /// `Contains` mode every branch is wrapped in `(?s:.)*…(?s:.)*`
+    /// individually, preserving per-branch verdicts for substring scans.
+    /// An empty branch list compiles to the void language (the union of
+    /// zero languages).
+    fn build_from_asts(&self, pattern: String, branches: Vec<Ast>) -> Result<Regex, CompileError> {
+        // Opting out of per-pattern tracking collapses the branches into
+        // one plain union up front — the historical any-match automaton.
+        // (Never for an empty list: `Ast::alternation([])` is the empty
+        // *string*, not the empty language — see `RegexSet::new`.)
+        let collapsed_patterns = !self.track_patterns && branches.len() > 1;
+        let branches = if collapsed_patterns { vec![Ast::alternation(branches)] } else { branches };
+        let branches: Vec<Ast> = branches
+            .into_iter()
+            .map(|ast| match self.mode {
+                MatchMode::Whole => ast,
+                MatchMode::Contains => Ast::concat(vec![
+                    Ast::star(Ast::Class(perl::any())),
+                    ast,
+                    Ast::star(Ast::Class(perl::any())),
+                ]),
+            })
+            .collect();
+        // The single-pattern path skips the shared ε-start state of the
+        // tagged union, keeping solo compilations byte-identical to the
+        // historical pipeline.
+        let nfa = match branches.as_slice() {
+            [only] => Nfa::from_ast(only)?,
+            many => Nfa::from_asts(many)?,
         };
-        let nfa = Nfa::from_ast(&ast)?;
         let dfa = minimize(&determinize(&nfa, &self.dfa)?);
         let backend = match self.backend {
             BackendChoice::Eager => SfaBackend::Eager(DSfa::from_dfa(&dfa, &self.sfa)?),
@@ -212,6 +259,8 @@ impl RegexBuilder {
             nfa_states: nfa.num_states(),
             dfa,
             backend,
+            collapsed_patterns,
+            decided: std::sync::OnceLock::new(),
         })
     }
 }
@@ -232,6 +281,23 @@ pub struct Regex {
     nfa_states: usize,
     dfa: Dfa,
     backend: SfaBackend,
+    /// True when multiple patterns were collapsed into one any-match
+    /// union by [`RegexBuilder::track_patterns`]`(false)`: per-rule
+    /// verdict APIs must refuse rather than misreport.
+    collapsed_patterns: bool,
+    /// Per-DFA-state verdict-finality bitmaps for streaming, computed on
+    /// first use (only streams consult them; plain matching never pays).
+    decided: std::sync::OnceLock<DecidedMaps>,
+}
+
+/// Which stream verdicts are final in which DFA states (see
+/// [`Dfa::verdict_decided_states`] / [`Dfa::accept_set_decided_states`]).
+#[derive(Clone, Debug)]
+pub(crate) struct DecidedMaps {
+    /// The boolean any-match verdict can no longer change.
+    pub(crate) any: Vec<bool>,
+    /// The full per-pattern accept set can no longer change.
+    pub(crate) set: Vec<bool>,
 }
 
 impl Regex {
@@ -318,38 +384,151 @@ impl Regex {
         StreamMatcher::new(self)
     }
 
-    /// Matches using the configured default thread count and reduction
-    /// (parallel SFA matching when more than one thread is configured).
-    pub fn is_match(&self, input: &[u8]) -> bool {
-        if self.threads <= 1 {
-            self.is_match_sequential(input)
-        } else {
-            self.is_match_parallel(input, self.threads, self.reduction)
+    /// Resolves [`Strategy::Auto`] against the builder-configured
+    /// defaults; every other strategy passes through unchanged.
+    fn resolve(&self, strategy: Strategy) -> Strategy {
+        match strategy {
+            Strategy::Auto => {
+                if self.threads <= 1 {
+                    Strategy::Sequential
+                } else {
+                    Strategy::Parallel { threads: self.threads, reduction: self.reduction }
+                }
+            }
+            other => other,
         }
     }
 
+    /// The single execution core every verdict API routes through: runs
+    /// the input under the given [`Strategy`] and returns the **final DFA
+    /// state** — Algorithm 2's end state, or the state the chunk
+    /// reduction lands on (identical by Theorem 3, whatever the split).
+    ///
+    /// Every verdict is a view of that state: [`is_match`](Regex::is_match)
+    /// asks whether it accepts, [`matches`](Regex::matches) reads its
+    /// per-pattern accept set, and the batch APIs map it over many
+    /// haystacks. Parallel strategies execute on the configured persistent
+    /// engine — no threads are spawned per call, and `threads` only caps
+    /// the chunk count (the crate-wide [`0 ⇒ 1` clamp](crate) applies).
+    ///
+    /// ```
+    /// use sfa_matcher::{Regex, Strategy};
+    ///
+    /// let re = Regex::new("(ab)*").unwrap();
+    /// let q = re.run(b"abab", Strategy::Sequential);
+    /// assert!(re.dfa().is_accepting(q));
+    /// assert_eq!(q, re.run(b"abab", Strategy::parallel(4)));
+    /// ```
+    pub fn run(&self, input: &[u8], strategy: Strategy) -> StateId {
+        match self.resolve(strategy) {
+            Strategy::Sequential => self.dfa.run(input),
+            Strategy::Parallel { threads, reduction } => {
+                ParallelSfaMatcher::with_engine(&self.backend, self.engine().clone())
+                    .run(input, threads, reduction)
+            }
+            Strategy::Speculative { threads, reduction } => {
+                SpeculativeDfaMatcher::with_engine(&self.dfa, self.engine().clone())
+                    .run(input, threads, reduction)
+            }
+            Strategy::Auto => unreachable!("resolve() eliminated Auto"),
+        }
+    }
+
+    /// Matches under an explicit [`Strategy`].
+    pub fn is_match_with(&self, input: &[u8], strategy: Strategy) -> bool {
+        self.dfa.is_accepting(self.run(input, strategy))
+    }
+
+    /// Matches using the configured defaults ([`Strategy::Auto`]:
+    /// sequential for single-threaded builds, parallel SFA matching
+    /// otherwise).
+    pub fn is_match(&self, input: &[u8]) -> bool {
+        self.is_match_with(input, Strategy::Auto)
+    }
+
+    /// The per-pattern verdict under the configured defaults: which of
+    /// the compiled patterns match the input. For a plain single-pattern
+    /// regex the set has one slot; the interesting case is a
+    /// [`RegexSet`]-compiled automaton, where one pass yields every
+    /// rule's verdict. See [`RegexSet::matches`].
+    pub fn matches(&self, input: &[u8]) -> SetMatches {
+        self.matches_with(input, Strategy::Auto)
+    }
+
+    /// The per-pattern verdict under an explicit [`Strategy`]. The accept
+    /// predicate is richer than [`is_match_with`](Regex::is_match_with) —
+    /// a pattern *set* instead of a boolean — but the execution is the
+    /// same single pass: Theorem 3's composition is untouched, so the
+    /// verdict is identical under every strategy and both backends.
+    pub fn matches_with(&self, input: &[u8], strategy: Strategy) -> SetMatches {
+        self.require_tracking();
+        SetMatches::new(self.dfa.accept_set(self.run(input, strategy)).clone())
+    }
+
+    /// Number of original patterns compiled into this automaton: 1 for
+    /// [`Regex::new`]-style builds, the rule count for a [`RegexSet`].
+    pub fn pattern_count(&self) -> usize {
+        self.dfa.pattern_count()
+    }
+
+    /// Whether per-pattern identities survived compilation. Only false
+    /// when a multi-pattern set was compiled with
+    /// [`RegexBuilder::track_patterns`]`(false)` — the per-rule verdict
+    /// APIs ([`matches`](Regex::matches) and friends, and the stream's
+    /// [`set_matches`](StreamMatcher::set_matches)) panic on such a
+    /// regex rather than attribute the any-match union verdict to
+    /// pattern 0.
+    pub fn tracks_patterns(&self) -> bool {
+        !self.collapsed_patterns
+    }
+
+    /// Panics with a helpful message when a per-rule API is called on a
+    /// collapsed (untracked) multi-pattern compilation.
+    pub(crate) fn require_tracking(&self) {
+        assert!(
+            self.tracks_patterns(),
+            "per-rule verdicts require pattern tracking: this automaton was compiled with \
+             RegexBuilder::track_patterns(false), which collapses the rules into one \
+             any-match union"
+        );
+    }
+
+    /// The verdict-finality bitmaps streams use to finalize early,
+    /// computed once per compiled regex on first use.
+    pub(crate) fn decided_maps(&self) -> &DecidedMaps {
+        self.decided.get_or_init(|| {
+            let (any, set) = self.dfa.verdict_and_accept_set_decided_states();
+            DecidedMaps { any, set }
+        })
+    }
+
     /// **Algorithm 2**: sequential DFA matching.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `is_match_with(input, Strategy::Sequential)` (or `run`) instead"
+    )]
     pub fn is_match_sequential(&self, input: &[u8]) -> bool {
-        self.dfa.accepts(input)
+        self.is_match_with(input, Strategy::Sequential)
     }
 
     /// **Algorithm 5**: parallel SFA matching with an explicit parallelism
     /// degree and reduction strategy.
-    ///
-    /// `threads` caps the chunk count — the work runs on the configured
-    /// persistent engine, so no threads are spawned per call and a request
-    /// like `is_match_parallel(input, 10_000, ..)` uses at most the pool's
-    /// worker count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `is_match_with(input, Strategy::Parallel { threads, reduction })` instead"
+    )]
     pub fn is_match_parallel(&self, input: &[u8], threads: usize, reduction: Reduction) -> bool {
-        ParallelSfaMatcher::with_engine(&self.backend, self.engine().clone())
-            .accepts(input, threads, reduction)
+        self.is_match_with(input, Strategy::Parallel { threads, reduction })
     }
 
     /// **Algorithm 3**: the prior-art speculative parallel DFA matcher
     /// (kept as a baseline).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `is_match_with(input, Strategy::Speculative { threads, reduction })` instead"
+    )]
     pub fn is_match_speculative(&self, input: &[u8], threads: usize, reduction: Reduction) -> bool {
-        SpeculativeDfaMatcher::with_engine(&self.dfa, self.engine().clone())
-            .accepts(input, threads, reduction)
+        self.is_match_with(input, Strategy::Speculative { threads, reduction })
     }
 
     /// Matches many haystacks as **one** pool batch, returning one verdict
@@ -379,15 +558,39 @@ impl Regex {
     /// assert_eq!(verdicts, vec![true, false, true]);
     /// ```
     pub fn is_match_batch(&self, haystacks: &[&[u8]]) -> Vec<bool> {
+        self.run_batch(haystacks).into_iter().map(|q| self.dfa.is_accepting(q)).collect()
+    }
+
+    /// The per-pattern verdict for many haystacks as one pool batch —
+    /// [`matches`](Regex::matches) what [`is_match_batch`](Regex::is_match_batch)
+    /// is to [`is_match`](Regex::is_match); same sharding plan, richer
+    /// verdict. See [`RegexSet::matches_batch`].
+    pub fn matches_batch(&self, haystacks: &[&[u8]]) -> Vec<SetMatches> {
+        self.require_tracking();
+        self.run_batch(haystacks)
+            .into_iter()
+            .map(|q| SetMatches::new(self.dfa.accept_set(q).clone()))
+            .collect()
+    }
+
+    /// The batch execution core: the final DFA state of every haystack,
+    /// computed with the adaptive plan described on
+    /// [`is_match_batch`](Regex::is_match_batch). Both batch verdict APIs
+    /// are views of this, exactly as the single-shot APIs are views of
+    /// [`run`](Regex::run).
+    fn run_batch(&self, haystacks: &[&[u8]]) -> Vec<StateId> {
         let engine = self.engine();
         let shards = self.threads.clamp(1, engine.workers());
-        let mut out = vec![false; haystacks.len()];
+        let mut out = vec![self.dfa.start(); haystacks.len()];
         // Oversized haystacks go through their own chunk-parallel plan;
         // everything below the pool threshold is collected for sharding.
         let mut small: Vec<usize> = Vec::with_capacity(haystacks.len());
         for (i, h) in haystacks.iter().enumerate() {
             if engine.plan_chunks(h.len(), self.threads).use_pool {
-                out[i] = self.is_match_parallel(h, self.threads, self.reduction);
+                out[i] = self.run(
+                    h,
+                    Strategy::Parallel { threads: self.threads, reduction: self.reduction },
+                );
             } else {
                 small.push(i);
             }
@@ -395,25 +598,27 @@ impl Regex {
         let total: usize = small.iter().map(|&i| haystacks[i].len()).sum();
         if shards <= 1 || small.len() <= 1 || total / shards < MIN_POOL_CHUNK_BYTES {
             for &i in &small {
-                out[i] = self.is_match_sequential(haystacks[i]);
+                out[i] = self.dfa.run(haystacks[i]);
             }
             return out;
         }
         let shard_len = small.len().div_ceil(shards);
-        let verdicts = engine
+        let finals = engine
             .map_chunks(small.chunks(shard_len).collect(), true, |_, shard| {
-                shard.iter().map(|&i| self.is_match_sequential(haystacks[i])).collect::<Vec<_>>()
+                shard.iter().map(|&i| self.dfa.run(haystacks[i])).collect::<Vec<_>>()
             })
             .concat();
-        for (&i, v) in small.iter().zip(verdicts) {
-            out[i] = v;
+        for (&i, q) in small.iter().zip(finals) {
+            out[i] = q;
         }
         out
     }
 }
 
-/// A set of patterns compiled into one automaton ("does any pattern
-/// match?"), the way an IDS engine batches its ruleset.
+/// A set of patterns compiled into one automaton with **per-pattern
+/// verdicts**, the way an IDS engine batches its ruleset: one pass over
+/// the input answers both "does any rule match?" ([`is_match`](RegexSet::is_match))
+/// and "*which* rules match?" ([`matches`](RegexSet::matches)).
 #[derive(Clone, Debug)]
 pub struct RegexSet {
     patterns: Vec<String>,
@@ -421,37 +626,50 @@ pub struct RegexSet {
 }
 
 impl RegexSet {
-    /// Compiles the alternation of all patterns with the given builder
-    /// settings.
+    /// Compiles all patterns into one automaton with the given builder
+    /// settings, preserving each pattern's identity (pattern `i` of the
+    /// iterator is index `i` of every [`SetMatches`] verdict).
     ///
-    /// An **empty** pattern list compiles to the *void* language: a set
-    /// with no rules matches nothing, in either match mode. (The union of
-    /// zero languages is empty — it is not the empty *string*, which an
-    /// empty alternation AST would otherwise collapse to.)
+    /// Each pattern is parsed once and its AST handed straight into the
+    /// pipeline — no union re-serialization round trip. An **empty**
+    /// pattern list compiles to the *void* language: a set with no rules
+    /// matches nothing, in either match mode. (The union of zero
+    /// languages is empty — it is not the empty *string*.)
     pub fn new<'a, I>(patterns: I, builder: &RegexBuilder) -> Result<RegexSet, CompileError>
     where
         I: IntoIterator<Item = &'a str>,
     {
         let patterns: Vec<String> = patterns.into_iter().map(|s| s.to_string()).collect();
-        if patterns.is_empty() {
-            let void = Ast::Class(ByteSet::EMPTY);
-            let label = sfa_regex_syntax::to_pattern(&void);
-            let regex = builder.build_from_ast(label, void)?;
-            return Ok(RegexSet { patterns, regex });
-        }
         let parser = Parser::with_config(builder.parser.clone());
         let mut branches = Vec::with_capacity(patterns.len());
         for p in &patterns {
             branches.push(parser.parse(p)?);
         }
-        let union = sfa_regex_syntax::to_pattern(&Ast::alternation(branches));
-        let regex = builder.build(&union)?;
+        // Label only — the display string of the union; compilation uses
+        // the per-branch ASTs directly.
+        let label = match patterns.len() {
+            0 => "[]".to_string(),
+            1 => patterns[0].clone(),
+            _ => patterns.join("|"),
+        };
+        let regex = builder.build_from_asts(label, branches)?;
         Ok(RegexSet { patterns, regex })
     }
 
-    /// The individual patterns.
+    /// The individual patterns, in verdict-index order.
     pub fn patterns(&self) -> &[String] {
         &self.patterns
+    }
+
+    /// The number of patterns in the set.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Returns true if the set contains no patterns (and therefore
+    /// matches nothing).
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
     }
 
     /// The combined regex.
@@ -459,9 +677,45 @@ impl RegexSet {
         &self.regex
     }
 
+    /// Whether this set was compiled with per-pattern tracking (see
+    /// [`RegexBuilder::track_patterns`]). When `false`, only the
+    /// any-match APIs are available — the per-rule ones panic.
+    pub fn tracks_patterns(&self) -> bool {
+        self.regex.tracks_patterns()
+    }
+
     /// True if any pattern matches (under the builder's match mode).
     pub fn is_match(&self, input: &[u8]) -> bool {
         self.regex.is_match(input)
+    }
+
+    /// **Which** patterns match the input — the full per-rule verdict in
+    /// a single pass over the haystack, under the configured defaults.
+    ///
+    /// The verdict is identical to compiling every pattern individually
+    /// and asking each for [`Regex::is_match`], but costs one scan of the
+    /// combined automaton instead of `N` (see `benches/multimatch.rs`),
+    /// and is the same under every [`Strategy`] and both backends.
+    ///
+    /// ```
+    /// use sfa_matcher::{MatchMode, Regex, RegexSet};
+    ///
+    /// let set = RegexSet::new(
+    ///     ["GET /[a-z]+", "POST /login", "HEAD /status"],
+    ///     &Regex::builder().mode(MatchMode::Contains),
+    /// )
+    /// .unwrap();
+    /// let m = set.matches(b"POST /login HTTP/1.1");
+    /// assert!(m.matched(1));
+    /// assert!(!m.matched(0) && !m.matched(2));
+    /// ```
+    pub fn matches(&self, input: &[u8]) -> SetMatches {
+        self.matches_with(input, Strategy::Auto)
+    }
+
+    /// [`matches`](RegexSet::matches) under an explicit [`Strategy`].
+    pub fn matches_with(&self, input: &[u8], strategy: Strategy) -> SetMatches {
+        self.regex.matches_with(input, strategy)
     }
 
     /// Matches many haystacks as one pool batch — "does any pattern match
@@ -471,9 +725,19 @@ impl RegexSet {
         self.regex.is_match_batch(haystacks)
     }
 
-    /// Starts a [`StreamMatcher`] over the combined automaton: incremental
-    /// "does any pattern match?" over input arriving in blocks. See
-    /// [`crate::stream`].
+    /// Per-pattern verdicts for many haystacks as one pool batch (the
+    /// rule-set dual of [`match_batch`](RegexSet::match_batch)): one
+    /// [`SetMatches`] per haystack, in order. See
+    /// [`Regex::matches_batch`].
+    pub fn matches_batch(&self, haystacks: &[&[u8]]) -> Vec<SetMatches> {
+        self.regex.matches_batch(haystacks)
+    }
+
+    /// Starts a [`StreamMatcher`] over the combined automaton:
+    /// incremental matching over input arriving in blocks — any-match via
+    /// [`finish`](StreamMatcher::finish), per-rule via
+    /// [`set_matches`](StreamMatcher::set_matches) /
+    /// [`set_verdict`](StreamMatcher::set_verdict). See [`crate::stream`].
     pub fn stream(&self) -> StreamMatcher<'_> {
         self.regex.stream()
     }
@@ -481,7 +745,13 @@ impl RegexSet {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `is_match_*` wrappers are exercised on purpose: they
+    // must keep returning exactly what the `Strategy`-based core returns
+    // until they are removed.
+    #![allow(deprecated)]
+
     use super::*;
+    use crate::strategy::Strategy;
 
     #[test]
     fn whole_match_defaults() {
@@ -661,6 +931,230 @@ mod tests {
         assert!(single.is_match(b"abab"));
         assert!(single.is_match(b""));
         assert!(!single.is_match(b"aba"));
+    }
+
+    #[test]
+    fn run_is_the_single_core_for_every_strategy() {
+        let engine = Engine::new(4);
+        let re = Regex::builder().engine(engine).threads(4).build("([0-4]{2}[5-9]{2})*").unwrap();
+        let inputs: [&[u8]; 4] = [b"", b"00550459", b"0055045", &b"00550459".repeat(16 * 1024)];
+        for input in inputs {
+            let expected = re.dfa().run(input);
+            assert_eq!(re.run(input, Strategy::Sequential), expected);
+            assert_eq!(re.run(input, Strategy::Auto), expected);
+            for threads in [1, 3, 8] {
+                for reduction in [Reduction::Sequential, Reduction::Tree] {
+                    assert_eq!(re.run(input, Strategy::Parallel { threads, reduction }), expected);
+                    assert_eq!(
+                        re.run(input, Strategy::Speculative { threads, reduction }),
+                        expected
+                    );
+                }
+            }
+            // The deprecated wrappers are views of the same core.
+            assert_eq!(re.is_match_sequential(input), re.dfa().is_accepting(expected));
+            assert_eq!(re.is_match_parallel(input, 3, Reduction::Tree), re.is_match(input));
+            assert_eq!(re.is_match_speculative(input, 3, Reduction::Tree), re.is_match(input));
+        }
+    }
+
+    #[test]
+    fn auto_strategy_follows_builder_defaults() {
+        // threads == 1 resolves to Sequential, more to Parallel.
+        let seq = Regex::builder().threads(1).build("(ab)*").unwrap();
+        assert_eq!(seq.resolve(Strategy::Auto), Strategy::Sequential);
+        let par = Regex::builder().threads(4).reduction(Reduction::Tree).build("(ab)*").unwrap();
+        assert_eq!(
+            par.resolve(Strategy::Auto),
+            Strategy::Parallel { threads: 4, reduction: Reduction::Tree }
+        );
+        // Explicit strategies pass through untouched.
+        assert_eq!(par.resolve(Strategy::Sequential), Strategy::Sequential);
+    }
+
+    #[test]
+    fn single_pattern_matches_reports_one_slot() {
+        let re = Regex::new("(ab)*").unwrap();
+        assert_eq!(re.pattern_count(), 1);
+        let m = re.matches(b"abab");
+        assert!(m.matched(0) && m.matched_any());
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0]);
+        assert!(re.matches(b"aba").is_empty());
+    }
+
+    #[test]
+    fn regex_set_reports_which_patterns_matched() {
+        let set = RegexSet::new(
+            ["GET /[a-z]+", "POST /login", "HEAD /status", "(?i)etc/passwd"],
+            &Regex::builder().mode(MatchMode::Contains),
+        )
+        .unwrap();
+        assert_eq!(set.len(), 4);
+        assert!(!set.is_empty());
+        assert_eq!(set.regex().pattern_count(), 4);
+
+        let m = set.matches(b"GET /index HTTP/1.1");
+        assert!(m.matched(0));
+        assert!(!m.matched(1) && !m.matched(2) && !m.matched(3));
+        assert_eq!(m.len(), 1);
+
+        // Two rules firing on one input, in one pass.
+        let m = set.matches(b"GET /files?path=ETC/PASSWD");
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 3]);
+
+        let m = set.matches(b"PUT /upload");
+        assert!(!m.matched_any());
+        assert_eq!(m.pattern_count(), 4);
+
+        // The per-pattern verdict is strategy-independent.
+        let input = b"xxxPOST /login HTTP/1.1yyy";
+        let expected = set.matches_with(input, Strategy::Sequential);
+        for threads in [1, 4] {
+            for reduction in [Reduction::Sequential, Reduction::Tree] {
+                assert_eq!(
+                    set.matches_with(input, Strategy::Parallel { threads, reduction }),
+                    expected
+                );
+                assert_eq!(
+                    set.matches_with(input, Strategy::Speculative { threads, reduction }),
+                    expected
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn regex_set_matches_agrees_with_individual_patterns() {
+        let patterns = ["(ab)*", "a+b", "[ab]{3}", "b?a"];
+        for mode in [MatchMode::Whole, MatchMode::Contains] {
+            let builder = Regex::builder().mode(mode);
+            let set = RegexSet::new(patterns, &builder).unwrap();
+            let singles: Vec<Regex> = patterns.iter().map(|p| builder.build(p).unwrap()).collect();
+            for input in [&b""[..], b"a", b"ab", b"abab", b"aab", b"bbb", b"ba", b"zzabz"] {
+                let m = set.matches(input);
+                for (i, single) in singles.iter().enumerate() {
+                    assert_eq!(
+                        m.matched(i),
+                        single.is_match(input),
+                        "pattern {i} ({:?}) input {:?} mode {:?}",
+                        patterns[i],
+                        input,
+                        mode
+                    );
+                }
+                assert_eq!(m.matched_any(), set.is_match(input));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_batch_agrees_with_per_call() {
+        let set = RegexSet::new(
+            ["/cgi-bin/ph[a-z]{1,8}", "(?i)etc/passwd", "[0-9]{1,3}\\.[0-9]{1,3}"],
+            &Regex::builder().mode(MatchMode::Contains),
+        )
+        .unwrap();
+        let haystacks: Vec<&[u8]> = vec![
+            b"GET /cgi-bin/phf HTTP/1.1",
+            b"GET /index.html",
+            b"cat /etc/passwd at 10.0.0.1",
+            b"",
+            b"192.168",
+        ];
+        let batch = set.matches_batch(&haystacks);
+        assert_eq!(batch.len(), haystacks.len());
+        for (h, m) in haystacks.iter().zip(&batch) {
+            assert_eq!(m, &set.matches(h), "haystack {:?}", h);
+        }
+        assert_eq!(batch[2].iter().collect::<Vec<_>>(), vec![1, 2]);
+        // The any-match batch is the projection of the set batch.
+        assert_eq!(
+            set.match_batch(&haystacks),
+            batch.iter().map(|m| m.matched_any()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn regex_set_matches_on_both_backends() {
+        let patterns = ["select[a-z ]{0,10}from", "union", "[0-9]{4}"];
+        for choice in [BackendChoice::Eager, BackendChoice::Lazy] {
+            let set = RegexSet::new(
+                patterns,
+                &Regex::builder().mode(MatchMode::Contains).backend(choice),
+            )
+            .unwrap();
+            let m = set.matches(b"q=select name from users; union all 2024");
+            assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 1, 2], "{choice:?}");
+            let m = set.matches(b"plain request");
+            assert!(m.is_empty(), "{choice:?}");
+        }
+    }
+
+    #[test]
+    fn untracked_set_compiles_the_plain_union() {
+        let patterns = ["attack[0-9]{2}", "exploit[a-z]{2}", "(?i)etc/passwd"];
+        let tracked = RegexSet::new(patterns, &Regex::builder().mode(MatchMode::Contains)).unwrap();
+        let untracked = RegexSet::new(
+            patterns,
+            &Regex::builder().mode(MatchMode::Contains).track_patterns(false),
+        )
+        .unwrap();
+        assert!(tracked.tracks_patterns());
+        assert!(!untracked.tracks_patterns());
+        assert_eq!(untracked.len(), 3, "the pattern list is still the user's");
+        assert_eq!(untracked.regex().pattern_count(), 1, "but the automaton is one union");
+        // The any-match automaton is strictly smaller: it need not
+        // remember which rules already hit.
+        assert!(untracked.regex().dfa().num_states() < tracked.regex().dfa().num_states());
+        // Any-match verdicts agree everywhere.
+        for input in [&b"GET /attack42"[..], b"exploitok", b"cat etc/passwd", b"benign", b"attack4"]
+        {
+            assert_eq!(untracked.is_match(input), tracked.is_match(input), "{input:?}");
+        }
+        let haystacks: Vec<&[u8]> = vec![b"attack99 exploitme", b"nothing"];
+        assert_eq!(untracked.match_batch(&haystacks), tracked.match_batch(&haystacks));
+        // A single-pattern (or empty) set tracks for free either way.
+        let single = RegexSet::new(["(ab)*"], &Regex::builder().track_patterns(false)).unwrap();
+        assert!(single.tracks_patterns());
+        assert!(single.matches(b"abab").matched(0));
+        let empty = RegexSet::new([], &Regex::builder().track_patterns(false)).unwrap();
+        assert!(!empty.is_match(b""), "the empty set stays the void language");
+    }
+
+    #[test]
+    #[should_panic(expected = "per-rule verdicts require pattern tracking")]
+    fn untracked_set_panics_on_per_rule_apis() {
+        let set = RegexSet::new(["a", "b"], &Regex::builder().track_patterns(false)).unwrap();
+        let _ = set.matches(b"a");
+    }
+
+    #[test]
+    #[should_panic(expected = "per-rule verdicts require pattern tracking")]
+    fn untracked_set_panics_on_stream_set_matches() {
+        // The stream path must refuse too — otherwise the union verdict
+        // would be silently attributed to rule 0.
+        let set = RegexSet::new(["a", "b"], &Regex::builder().track_patterns(false)).unwrap();
+        let mut stream = set.stream();
+        stream.feed(b"b");
+        let _ = stream.set_matches();
+    }
+
+    #[test]
+    #[should_panic(expected = "per-rule verdicts require pattern tracking")]
+    fn untracked_set_panics_on_stream_set_verdict() {
+        let set = RegexSet::new(["a", "b"], &Regex::builder().track_patterns(false)).unwrap();
+        let _ = set.stream().set_verdict();
+    }
+
+    #[test]
+    fn empty_regex_set_has_empty_verdicts() {
+        let set = RegexSet::new([], &Regex::builder().mode(MatchMode::Contains)).unwrap();
+        assert_eq!(set.len(), 0);
+        assert!(set.is_empty());
+        let m = set.matches(b"anything");
+        assert_eq!(m.pattern_count(), 0);
+        assert!(!m.matched_any());
+        assert_eq!(set.matches_batch(&[&b"x"[..], b"y"]).len(), 2);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! ```
 
 use crate::chunk::split_chunks;
+use crate::matches::SetMatches;
 use crate::regex::Regex;
 use sfa_core::SfaStateId;
 
@@ -120,14 +121,67 @@ impl<'r> StreamMatcher<'r> {
         self.regex.sfa().is_accepting(self.state)
     }
 
-    /// The final verdict, if it is already decided: `Some` once the stream
-    /// has [saturated](StreamMatcher::is_saturated) (no possible suffix can
-    /// change the answer), `None` while further input still matters.
+    /// The DFA state the stream's input would land on — the image of the
+    /// running mapping at the DFA's start state. Verdict finality is a
+    /// property of this state: no suffix can change what is decided in
+    /// every state reachable from it.
+    fn dfa_image(&self) -> sfa_automata::StateId {
+        let sfa = self.regex.sfa();
+        sfa.apply(self.state, sfa.dfa_start())
+    }
+
+    /// The final verdict, if it is already decided: `Some` once no
+    /// possible suffix can change the answer — the stream
+    /// [saturated](StreamMatcher::is_saturated), or the run entered a
+    /// region of the automaton where every reachable state agrees on
+    /// accept-vs-reject ([`Dfa::verdict_decided_states`]). `None` while
+    /// further input still matters.
     ///
-    /// In `Contains` mode a hit saturates to `Some(true)`, so an IDS-style
-    /// scanner can stop reading a connection at the first match.
+    /// In `Contains` mode a hit decides the verdict to `Some(true)`
+    /// immediately (the accept region is absorbing), so an IDS-style
+    /// scanner can stop reading a connection at the first match — even
+    /// when the per-rule [`set_verdict`](StreamMatcher::set_verdict) is
+    /// still open because other rules' fates are undecided.
+    ///
+    /// [`Dfa::verdict_decided_states`]: sfa_automata::Dfa::verdict_decided_states
     pub fn verdict(&self) -> Option<bool> {
-        self.is_saturated().then(|| self.finish())
+        if self.is_saturated() || self.regex.decided_maps().any[self.dfa_image() as usize] {
+            Some(self.finish())
+        } else {
+            None
+        }
+    }
+
+    /// The per-pattern verdict over everything fed so far: which patterns
+    /// of the compiled set the concatenated blocks match. The
+    /// multi-pattern refinement of [`finish`](StreamMatcher::finish) —
+    /// non-consuming, always available, identical to
+    /// [`RegexSet::matches`](crate::RegexSet::matches) on the
+    /// concatenation whatever the feed boundaries were.
+    pub fn set_matches(&self) -> SetMatches {
+        self.regex.require_tracking();
+        SetMatches::new(self.regex.sfa().accepting_patterns(self.state).clone())
+    }
+
+    /// The final per-pattern verdict, if it is already decided: `Some`
+    /// once no suffix can change *which* rules fired — the stream
+    /// saturated, or every state reachable from the current one carries
+    /// the same accept set ([`Dfa::accept_set_decided_states`]). `None`
+    /// while further input still matters.
+    ///
+    /// Stricter than [`verdict`](StreamMatcher::verdict): in a multi-rule
+    /// `Contains` scan the boolean verdict freezes at the first hit,
+    /// while the set verdict stays open until every rule's fate is frozen
+    /// (all hit, or nothing can change anymore).
+    ///
+    /// [`Dfa::accept_set_decided_states`]: sfa_automata::Dfa::accept_set_decided_states
+    pub fn set_verdict(&self) -> Option<SetMatches> {
+        self.regex.require_tracking();
+        if self.is_saturated() || self.regex.decided_maps().set[self.dfa_image() as usize] {
+            Some(self.set_matches())
+        } else {
+            None
+        }
     }
 
     /// True once the running state is a sink: the mapping can never change
@@ -326,5 +380,64 @@ mod tests {
         assert!(stream.finish());
         stream.reset();
         assert!(!stream.feed(b"PUT /upload").finish());
+    }
+
+    #[test]
+    fn set_matches_reports_per_rule_verdicts_across_feed_boundaries() {
+        use crate::regex::RegexSet;
+        let set = RegexSet::new(
+            ["GET /[a-z]+", "POST /login", "(?i)etc/passwd"],
+            &Regex::builder().mode(MatchMode::Contains),
+        )
+        .unwrap();
+        let mut stream = set.stream();
+        assert!(stream.set_matches().is_empty());
+        // The needle of rule 1 straddles the feed boundary.
+        stream.feed(b"POST /log").feed(b"in?file=etc/pas").feed(b"swd");
+        let m = stream.set_matches();
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(&m, &set.matches(b"POST /login?file=etc/passwd"));
+        assert!(stream.finish());
+        stream.reset();
+        assert!(stream.set_matches().is_empty());
+    }
+
+    #[test]
+    fn any_verdict_freezes_before_the_set_verdict() {
+        use crate::regex::RegexSet;
+        let set = RegexSet::new(
+            ["attack[0-9]{2}", "exploit[a-z]{2}"],
+            &Regex::builder().mode(MatchMode::Contains),
+        )
+        .unwrap();
+        let mut stream = set.stream();
+        assert_eq!(stream.verdict(), None);
+        assert_eq!(stream.set_verdict(), None);
+        stream.feed(b"GET /attack42/");
+        // One rule hit: the boolean verdict is final (the accept region
+        // is absorbing) but the *set* verdict is still open — rule 1
+        // could yet fire.
+        assert_eq!(stream.verdict(), Some(true));
+        assert!(stream.set_verdict().is_none());
+        assert_eq!(stream.set_matches().iter().collect::<Vec<_>>(), vec![0]);
+        // Second rule hits: every rule's fate is frozen, the set verdict
+        // closes, and the running mapping is now a true sink.
+        stream.feed(b"exploitok");
+        let final_set = stream.set_verdict().expect("all rules decided");
+        assert_eq!(final_set.iter().collect::<Vec<_>>(), vec![0, 1]);
+        assert!(stream.is_saturated());
+        // Consistency with the whole-buffer per-rule verdict.
+        assert_eq!(&final_set, &set.matches(b"GET /attack42/exploitok"));
+    }
+
+    #[test]
+    fn single_pattern_set_verdict_matches_verdict() {
+        let re = Regex::builder().mode(MatchMode::Contains).build("needle[0-9]{3}").unwrap();
+        let mut stream = re.stream();
+        assert_eq!(stream.set_verdict(), None);
+        stream.feed(b"xxneedle042yy");
+        let set = stream.set_verdict().expect("single-pattern hit saturates");
+        assert!(set.matched(0));
+        assert_eq!(stream.verdict(), Some(true));
     }
 }

@@ -74,7 +74,7 @@ pub fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sfa_matcher::Regex;
+    use sfa_matcher::{Regex, Strategy};
 
     #[test]
     fn rn_text_is_accepted_by_rn() {
@@ -82,16 +82,16 @@ mod tests {
             let re = Regex::new(&rn_pattern(n)).unwrap();
             let text = rn_text(n, 10 * 2 * n + 3, 42);
             assert_eq!(text.len() % (2 * n), 0);
-            assert!(re.is_match_sequential(&text), "n = {}", n);
+            assert!(re.is_match_with(&text, Strategy::Sequential), "n = {}", n);
         }
     }
 
     #[test]
     fn repeated_a_matches_fig9_pattern() {
         let re = Regex::new(&rn_or_a_pattern(5)).unwrap();
-        assert!(re.is_match_sequential(&repeated_a_text(1000)));
-        assert!(re.is_match_sequential(&rn_text(5, 1000, 1)));
-        assert!(!re.is_match_sequential(b"aaab"));
+        assert!(re.is_match_with(&repeated_a_text(1000), Strategy::Sequential));
+        assert!(re.is_match_with(&rn_text(5, 1000, 1), Strategy::Sequential));
+        assert!(!re.is_match_with(b"aaab", Strategy::Sequential));
     }
 
     #[test]
@@ -99,7 +99,7 @@ mod tests {
         let re = Regex::new(fig10_pattern()).unwrap();
         let text = fig10_text(1000, 7);
         assert_eq!(text.len(), 1000);
-        assert!(re.is_match_sequential(&text));
+        assert!(re.is_match_with(&text, Strategy::Sequential));
         assert_eq!(re.dfa().num_live_states(), 10);
     }
 

@@ -53,12 +53,14 @@ pub const CURATED_PATTERNS: &[&str] = &[
 /// mode the `\s+` separator, the long permissive class run and the
 /// keyword alternation interact so that the *eager* correspondence
 /// construction exceeds 750 000 states (measured: the combined
-/// [`IDS_SCAN_RULES`] automaton blows through a 750 001-state cap while
-/// its minimal DFA has only 787 states), which is why an earlier
-/// revision had to replace it with a bounded `[ +]{1,3}` separator. The
-/// lazy backend (`BackendChoice::Auto` / `Lazy` in `sfa-matcher`) makes
-/// the original rule feasible again: scanning a multi-megabyte HTTP log
-/// materializes only a few dozen states.
+/// [`IDS_SCAN_RULES`] automaton blew through a 750 001-state cap while
+/// its any-match minimal DFA had only 787 states; with per-rule verdict
+/// tracking the combined minimal DFA is 5 668 states and the eager SFA
+/// still explodes), which is why an earlier revision had to replace it
+/// with a bounded `[ +]{1,3}` separator. The lazy backend
+/// (`BackendChoice::Auto` / `Lazy` in `sfa-matcher`) makes the original
+/// rule feasible again: scanning a multi-megabyte HTTP log materializes
+/// only a few hundred states.
 pub const SQLI_RULE: &str = "(?i)(select|union)\\s+[a-z0-9_, ]{1,40}\\s+from";
 
 /// The `ids_scan` example's full ruleset — [`SQLI_RULE`] included in its
@@ -223,7 +225,7 @@ mod tests {
 
     #[test]
     fn sqli_rule_explodes_eagerly_but_runs_lazily() {
-        use sfa_matcher::{BackendChoice, BackendKind, MatchMode, Reduction, Regex};
+        use sfa_matcher::{BackendChoice, BackendKind, MatchMode, Reduction, Regex, Strategy};
         // A small cap keeps the eager attempt cheap; the real automaton
         // explodes far beyond it (>750k states, measured — see
         // `SQLI_RULE`'s docs).
@@ -235,14 +237,13 @@ mod tests {
         let re = builder.backend(BackendChoice::Auto).build(SQLI_RULE).unwrap();
         assert_eq!(re.backend_kind(), BackendKind::Lazy);
         assert!(re.is_match(b"GET /q?u=UNION  SELECT name, pass FROM users"));
-        assert!(re.is_match_parallel(
+        assert!(re.is_match_with(
             &b"benign "
                 .repeat(2_000)
                 .into_iter()
                 .chain(*b"union select x from y")
                 .collect::<Vec<_>>(),
-            4,
-            Reduction::Tree
+            Strategy::Parallel { threads: 4, reduction: Reduction::Tree }
         ));
         assert!(!re.is_match(b"GET /index.html HTTP/1.1"));
         let report = re.size_report();

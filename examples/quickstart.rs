@@ -21,13 +21,17 @@ fn main() {
     };
 
     // Algorithm 2: one table lookup per byte, sequential.
-    assert!(re.is_match_sequential(&accepted));
-    assert!(!re.is_match_sequential(&rejected));
+    assert!(re.is_match_with(&accepted, Strategy::Sequential));
+    assert!(!re.is_match_with(&rejected, Strategy::Sequential));
 
     // Algorithm 5: split anywhere, run the SFA per chunk, compose.
     for threads in [2, 4, 8] {
-        assert!(re.is_match_parallel(&accepted, threads, Reduction::Sequential));
-        assert!(!re.is_match_parallel(&rejected, threads, Reduction::Tree));
+        assert!(re.is_match_with(
+            &accepted,
+            Strategy::Parallel { threads, reduction: Reduction::Sequential }
+        ));
+        assert!(!re
+            .is_match_with(&rejected, Strategy::Parallel { threads, reduction: Reduction::Tree }));
     }
     println!("sequential and parallel matching agree on {} bytes", accepted.len());
 

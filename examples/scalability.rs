@@ -36,7 +36,7 @@ fn main() {
         best
     };
 
-    let mut run_seq = || assert!(re.is_match_sequential(&text));
+    let mut run_seq = || assert!(re.is_match_with(&text, Strategy::Sequential));
     let seq = best(&mut run_seq);
     println!("{:>8}  {:>12}  {:>10}", "threads", "time", "GB/s");
     println!(

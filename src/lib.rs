@@ -24,8 +24,8 @@
 //!
 //! let re = Regex::new("([0-4]{2}[5-9]{2})*").unwrap();
 //! let text = b"00550459".repeat(512);
-//! assert!(re.is_match_sequential(&text));
-//! assert!(re.is_match_parallel(&text, 4, Reduction::Sequential));
+//! assert!(re.is_match_with(&text, Strategy::Sequential));
+//! assert!(re.is_match_with(&text, Strategy::Parallel { threads: 4, reduction: Reduction::Sequential }));
 //! ```
 
 #![deny(missing_docs)]
@@ -41,9 +41,10 @@ pub use sfa_workloads as workloads;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use sfa_automata::{Dfa, Nfa};
+    pub use sfa_automata::{PatternId, PatternSet};
     pub use sfa_core::{BackendKind, DSfa, LazyDSfa, NSfa, SfaBackend, SfaConfig};
     pub use sfa_matcher::{
         BackendChoice, Engine, MatchMode, ParallelSfaMatcher, Reduction, Regex, RegexBuilder,
-        RegexSet, SpeculativeDfaMatcher, StreamMatcher, WorkerPool,
+        RegexSet, SetMatches, SpeculativeDfaMatcher, Strategy, StreamMatcher, WorkerPool,
     };
 }

@@ -14,12 +14,12 @@ fn paper_running_example_end_to_end() {
     assert_eq!(re.sfa().num_states(), 6);
 
     let input = b"ababababababab"; // Example 2's 14-byte input
-    assert!(re.is_match_sequential(input));
+    assert!(re.is_match_with(input, Strategy::Sequential));
     for threads in 1..=6 {
         for reduction in [Reduction::Sequential, Reduction::Tree] {
-            assert!(re.is_match_parallel(input, threads, reduction));
-            assert!(re.is_match_speculative(input, threads, reduction));
-            assert!(!re.is_match_parallel(b"ababa", threads, reduction));
+            assert!(re.is_match_with(input, Strategy::Parallel { threads, reduction }));
+            assert!(re.is_match_with(input, Strategy::Speculative { threads, reduction }));
+            assert!(!re.is_match_with(b"ababa", Strategy::Parallel { threads, reduction }));
         }
     }
 }
@@ -33,15 +33,23 @@ fn rn_family_sizes_and_matching() {
         assert!(re.sfa().num_states() <= re.dfa().num_states() * re.dfa().num_states());
 
         let text = workloads::rn_text(n, 4096, 1);
-        assert!(re.is_match_sequential(&text));
-        assert!(re.is_match_parallel(&text, 4, Reduction::Sequential));
-        assert!(re.is_match_parallel(&text, 7, Reduction::Tree));
+        assert!(re.is_match_with(&text, Strategy::Sequential));
+        assert!(re.is_match_with(
+            &text,
+            Strategy::Parallel { threads: 4, reduction: Reduction::Sequential }
+        ));
+        assert!(
+            re.is_match_with(&text, Strategy::Parallel { threads: 7, reduction: Reduction::Tree })
+        );
 
         let mut corrupted = text.clone();
         let mid = corrupted.len() / 2;
         corrupted[mid] = b'x';
-        assert!(!re.is_match_sequential(&corrupted));
-        assert!(!re.is_match_parallel(&corrupted, 4, Reduction::Sequential));
+        assert!(!re.is_match_with(&corrupted, Strategy::Sequential));
+        assert!(!re.is_match_with(
+            &corrupted,
+            Strategy::Parallel { threads: 4, reduction: Reduction::Sequential }
+        ));
     }
 }
 
@@ -64,9 +72,23 @@ fn snort_like_corpus_compiles_and_matches_consistently() {
         let Ok(sampler) = sfa::automata::DfaSampler::new(re.dfa()) else { continue };
         let mut rng = rand_seed(built);
         let word = sampler.sample(200, &mut rng);
-        assert!(re.is_match_sequential(&word), "pattern {:?}", pattern);
-        assert!(re.is_match_parallel(&word, 3, Reduction::Sequential), "pattern {:?}", pattern);
-        assert!(re.is_match_speculative(&word, 3, Reduction::Tree), "pattern {:?}", pattern);
+        assert!(re.is_match_with(&word, Strategy::Sequential), "pattern {:?}", pattern);
+        assert!(
+            re.is_match_with(
+                &word,
+                Strategy::Parallel { threads: 3, reduction: Reduction::Sequential }
+            ),
+            "pattern {:?}",
+            pattern
+        );
+        assert!(
+            re.is_match_with(
+                &word,
+                Strategy::Speculative { threads: 3, reduction: Reduction::Tree }
+            ),
+            "pattern {:?}",
+            pattern
+        );
     }
     assert!(built >= 80, "most of the corpus must compile, built = {built}");
 }
@@ -80,15 +102,23 @@ fn rand_seed(n: usize) -> impl rand::Rng {
 fn contains_semantics_parallel_consistency() {
     let re = Regex::builder().mode(MatchMode::Contains).build("needle[0-9]{3}").unwrap();
     let mut haystack = vec![b'x'; 100_000];
-    assert!(!re.is_match_parallel(&haystack, 8, Reduction::Sequential));
+    assert!(!re.is_match_with(
+        &haystack,
+        Strategy::Parallel { threads: 8, reduction: Reduction::Sequential }
+    ));
     // Plant a match straddling a chunk boundary (Theorem 3: any split
     // works, including one through the middle of the match).
     let pos = haystack.len() / 8 - 3;
     haystack.splice(pos..pos, b"needle042".iter().copied());
-    assert!(re.is_match_sequential(&haystack));
+    assert!(re.is_match_with(&haystack, Strategy::Sequential));
     for threads in [2, 4, 8, 16] {
-        assert!(re.is_match_parallel(&haystack, threads, Reduction::Sequential));
-        assert!(re.is_match_parallel(&haystack, threads, Reduction::Tree));
+        assert!(re.is_match_with(
+            &haystack,
+            Strategy::Parallel { threads, reduction: Reduction::Sequential }
+        ));
+        assert!(
+            re.is_match_with(&haystack, Strategy::Parallel { threads, reduction: Reduction::Tree })
+        );
     }
 }
 
@@ -132,8 +162,12 @@ fn untamed_ids_scan_ruleset_runs_on_the_auto_backend() {
     let log = workloads::http_log(5_000, 97, 0xBEEF);
     assert!(set.is_match(&log), "the log plants /cgi-bin/ hits");
     for threads in [2, 4] {
-        assert!(set.regex().is_match_parallel(&log, threads, Reduction::Sequential));
-        assert!(set.regex().is_match_parallel(&log, threads, Reduction::Tree));
+        assert!(set
+            .regex()
+            .is_match_with(&log, Strategy::Parallel { threads, reduction: Reduction::Sequential }));
+        assert!(set
+            .regex()
+            .is_match_with(&log, Strategy::Parallel { threads, reduction: Reduction::Tree }));
     }
     // Streaming: arrival-time blocks, including one cutting mid-rule.
     let mut stream = set.stream();
@@ -152,7 +186,9 @@ fn untamed_ids_scan_ruleset_runs_on_the_auto_backend() {
     // A clean log still reports no match on every path.
     let clean_big = workloads::http_log(2_000, 0, 0xBEEF);
     assert!(!set.is_match(&clean_big));
-    assert!(!set.regex().is_match_parallel(&clean_big, 4, Reduction::Tree));
+    assert!(!set
+        .regex()
+        .is_match_with(&clean_big, Strategy::Parallel { threads: 4, reduction: Reduction::Tree }));
 }
 
 #[test]
@@ -255,6 +291,7 @@ fn error_paths_are_reported_not_panicked() {
     assert!(Regex::builder().max_dfa_states(3).build("abcdefgh").is_err());
     // Empty input, empty pattern, single byte, all fine.
     let re = Regex::new("").unwrap();
-    assert!(re.is_match_sequential(b""));
-    assert!(!re.is_match_parallel(b"x", 4, Reduction::Sequential));
+    assert!(re.is_match_with(b"", Strategy::Sequential));
+    assert!(!re
+        .is_match_with(b"x", Strategy::Parallel { threads: 4, reduction: Reduction::Sequential }));
 }
