@@ -7,9 +7,20 @@
 //! * `multimatch_lines` — a 6-keyword ruleset over 10 000 request
 //!   lines: `matches_batch` (one pool batch, per-rule verdicts) vs. N
 //!   per-pattern `is_match_batch` sweeps.
+//! * `multimatch_sharded` — eight encoded-injection rules compiled two
+//!   ways: one tracked product automaton (the `2^rules` blowup, ~19 000
+//!   states) vs. an auto-sharded set whose literal prefilter skips every
+//!   shard on benign records. Every rule requires a literal starting
+//!   with `%`, `<` or `'` — bytes benign request traffic never carries —
+//!   so the prefilter's root skip loop covers almost the whole corpus.
+//!   Also packs the pinned 1 000-rule corpus
+//!   ([`sfa_workloads::corpus_1k`]) and checks no non-fallback shard
+//!   exceeds the per-shard state budget.
 //!
 //! Acceptance checks (always on): the combined set's per-rule verdicts
 //! equal the individually compiled patterns' verdicts, on every input.
+//! Non-smoke only: the sharded batch scan must beat the unsharded
+//! tracked set by ≥ 5×.
 //!
 //! `SFA_BENCH_SMOKE=1` shrinks everything to a single iteration so CI can
 //! run this bench as a smoke test.
@@ -136,5 +147,134 @@ fn bench_lines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_log, bench_lines);
+/// The tracked product automaton vs. the auto-sharded + prefiltered
+/// compilation of the same ruleset, batch-scanning request lines.
+///
+/// The keywords are chosen to *never* occur in the benign traffic of
+/// [`workloads::http_log`] (unlike `login`, which does), so the
+/// prefilter's root-skip loop disposes of almost every line without
+/// touching any shard's DFA — that, not the smaller tables alone, is
+/// where the ≥ 5× comes from.
+fn bench_sharded(c: &mut Criterion) {
+    // Encoded web-injection signatures. Crossing the sticky per-rule
+    // accept bits with the `.{0,12}` counter blows the tracked product
+    // automaton up to ~19 400 states, while each rule alone is tiny —
+    // the blowup the sharding exists to fix. Every rule's required
+    // literals start with `%`, `<` or `'`, bytes that benign request
+    // traffic never carries, so on benign records the prefilter's root
+    // skip loop never leaves the root and no shard DFA runs at all.
+    let rules: [&str; 8] = [
+        "%27[a-zA-Z0-9%]{0,4}",
+        "%3[Cc]script",
+        "<script[ >]",
+        "'--",
+        "' or 1=1",
+        "%00[a-f0-9]{0,4}",
+        "%2e%2e%2f",
+        "%27union.{0,12}%20from",
+    ];
+    let builder = builder().max_dfa_states(2_000_000);
+    let unsharded = RegexSet::new(rules.iter().copied(), &builder).expect("unsharded compiles");
+    let sharded = RegexSet::new(rules.iter().copied(), &builder.clone().shard_state_budget(256))
+        .expect("sharded compiles");
+    let singles: Vec<Regex> =
+        rules.iter().map(|p| builder.build(p).expect("rule compiles")).collect();
+    assert!(sharded.is_sharded());
+    assert!(
+        sharded.shards().iter().all(|s| s.is_gated()),
+        "every injection rule proves a literal clause, so every shard is gated"
+    );
+    assert!(sharded.prefilter().is_some(), "gated shards install a prefilter");
+
+    // 40-line request *records* (~2 KiB each) rather than single lines:
+    // per-record dispatch overhead amortizes away and the byte scan
+    // dominates, which is the regime batch rule engines run in. Two
+    // planted records carry real attacks so the prefilter and the gated
+    // shards actually fire.
+    let mut corpus = workloads::http_log(10_000, 41, 11);
+    corpus.extend_from_slice(b"GET /search?q=%27union%20a%20from%20t HTTP/1.1 200 7\n");
+    corpus.extend_from_slice(b"GET /p?x=<script>alert(%00ff)</script> HTTP/1.1 403 0\n");
+    let raw: Vec<&[u8]> = corpus.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+    let grouped: Vec<Vec<u8>> = raw.chunks(40).map(|c| c.join(&b' ')).collect();
+    let lines: Vec<&[u8]> = grouped.iter().map(|g| g.as_slice()).collect();
+
+    // Acceptance (always on): the sharded verdicts equal both the
+    // unsharded set's and the per-rule individual scans, on every line.
+    let sharded_verdicts = sharded.matches_batch(&lines);
+    assert_eq!(sharded_verdicts, unsharded.matches_batch(&lines));
+    for (line, verdict) in lines.iter().zip(&sharded_verdicts) {
+        for (i, re) in singles.iter().enumerate() {
+            assert_eq!(verdict.matched(i), re.is_match(line), "rule {i} line {:?}", line);
+        }
+    }
+    assert!(sharded_verdicts.iter().any(|v| v.matched_any()), "the planted attacks must fire");
+
+    // Acceptance (non-smoke): ≥ 5× on the batch scan.
+    if !smoke() {
+        let time = |f: &dyn Fn()| {
+            let start = std::time::Instant::now();
+            for _ in 0..3 {
+                f();
+            }
+            start.elapsed()
+        };
+        let t_sharded = time(&|| {
+            assert_eq!(sharded.matches_batch(&lines).len(), lines.len());
+        });
+        let t_unsharded = time(&|| {
+            assert_eq!(unsharded.matches_batch(&lines).len(), lines.len());
+        });
+        let speedup = t_unsharded.as_secs_f64() / t_sharded.as_secs_f64();
+        assert!(
+            speedup >= 5.0,
+            "sharded+prefiltered batch must be ≥5× the tracked product set, got {speedup:.2}× \
+             ({t_unsharded:?} vs {t_sharded:?})"
+        );
+        println!("multimatch_sharded: speedup {speedup:.1}× ({t_unsharded:?} → {t_sharded:?})");
+    }
+
+    // Acceptance: the pinned 1k-rule corpus packs under a bounded
+    // per-shard budget — no non-fallback shard exceeds it. (Smoke mode
+    // packs a prefix so CI stays fast; the full corpus runs otherwise.)
+    let corpus_rules = workloads::corpus_1k();
+    let take = if smoke() { 150 } else { corpus_rules.len() };
+    let budget = 2_000;
+    let big = RegexSet::new(
+        corpus_rules[..take].iter().map(|s| s.as_str()),
+        &builder.clone().max_dfa_states(2_000_000).max_sfa_states(2_000).shard_state_budget(budget),
+    )
+    .expect("the corpus compiles sharded");
+    assert!(big.shards().len() > 1);
+    for shard in big.shards() {
+        if !shard.is_fallback() {
+            assert!(
+                shard.regex().dfa().num_states() <= budget,
+                "shard {:?} exceeds the {budget}-state budget",
+                shard.members()
+            );
+        }
+    }
+    let report = big.size_report();
+    assert_eq!(report.shards, big.shards().len());
+
+    let total: usize = lines.iter().map(|l| l.len()).sum();
+    let mut group = c.benchmark_group("multimatch_sharded");
+    configure(&mut group);
+    group.throughput(Throughput::Bytes(total as u64));
+    group.bench_function("unsharded_tracked_batch", |b| {
+        b.iter(|| {
+            let verdicts = unsharded.matches_batch(&lines);
+            assert_eq!(verdicts.len(), lines.len());
+        })
+    });
+    group.bench_function("sharded_prefiltered_batch", |b| {
+        b.iter(|| {
+            let verdicts = sharded.matches_batch(&lines);
+            assert_eq!(verdicts.len(), lines.len());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_log, bench_lines, bench_sharded);
 criterion_main!(benches);

@@ -437,13 +437,195 @@ fn multimatch() {
         assert_eq!(re.is_match_with(&log, Strategy::Sequential), fired.matched(i));
     }
     let individual = t2.elapsed();
+    let combined_over_individual = individual.as_secs_f64() / combined.as_secs_f64();
     println!(
         "one combined pass: {:.2?}   vs. {} individual scans: {:.2?}  ({:.1}x)",
         combined,
         singles.len(),
         individual,
-        individual.as_secs_f64() / combined.as_secs_f64()
+        combined_over_individual
     );
+
+    // ---- sharded vs. unsharded: the 2^rules blowup, fixed --------------
+    // Same ruleset and corpus as `benches/multimatch.rs::bench_sharded`:
+    // eight encoded-injection rules whose required literals all start
+    // with `%`, `<` or `'` (bytes benign traffic never carries), scanned
+    // over 40-line request records so the byte scan dominates dispatch.
+    println!("\n## Auto-sharded set + literal prefilter vs. one tracked product automaton");
+    let kw_rules: [&str; 8] = [
+        "%27[a-zA-Z0-9%]{0,4}",
+        "%3[Cc]script",
+        "<script[ >]",
+        "'--",
+        "' or 1=1",
+        "%00[a-f0-9]{0,4}",
+        "%2e%2e%2f",
+        "%27union.{0,12}%20from",
+    ];
+    let kw_builder = builder.clone().max_dfa_states(2_000_000);
+    let unsharded = RegexSet::new(kw_rules.iter().copied(), &kw_builder).unwrap();
+    let sharded =
+        RegexSet::new(kw_rules.iter().copied(), &kw_builder.clone().shard_state_budget(256))
+            .unwrap();
+    println!(
+        "{} rules | unsharded tracked DFA: {} states | sharded: {} shards, largest {} states, \
+         prefilter {} literals",
+        kw_rules.len(),
+        unsharded.size_report().dfa_states,
+        sharded.shards().len(),
+        sharded.size_report().max_shard_dfa_states,
+        sharded.prefilter().map_or(0, |p| p.literal_count()),
+    );
+    let mut kw_log = workloads::http_log(10_000, 41, 11);
+    kw_log.extend_from_slice(b"GET /search?q=%27union%20a%20from%20t HTTP/1.1 200 7\n");
+    kw_log.extend_from_slice(b"GET /p?x=<script>alert(%00ff)</script> HTTP/1.1 403 0\n");
+    let kw_raw: Vec<&[u8]> = kw_log.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+    let kw_grouped: Vec<Vec<u8>> = kw_raw.chunks(40).map(|c| c.join(&b' ')).collect();
+    let kw_lines: Vec<&[u8]> = kw_grouped.iter().map(|g| g.as_slice()).collect();
+    assert_eq!(
+        sharded.matches_batch(&kw_lines),
+        unsharded.matches_batch(&kw_lines),
+        "sharded and unsharded verdicts must be identical"
+    );
+    let time3 = |f: &dyn Fn()| {
+        let start = Instant::now();
+        for _ in 0..3 {
+            f();
+        }
+        start.elapsed()
+    };
+    let t_sharded = time3(&|| {
+        assert_eq!(sharded.matches_batch(&kw_lines).len(), kw_lines.len());
+    });
+    let t_unsharded = time3(&|| {
+        assert_eq!(unsharded.matches_batch(&kw_lines).len(), kw_lines.len());
+    });
+    let sharded_over_unsharded = t_unsharded.as_secs_f64() / t_sharded.as_secs_f64();
+    println!(
+        "batch scan of {} lines — unsharded: {:.2?}   sharded+prefiltered: {:.2?}  ({:.1}x)",
+        kw_lines.len(),
+        t_unsharded,
+        t_sharded,
+        sharded_over_unsharded
+    );
+
+    // ---- the pinned 1k-rule corpus, packed under a state budget --------
+    let corpus = workloads::corpus_1k();
+    let fingerprint = fnv1a(corpus.join("\n").as_bytes());
+    let budget = 2_000usize;
+    let t3 = Instant::now();
+    let big =
+        RegexSet::new(corpus.iter().map(|s| s.as_str()), &kw_builder.shard_state_budget(budget))
+            .unwrap();
+    let packed = t3.elapsed();
+    let fallback_shards = big.shards().iter().filter(|s| s.is_fallback()).count();
+    let gated_shards = big.shards().iter().filter(|s| s.is_gated()).count();
+    let big_report = big.size_report();
+    for shard in big.shards() {
+        assert!(
+            shard.is_fallback() || shard.regex().dfa().num_states() <= budget,
+            "non-fallback shard exceeds the budget"
+        );
+    }
+    println!(
+        "corpus_1k ({} rules, fingerprint {fingerprint:#x}) packed in {:.2?}: {} shards \
+         ({} gated, {} fallback), largest non-fallback DFA ≤ {budget} states, total {} DFA states",
+        corpus.len(),
+        packed,
+        big.shards().len(),
+        gated_shards,
+        fallback_shards,
+        big_report.dfa_states,
+    );
+
+    // ---- machine-readable summary + regression gate --------------------
+    let json = format!(
+        concat!(
+            "{{\"workload\":\"multimatch\",\"corpus\":\"corpus_1k\",\"corpus_rules\":{},",
+            "\"corpus_fingerprint\":\"{:#x}\",\"shard_budget\":{},\"shards\":{},",
+            "\"gated_shards\":{},\"fallback_shards\":{},\"max_shard_dfa_states\":{},",
+            "\"total_dfa_states\":{},\"combined_over_individual\":{:.3},",
+            "\"sharded_over_unsharded\":{:.3},\"cores\":{},\"scale\":{}}}"
+        ),
+        corpus.len(),
+        fingerprint,
+        budget,
+        big.shards().len(),
+        gated_shards,
+        fallback_shards,
+        big_report.max_shard_dfa_states,
+        big_report.dfa_states,
+        combined_over_individual,
+        sharded_over_unsharded,
+        num_cpus(),
+        scale(),
+    );
+    let out = std::env::var("SFA_BENCH_OUT").unwrap_or_else(|_| "BENCH_multimatch.json".into());
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark summary");
+    println!("wrote {out}");
+    if let Ok(baseline_path) = std::env::var("SFA_BENCH_BASELINE") {
+        let baseline = std::fs::read_to_string(&baseline_path).expect("read benchmark baseline");
+        check_multimatch_baseline(&json, &baseline, &baseline_path);
+    }
+}
+
+/// FNV-1a, the corpus fingerprint also pinned by the workloads tests.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fails the run (exit 1) when the current multimatch summary regresses
+/// against the committed baseline: structural fields (corpus fingerprint,
+/// shard budget and counts, state totals) must match exactly — packing is
+/// deterministic — while the timing ratios only need to stay within a
+/// generous noise margin of the baseline.
+fn check_multimatch_baseline(current: &str, baseline: &str, baseline_path: &str) {
+    fn field<'a>(json: &'a str, key: &str) -> &'a str {
+        let needle = format!("\"{key}\":");
+        let start =
+            json.find(&needle).unwrap_or_else(|| panic!("missing field {key}")) + needle.len();
+        let rest = &json[start..];
+        rest[..rest.find([',', '}']).unwrap()].trim()
+    }
+    let mut failed = false;
+    for key in [
+        "corpus_rules",
+        "corpus_fingerprint",
+        "shard_budget",
+        "shards",
+        "gated_shards",
+        "fallback_shards",
+        "max_shard_dfa_states",
+        "total_dfa_states",
+    ] {
+        let (now, was) = (field(current, key), field(baseline, key));
+        if now != was {
+            eprintln!("REGRESSION: {key} = {now}, baseline {was} ({baseline_path})");
+            failed = true;
+        }
+    }
+    for (key, floor) in [("combined_over_individual", 1.0), ("sharded_over_unsharded", 3.0)] {
+        let now: f64 = field(current, key).parse().unwrap();
+        let was: f64 = field(baseline, key).parse().unwrap();
+        // Timing is noisy across machines: accept anything at or above
+        // 40 % of the committed ratio, but never below the hard floor.
+        let min = (0.4 * was).max(floor);
+        if now < min {
+            eprintln!(
+                "REGRESSION: {key} = {now:.2}, needs ≥ {min:.2} (baseline {was:.2}, {baseline_path})"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("baseline check passed against {baseline_path}");
 }
 
 fn pct(part: usize, total: usize) -> f64 {

@@ -64,6 +64,15 @@ pub struct SizeReport {
     pub ratio: f64,
     /// Growth classification relative to the complete DFA size.
     pub growth: GrowthClass,
+    /// Number of automata this report aggregates: `1` for a single
+    /// compiled pattern or an unsharded set, the shard count for a
+    /// sharded set (see [`SizeReport::combine`]). When greater than `1`
+    /// the state/byte fields are sums over the shards.
+    pub shards: usize,
+    /// The largest single-shard DFA state count — equals `dfa_states`
+    /// when `shards == 1`. For a sharded set this is the number a
+    /// per-shard state budget bounds (fallback shards excepted).
+    pub max_shard_dfa_states: usize,
 }
 
 impl SizeReport {
@@ -111,6 +120,41 @@ impl SizeReport {
             sfa_mapping_bytes,
             ratio: sfa_states as f64 / dfa.num_states() as f64,
             growth: classify(dfa.num_states(), sfa_states),
+            shards: 1,
+            max_shard_dfa_states: dfa.num_states(),
+        }
+    }
+
+    /// Aggregates per-shard reports into one report for a sharded set:
+    /// state counts and byte footprints are summed (they all coexist in
+    /// memory), `byte_classes` and `max_shard_dfa_states` take the
+    /// per-shard maximum, `shards` sums the inputs' shard counts, the
+    /// backend is `Eager` only when every shard is eager, and
+    /// `ratio`/`growth` are recomputed from the summed totals. An empty
+    /// slice yields an all-zero eager report (`ratio` is `NaN`).
+    pub fn combine(reports: &[SizeReport]) -> SizeReport {
+        let backend = if reports.iter().all(|r| r.backend == BackendKind::Eager) {
+            BackendKind::Eager
+        } else {
+            BackendKind::Lazy
+        };
+        let dfa_states: usize = reports.iter().map(|r| r.dfa_states).sum();
+        let sfa_states: usize = reports.iter().map(|r| r.sfa_states).sum();
+        SizeReport {
+            backend,
+            patterns: reports.iter().map(|r| r.patterns).sum(),
+            dfa_states,
+            dfa_live_states: reports.iter().map(|r| r.dfa_live_states).sum(),
+            sfa_states,
+            materialized_states: reports.iter().map(|r| r.materialized_states).sum(),
+            byte_classes: reports.iter().map(|r| r.byte_classes).max().unwrap_or(0),
+            dfa_table_bytes: reports.iter().map(|r| r.dfa_table_bytes).sum(),
+            sfa_table_bytes: reports.iter().map(|r| r.sfa_table_bytes).sum(),
+            sfa_mapping_bytes: reports.iter().map(|r| r.sfa_mapping_bytes).sum(),
+            ratio: sfa_states as f64 / dfa_states as f64,
+            growth: classify(dfa_states, sfa_states),
+            shards: reports.iter().map(|r| r.shards).sum(),
+            max_shard_dfa_states: reports.iter().map(|r| r.max_shard_dfa_states).max().unwrap_or(0),
         }
     }
 }
@@ -155,7 +199,8 @@ impl SizeReport {
                 "{{\"backend\":\"{}\",\"patterns\":{},\"dfa_states\":{},\"dfa_live_states\":{},",
                 "\"sfa_states\":{},\"materialized_states\":{},",
                 "\"byte_classes\":{},\"dfa_table_bytes\":{},\"sfa_table_bytes\":{},",
-                "\"sfa_mapping_bytes\":{},\"ratio\":{},\"growth\":\"{}\"}}"
+                "\"sfa_mapping_bytes\":{},\"ratio\":{},\"growth\":\"{}\",",
+                "\"shards\":{},\"max_shard_dfa_states\":{}}}"
             ),
             self.backend.as_str(),
             self.patterns,
@@ -169,6 +214,8 @@ impl SizeReport {
             self.sfa_mapping_bytes,
             ratio,
             self.growth.as_str(),
+            self.shards,
+            self.max_shard_dfa_states,
         )
     }
 
@@ -198,6 +245,16 @@ impl SizeReport {
                 s => s.parse().ok()?,
             },
             growth: GrowthClass::parse(field(json, "growth")?.trim_matches('"'))?,
+            // Reports written before sharding existed lack these fields:
+            // they describe exactly one automaton.
+            shards: match field(json, "shards") {
+                Some(s) => s.parse().ok()?,
+                None => 1,
+            },
+            max_shard_dfa_states: match field(json, "max_shard_dfa_states") {
+                Some(s) => s.parse().ok()?,
+                None => field(json, "dfa_states")?.parse().ok()?,
+            },
         })
     }
 }
@@ -325,6 +382,56 @@ mod tests {
         assert_eq!(via_new.backend, via_backend.backend);
         assert_eq!(via_new.sfa_states, via_backend.sfa_states);
         assert_eq!(via_new.materialized_states, via_backend.materialized_states);
+    }
+
+    #[test]
+    fn combine_sums_states_and_tracks_the_largest_shard() {
+        let a = report("([0-4]{3}[5-9]{3})*");
+        let b = report("abcdef");
+        let combined = SizeReport::combine(&[a.clone(), b.clone()]);
+        assert_eq!(combined.shards, 2);
+        assert_eq!(combined.dfa_states, a.dfa_states + b.dfa_states);
+        assert_eq!(combined.sfa_states, a.sfa_states + b.sfa_states);
+        assert_eq!(combined.patterns, a.patterns + b.patterns);
+        assert_eq!(combined.max_shard_dfa_states, a.dfa_states.max(b.dfa_states));
+        assert_eq!(combined.byte_classes, a.byte_classes.max(b.byte_classes));
+        assert_eq!(combined.dfa_table_bytes, a.dfa_table_bytes + b.dfa_table_bytes);
+        assert_eq!(combined.backend, BackendKind::Eager);
+        assert_eq!(combined.growth, classify(combined.dfa_states, combined.sfa_states));
+        let expected_ratio = combined.sfa_states as f64 / combined.dfa_states as f64;
+        assert!((combined.ratio - expected_ratio).abs() < 1e-12);
+        // One lazy shard makes the aggregate lazy; nesting combines adds
+        // up the shard counts.
+        let mut lazy = b.clone();
+        lazy.backend = BackendKind::Lazy;
+        assert_eq!(SizeReport::combine(&[a, lazy]).backend, BackendKind::Lazy);
+        let nested = SizeReport::combine(&[combined.clone(), combined]);
+        assert_eq!(nested.shards, 4);
+        // Empty input: zeroed report, NaN ratio.
+        let empty = SizeReport::combine(&[]);
+        assert_eq!(empty.shards, 0);
+        assert_eq!(empty.dfa_states, 0);
+        assert!(empty.ratio.is_nan());
+    }
+
+    #[test]
+    fn sharded_report_round_trips_and_old_json_defaults_to_one_shard() {
+        let combined = SizeReport::combine(&[report("(ab)*"), report("abcdef")]);
+        let json = combined.to_json();
+        assert!(json.contains("\"shards\":2"), "{json}");
+        let back = SizeReport::from_json(&json).unwrap();
+        assert_eq!(back.shards, 2);
+        assert_eq!(back.max_shard_dfa_states, combined.max_shard_dfa_states);
+        // JSON written before the shard fields existed still parses: one
+        // automaton, its own DFA as the largest shard.
+        let old = report("(ab)*");
+        let legacy_json = old
+            .to_json()
+            .replace(&format!(",\"shards\":1,\"max_shard_dfa_states\":{}", old.dfa_states), "");
+        assert!(!legacy_json.contains("shards"), "{legacy_json}");
+        let parsed = SizeReport::from_json(&legacy_json).unwrap();
+        assert_eq!(parsed.shards, 1);
+        assert_eq!(parsed.max_shard_dfa_states, old.dfa_states);
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Typed runtime errors for the matcher's fallible APIs.
+//!
+//! Compile-time problems (bad patterns, state-budget overflow) surface as
+//! [`CompileError`](sfa_automata::CompileError) from the builders; this
+//! module covers the *usage* errors that can only occur after a
+//! successful compile — today, asking a
+//! [`track_patterns(false)`](crate::RegexBuilder::track_patterns)
+//! automaton for per-rule verdicts.
+
+use std::fmt;
+
+/// A runtime usage error from a per-rule verdict API.
+///
+/// Returned by the `try_*` variants ([`RegexSet::try_matches`],
+/// [`RegexSet::try_matches_batch`], [`SetStream::try_set_matches`], …);
+/// the panicking variants are documented wrappers that `panic!` with this
+/// error's [`Display`](fmt::Display) text.
+///
+/// [`RegexSet::try_matches`]: crate::RegexSet::try_matches
+/// [`RegexSet::try_matches_batch`]: crate::RegexSet::try_matches_batch
+/// [`SetStream::try_set_matches`]: crate::SetStream::try_set_matches
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Per-rule verdicts were requested from an automaton compiled with
+    /// [`RegexBuilder::track_patterns(false)`], which collapses the rules
+    /// into one any-match union: the information simply is not there.
+    /// Recompile the set with tracking on (the default) to use the
+    /// per-rule APIs.
+    ///
+    /// [`RegexBuilder::track_patterns(false)`]: crate::RegexBuilder::track_patterns
+    PatternTrackingDisabled,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PatternTrackingDisabled => write!(
+                f,
+                "per-rule verdicts require pattern tracking: this automaton was compiled \
+                 with RegexBuilder::track_patterns(false), which collapses the rules into \
+                 one any-match union"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_text_names_the_fix() {
+        let msg = Error::PatternTrackingDisabled.to_string();
+        assert!(msg.starts_with("per-rule verdicts require pattern tracking"));
+        assert!(msg.contains("track_patterns(false)"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        let err: Box<dyn std::error::Error> = Box::new(Error::PatternTrackingDisabled);
+        assert!(err.source().is_none());
+    }
+}

@@ -36,6 +36,12 @@
 //! and both backends: only the accept predicate got richer, the
 //! Theorem 3 chunk composition is untouched.
 //!
+//! Tracking makes the combined product DFA grow with up to `2^rules`;
+//! for large rulesets, [`RegexBuilder::shard_state_budget`] splits the
+//! set into budget-bounded [`Shard`]s gated behind a multi-literal
+//! [`Prefilter`] — same verdicts, bounded compile (see the
+//! [`shard`] module docs).
+//!
 //! ## Backends
 //!
 //! Every SFA matcher in this crate runs over the pluggable
@@ -89,29 +95,35 @@
 #![deny(unsafe_code)]
 
 pub mod chunk;
+pub mod error;
 pub mod executor;
 pub mod matches;
 pub mod parallel;
 pub mod pool;
+pub mod prefilter;
 pub mod regex;
+pub mod shard;
 pub mod speculative;
 pub mod strategy;
 pub mod stream;
 
 pub use chunk::{split_chunks, split_chunks_with_offsets};
+pub use error::Error;
 pub use executor::{map_chunks, tree_reduce};
 pub use matches::SetMatches;
 pub use parallel::{ParallelNSfaMatcher, ParallelSfaMatcher};
 pub use pool::{ChunkPlan, Engine, WorkerPool, MIN_POOL_CHUNK_BYTES};
+pub use prefilter::Prefilter;
 pub use regex::{default_threads, BackendChoice, MatchMode, Regex, RegexBuilder, RegexSet};
 // Re-exported so `Regex::backend_kind` / `Regex::sfa` /
 // `SetMatches::as_pattern_set` return types are nameable from this crate
 // alone.
 pub use sfa_automata::{PatternId, PatternSet};
 pub use sfa_core::{BackendKind, SfaBackend};
+pub use shard::Shard;
 pub use speculative::SpeculativeDfaMatcher;
 pub use strategy::Strategy;
-pub use stream::StreamMatcher;
+pub use stream::{SetStream, StreamMatcher};
 
 /// How the per-chunk partial results are combined (Section V-B of the
 /// paper: "we reduce the results either in parallel with associative binary

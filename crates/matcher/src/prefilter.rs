@@ -1,0 +1,327 @@
+//! Multi-literal prefilter: a byte-class-compressed Aho–Corasick scanner
+//! that maps haystacks to the set of *tags* whose literals occur.
+//!
+//! A sharded [`RegexSet`](crate::RegexSet) attaches one tag per *gated*
+//! shard — a shard whose every rule has a
+//! [required literal](sfa_regex_syntax::required_literals). Scanning the
+//! haystack once through the prefilter tells the set which shards can
+//! possibly match; the remaining shards' automata are never consulted.
+//! On rule-scanning workloads, where most bytes are benign, most bytes
+//! therefore touch no DFA at all: the prefilter spends its time in a
+//! root-state skip loop over bytes that occur in no literal.
+//!
+//! The automaton is the textbook construction (goto trie, BFS failure
+//! links, outputs merged along suffix links) DFA-ified into a dense
+//! next-state table — but over *compressed byte classes*: each distinct
+//! byte occurring in some literal gets its own class and every other
+//! byte shares class 0, so the table is `nodes × (distinct bytes + 1)`
+//! instead of `nodes × 256`.
+
+/// The missing-child sentinel in the goto trie during construction.
+const NONE: u32 = u32::MAX;
+
+/// A compiled multi-literal scanner; see the [module docs](self).
+///
+/// Each literal carries a `u32` tag (shard ids, in the sharded-set use);
+/// several literals may share a tag, and [`Prefilter::find`] reports the
+/// set of tags with at least one occurring literal.
+#[derive(Clone, Debug)]
+pub struct Prefilter {
+    /// Byte → class; class 0 is the shared "occurs in no literal" class.
+    classes: [u8; 256],
+    /// Byte → "the root loops on it": no literal *starts* with this byte,
+    /// so at the root it can be skipped without a table lookup — a
+    /// strictly larger set than class 0 (bytes occurring only in literal
+    /// middles/ends also loop on the root).
+    root_skip: [bool; 256],
+    num_classes: usize,
+    /// Dense DFA table, `node * num_classes + class` → node.
+    next: Vec<u32>,
+    /// Tags completed at each node (own + along failure links), deduped.
+    outputs: Vec<Vec<u32>>,
+    /// Tags of empty literals: they occur in every haystack.
+    always: Vec<u32>,
+    literals: usize,
+    tags: usize,
+}
+
+impl Prefilter {
+    /// Compiles `literals` — `(needle, tag)` pairs — into a scanner.
+    ///
+    /// An empty needle occurs in every haystack (its tag is always
+    /// reported); an empty `literals` list yields a scanner that reports
+    /// nothing.
+    pub fn new<I>(literals: I) -> Prefilter
+    where
+        I: IntoIterator<Item = (Vec<u8>, u32)>,
+    {
+        let mut always = Vec::new();
+        let needles: Vec<(Vec<u8>, u32)> = literals
+            .into_iter()
+            .filter(|(lit, tag)| {
+                if lit.is_empty() {
+                    always.push(*tag);
+                    false
+                } else {
+                    true
+                }
+            })
+            .collect();
+        always.sort_unstable();
+        always.dedup();
+
+        let mut classes = [0u8; 256];
+        let mut num_classes = 1usize;
+        for (lit, _) in &needles {
+            for &b in lit {
+                if classes[b as usize] == 0 {
+                    classes[b as usize] = num_classes as u8;
+                    num_classes += 1;
+                }
+            }
+        }
+        debug_assert!(num_classes <= 256);
+
+        // Goto trie over classes. Node 0 is the root.
+        let mut goto: Vec<Vec<u32>> = vec![vec![NONE; num_classes]];
+        let mut outputs: Vec<Vec<u32>> = vec![Vec::new()];
+        for (lit, tag) in &needles {
+            let mut node = 0usize;
+            for &b in lit {
+                let c = classes[b as usize] as usize;
+                if goto[node][c] == NONE {
+                    goto[node][c] = goto.len() as u32;
+                    goto.push(vec![NONE; num_classes]);
+                    outputs.push(Vec::new());
+                }
+                node = goto[node][c] as usize;
+            }
+            outputs[node].push(*tag);
+        }
+
+        // BFS: failure links + DFA-ification + output merging, in one
+        // pass (parents are finalized before their children enqueue).
+        let nodes = goto.len();
+        let mut next = vec![0u32; nodes * num_classes];
+        let mut fail = vec![0u32; nodes];
+        let mut queue = std::collections::VecDeque::new();
+        for c in 0..num_classes {
+            let child = goto[0][c];
+            if child != NONE {
+                next[c] = child;
+                queue.push_back(child);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let (u, f) = (u as usize, fail[u as usize] as usize);
+            let merged: Vec<u32> = outputs[f].clone();
+            let out = &mut outputs[u];
+            out.extend(merged);
+            out.sort_unstable();
+            out.dedup();
+            for c in 0..num_classes {
+                let child = goto[u][c];
+                let via_fail = next[f * num_classes + c];
+                if child == NONE {
+                    next[u * num_classes + c] = via_fail;
+                } else {
+                    next[u * num_classes + c] = child;
+                    fail[child as usize] = via_fail;
+                    queue.push_back(child);
+                }
+            }
+        }
+
+        let tags = needles
+            .iter()
+            .map(|&(_, t)| t)
+            .chain(always.iter().copied())
+            .map(|t| t as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let literals = needles.len() + always.len();
+        let mut root_skip = [false; 256];
+        for (b, skip) in root_skip.iter_mut().enumerate() {
+            *skip = next[classes[b] as usize] == 0;
+        }
+        Prefilter { classes, root_skip, num_classes, next, outputs, always, literals, tags }
+    }
+
+    /// The number of literals compiled in (empty ones included).
+    pub fn literal_count(&self) -> usize {
+        self.literals
+    }
+
+    /// The tag universe: one more than the largest tag, 0 when empty.
+    pub fn tag_count(&self) -> usize {
+        self.tags
+    }
+
+    /// The number of DFA nodes (the trie plus the root).
+    pub fn node_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Heap footprint of the transition table, in bytes.
+    pub fn table_bytes(&self) -> usize {
+        self.next.len() * std::mem::size_of::<u32>()
+    }
+
+    /// The sorted tags whose literals occur in `haystack`.
+    pub fn find(&self, haystack: &[u8]) -> Vec<u32> {
+        let mut active = vec![false; self.tags];
+        self.scan_into(haystack, &mut active);
+        (0..self.tags as u32).filter(|&t| active[t as usize]).collect()
+    }
+
+    /// Marks `active[tag] = true` for every tag whose literals occur in
+    /// `haystack`, early-exiting once every tag in `active` is marked.
+    /// `active.len()` must be at least [`Self::tag_count`]. Returns how
+    /// many tags this scan *newly* marked — 0 means the haystack added
+    /// nothing over the incoming marks.
+    pub(crate) fn scan_into(&self, haystack: &[u8], active: &mut [bool]) -> usize {
+        let mut marked = 0usize;
+        for &t in &self.always {
+            if !active[t as usize] {
+                active[t as usize] = true;
+                marked += 1;
+            }
+        }
+        let mut remaining = active.iter().filter(|&&a| !a).count();
+        if remaining == 0 || self.outputs.len() <= 1 {
+            return marked;
+        }
+        let nc = self.num_classes;
+        let mut state = 0usize;
+        let mut i = 0;
+        while i < haystack.len() {
+            if state == 0 {
+                // Root fast path: bytes no literal starts with loop on
+                // the root, so skip them without touching the table —
+                // 8-wide and branchless per block, so the common "benign
+                // stretch" case retires several bytes per cycle.
+                let t = &self.root_skip;
+                while i + 8 <= haystack.len() {
+                    let all = t[haystack[i] as usize]
+                        & t[haystack[i + 1] as usize]
+                        & t[haystack[i + 2] as usize]
+                        & t[haystack[i + 3] as usize]
+                        & t[haystack[i + 4] as usize]
+                        & t[haystack[i + 5] as usize]
+                        & t[haystack[i + 6] as usize]
+                        & t[haystack[i + 7] as usize];
+                    if !all {
+                        break;
+                    }
+                    i += 8;
+                }
+                while i < haystack.len() && t[haystack[i] as usize] {
+                    i += 1;
+                }
+                if i >= haystack.len() {
+                    return marked;
+                }
+            }
+            let c = self.classes[haystack[i] as usize] as usize;
+            state = self.next[state * nc + c] as usize;
+            let out = &self.outputs[state];
+            if !out.is_empty() {
+                for &tag in out {
+                    if !active[tag as usize] {
+                        active[tag as usize] = true;
+                        marked += 1;
+                        remaining -= 1;
+                    }
+                }
+                if remaining == 0 {
+                    return marked;
+                }
+            }
+            i += 1;
+        }
+        marked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter(lits: &[(&str, u32)]) -> Prefilter {
+        Prefilter::new(lits.iter().map(|&(l, t)| (l.as_bytes().to_vec(), t)))
+    }
+
+    #[test]
+    fn classic_overlapping_needles() {
+        // The textbook Aho–Corasick example: suffix links must fire
+        // `he` inside `she` and `his`/`hers` around it.
+        let p = filter(&[("he", 0), ("she", 1), ("his", 2), ("hers", 3)]);
+        assert_eq!(p.find(b"ushers"), vec![0, 1, 3]);
+        assert_eq!(p.find(b"this"), vec![2]);
+        // a[his]hers also contains s-h-e across the seam: all four fire.
+        assert_eq!(p.find(b"ahishers"), vec![0, 1, 2, 3]);
+        assert_eq!(p.find(b"nothing of note"), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn shared_tags_and_gaps() {
+        let p = filter(&[("select", 7), ("union", 7), ("attack", 2)]);
+        assert_eq!(p.find(b"a union of attackers"), vec![2, 7]);
+        assert_eq!(p.find(b"s-e-l-e-c-t"), Vec::<u32>::new());
+        assert_eq!(p.tag_count(), 8);
+        assert_eq!(p.literal_count(), 3);
+    }
+
+    #[test]
+    fn needle_split_across_nothing_matches_only_contiguous() {
+        let p = filter(&[("abc", 0)]);
+        assert_eq!(p.find(b"ab c abc"), vec![0]);
+        assert_eq!(p.find(b"ab cab c"), Vec::<u32>::new());
+        assert_eq!(p.find(b""), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn empty_needle_always_fires() {
+        let p = filter(&[("", 1), ("xyz", 0)]);
+        assert_eq!(p.find(b""), vec![1]);
+        assert_eq!(p.find(b"wxyz"), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_prefilter_reports_nothing() {
+        let p = Prefilter::new(Vec::<(Vec<u8>, u32)>::new());
+        assert_eq!(p.find(b"anything"), Vec::<u32>::new());
+        assert_eq!(p.tag_count(), 0);
+        assert_eq!(p.table_bytes(), 4, "just the root over the catch-all class");
+    }
+
+    #[test]
+    fn scan_into_respects_already_active_tags() {
+        let p = filter(&[("aa", 0), ("bb", 1)]);
+        let mut active = vec![true, false];
+        assert_eq!(p.scan_into(b"xxbbxx", &mut active), 1, "only `bb` is newly marked");
+        assert_eq!(active, vec![true, true]);
+        // All-active: the early exit must not clear anything.
+        let mut active = vec![true, true];
+        assert_eq!(p.scan_into(b"no needles here", &mut active), 0);
+        assert_eq!(active, vec![true, true]);
+    }
+
+    #[test]
+    fn high_bytes_and_class_compression() {
+        let p = Prefilter::new(vec![(vec![0xFF, 0x00, 0xFF], 0)]);
+        assert_eq!(p.find(&[0x01, 0xFF, 0x00, 0xFF, 0x02]), vec![0]);
+        assert_eq!(p.find(&[0xFF, 0x00, 0x00, 0xFF]), Vec::<u32>::new());
+        // Two distinct bytes + the catch-all class.
+        assert_eq!(p.table_bytes(), p.node_count() * 3 * 4);
+    }
+
+    #[test]
+    fn long_benign_stretch_exercises_the_root_skip() {
+        let mut hay = vec![b'.'; 1 << 16];
+        hay.extend_from_slice(b"needle");
+        hay.extend(vec![b'.'; 1 << 16]);
+        let p = filter(&[("needle", 0)]);
+        assert_eq!(p.find(&hay), vec![0]);
+    }
+}

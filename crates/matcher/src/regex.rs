@@ -6,18 +6,24 @@
 //! This is the API a downstream user of the library is expected to touch;
 //! the lower-level crates stay available for research use.
 
+use crate::error::Error;
 use crate::matches::SetMatches;
 use crate::parallel::ParallelSfaMatcher;
 use crate::pool::{Engine, MIN_POOL_CHUNK_BYTES};
+use crate::prefilter::Prefilter;
+use crate::shard::{Shard, ShardedSet};
 use crate::speculative::SpeculativeDfaMatcher;
 use crate::strategy::Strategy;
-use crate::stream::StreamMatcher;
+use crate::stream::{SetStream, StreamMatcher};
 use crate::Reduction;
-use sfa_automata::{determinize, minimize, CompileError, Dfa, DfaConfig, Nfa, StateId};
+use sfa_automata::{
+    determinize, minimize, CompileError, Dfa, DfaConfig, Nfa, PatternId, PatternSet, StateId,
+};
 use sfa_core::{BackendKind, DSfa, LazyDSfa, SfaBackend, SfaConfig, SizeReport};
 use sfa_regex_syntax::ast::Ast;
 use sfa_regex_syntax::class::perl;
 use sfa_regex_syntax::{Parser, ParserConfig};
+use std::collections::HashMap;
 
 /// How the pattern is applied to the input.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -56,15 +62,16 @@ pub enum BackendChoice {
 /// Builder for [`Regex`] with all pipeline knobs.
 #[derive(Clone, Debug)]
 pub struct RegexBuilder {
-    parser: ParserConfig,
-    dfa: DfaConfig,
-    sfa: SfaConfig,
-    backend: BackendChoice,
-    mode: MatchMode,
-    threads: usize,
-    reduction: Reduction,
-    engine: Option<Engine>,
-    track_patterns: bool,
+    pub(crate) parser: ParserConfig,
+    pub(crate) dfa: DfaConfig,
+    pub(crate) sfa: SfaConfig,
+    pub(crate) backend: BackendChoice,
+    pub(crate) mode: MatchMode,
+    pub(crate) threads: usize,
+    pub(crate) reduction: Reduction,
+    pub(crate) engine: Option<Engine>,
+    pub(crate) track_patterns: bool,
+    pub(crate) shard_budget: Option<usize>,
 }
 
 impl Default for RegexBuilder {
@@ -79,6 +86,7 @@ impl Default for RegexBuilder {
             reduction: Reduction::Sequential,
             engine: None,
             track_patterns: true,
+            shard_budget: None,
         }
     }
 }
@@ -195,6 +203,39 @@ impl RegexBuilder {
         self
     }
 
+    /// Auto-shard multi-pattern [`RegexSet`] compilations so that no
+    /// shard's product DFA exceeds `budget` determinized states.
+    ///
+    /// Tracked `Contains`-mode rule sets pay an exponential price for
+    /// per-rule verdicts: the combined DFA must remember which rules
+    /// already hit, and every hit-combination of independent rules is
+    /// reachable, so it can grow with `2^rules`. With a budget set, the
+    /// builder instead packs the rules greedily into **shards** — each
+    /// extended one rule at a time for as long as an incremental
+    /// determinization stays within the budget — and compiles each shard
+    /// through the ordinary [`backend`](RegexBuilder::backend) path. The
+    /// per-shard verdicts are merged behind the unchanged
+    /// [`RegexSet::matches`] / [`RegexSet::matches_batch`] /
+    /// [`SetStream::set_matches`] API, so callers only see that compile
+    /// time and memory stop exploding.
+    ///
+    /// A rule whose *own* DFA exceeds the budget gets a **singleton
+    /// shard** compiled under the full
+    /// [`max_dfa_states`](RegexBuilder::max_dfa_states) limit instead
+    /// (marked [`Shard::is_fallback`]) — one pathological rule degrades
+    /// only itself. Shards whose every rule has a
+    /// [required literal](sfa_regex_syntax::required_literals) are
+    /// additionally gated behind a multi-literal [`Prefilter`]: their
+    /// automata are only consulted on haystacks where a literal occurs.
+    ///
+    /// Only [`RegexSet::new`] with ≥ 2 distinct patterns shards;
+    /// single-pattern and [`build`](RegexBuilder::build) compilations
+    /// ignore the budget.
+    pub fn shard_state_budget(mut self, budget: usize) -> Self {
+        self.shard_budget = Some(budget);
+        self
+    }
+
     /// Compiles the pattern through the full pipeline.
     pub fn build(&self, pattern: &str) -> Result<Regex, CompileError> {
         let parser = Parser::with_config(self.parser.clone());
@@ -214,13 +255,24 @@ impl RegexBuilder {
     /// An empty branch list compiles to the void language (the union of
     /// zero languages).
     fn build_from_asts(&self, pattern: String, branches: Vec<Ast>) -> Result<Regex, CompileError> {
-        // Opting out of per-pattern tracking collapses the branches into
-        // one plain union up front — the historical any-match automaton.
-        // (Never for an empty list: `Ast::alternation([])` is the empty
-        // *string*, not the empty language — see `RegexSet::new`.)
-        let collapsed_patterns = !self.track_patterns && branches.len() > 1;
-        let branches = if collapsed_patterns { vec![Ast::alternation(branches)] } else { branches };
-        let branches: Vec<Ast> = branches
+        let (branches, collapsed_patterns) = self.wrap_branches(branches);
+        let nfa = union_nfa(&branches)?;
+        let dfa = determinize(&nfa, &self.dfa)?;
+        self.finish_regex(pattern, nfa.num_states(), &dfa, collapsed_patterns)
+    }
+
+    /// Applies the pre-NFA AST transformations: collapse into a plain
+    /// union when tracking is off (the historical any-match automaton —
+    /// never for an empty list: `Ast::alternation([])` is the empty
+    /// *string*, not the empty language, see [`RegexSet::new`]), then the
+    /// per-branch `(?s:.)*…(?s:.)*` wrap in `Contains` mode. Returns the
+    /// transformed branches and whether they were collapsed. Shared with
+    /// the shard packer, whose trial determinizations must measure
+    /// exactly what the final compile will build.
+    pub(crate) fn wrap_branches(&self, branches: Vec<Ast>) -> (Vec<Ast>, bool) {
+        let collapsed = !self.track_patterns && branches.len() > 1;
+        let branches = if collapsed { vec![Ast::alternation(branches)] } else { branches };
+        let branches = branches
             .into_iter()
             .map(|ast| match self.mode {
                 MatchMode::Whole => ast,
@@ -231,14 +283,22 @@ impl RegexBuilder {
                 ]),
             })
             .collect();
-        // The single-pattern path skips the shared ε-start state of the
-        // tagged union, keeping solo compilations byte-identical to the
-        // historical pipeline.
-        let nfa = match branches.as_slice() {
-            [only] => Nfa::from_ast(only)?,
-            many => Nfa::from_asts(many)?,
-        };
-        let dfa = minimize(&determinize(&nfa, &self.dfa)?);
+        (branches, collapsed)
+    }
+
+    /// The back half of the pipeline: minimize a determinized DFA, pick
+    /// the D-SFA backend, and assemble the [`Regex`]. Split from
+    /// [`build`](Self::build) so the shard packer can reuse the DFA of
+    /// its last successful trial determinization instead of running the
+    /// subset construction twice.
+    pub(crate) fn finish_regex(
+        &self,
+        pattern: String,
+        nfa_states: usize,
+        raw_dfa: &Dfa,
+        collapsed_patterns: bool,
+    ) -> Result<Regex, CompileError> {
+        let dfa = minimize(raw_dfa);
         let backend = match self.backend {
             BackendChoice::Eager => SfaBackend::Eager(DSfa::from_dfa(&dfa, &self.sfa)?),
             BackendChoice::Lazy => SfaBackend::Lazy(LazyDSfa::new(dfa.clone())),
@@ -256,12 +316,22 @@ impl RegexBuilder {
             threads: self.threads,
             reduction: self.reduction,
             engine: self.engine.clone(),
-            nfa_states: nfa.num_states(),
+            nfa_states,
             dfa,
             backend,
             collapsed_patterns,
             decided: std::sync::OnceLock::new(),
         })
+    }
+}
+
+/// The NFA of a branch list. The single-branch path skips the shared
+/// ε-start state of the tagged union, keeping solo compilations
+/// byte-identical to the historical pipeline.
+pub(crate) fn union_nfa(branches: &[Ast]) -> Result<Nfa, CompileError> {
+    match branches {
+        [only] => Nfa::from_ast(only),
+        many => Nfa::from_asts(many),
     }
 }
 
@@ -460,9 +530,30 @@ impl Regex {
     /// a pattern *set* instead of a boolean — but the execution is the
     /// same single pass: Theorem 3's composition is untouched, so the
     /// verdict is identical under every strategy and both backends.
+    ///
+    /// A documented wrapper around
+    /// [`try_matches_with`](Regex::try_matches_with) that panics on
+    /// [`Error::PatternTrackingDisabled`].
     pub fn matches_with(&self, input: &[u8], strategy: Strategy) -> SetMatches {
-        self.require_tracking();
-        SetMatches::new(self.dfa.accept_set(self.run(input, strategy)).clone())
+        match self.try_matches_with(input, strategy) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`matches`](Regex::matches): `Err` instead of a panic
+    /// when this automaton was compiled with
+    /// [`RegexBuilder::track_patterns`]`(false)`.
+    pub fn try_matches(&self, input: &[u8]) -> Result<SetMatches, Error> {
+        self.try_matches_with(input, Strategy::Auto)
+    }
+
+    /// Fallible [`matches_with`](Regex::matches_with): `Err` instead of a
+    /// panic when this automaton was compiled with
+    /// [`RegexBuilder::track_patterns`]`(false)`.
+    pub fn try_matches_with(&self, input: &[u8], strategy: Strategy) -> Result<SetMatches, Error> {
+        self.check_tracking()?;
+        Ok(SetMatches::new(self.dfa.accept_set(self.run(input, strategy)).clone()))
     }
 
     /// Number of original patterns compiled into this automaton: 1 for
@@ -482,15 +573,15 @@ impl Regex {
         !self.collapsed_patterns
     }
 
-    /// Panics with a helpful message when a per-rule API is called on a
-    /// collapsed (untracked) multi-pattern compilation.
-    pub(crate) fn require_tracking(&self) {
-        assert!(
-            self.tracks_patterns(),
-            "per-rule verdicts require pattern tracking: this automaton was compiled with \
-             RegexBuilder::track_patterns(false), which collapses the rules into one \
-             any-match union"
-        );
+    /// The typed form of the tracking precondition: `Err` when per-rule
+    /// verdicts were compiled away. Every `try_*` verdict API starts
+    /// here; the panicking APIs are wrappers over the `try_*` ones.
+    pub(crate) fn check_tracking(&self) -> Result<(), Error> {
+        if self.tracks_patterns() {
+            Ok(())
+        } else {
+            Err(Error::PatternTrackingDisabled)
+        }
     }
 
     /// The verdict-finality bitmaps streams use to finalize early,
@@ -565,12 +656,27 @@ impl Regex {
     /// [`matches`](Regex::matches) what [`is_match_batch`](Regex::is_match_batch)
     /// is to [`is_match`](Regex::is_match); same sharding plan, richer
     /// verdict. See [`RegexSet::matches_batch`].
+    ///
+    /// A documented wrapper around
+    /// [`try_matches_batch`](Regex::try_matches_batch) that panics on
+    /// [`Error::PatternTrackingDisabled`].
     pub fn matches_batch(&self, haystacks: &[&[u8]]) -> Vec<SetMatches> {
-        self.require_tracking();
-        self.run_batch(haystacks)
+        match self.try_matches_batch(haystacks) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`matches_batch`](Regex::matches_batch): `Err` instead of
+    /// a panic when this automaton was compiled with
+    /// [`RegexBuilder::track_patterns`]`(false)`.
+    pub fn try_matches_batch(&self, haystacks: &[&[u8]]) -> Result<Vec<SetMatches>, Error> {
+        self.check_tracking()?;
+        Ok(self
+            .run_batch(haystacks)
             .into_iter()
             .map(|q| SetMatches::new(self.dfa.accept_set(q).clone()))
-            .collect()
+            .collect())
     }
 
     /// The batch execution core: the final DFA state of every haystack,
@@ -615,45 +721,93 @@ impl Regex {
     }
 }
 
-/// A set of patterns compiled into one automaton with **per-pattern
-/// verdicts**, the way an IDS engine batches its ruleset: one pass over
-/// the input answers both "does any rule match?" ([`is_match`](RegexSet::is_match))
-/// and "*which* rules match?" ([`matches`](RegexSet::matches)).
+/// A set of patterns compiled with **per-pattern verdicts**, the way an
+/// IDS engine batches its ruleset: one pass over the input answers both
+/// "does any rule match?" ([`is_match`](RegexSet::is_match)) and
+/// "*which* rules match?" ([`matches`](RegexSet::matches)).
+///
+/// By default the whole set compiles into one combined automaton. With
+/// [`RegexBuilder::shard_state_budget`] set, it compiles into several
+/// budget-bounded **shards** plus an optional literal [`Prefilter`]
+/// instead — same API, same verdicts, without the `~2^rules` product-DFA
+/// blowup of large tracked rule sets.
 #[derive(Clone, Debug)]
 pub struct RegexSet {
     patterns: Vec<String>,
-    regex: Regex,
+    /// Global pattern index → index in the deduplicated universe the
+    /// automata run over (identical patterns share a verdict bit).
+    dup_of: Vec<PatternId>,
+    /// Size of the deduplicated universe.
+    unique: usize,
+    inner: SetInner,
+}
+
+/// How a [`RegexSet`] was compiled.
+#[derive(Clone, Debug)]
+pub(crate) enum SetInner {
+    /// One combined automaton (no shard budget, or < 2 distinct rules).
+    Single(Box<Regex>),
+    /// Budget-bounded shards with an optional literal prefilter.
+    Sharded(Box<ShardedSet>),
+}
+
+/// The display label of a pattern list (the union's `Regex::pattern`).
+pub(crate) fn set_label(texts: &[String]) -> String {
+    match texts {
+        [] => "[]".to_string(),
+        [only] => only.clone(),
+        many => many.join("|"),
+    }
 }
 
 impl RegexSet {
-    /// Compiles all patterns into one automaton with the given builder
-    /// settings, preserving each pattern's identity (pattern `i` of the
-    /// iterator is index `i` of every [`SetMatches`] verdict).
+    /// Compiles all patterns with the given builder settings, preserving
+    /// each pattern's identity (pattern `i` of the iterator is index `i`
+    /// of every [`SetMatches`] verdict).
     ///
     /// Each pattern is parsed once and its AST handed straight into the
-    /// pipeline — no union re-serialization round trip. An **empty**
-    /// pattern list compiles to the *void* language: a set with no rules
-    /// matches nothing, in either match mode. (The union of zero
-    /// languages is empty — it is not the empty *string*.)
+    /// pipeline — no union re-serialization round trip. **Duplicate**
+    /// patterns (identical ASTs — `(a)b` duplicates `ab`) compile once
+    /// and share a verdict bit, so they cannot inflate the product DFA;
+    /// the duplicate indices still report independently in every verdict.
+    /// An **empty** pattern list compiles to the *void* language: a set
+    /// with no rules matches nothing, in either match mode. (The union of
+    /// zero languages is empty — it is not the empty *string*.)
+    ///
+    /// With [`RegexBuilder::shard_state_budget`] set and ≥ 2 distinct
+    /// patterns, the set compiles sharded; see that method for the model.
     pub fn new<'a, I>(patterns: I, builder: &RegexBuilder) -> Result<RegexSet, CompileError>
     where
         I: IntoIterator<Item = &'a str>,
     {
         let patterns: Vec<String> = patterns.into_iter().map(|s| s.to_string()).collect();
         let parser = Parser::with_config(builder.parser.clone());
-        let mut branches = Vec::with_capacity(patterns.len());
+        let mut seen: HashMap<Ast, PatternId> = HashMap::new();
+        let mut dup_of: Vec<PatternId> = Vec::with_capacity(patterns.len());
+        let mut unique_asts: Vec<Ast> = Vec::new();
+        let mut unique_texts: Vec<String> = Vec::new();
         for p in &patterns {
-            branches.push(parser.parse(p)?);
+            let ast = parser.parse(p)?;
+            let id = *seen.entry(ast.clone()).or_insert_with(|| {
+                unique_asts.push(ast);
+                unique_texts.push(p.clone());
+                (unique_asts.len() - 1) as PatternId
+            });
+            dup_of.push(id);
         }
-        // Label only — the display string of the union; compilation uses
-        // the per-branch ASTs directly.
-        let label = match patterns.len() {
-            0 => "[]".to_string(),
-            1 => patterns[0].clone(),
-            _ => patterns.join("|"),
+        let unique = unique_asts.len();
+        let inner = match builder.shard_budget {
+            Some(budget) if unique > 1 => SetInner::Sharded(Box::new(ShardedSet::build(
+                builder,
+                &unique_texts,
+                &unique_asts,
+                budget,
+            )?)),
+            _ => SetInner::Single(Box::new(
+                builder.build_from_asts(set_label(&unique_texts), unique_asts)?,
+            )),
         };
-        let regex = builder.build_from_asts(label, branches)?;
-        Ok(RegexSet { patterns, regex })
+        Ok(RegexSet { patterns, dup_of, unique, inner })
     }
 
     /// The individual patterns, in verdict-index order.
@@ -672,21 +826,89 @@ impl RegexSet {
         self.patterns.is_empty()
     }
 
-    /// The combined regex.
+    /// The combined regex backing a single-automaton set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the set was compiled with
+    /// [`RegexBuilder::shard_state_budget`] — a sharded set has no single
+    /// combined automaton. Inspect [`shards`](RegexSet::shards) and
+    /// [`size_report`](RegexSet::size_report) instead (or check
+    /// [`is_sharded`](RegexSet::is_sharded) first).
     pub fn regex(&self) -> &Regex {
-        &self.regex
+        match &self.inner {
+            SetInner::Single(regex) => regex,
+            SetInner::Sharded(_) => panic!(
+                "RegexSet::regex(): this set was compiled with \
+                 RegexBuilder::shard_state_budget and has no single combined automaton; \
+                 inspect shards() or size_report() instead"
+            ),
+        }
+    }
+
+    /// Whether this set compiled into budget-bounded shards (see
+    /// [`RegexBuilder::shard_state_budget`]).
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.inner, SetInner::Sharded(_))
+    }
+
+    /// The shards of a sharded set, in packing order; empty for a
+    /// single-automaton set.
+    pub fn shards(&self) -> &[Shard] {
+        match &self.inner {
+            SetInner::Single(_) => &[],
+            SetInner::Sharded(sharded) => &sharded.shards,
+        }
+    }
+
+    /// The multi-literal prefilter gating this set's literal-only shards,
+    /// if any shard is gated (sharded sets only).
+    pub fn prefilter(&self) -> Option<&Prefilter> {
+        match &self.inner {
+            SetInner::Single(_) => None,
+            SetInner::Sharded(sharded) => sharded.prefilter.as_ref(),
+        }
+    }
+
+    /// The per-shard DFA state budget this set was compiled under, or
+    /// `None` for a single-automaton set.
+    pub fn shard_state_budget(&self) -> Option<usize> {
+        match &self.inner {
+            SetInner::Single(_) => None,
+            SetInner::Sharded(sharded) => Some(sharded.budget),
+        }
+    }
+
+    /// Size report for the whole set: the single automaton's report, or
+    /// the [combination](SizeReport::combine) of the per-shard reports
+    /// (sums plus [`SizeReport::shards`] /
+    /// [`SizeReport::max_shard_dfa_states`]).
+    pub fn size_report(&self) -> SizeReport {
+        match &self.inner {
+            SetInner::Single(regex) => regex.size_report(),
+            SetInner::Sharded(sharded) => sharded.size_report(),
+        }
     }
 
     /// Whether this set was compiled with per-pattern tracking (see
     /// [`RegexBuilder::track_patterns`]). When `false`, only the
-    /// any-match APIs are available — the per-rule ones panic.
+    /// any-match APIs are available — the per-rule ones panic (or return
+    /// [`Error::PatternTrackingDisabled`] from the `try_*` variants).
     pub fn tracks_patterns(&self) -> bool {
-        self.regex.tracks_patterns()
+        match &self.inner {
+            SetInner::Single(regex) => regex.tracks_patterns(),
+            SetInner::Sharded(sharded) => sharded.tracked,
+        }
     }
 
-    /// True if any pattern matches (under the builder's match mode).
+    /// True if any pattern matches (under the builder's match mode). On a
+    /// sharded set, prefilter-gated shards whose literals do not occur in
+    /// the input are skipped entirely.
     pub fn is_match(&self, input: &[u8]) -> bool {
-        self.regex.is_match(input)
+        match &self.inner {
+            SetInner::Single(regex) => regex.is_match(input),
+            SetInner::Sharded(sharded) => sharded.is_match(input),
+        }
     }
 
     /// **Which** patterns match the input — the full per-rule verdict in
@@ -695,7 +917,12 @@ impl RegexSet {
     /// The verdict is identical to compiling every pattern individually
     /// and asking each for [`Regex::is_match`], but costs one scan of the
     /// combined automaton instead of `N` (see `benches/multimatch.rs`),
-    /// and is the same under every [`Strategy`] and both backends.
+    /// and is the same under every [`Strategy`], both backends, and
+    /// sharded or not.
+    ///
+    /// A documented wrapper around
+    /// [`try_matches`](RegexSet::try_matches) that panics on
+    /// [`Error::PatternTrackingDisabled`].
     ///
     /// ```
     /// use sfa_matcher::{MatchMode, Regex, RegexSet};
@@ -715,31 +942,96 @@ impl RegexSet {
 
     /// [`matches`](RegexSet::matches) under an explicit [`Strategy`].
     pub fn matches_with(&self, input: &[u8], strategy: Strategy) -> SetMatches {
-        self.regex.matches_with(input, strategy)
+        match self.try_matches_with(input, strategy) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`matches`](RegexSet::matches): `Err` instead of a panic
+    /// when the set was compiled with
+    /// [`RegexBuilder::track_patterns`]`(false)`.
+    pub fn try_matches(&self, input: &[u8]) -> Result<SetMatches, Error> {
+        self.try_matches_with(input, Strategy::Auto)
+    }
+
+    /// Fallible [`matches_with`](RegexSet::matches_with).
+    pub fn try_matches_with(&self, input: &[u8], strategy: Strategy) -> Result<SetMatches, Error> {
+        let uniq = match &self.inner {
+            SetInner::Single(regex) => regex.try_matches_with(input, strategy)?,
+            SetInner::Sharded(sharded) => SetMatches::new(sharded.matches_with(input, strategy)?),
+        };
+        Ok(self.expand(uniq))
     }
 
     /// Matches many haystacks as one pool batch — "does any pattern match
     /// this request?", amortized across the whole batch. Verdicts are in
     /// haystack order. See [`Regex::is_match_batch`].
     pub fn match_batch(&self, haystacks: &[&[u8]]) -> Vec<bool> {
-        self.regex.is_match_batch(haystacks)
+        match &self.inner {
+            SetInner::Single(regex) => regex.is_match_batch(haystacks),
+            SetInner::Sharded(sharded) => sharded.match_batch(haystacks),
+        }
     }
 
     /// Per-pattern verdicts for many haystacks as one pool batch (the
     /// rule-set dual of [`match_batch`](RegexSet::match_batch)): one
     /// [`SetMatches`] per haystack, in order. See
     /// [`Regex::matches_batch`].
+    ///
+    /// A documented wrapper around
+    /// [`try_matches_batch`](RegexSet::try_matches_batch) that panics on
+    /// [`Error::PatternTrackingDisabled`].
     pub fn matches_batch(&self, haystacks: &[&[u8]]) -> Vec<SetMatches> {
-        self.regex.matches_batch(haystacks)
+        match self.try_matches_batch(haystacks) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
     }
 
-    /// Starts a [`StreamMatcher`] over the combined automaton:
-    /// incremental matching over input arriving in blocks — any-match via
-    /// [`finish`](StreamMatcher::finish), per-rule via
-    /// [`set_matches`](StreamMatcher::set_matches) /
-    /// [`set_verdict`](StreamMatcher::set_verdict). See [`crate::stream`].
-    pub fn stream(&self) -> StreamMatcher<'_> {
-        self.regex.stream()
+    /// Fallible [`matches_batch`](RegexSet::matches_batch): `Err` instead
+    /// of a panic when the set was compiled with
+    /// [`RegexBuilder::track_patterns`]`(false)`.
+    pub fn try_matches_batch(&self, haystacks: &[&[u8]]) -> Result<Vec<SetMatches>, Error> {
+        let uniq: Vec<SetMatches> = match &self.inner {
+            SetInner::Single(regex) => regex.try_matches_batch(haystacks)?,
+            SetInner::Sharded(sharded) => {
+                sharded.matches_batch(haystacks)?.into_iter().map(SetMatches::new).collect()
+            }
+        };
+        Ok(uniq.into_iter().map(|m| self.expand(m)).collect())
+    }
+
+    /// Starts a [`SetStream`]: incremental matching over input arriving
+    /// in blocks — any-match via [`finish`](SetStream::finish), per-rule
+    /// via [`set_matches`](SetStream::set_matches) /
+    /// [`set_verdict`](SetStream::set_verdict). On a sharded set this
+    /// runs one stream per shard; the prefilter is **not** used (a
+    /// literal may straddle feed boundaries that already scrolled past a
+    /// skipped shard, so streaming always feeds every shard). See
+    /// [`crate::stream`].
+    pub fn stream(&self) -> SetStream<'_> {
+        SetStream::new(self)
+    }
+
+    /// The compiled representation, for the stream driver.
+    pub(crate) fn inner(&self) -> &SetInner {
+        &self.inner
+    }
+
+    /// Lifts a verdict over the deduplicated universe to the caller's
+    /// pattern indices (identity when the set has no duplicates).
+    pub(crate) fn expand(&self, uniq: SetMatches) -> SetMatches {
+        if self.dup_of.len() == self.unique {
+            return uniq;
+        }
+        let mut out = PatternSet::new(self.patterns.len());
+        for (i, &u) in self.dup_of.iter().enumerate() {
+            if uniq.as_pattern_set().contains(u) {
+                out.insert(i as PatternId);
+            }
+        }
+        SetMatches::new(out)
     }
 }
 

@@ -47,8 +47,10 @@
 //! ```
 
 use crate::chunk::split_chunks;
+use crate::error::Error;
 use crate::matches::SetMatches;
-use crate::regex::Regex;
+use crate::regex::{Regex, RegexSet, SetInner};
+use sfa_automata::PatternSet;
 use sfa_core::SfaStateId;
 
 /// An incremental matcher: the state of a [`Regex`] run over a stream of
@@ -159,8 +161,19 @@ impl<'r> StreamMatcher<'r> {
     /// [`RegexSet::matches`](crate::RegexSet::matches) on the
     /// concatenation whatever the feed boundaries were.
     pub fn set_matches(&self) -> SetMatches {
-        self.regex.require_tracking();
-        SetMatches::new(self.regex.sfa().accepting_patterns(self.state).clone())
+        match self.try_set_matches() {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`set_matches`](StreamMatcher::set_matches):
+    /// [`Error::PatternTrackingDisabled`] instead of a panic when the
+    /// regex was compiled with
+    /// [`track_patterns(false)`](crate::RegexBuilder::track_patterns).
+    pub fn try_set_matches(&self) -> Result<SetMatches, Error> {
+        self.regex.check_tracking()?;
+        Ok(SetMatches::new(self.regex.sfa().accepting_patterns(self.state).clone()))
     }
 
     /// The final per-pattern verdict, if it is already decided: `Some`
@@ -176,11 +189,22 @@ impl<'r> StreamMatcher<'r> {
     ///
     /// [`Dfa::accept_set_decided_states`]: sfa_automata::Dfa::accept_set_decided_states
     pub fn set_verdict(&self) -> Option<SetMatches> {
-        self.regex.require_tracking();
+        match self.try_set_verdict() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`set_verdict`](StreamMatcher::set_verdict):
+    /// [`Error::PatternTrackingDisabled`] instead of a panic when the
+    /// regex was compiled with
+    /// [`track_patterns(false)`](crate::RegexBuilder::track_patterns).
+    pub fn try_set_verdict(&self) -> Result<Option<SetMatches>, Error> {
+        self.regex.check_tracking()?;
         if self.is_saturated() || self.regex.decided_maps().set[self.dfa_image() as usize] {
-            Some(self.set_matches())
+            Ok(Some(self.try_set_matches()?))
         } else {
-            None
+            Ok(None)
         }
     }
 
@@ -213,6 +237,166 @@ impl<'r> StreamMatcher<'r> {
         self.state = self.regex.sfa().initial();
         self.bytes_fed = 0;
         self.blocks_fed = 0;
+    }
+}
+
+/// An incremental matcher over a whole [`RegexSet`]: the streaming
+/// counterpart of [`RegexSet::matches`], created by [`RegexSet::stream`].
+///
+/// For an unsharded set this wraps the single combined automaton's
+/// [`StreamMatcher`]; for a
+/// [sharded](crate::RegexBuilder::shard_state_budget) set it runs one
+/// stream per shard in lockstep and merges their verdicts. The literal
+/// prefilter is deliberately **not** consulted on streams: a required
+/// literal may arrive in a later block (or straddle a block boundary), so
+/// no shard can be skipped — every shard's automaton sees every byte.
+/// Verdicts are nevertheless identical to the whole-buffer APIs on the
+/// concatenated input, whatever the feed boundaries.
+#[derive(Clone, Debug)]
+pub struct SetStream<'s> {
+    set: &'s RegexSet,
+    streams: Vec<StreamMatcher<'s>>,
+}
+
+impl<'s> SetStream<'s> {
+    /// Starts a stream per underlying automaton, all at the identity state.
+    pub(crate) fn new(set: &'s RegexSet) -> SetStream<'s> {
+        let streams = match set.inner() {
+            SetInner::Single(re) => vec![re.stream()],
+            SetInner::Sharded(sharded) => {
+                sharded.shards.iter().map(|s| s.regex().stream()).collect()
+            }
+        };
+        SetStream { set, streams }
+    }
+
+    /// The set this stream is matching against.
+    pub fn set(&self) -> &'s RegexSet {
+        self.set
+    }
+
+    /// Advances every underlying stream by one block of input; see
+    /// [`StreamMatcher::feed`]. Saturated shards skip the scan, so a
+    /// long stream gets cheaper as shards decide.
+    pub fn feed(&mut self, block: &[u8]) -> &mut Self {
+        for stream in &mut self.streams {
+            stream.feed(block);
+        }
+        self
+    }
+
+    /// Whether the concatenation of everything fed so far matches *any*
+    /// rule of the set; see [`StreamMatcher::finish`].
+    pub fn finish(&self) -> bool {
+        self.streams.iter().any(StreamMatcher::finish)
+    }
+
+    /// The final any-match verdict, if already decided: `Some(true)` as
+    /// soon as any shard's verdict freezes to a match, `Some(false)` once
+    /// every shard's verdict freezes to a non-match, `None` while some
+    /// undecided shard could still go either way.
+    pub fn verdict(&self) -> Option<bool> {
+        let mut all_false = true;
+        for stream in &self.streams {
+            match stream.verdict() {
+                Some(true) => return Some(true),
+                Some(false) => {}
+                None => all_false = false,
+            }
+        }
+        if all_false {
+            Some(false)
+        } else {
+            None
+        }
+    }
+
+    /// The per-rule verdict over everything fed so far; the streaming
+    /// form of [`RegexSet::matches`]. Panics when the set was compiled
+    /// with [`track_patterns(false)`](crate::RegexBuilder::track_patterns)
+    /// — use [`try_set_matches`](SetStream::try_set_matches) to get the
+    /// typed [`Error`] instead.
+    pub fn set_matches(&self) -> SetMatches {
+        match self.try_set_matches() {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`set_matches`](SetStream::set_matches).
+    pub fn try_set_matches(&self) -> Result<SetMatches, Error> {
+        match self.set.inner() {
+            SetInner::Single(_) => Ok(self.set.expand(self.streams[0].try_set_matches()?)),
+            SetInner::Sharded(sharded) => {
+                sharded.check_tracking()?;
+                let mut uniq = PatternSet::new(sharded.unique);
+                for (shard, stream) in sharded.shards.iter().zip(&self.streams) {
+                    for hit in stream.try_set_matches()?.iter() {
+                        uniq.insert(shard.members()[hit]);
+                    }
+                }
+                Ok(self.set.expand(SetMatches::new(uniq)))
+            }
+        }
+    }
+
+    /// The final per-rule verdict, if already decided: `Some` once every
+    /// shard's set verdict is frozen (see [`StreamMatcher::set_verdict`]),
+    /// `None` while any shard's rules could still change fate. Panics on
+    /// an untracked set — see
+    /// [`try_set_verdict`](SetStream::try_set_verdict).
+    pub fn set_verdict(&self) -> Option<SetMatches> {
+        match self.try_set_verdict() {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`set_verdict`](SetStream::set_verdict).
+    pub fn try_set_verdict(&self) -> Result<Option<SetMatches>, Error> {
+        match self.set.inner() {
+            SetInner::Single(_) => {
+                Ok(self.streams[0].try_set_verdict()?.map(|m| self.set.expand(m)))
+            }
+            SetInner::Sharded(sharded) => {
+                sharded.check_tracking()?;
+                let mut uniq = PatternSet::new(sharded.unique);
+                for (shard, stream) in sharded.shards.iter().zip(&self.streams) {
+                    match stream.try_set_verdict()? {
+                        Some(local) => {
+                            for hit in local.iter() {
+                                uniq.insert(shard.members()[hit]);
+                            }
+                        }
+                        None => return Ok(None),
+                    }
+                }
+                Ok(Some(self.set.expand(SetMatches::new(uniq))))
+            }
+        }
+    }
+
+    /// True once every underlying stream reached a sink; further feeds
+    /// are counter bumps and all verdicts are final.
+    pub fn is_saturated(&self) -> bool {
+        self.streams.iter().all(StreamMatcher::is_saturated)
+    }
+
+    /// Total bytes fed since construction or the last reset.
+    pub fn bytes_fed(&self) -> u64 {
+        self.streams[0].bytes_fed()
+    }
+
+    /// Number of `feed` calls since construction or the last reset.
+    pub fn blocks_fed(&self) -> u64 {
+        self.streams[0].blocks_fed()
+    }
+
+    /// Rewinds every underlying stream to the identity state.
+    pub fn reset(&mut self) {
+        for stream in &mut self.streams {
+            stream.reset();
+        }
     }
 }
 

@@ -18,6 +18,8 @@
 //! * [`parser::Parser`] / [`parse`] — a PCRE-subset parser,
 //! * [`class::ByteSet`] — 256-bit byte classes,
 //! * [`printer::to_pattern`] — AST → pattern text,
+//! * [`literal::required_literals`] — required-literal extraction for the
+//!   matcher's multi-literal prefilter,
 //! * [`generator`] — random pattern and random matching-string generation
 //!   used by the workload synthesizer and the property tests.
 //!
@@ -38,12 +40,17 @@ pub mod ast;
 pub mod class;
 pub mod error;
 pub mod generator;
+pub mod literal;
 pub mod parser;
 pub mod printer;
 
 pub use ast::Ast;
 pub use class::ByteSet;
 pub use error::{ErrorKind, ParseError};
+pub use literal::{
+    required_literal_clauses, required_literal_clauses_with, required_literals,
+    required_literals_with, LiteralConfig,
+};
 pub use parser::{parse, Parser, ParserConfig};
 pub use printer::to_pattern;
 

@@ -1,0 +1,577 @@
+//! Required-literal extraction: the static analysis behind the
+//! multi-literal prefilter of `sfa-matcher`.
+//!
+//! [`required_literals`] computes, for a parsed pattern, a small set of
+//! byte strings with the guarantee that **every word the pattern matches
+//! contains at least one of them as a contiguous substring**. A scanner
+//! can therefore search the haystack for the literals first (with a cheap
+//! Aho–Corasick pass) and consult the pattern's automaton only when one of
+//! them occurs — for substring (`Contains`) scanning this is sound too,
+//! because a matching haystack contains a matched word, which contains a
+//! required literal.
+//!
+//! The analysis is deliberately conservative: when no useful literal set
+//! can be proven (`.`-heavy patterns, large character classes, literals
+//! shorter than [`LiteralConfig::min_len`]), it returns `None` and the
+//! caller must scan unconditionally. Returning `None` is always safe;
+//! returning a wrong set never is, so every rule below errs toward `None`.
+//!
+//! Case-insensitive patterns need no special handling: by the time the
+//! parser produces an [`Ast`], `(?i)` has become multi-byte classes like
+//! `[sS]`, and the extractor enumerates the (capped) cross product —
+//! `(?i)select` yields the 16 case variants of `sele` rather than giving
+//! up.
+//!
+//! ```
+//! use sfa_regex_syntax::{parse, required_literals};
+//!
+//! let lits = required_literals(&parse("attack[0-9]{2}").unwrap()).unwrap();
+//! assert!(lits.iter().all(|l| l.starts_with(b"attack")));
+//! // Every match of the pattern contains one of `lits`.
+//!
+//! assert!(required_literals(&parse("[0-9]{1,3}").unwrap()).is_none());
+//! // No literal of useful length is required: the caller must scan.
+//! ```
+
+use crate::ast::Ast;
+
+/// Tuning knobs for [`required_literals_with`].
+#[derive(Clone, Debug)]
+pub struct LiteralConfig {
+    /// Maximum number of literals in an extracted set. Enumerating class
+    /// cross products (case variants, digit alternatives) stops at this
+    /// many; larger sets flush to a candidate and the analysis restarts
+    /// after the offending position.
+    pub max_literals: usize,
+    /// Maximum literal length. Longer required strings are cut into
+    /// consecutive slices and the best slice wins (a match containing a
+    /// long literal contains every substring of it, so a slice stays
+    /// sound).
+    pub max_len: usize,
+    /// Minimum literal length for a set to be *useful*. A set containing a
+    /// shorter literal is rejected wholesale — individual literals can
+    /// never be dropped, because the guarantee is "at least one of these
+    /// occurs", which dropping would break.
+    pub min_len: usize,
+}
+
+impl Default for LiteralConfig {
+    fn default() -> Self {
+        LiteralConfig { max_literals: 16, max_len: 12, min_len: 2 }
+    }
+}
+
+/// Extracts a required-literal set with the default [`LiteralConfig`].
+///
+/// Returns `Some(lits)` only when every word of `ast`'s language contains
+/// at least one element of `lits` as a contiguous substring; `None` when
+/// no set of useful literals can be proven.
+pub fn required_literals(ast: &Ast) -> Option<Vec<Vec<u8>>> {
+    required_literals_with(ast, &LiteralConfig::default())
+}
+
+/// [`required_literals`] with explicit limits.
+pub fn required_literals_with(ast: &Ast, cfg: &LiteralConfig) -> Option<Vec<Vec<u8>>> {
+    if cfg.min_len == 0 || cfg.max_len < cfg.min_len || cfg.max_literals == 0 {
+        return None;
+    }
+    let set = req(ast, cfg)?;
+    debug_assert!(!set.is_empty());
+    debug_assert!(set.iter().all(|l| l.len() >= cfg.min_len && l.len() <= cfg.max_len));
+    Some(set)
+}
+
+/// Extracts required-literal **clauses** with the default
+/// [`LiteralConfig`]: a conjunction of independent [`required_literals`]
+/// guarantees.
+///
+/// Returns `Some(clauses)` only when every clause independently satisfies
+/// the [`required_literals`] contract — every word of `ast`'s language
+/// contains at least one literal *of each clause*. A pattern like
+/// `login.{0,64}passwd` yields two single-literal clauses (`login` and
+/// `passwd` are both required), which lets a prefilter demand **both**
+/// before consulting the automaton, where the flat any-of set could only
+/// demand one. `None` when not even one clause can be proven.
+pub fn required_literal_clauses(ast: &Ast) -> Option<Vec<Vec<Vec<u8>>>> {
+    required_literal_clauses_with(ast, &LiteralConfig::default())
+}
+
+/// [`required_literal_clauses`] with explicit limits.
+pub fn required_literal_clauses_with(ast: &Ast, cfg: &LiteralConfig) -> Option<Vec<Vec<Vec<u8>>>> {
+    if cfg.min_len == 0 || cfg.max_len < cfg.min_len || cfg.max_literals == 0 {
+        return None;
+    }
+    let mut clauses = match ast {
+        Ast::Concat(parts) => all_runs(parts, cfg),
+        Ast::Alternation(_) => req(ast, cfg).into_iter().collect(),
+        other => all_runs(std::slice::from_ref(other), cfg),
+    };
+    clauses.sort();
+    clauses.dedup();
+    if clauses.is_empty() {
+        None
+    } else {
+        debug_assert!(clauses.iter().all(|c| {
+            !c.is_empty() && c.iter().all(|l| l.len() >= cfg.min_len && l.len() <= cfg.max_len)
+        }));
+        Some(clauses)
+    }
+}
+
+/// The recursive core. Invariant of every `Some(set)` it returns: the set
+/// is non-empty, each literal's length is within `[min_len, max_len]`,
+/// and every word of `ast`'s language contains at least one literal.
+fn req(ast: &Ast, cfg: &LiteralConfig) -> Option<Vec<Vec<u8>>> {
+    match ast {
+        // A required set of an alternation must cover *every* branch: the
+        // union of per-branch sets, provided each branch yields one.
+        Ast::Alternation(parts) => {
+            let mut union: Vec<Vec<u8>> = Vec::new();
+            for p in parts {
+                union.extend(req(p, cfg)?);
+            }
+            union.sort();
+            union.dedup();
+            if union.is_empty() || union.len() > cfg.max_literals {
+                None
+            } else {
+                Some(union)
+            }
+        }
+        Ast::Concat(parts) => best_run(parts, cfg),
+        other => best_run(std::slice::from_ref(other), cfg),
+    }
+}
+
+/// Is `set` usable as a literal run under the configured caps?
+fn fits(set: &[Vec<u8>], cfg: &LiteralConfig) -> bool {
+    set.len() <= cfg.max_literals && set.iter().all(|l| l.len() <= cfg.max_len)
+}
+
+/// Exact cross product of two finite word sets, `None` when it exceeds
+/// the caps. Exactness matters: a run is the *whole* language of a
+/// consecutive slice of the concatenation, so no element may be truncated
+/// mid-run (the truncated word would continue with the wrong bytes).
+fn cross(run: &[Vec<u8>], ext: &[Vec<u8>], cfg: &LiteralConfig) -> Option<Vec<Vec<u8>>> {
+    let mut out = Vec::with_capacity(run.len() * ext.len());
+    for a in run {
+        for b in ext {
+            let mut w = a.clone();
+            w.extend_from_slice(b);
+            out.push(w);
+        }
+    }
+    out.sort();
+    out.dedup();
+    if fits(&out, cfg) {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Closes a run: if every word is long enough, records it as a candidate
+/// required set. A run containing a too-short word (including the `ε`
+/// seed) is discarded *wholesale* — see [`LiteralConfig::min_len`].
+fn flush(candidates: &mut Vec<Vec<Vec<u8>>>, run: Vec<Vec<u8>>, cfg: &LiteralConfig) {
+    if run.is_empty() || run.iter().any(|l| l.len() < cfg.min_len) {
+        return;
+    }
+    debug_assert!(fits(&run, cfg));
+    candidates.push(run);
+}
+
+/// Scans a concatenation left to right, growing *runs*: the exact finite
+/// language of the consecutive enumerable parts seen so far. Every match
+/// of the concatenation contains exactly one word of each run as a
+/// contiguous substring, so each closed run is a candidate required set;
+/// non-enumerable, non-nullable parts contribute their own recursive sets.
+/// The best candidate wins: longest minimum literal, then fewest literals.
+fn best_run(parts: &[Ast], cfg: &LiteralConfig) -> Option<Vec<Vec<u8>>> {
+    let mut candidates: Vec<Vec<Vec<u8>>> = Vec::new();
+    let mut run: Vec<Vec<u8>> = vec![Vec::new()];
+    for part in parts {
+        match words(part, cfg) {
+            // A void part voids the whole concatenation: it matches
+            // nothing, so any answer is vacuously sound — stay safe.
+            Some(w) if w.is_empty() => return None,
+            Some(w) => {
+                if let Some(ext) = cross(&run, &w, cfg) {
+                    run = ext;
+                } else {
+                    // Over the caps: close the run before this part and
+                    // start the next one at it (or just past it).
+                    flush(&mut candidates, std::mem::take(&mut run), cfg);
+                    run = if fits(&w, cfg) { w } else { vec![Vec::new()] };
+                }
+            }
+            None => {
+                flush(&mut candidates, std::mem::take(&mut run), cfg);
+                run = vec![Vec::new()];
+                // A non-nullable part occurs in every match, so its own
+                // required set is required for the concatenation too.
+                if !part.is_nullable() {
+                    if let Some(sub) = sub_req(part, cfg) {
+                        candidates.push(sub);
+                    }
+                }
+            }
+        }
+    }
+    flush(&mut candidates, run, cfg);
+    candidates
+        .into_iter()
+        .max_by_key(|c| (c.iter().map(Vec::len).min().unwrap_or(0), std::cmp::Reverse(c.len())))
+}
+
+/// Every closed run of a concatenation, as independent clauses: each
+/// match contains one word of *each* returned set. Same scan as
+/// [`best_run`], but nothing is thrown away, and non-enumerable
+/// non-nullable parts contribute their own full clause lists instead of a
+/// single best set.
+fn all_runs(parts: &[Ast], cfg: &LiteralConfig) -> Vec<Vec<Vec<u8>>> {
+    let mut clauses: Vec<Vec<Vec<u8>>> = Vec::new();
+    let mut run: Vec<Vec<u8>> = vec![Vec::new()];
+    for part in parts {
+        match words(part, cfg) {
+            // A void part: the concatenation matches nothing, so no
+            // clause is provable (vacuous truth stays unexploited).
+            Some(w) if w.is_empty() => return Vec::new(),
+            Some(w) => {
+                if let Some(ext) = cross(&run, &w, cfg) {
+                    run = ext;
+                } else {
+                    flush(&mut clauses, std::mem::take(&mut run), cfg);
+                    run = if fits(&w, cfg) { w } else { vec![Vec::new()] };
+                }
+            }
+            None => {
+                flush(&mut clauses, std::mem::take(&mut run), cfg);
+                run = vec![Vec::new()];
+                if !part.is_nullable() {
+                    clauses.extend(sub_clauses(part, cfg));
+                }
+            }
+        }
+    }
+    flush(&mut clauses, run, cfg);
+    clauses
+}
+
+/// Clause list of a non-enumerable concatenation part, descending into
+/// strictly smaller subterms only (the [`sub_req`] recursion guard).
+fn sub_clauses(part: &Ast, cfg: &LiteralConfig) -> Vec<Vec<Vec<u8>>> {
+    match part {
+        Ast::Concat(parts) => all_runs(parts, cfg),
+        Ast::Alternation(_) => req(part, cfg).into_iter().collect(),
+        // Every match contains the body at least once, so every clause of
+        // the body carries over (the exact pinned-power enumeration
+        // [`sub_req`] prefers adds nothing clause-wise: it is one run).
+        Ast::Repeat { node, min, .. } if *min >= 1 => match sub_req(part, cfg) {
+            Some(set) if matches!(**node, Ast::Concat(_) | Ast::Alternation(_)) => {
+                // The pinned enumeration succeeded but the body may still
+                // prove *more* clauses than the one enumerated run.
+                let mut cls = sub_clauses(node, cfg);
+                cls.push(set);
+                cls
+            }
+            Some(set) => vec![set],
+            None => sub_clauses(node, cfg),
+        },
+        _ => Vec::new(),
+    }
+}
+
+/// Required set of a part whose language is too large to enumerate,
+/// always descending into *strictly smaller* subterms (unlike [`req`],
+/// which would re-enter [`best_run`] on the identical node and loop).
+fn sub_req(part: &Ast, cfg: &LiteralConfig) -> Option<Vec<Vec<u8>>> {
+    match part {
+        Ast::Alternation(_) | Ast::Concat(_) => req(part, cfg),
+        // Every match contains `body^min` contiguously — prefer its exact
+        // (capped) enumeration, falling back to the weaker single-copy
+        // requirement when the pinned power is too long or too wide.
+        Ast::Repeat { node, min, .. } if *min >= 1 => {
+            let pinned = Ast::Repeat { node: node.clone(), min: *min, max: Some(*min) };
+            match words(&pinned, cfg) {
+                Some(w)
+                    if !w.is_empty()
+                        && fits(&w, cfg)
+                        && w.iter().all(|l| l.len() >= cfg.min_len) =>
+                {
+                    Some(w)
+                }
+                _ => req(node, cfg),
+            }
+        }
+        _ => None,
+    }
+}
+
+/// The full (finite) language of `ast` when it is small enough to
+/// enumerate under the caps; `None` otherwise. `Some(vec![])` means the
+/// language is empty (a void pattern).
+fn words(ast: &Ast, cfg: &LiteralConfig) -> Option<Vec<Vec<u8>>> {
+    match ast {
+        Ast::Empty => Some(vec![Vec::new()]),
+        Ast::Class(set) => {
+            if set.len() > cfg.max_literals {
+                return None;
+            }
+            Some(set.iter().map(|b| vec![b]).collect())
+        }
+        Ast::Concat(parts) => {
+            let mut out = vec![Vec::new()];
+            for p in parts {
+                out = cross(&out, &words(p, cfg)?, cfg)?;
+            }
+            Some(out)
+        }
+        Ast::Alternation(parts) => {
+            let mut out = Vec::new();
+            for p in parts {
+                out.extend(words(p, cfg)?);
+            }
+            out.sort();
+            out.dedup();
+            if out.len() > cfg.max_literals {
+                None
+            } else {
+                Some(out)
+            }
+        }
+        Ast::Repeat { node, min, max } => {
+            let max = (*max)?;
+            let base = words(node, cfg)?;
+            if base.is_empty() {
+                // A void body: x{0,..} matches only ε, x{1,..} nothing.
+                return Some(if *min == 0 { vec![Vec::new()] } else { vec![] });
+            }
+            let mut power = vec![Vec::new()];
+            let mut out: Vec<Vec<u8>> = Vec::new();
+            for k in 0..=max {
+                if k >= *min {
+                    out.extend(power.iter().cloned());
+                    if out.len() > cfg.max_literals {
+                        return None;
+                    }
+                }
+                if k == max {
+                    break;
+                }
+                power = cross(&power, &base, cfg)?;
+            }
+            out.sort();
+            out.dedup();
+            Some(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::{perl, ByteSet};
+    use crate::parse;
+
+    fn lits(pattern: &str) -> Option<Vec<String>> {
+        required_literals(&parse(pattern).unwrap())
+            .map(|ls| ls.into_iter().map(|l| String::from_utf8(l).unwrap()).collect())
+    }
+
+    fn clauses(pattern: &str) -> Option<Vec<Vec<String>>> {
+        required_literal_clauses(&parse(pattern).unwrap()).map(|cs| {
+            cs.into_iter()
+                .map(|c| c.into_iter().map(|l| String::from_utf8(l).unwrap()).collect())
+                .collect()
+        })
+    }
+
+    #[test]
+    fn proximity_rule_requires_both_tokens() {
+        // The flat set can demand only one of the tokens; the clause form
+        // proves both are required.
+        assert_eq!(
+            clauses("login.{0,64}passwd"),
+            Some(vec![vec!["login".to_string()], vec!["passwd".to_string()]])
+        );
+        assert_eq!(lits("login.{0,64}passwd"), Some(vec!["passwd".to_string()]));
+    }
+
+    #[test]
+    fn single_run_patterns_yield_one_clause() {
+        assert_eq!(clauses("attack[0-9]{2}"), Some(vec![vec!["attack".to_string()]]));
+        assert_eq!(clauses("[0-9]{1,3}"), None, "no clause is provable");
+    }
+
+    #[test]
+    fn alternation_segment_is_one_covering_clause() {
+        // Clauses sort lexicographically: the `from` run first, then the
+        // branch-covering run of the alternation segment.
+        assert_eq!(
+            clauses("(select|union) .{0,10}from"),
+            Some(
+                vec![vec!["from".to_string()], vec!["select ".to_string(), "union ".to_string()],]
+            )
+        );
+    }
+
+    #[test]
+    fn repeated_group_carries_its_body_clause() {
+        assert_eq!(clauses("(etc/passwd){2,3}"), Some(vec![vec!["etc/passwd".to_string()]]));
+        assert_eq!(clauses("(etc/passwd){0,3}"), None, "zero repeats require nothing");
+    }
+
+    #[test]
+    fn every_clause_is_a_sound_flat_set_on_its_own() {
+        // The flat extractor must agree with *some* clause — `best_run`
+        // picks one of the runs `all_runs` keeps.
+        for pattern in ["login.{0,64}passwd", "attack[0-9]{2}", "(?i)union", "a.{0,5}bb.{0,5}ccc"] {
+            let flat = lits(pattern).expect(pattern);
+            let cs = clauses(pattern).expect(pattern);
+            assert!(cs.contains(&flat), "{pattern}: {flat:?} not among {cs:?}");
+        }
+    }
+
+    #[test]
+    fn plain_literal() {
+        assert_eq!(lits("attack"), Some(vec!["attack".to_string()]));
+    }
+
+    #[test]
+    fn literal_with_class_tail() {
+        // `[0-9]{2}` has 100 words — past the cap — so the run closes at
+        // the keyword and the digit tail contributes nothing.
+        assert_eq!(lits("attack[0-9]{2}"), Some(vec!["attack".to_string()]));
+    }
+
+    #[test]
+    fn case_insensitive_keyword_enumerates_variants() {
+        let ls = lits("(?i)union").unwrap();
+        // 2^4 = 16 variants of the first four letters fill the cap.
+        assert_eq!(ls.len(), 16);
+        assert!(ls.contains(&"unio".to_string()));
+        assert!(ls.contains(&"UNIO".to_string()));
+        assert!(ls.iter().all(|l| l.eq_ignore_ascii_case("unio")));
+    }
+
+    #[test]
+    fn alternation_unions_branches() {
+        let ls = lits("(select|union)").unwrap();
+        assert_eq!(ls, vec!["select".to_string(), "union".to_string()]);
+        // One literal-free branch poisons the whole alternation.
+        assert_eq!(lits("(select|[0-9]{3})"), None);
+    }
+
+    #[test]
+    fn classes_and_dots_give_nothing() {
+        assert_eq!(lits("[0-9]{1,3}"), None);
+        assert_eq!(lits("[0-9]{1,3}\\.[0-9]{1,3}"), None, "lone `.` is below min_len");
+        assert_eq!(lits("a"), None, "single byte is below min_len");
+        assert_eq!(lits("[^\\r\\n]{8,}"), None);
+    }
+
+    #[test]
+    fn optional_and_starred_parts_extend_or_break_runs() {
+        // `s?` is enumerable ({ε, s}) and keeps the run going.
+        let ls = lits("attacks?").unwrap();
+        assert_eq!(ls, vec!["attack".to_string(), "attacks".to_string()]);
+        // An unbounded gap splits the pattern into two runs; the longer
+        // minimum wins.
+        assert_eq!(lits("etc[a-z]*passwd"), Some(vec!["passwd".to_string()]));
+        // A `.*` wrap (Contains-style) changes nothing: the needle is
+        // still required.
+        let wrapped = Ast::concat(vec![
+            Ast::star(Ast::Class(perl::any())),
+            parse("exploit").unwrap(),
+            Ast::star(Ast::Class(perl::any())),
+        ]);
+        assert_eq!(required_literals(&wrapped), Some(vec![b"exploit".to_vec()]));
+    }
+
+    #[test]
+    fn repeat_of_a_word_requires_the_word() {
+        assert_eq!(lits("(abc){2,}"), Some(vec!["abcabc".to_string()]));
+        let ls = lits("(abcdefgh){1,200}").unwrap();
+        assert_eq!(ls, vec!["abcdefgh".to_string()], "falls back to one body copy");
+        assert_eq!(lits("(abc)*"), None, "min 0 requires nothing");
+    }
+
+    #[test]
+    fn long_literals_split_into_slices() {
+        // 16 bytes > max_len 12: the run closes at 12 and the best slice
+        // wins; any sound answer must be a substring of the literal.
+        let ls = lits("abcdefghijklmnop").unwrap();
+        assert!(ls.len() == 1 && "abcdefghijklmnop".contains(&ls[0]), "{ls:?}");
+        assert!(ls[0].len() >= 2 && ls[0].len() <= 12);
+    }
+
+    #[test]
+    fn curated_snort_style_rules() {
+        assert!(lits("/cgi-bin/ph[a-z]{1,8}").is_some());
+        assert!(lits("(?i)etc/(passwd|shadow|group)").is_some());
+        // The SQLi rule: the case variants of `(select|union)` overflow
+        // the 16-literal cap together, but the trailing `from` keyword is
+        // itself required and survives as the best candidate.
+        let ls = lits("(?i)(select|union)\\s+[a-z0-9_, ]{1,40}\\s+from").unwrap();
+        assert_eq!(ls.len(), 16);
+        assert!(ls.iter().all(|l| l.eq_ignore_ascii_case("from")));
+    }
+
+    #[test]
+    fn void_and_degenerate_patterns() {
+        let void = Ast::concat(vec![parse("attack").unwrap(), Ast::Class(ByteSet::EMPTY)]);
+        assert_eq!(required_literals(&void), None);
+        assert_eq!(required_literals(&Ast::Empty), None);
+        let zero = LiteralConfig { max_literals: 0, ..Default::default() };
+        assert_eq!(required_literals_with(&parse("attack").unwrap(), &zero), None);
+    }
+
+    #[test]
+    fn custom_config_is_honored() {
+        let cfg = LiteralConfig { max_literals: 4, max_len: 3, min_len: 1 };
+        let ls = required_literals_with(&parse("abcdef").unwrap(), &cfg).unwrap();
+        assert!(ls.iter().all(|l| l.len() <= 3 && !l.is_empty()));
+        // min_len 1 admits single-byte classes.
+        let cfg = LiteralConfig { min_len: 1, ..Default::default() };
+        let ls = required_literals_with(&parse("[ab]").unwrap(), &cfg).unwrap();
+        assert_eq!(ls, vec![b"a".to_vec(), b"b".to_vec()]);
+    }
+
+    mod soundness {
+        use super::*;
+        use crate::generator::{sample_match, AstGenerator, GeneratorConfig};
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The contract itself: for random patterns, every sampled
+            /// matching word contains at least one extracted literal.
+            #[test]
+            fn every_match_contains_a_required_literal(seed in any::<u64>()) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let generator = AstGenerator::with_config(GeneratorConfig {
+                    max_depth: 4,
+                    max_width: 4,
+                    max_repeat: 4,
+                    alphabet: crate::ByteSet::range(b'a', b'd'),
+                    repeat_bias: 0.3,
+                });
+                let ast = generator.generate(&mut rng);
+                let cfg = LiteralConfig { min_len: 1, ..Default::default() };
+                let Some(lits) = required_literals_with(&ast, &cfg) else { return Ok(()) };
+                for _ in 0..16 {
+                    let Some(word) = sample_match(&ast, &mut rng) else { break };
+                    prop_assert!(
+                        lits.iter().any(|l| word.windows(l.len()).any(|w| w == &l[..])),
+                        "word {:?} of {:?} contains none of {:?}",
+                        String::from_utf8_lossy(&word), ast, lits
+                    );
+                }
+            }
+        }
+    }
+}

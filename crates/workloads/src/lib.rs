@@ -18,7 +18,10 @@ pub mod streaming;
 pub use scalability::{
     fig10_pattern, fig10_text, random_bytes, repeated_a_text, rn_or_a_pattern, rn_pattern, rn_text,
 };
-pub use snort::{ruleset, SnortConfig, CURATED_PATTERNS, IDS_SCAN_RULES, SQLI_RULE};
+pub use snort::{
+    corpus_1k, ruleset, SnortConfig, CORPUS_1K, CORPUS_1K_SEED, CURATED_PATTERNS, IDS_SCAN_RULES,
+    SQLI_RULE,
+};
 pub use streaming::{log_stream, log_stream_bytes, StreamConfig};
 
 /// An HTTP-log-like line-oriented corpus (used by the examples): a mix of

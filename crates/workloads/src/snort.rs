@@ -72,6 +72,23 @@ pub const IDS_SCAN_RULES: &[&str] = &[
     SQLI_RULE,
 ];
 
+/// Size of the pinned benchmark corpus returned by [`corpus_1k`].
+pub const CORPUS_1K: usize = 1_000;
+
+/// Seed of the pinned benchmark corpus. Changing it (or the generator)
+/// invalidates every committed baseline measured against [`corpus_1k`];
+/// the fingerprint test below exists to make such a change loud.
+pub const CORPUS_1K_SEED: u64 = 0x5FA_2013;
+
+/// The pinned 1 000-rule benchmark corpus: the curated patterns followed
+/// by generated rules from the default shape mix under
+/// [`CORPUS_1K_SEED`]. This is the ruleset `benches/multimatch.rs` and
+/// `reproduce multimatch` shard — byte-for-byte stable across runs and
+/// machines, so committed numbers stay comparable.
+pub fn corpus_1k() -> Vec<String> {
+    ruleset(&SnortConfig { count: CORPUS_1K, seed: CORPUS_1K_SEED, dot_star_fraction: 0.004 })
+}
+
 /// Structural shapes the generator mixes, with weights chosen so the
 /// resulting size distribution resembles the paper's Figure 3 (dominated by
 /// literal-ish patterns, a thin tail of `.*`-chained ones).
@@ -279,6 +296,31 @@ mod tests {
         let chained = corpus.iter().filter(|p| p.matches(".*").count() >= 3).count();
         assert!(chained >= 5, "expected a handful of .*-chained patterns, got {}", chained);
         assert!(chained < 200, "the tail must stay thin, got {}", chained);
+    }
+
+    #[test]
+    fn corpus_1k_is_pinned_byte_for_byte() {
+        // FNV-1a over the newline-joined corpus: any change to the
+        // generator, the seed, the curated prefix or the shape mix moves
+        // this fingerprint and must come with a baseline refresh (see
+        // BENCH_multimatch.json).
+        fn fnv1a(bytes: &[u8]) -> u64 {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        }
+        let corpus = corpus_1k();
+        assert_eq!(corpus.len(), CORPUS_1K);
+        assert_eq!(&corpus[..CURATED_PATTERNS.len()], CURATED_PATTERNS);
+        assert_eq!(corpus, corpus_1k(), "pinned seed ⇒ identical corpus");
+        for p in &corpus {
+            parse(p).unwrap_or_else(|e| panic!("corpus rule `{}` failed: {}", p, e));
+        }
+        let fingerprint = fnv1a(corpus.join("\n").as_bytes());
+        assert_eq!(fingerprint, 0x4fce_5e19_56e7_40ab, "corpus drifted: got {fingerprint:#x}");
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Auto-sharded rule sets: compile a few hundred SNORT-like rules with a
+//! per-shard DFA state budget and scan an HTTP log through the literal
+//! prefilter.
+//!
+//! One tracked product automaton over N rules grows like `~2^N` states —
+//! four rules already need 5 668 DFA states where the individual rules
+//! sum to 787 (see `examples/ids_scan.rs`). Past a few dozen rules the
+//! combined automaton simply cannot be built. `RegexBuilder::
+//! shard_state_budget` fixes this: the set compiler packs rules into
+//! shards greedily, determinizing incrementally and closing a shard just
+//! before it would exceed the budget, so compile cost scales linearly
+//! with the rule count while per-shard verdicts stay exact.
+//!
+//! Shards whose every rule has a required literal are *gated*: an
+//! Aho–Corasick pass over the haystack decides which shards can possibly
+//! match, and the rest are never consulted.
+//!
+//! Run with: `cargo run --release --example sharded_scan`
+
+use sfa::prelude::*;
+use sfa::workloads;
+
+fn main() {
+    // 200 generated rules from the pinned 1 000-rule corpus; the full
+    // corpus packs the same way (see `reproduce multimatch`), this keeps
+    // the example snappy.
+    let corpus = workloads::corpus_1k();
+    let rules: Vec<&str> = corpus.iter().take(200).map(|s| s.as_str()).collect();
+    let budget = 2_000;
+
+    let t0 = std::time::Instant::now();
+    let set = RegexSet::new(
+        rules.iter().copied(),
+        &Regex::builder()
+            .mode(MatchMode::Contains)
+            .backend(BackendChoice::Auto)
+            .max_dfa_states(2_000_000)
+            .max_sfa_states(2_000)
+            .shard_state_budget(budget),
+    )
+    .expect("the packer never builds an automaton the caps reject");
+    let t_compile = t0.elapsed();
+
+    let report = set.size_report();
+    let gated = set.shards().iter().filter(|s| s.is_gated()).count();
+    let fallback = set.shards().iter().filter(|s| s.is_fallback()).count();
+    println!(
+        "{} rules -> {} shards in {t_compile:.2?} ({} gated, {} fallback singletons)",
+        set.len(),
+        report.shards,
+        gated,
+        fallback
+    );
+    println!(
+        "largest shard DFA = {} states (budget {budget}), {} DFA states total",
+        report.max_shard_dfa_states, report.dfa_states
+    );
+    for shard in set.shards() {
+        if !shard.is_fallback() {
+            assert!(shard.regex().dfa().num_states() <= budget, "packed shards respect the budget");
+        }
+    }
+
+    let prefilter = set.prefilter().expect("generated rules carry required literals");
+    println!(
+        "prefilter: {} literals, {} nodes, {} KiB transition table",
+        prefilter.literal_count(),
+        prefilter.node_count(),
+        prefilter.table_bytes() / 1024
+    );
+
+    // A benign log plus a few planted lines built from rule keywords.
+    let mut log = workloads::http_log(20_000, 0, 0x5EED);
+    log.extend_from_slice(b"GET /admin0017/export?q=select HTTP/1.1 200 12\n");
+    log.extend_from_slice(b"POST /api/attack77 payload=deadbeef HTTP/1.1 500 0\n");
+    let lines: Vec<&[u8]> = log.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+
+    let t1 = std::time::Instant::now();
+    let verdicts = set.matches_batch(&lines);
+    let t_scan = t1.elapsed();
+    let hot: Vec<usize> = (0..lines.len()).filter(|&i| verdicts[i].matched_any()).collect();
+    println!(
+        "scanned {} lines in {t_scan:.2?}: {} lines fired at least one rule",
+        lines.len(),
+        hot.len()
+    );
+    for &i in hot.iter().take(8) {
+        let fired: Vec<usize> = verdicts[i].iter().collect();
+        println!("  line {i}: rules {:?}  {}", fired, String::from_utf8_lossy(lines[i]));
+    }
+    if hot.len() > 8 {
+        println!("  ... and {} more", hot.len() - 8);
+    }
+
+    // Sharding is a compilation strategy, not a semantics change: every
+    // reported verdict must agree with the rule compiled on its own.
+    let mut singles: std::collections::HashMap<usize, Regex> = std::collections::HashMap::new();
+    for &i in &hot {
+        for rule in &verdicts[i] {
+            let single = singles.entry(rule).or_insert_with(|| {
+                Regex::builder()
+                    .mode(MatchMode::Contains)
+                    .build(rules[rule])
+                    .expect("every corpus rule compiles alone")
+            });
+            assert!(single.is_match(lines[i]), "rule {rule} agrees when compiled alone");
+        }
+    }
+
+    // Streaming spans shard boundaries too — and deliberately skips the
+    // prefilter, since a literal may straddle a feed boundary.
+    let mut stream = set.stream();
+    for block in log.chunks(4 * 1024) {
+        stream.feed(block);
+    }
+    let streamed = stream.set_matches();
+    let mut whole = vec![false; set.len()];
+    for v in &verdicts {
+        for rule in v {
+            whole[rule] = true;
+        }
+    }
+    for (rule, &fired) in whole.iter().enumerate() {
+        assert_eq!(streamed.matched(rule), fired, "feed boundaries cannot change rule {rule}");
+    }
+    println!("streamed verdicts agree with the batch scan");
+}

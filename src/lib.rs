@@ -44,7 +44,8 @@ pub mod prelude {
     pub use sfa_automata::{PatternId, PatternSet};
     pub use sfa_core::{BackendKind, DSfa, LazyDSfa, NSfa, SfaBackend, SfaConfig};
     pub use sfa_matcher::{
-        BackendChoice, Engine, MatchMode, ParallelSfaMatcher, Reduction, Regex, RegexBuilder,
-        RegexSet, SetMatches, SpeculativeDfaMatcher, Strategy, StreamMatcher, WorkerPool,
+        BackendChoice, Engine, Error, MatchMode, ParallelSfaMatcher, Prefilter, Reduction, Regex,
+        RegexBuilder, RegexSet, SetMatches, SetStream, Shard, SpeculativeDfaMatcher, Strategy,
+        StreamMatcher, WorkerPool,
     };
 }
