@@ -10,16 +10,22 @@
 //!   one fresh scoped OS thread per chunk on **every call**,
 //! * `dfa_sequential` — Algorithm 2 as the single-thread reference.
 //!
-//! Two acceptance checks run alongside the timings: the pool must beat the
-//! thread-per-call baseline by ≥ 5× on 1 KB inputs at 8 workers, and the
+//! A fourth group, `throughput_packed`, measures the single-thread D-SFA
+//! scan with the auto-packed `u8`/`u16` transition tables against the same
+//! automata forced to the `u32` interface width, on the same corpus — the
+//! cache-consciousness payoff of [`StateIdRepr`].
+//!
+//! Three acceptance checks run alongside the timings: the pool must beat
+//! the thread-per-call baseline by ≥ 5× on 1 KB inputs at 8 workers, the
 //! `/proc`-observed thread count must stay constant across 10 000
-//! `is_match` calls.
+//! `is_match` calls, and the packed tables must not scan slower than the
+//! u32 baseline (≥ 0.9× each, ≥ 1.05× on at least one width).
 //!
 //! `SFA_BENCH_SMOKE=1` shrinks everything to a single iteration so CI can
 //! run the bench as a smoke test.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use sfa_matcher::{split_chunks, Engine, Reduction, Regex, Strategy};
+use sfa_matcher::{split_chunks, Engine, Reduction, Regex, StateIdRepr, Strategy};
 use std::time::{Duration, Instant};
 
 const KB: usize = 1024;
@@ -119,6 +125,66 @@ fn acceptance_small_input_speedup(c: &mut Criterion) {
     }
 }
 
+/// Single-thread scan throughput of the packed `u8`/`u16` byte tables vs.
+/// the same automaton forced to `u32` ids, over one random-digit corpus.
+///
+/// The sliding-window family `[0-9]*[5-9][0-9]{k}` is the cache-adversarial
+/// workload: its D-SFA random-walks `~2^(k+1)` constant mappings on digit
+/// input (see `sfa_workloads::window_pattern`), so the touched-row
+/// footprint scales with the packed width — `k = 5` packs to `u8`
+/// (32 KiB table vs. 128 KiB at u32), `k = 12` to `u16` (8 MiB vs. 16 MiB).
+fn bench_packed_repr(c: &mut Criterion) {
+    let len = if smoke() { 64 * KB } else { 4 * KB * KB };
+    let text = sfa_workloads::digit_text(len, 0x5FA);
+    let mut group = c.benchmark_group("throughput_packed");
+    group.throughput(Throughput::Bytes(len as u64));
+    if smoke() {
+        group.sample_size(1);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+    } else {
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(1500));
+    }
+    let mut speedups = Vec::new();
+    for (k, want) in [(5usize, StateIdRepr::U8), (12, StateIdRepr::U16)] {
+        let pattern = sfa_workloads::window_pattern(k);
+        let build = |repr: Option<StateIdRepr>| {
+            let mut b = Regex::builder().max_sfa_states(100_000);
+            if let Some(r) = repr {
+                b = b.state_id_repr(r);
+            }
+            b.build(&pattern).unwrap()
+        };
+        let (packed, wide) = (build(None), build(Some(StateIdRepr::U32)));
+        assert_eq!(packed.sfa().repr(), want, "auto width for {pattern}");
+        let expected = wide.sfa().run(&text);
+        let scan = |re: &Regex| assert_eq!(re.sfa().run(&text), expected);
+        group.bench_function(BenchmarkId::new(want.as_str(), "packed"), |b| {
+            b.iter(|| scan(&packed))
+        });
+        group.bench_function(BenchmarkId::new(want.as_str(), "u32"), |b| b.iter(|| scan(&wide)));
+        // The acceptance measurement, outside Criterion so it can assert.
+        let runs = if smoke() { 1 } else { 5 };
+        let best = |re: &Regex| (0..runs).map(|_| rate(1, || scan(re))).fold(f64::MIN, f64::max);
+        let speedup = best(&packed) / best(&wide);
+        println!("acceptance/packed_{}: {speedup:.2}x over u32\n", want.as_str());
+        speedups.push(speedup);
+    }
+    group.finish();
+    if !smoke() {
+        for s in &speedups {
+            assert!(*s >= 0.9, "packed table must not scan slower than u32, got {s:.2}x");
+        }
+        let best = speedups.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            best >= 1.05,
+            "at least one packed width must beat the u32 baseline, best {best:.2}x"
+        );
+    }
+}
+
 fn proc_thread_count() -> Option<usize> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     status.lines().find_map(|l| l.strip_prefix("Threads:")).and_then(|v| v.trim().parse().ok())
@@ -150,6 +216,7 @@ fn benches(c: &mut Criterion) {
     for (len, label) in [(KB, "1kb"), (64 * KB, "64kb"), (4 * KB * KB, "4mb")] {
         bench_input_size(c, &re, &engines, len, label);
     }
+    bench_packed_repr(c);
     acceptance_small_input_speedup(c);
     acceptance_constant_thread_count(c);
 }

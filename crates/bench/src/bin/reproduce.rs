@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig3|fig45|fig6|fig7|fig8|fig9|fig10|table2|table3|facts|backends|multimatch] ...
+//! reproduce [all|fig3|fig45|fig6|fig7|fig8|fig9|fig10|table2|table3|facts|backends|multimatch|throughput] ...
 //! ```
 //!
 //! Input sizes are scaled for a laptop-class machine; set `SFA_SCALE=64`
@@ -66,6 +66,9 @@ fn main() {
     }
     if run("multimatch") {
         multimatch();
+    }
+    if run("throughput") {
+        throughput();
     }
 }
 
@@ -527,6 +530,14 @@ fn multimatch() {
             "non-fallback shard exceeds the budget"
         );
     }
+    // The next-fit-decreasing packing order (largest solo trial DFA first)
+    // must keep the corpus under the 550 shards the naive arrival-order
+    // packing produced; the committed baseline pins the exact count (494).
+    assert!(
+        big.shards().len() < 550,
+        "packing-order regression: corpus_1k needs {} shards (< 550 expected)",
+        big.shards().len()
+    );
     println!(
         "corpus_1k ({} rules, fingerprint {fingerprint:#x}) packed in {:.2?}: {} shards \
          ({} gated, {} fallback), largest non-fallback DFA ≤ {budget} states, total {} DFA states",
@@ -567,6 +578,164 @@ fn multimatch() {
         let baseline = std::fs::read_to_string(&baseline_path).expect("read benchmark baseline");
         check_multimatch_baseline(&json, &baseline, &baseline_path);
     }
+}
+
+/// Packed state-id throughput: single-thread scan speed of the `u8`- and
+/// `u16`-packed premultiplied byte tables against the same automaton forced
+/// to the `u32` interface width, on the same pinned corpus, plus an
+/// 8-worker parallel scan of the larger automaton. Writes
+/// `BENCH_throughput.json` (or `SFA_BENCH_OUT`) and, when
+/// `SFA_BENCH_BASELINE` names a committed baseline, gates against it the
+/// same way the multimatch target does.
+fn throughput() {
+    use sfa_core::StateIdRepr;
+    println!("\n## Packed-table throughput — u8/u16 state ids vs. the u32 baseline");
+    // Fixed 8 MiB corpora, deliberately *not* scaled by SFA_SCALE: the
+    // committed baseline pins their fingerprints and the automaton sizes,
+    // so the gate's structural fields must not depend on the environment.
+    const LEN: usize = 8 * 1024 * 1024;
+    let runs = 5;
+    let builder = Regex::builder().max_sfa_states(2_000_000);
+
+    // (k, expected packed width) for the sliding-window (de Bruijn) family
+    // `[0-9]*[5-9][0-9]{k}` — see `workloads::window_pattern`: on random
+    // digits the scan random-walks the whole table, so the touched-row
+    // footprint is what the packed width shrinks. `k = 5` stays under 256
+    // SFA states (u8 ids); `k = 12` needs u16. Both premultiply.
+    let mut stats: Vec<(StateIdRepr, usize, u64, f64, f64)> = Vec::new();
+    let mut large: Option<Regex> = None;
+    let mut large_text: Vec<u8> = Vec::new();
+    for (k, want) in [(5usize, StateIdRepr::U8), (12, StateIdRepr::U16)] {
+        let pattern = workloads::window_pattern(k);
+        let text = workloads::digit_text(LEN, 0x5FA);
+        let fingerprint = fnv1a(&text);
+        let packed = builder.clone().build(&pattern).unwrap();
+        let wide = builder.clone().state_id_repr(StateIdRepr::U32).build(&pattern).unwrap();
+        assert_eq!(packed.sfa().repr(), want, "auto-selected width for {pattern}");
+        assert_eq!(wide.sfa().repr(), StateIdRepr::U32, "forced baseline width");
+        assert!(packed.sfa().premultiplied() && wide.sfa().premultiplied());
+        let scan = |re: &Regex| {
+            let expected = re.sfa().run(&text);
+            measure(text.len(), runs, || {
+                assert_eq!(re.sfa().run(&text), expected);
+            })
+        };
+        let t_packed = scan(&packed);
+        let t_wide = scan(&wide);
+        println!(
+            "{}: |S_d| = {} ({} KiB packed vs. {} KiB u32 byte table) — {:.0} MB/s packed, \
+             {:.0} MB/s u32  ({:.2}x)",
+            want.as_str(),
+            packed.sfa().num_states(),
+            packed.sfa().byte_table_bytes() / 1024,
+            wide.sfa().byte_table_bytes() / 1024,
+            t_packed.mb_per_sec(),
+            t_wide.mb_per_sec(),
+            t_packed.mb_per_sec() / t_wide.mb_per_sec()
+        );
+        stats.push((
+            want,
+            packed.sfa().num_states(),
+            fingerprint,
+            t_packed.mb_per_sec(),
+            t_wide.mb_per_sec(),
+        ));
+        if k == 12 {
+            large = Some(packed);
+            large_text = text;
+        }
+    }
+
+    // Algorithm 5 on the packed u16 automaton across a dedicated 8-worker
+    // pool. The repr is orthogonal to the chunking, so this mostly tracks
+    // core count — recorded for trend-watching, not gated.
+    let workers = 8usize;
+    let large = large.expect("the k = 12 window automaton was benchmarked above");
+    let matcher = ParallelSfaMatcher::with_engine(large.sfa(), sfa_matcher::Engine::new(workers));
+    let expected_final = large.dfa().run(&large_text);
+    let t_par = measure(large_text.len(), runs, || {
+        assert_eq!(matcher.run(&large_text, workers, Reduction::Sequential), expected_final);
+    });
+    println!(
+        "parallel (u16 automaton, {workers} workers): {:.0} MB/s on {} cores",
+        t_par.mb_per_sec(),
+        num_cpus()
+    );
+
+    // ---- machine-readable summary + regression gate --------------------
+    let (u8s, u16s) = (&stats[0], &stats[1]);
+    let json = format!(
+        concat!(
+            "{{\"workload\":\"throughput\",\"input_bytes\":{},",
+            "\"u8_states\":{},\"u8_fingerprint\":\"{:#x}\",",
+            "\"u8_mb_per_sec\":{:.1},\"u8_u32_mb_per_sec\":{:.1},\"u8_over_u32\":{:.3},",
+            "\"u16_states\":{},\"u16_fingerprint\":\"{:#x}\",",
+            "\"u16_mb_per_sec\":{:.1},\"u16_u32_mb_per_sec\":{:.1},\"u16_over_u32\":{:.3},",
+            "\"workers\":{},\"parallel_mb_per_sec\":{:.1},\"cores\":{},\"scale\":{}}}"
+        ),
+        LEN,
+        u8s.1,
+        u8s.2,
+        u8s.3,
+        u8s.4,
+        u8s.3 / u8s.4,
+        u16s.1,
+        u16s.2,
+        u16s.3,
+        u16s.4,
+        u16s.3 / u16s.4,
+        workers,
+        t_par.mb_per_sec(),
+        num_cpus(),
+        scale(),
+    );
+    let out = std::env::var("SFA_BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark summary");
+    println!("wrote {out}");
+    if let Ok(baseline_path) = std::env::var("SFA_BENCH_BASELINE") {
+        let baseline = std::fs::read_to_string(&baseline_path).expect("read benchmark baseline");
+        check_throughput_baseline(&json, &baseline, &baseline_path);
+    }
+}
+
+/// The throughput counterpart of [`check_multimatch_baseline`]: automaton
+/// sizes and corpus fingerprints must match the committed baseline exactly
+/// (construction is deterministic), while the packed-over-u32 ratios only
+/// need to stay within a generous noise margin — but never below the hard
+/// floors, which assert that packing the tables does not *cost* throughput.
+fn check_throughput_baseline(current: &str, baseline: &str, baseline_path: &str) {
+    fn field<'a>(json: &'a str, key: &str) -> &'a str {
+        let needle = format!("\"{key}\":");
+        let start =
+            json.find(&needle).unwrap_or_else(|| panic!("missing field {key}")) + needle.len();
+        let rest = &json[start..];
+        rest[..rest.find([',', '}']).unwrap()].trim()
+    }
+    let mut failed = false;
+    for key in ["input_bytes", "u8_states", "u8_fingerprint", "u16_states", "u16_fingerprint"] {
+        let (now, was) = (field(current, key), field(baseline, key));
+        if now != was {
+            eprintln!("REGRESSION: {key} = {now}, baseline {was} ({baseline_path})");
+            failed = true;
+        }
+    }
+    for (key, floor) in [("u8_over_u32", 0.8), ("u16_over_u32", 0.8)] {
+        let now: f64 = field(current, key).parse().unwrap();
+        let was: f64 = field(baseline, key).parse().unwrap();
+        // Timing is noisy across machines: accept anything at or above
+        // 40 % of the committed ratio, but never below the hard floor.
+        let min = (0.4 * was).max(floor);
+        if now < min {
+            eprintln!(
+                "REGRESSION: {key} = {now:.2}, needs ≥ {min:.2} (baseline {was:.2}, {baseline_path})"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("baseline check passed against {baseline_path}");
 }
 
 /// FNV-1a, the corpus fingerprint also pinned by the workloads tests.

@@ -22,7 +22,7 @@
 //! not `Regex<B>`), and the branch predicts perfectly since a given
 //! matcher only ever holds one variant.
 
-use crate::dsfa::{DSfa, SfaStateId};
+use crate::dsfa::{DSfa, SfaStateId, StateIdRepr};
 use crate::lazy::LazyDSfa;
 use crate::mapping::Transformation;
 use sfa_automata::{PatternSet, StateId};
@@ -144,6 +144,23 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.run_from(state, input),
             SfaBackend::Lazy(sfa) => sfa.run_from(state, input),
+        }
+    }
+
+    /// Runs several independent `(state, input)` jobs, in job order.
+    ///
+    /// On an eager premultiplied backend this walks
+    /// [`crate::dsfa::INTERLEAVE_LANES`] jobs in lockstep to hide
+    /// table-load latency (see [`DSfa::run_from_many`]); on a lazy
+    /// backend the jobs run one by one — interleaving would multiply
+    /// read-lock traffic on the shared cache without overlapping any
+    /// table loads.
+    pub fn run_from_many(&self, jobs: &[(SfaStateId, &[u8])]) -> Vec<SfaStateId> {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.run_from_many(jobs),
+            SfaBackend::Lazy(sfa) => {
+                jobs.iter().map(|&(s, input)| sfa.run_from(s, input)).collect()
+            }
         }
     }
 
@@ -322,6 +339,22 @@ impl SfaBackend {
             SfaBackend::Lazy(_) => false,
         }
     }
+
+    /// The packed width the backend's transition tables store state ids
+    /// at. Lazy backends always report [`StateIdRepr::U32`]: their cache
+    /// grows while matcher threads hold ids, so it cannot be repacked
+    /// (see [`crate::SfaConfig::repr`]).
+    pub fn repr(&self) -> StateIdRepr {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.repr(),
+            SfaBackend::Lazy(_) => StateIdRepr::U32,
+        }
+    }
+
+    /// Bytes per stored state id (1, 2 or 4) — `repr().bytes()`.
+    pub fn state_id_bytes(&self) -> usize {
+        self.repr().bytes()
+    }
 }
 
 #[cfg(test)]
@@ -398,6 +431,30 @@ mod tests {
     }
 
     #[test]
+    fn repr_and_run_from_many_dispatch() {
+        let (eager, lazy) = both("([0-4]{2}[5-9]{2})*");
+        // 110 SFA states pack to one byte on the eager side; the lazy
+        // cache always stays at the full interface width.
+        assert_eq!(eager.repr(), StateIdRepr::U8);
+        assert_eq!(eager.state_id_bytes(), 1);
+        assert_eq!(lazy.repr(), StateIdRepr::U32);
+        assert_eq!(lazy.state_id_bytes(), 4);
+        let long = b"00550459".repeat(50);
+        let jobs: Vec<(SfaStateId, &[u8])> = vec![
+            (eager.initial(), &long[..]),
+            (eager.initial(), b"0055"),
+            (eager.initial(), b"zz"),
+            (eager.initial(), &long[..13]),
+            (eager.initial(), b""),
+        ];
+        for backend in [&eager, &lazy] {
+            let expected: Vec<SfaStateId> =
+                jobs.iter().map(|&(s, input)| backend.run_from(s, input)).collect();
+            assert_eq!(backend.run_from_many(&jobs), expected, "{:?}", backend.kind());
+        }
+    }
+
+    #[test]
     fn size_reporting_reflects_materialization() {
         let (eager, lazy) = both("([0-4]{2}[5-9]{2})*");
         assert_eq!(lazy.num_states(), 1, "fresh lazy backend: identity only");
@@ -405,7 +462,11 @@ mod tests {
         lazy.run(b"00550459");
         assert!(lazy.num_states() > 1);
         assert!(lazy.num_states() <= eager.num_states());
-        assert!(lazy.table_bytes() <= eager.table_bytes());
+        // The eager table packs to u8 here while the lazy cache stays u32,
+        // so compare the lazy footprint against the eager table widened
+        // back to the interface width.
+        assert_eq!(eager.state_id_bytes(), 1);
+        assert!(lazy.table_bytes() <= eager.table_bytes() * (4 / eager.state_id_bytes()));
         assert!(lazy.mapping_bytes() <= eager.mapping_bytes());
         assert_eq!(lazy.byte_table_bytes(), 0);
         assert!(!lazy.premultiplied());

@@ -17,19 +17,276 @@ use std::collections::HashMap;
 use std::sync::OnceLock;
 
 /// Identifier of an SFA state.
+///
+/// This is the *interface* width: every public API hands ids around as
+/// `u32` regardless of how the transition tables store them internally
+/// (see [`StateIdRepr`]), so callers never churn when an automaton packs
+/// down to `u8`/`u16` rows.
 pub type SfaStateId = u32;
+
+/// Physical width of the state ids stored in the eager D-SFA transition
+/// tables.
+///
+/// The automaton picks the narrowest width that fits `|S_d|`
+/// ([`StateIdRepr::for_states`]): a 2 000-state shard's premultiplied
+/// rows shrink 2× (`u16`), a 250-state one 4× (`u8`), which is the
+/// difference between a working set that blows L2 and one that sits in
+/// L1. The public API stays [`SfaStateId`] (`u32`) at the boundary; the
+/// width only changes what the tables *store* and which monomorphized
+/// scan loop runs. [`SfaConfig::repr`] can force a wider width (for
+/// baseline measurements); a narrower override is widened automatically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StateIdRepr {
+    /// One byte per id — automata with at most 256 states.
+    U8,
+    /// Two bytes per id — automata with at most 65 536 states.
+    U16,
+    /// Four bytes per id — unbounded (the public [`SfaStateId`] width).
+    U32,
+}
+
+impl StateIdRepr {
+    /// Bytes occupied by one stored state id.
+    pub const fn bytes(self) -> usize {
+        match self {
+            StateIdRepr::U8 => 1,
+            StateIdRepr::U16 => 2,
+            StateIdRepr::U32 => 4,
+        }
+    }
+
+    /// Largest state count this width can address (ids are `0..n`).
+    pub const fn max_states(self) -> usize {
+        match self {
+            StateIdRepr::U8 => 1 << 8,
+            StateIdRepr::U16 => 1 << 16,
+            StateIdRepr::U32 => usize::MAX,
+        }
+    }
+
+    /// The narrowest width that fits `n` states: `U8` through 256 states
+    /// (ids 0–255), `U16` through 65 536, `U32` beyond.
+    pub fn for_states(n: usize) -> StateIdRepr {
+        if n <= StateIdRepr::U8.max_states() {
+            StateIdRepr::U8
+        } else if n <= StateIdRepr::U16.max_states() {
+            StateIdRepr::U16
+        } else {
+            StateIdRepr::U32
+        }
+    }
+
+    /// The width's name (`"u8"` / `"u16"` / `"u32"`), used in benchmark
+    /// summaries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StateIdRepr::U8 => "u8",
+            StateIdRepr::U16 => "u16",
+            StateIdRepr::U32 => "u32",
+        }
+    }
+
+    /// Parses a name produced by [`StateIdRepr::as_str`].
+    pub fn parse(s: &str) -> Option<StateIdRepr> {
+        Some(match s {
+            "u8" => StateIdRepr::U8,
+            "u16" => StateIdRepr::U16,
+            "u32" => StateIdRepr::U32,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for StateIdRepr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Storage-width abstraction behind the packed tables: all three widths
+/// implement the same two-method interface so each scan loop is written
+/// once, generically, and monomorphized per width — the repr is matched
+/// **once per call**, never per byte.
+trait PackedId: Copy {
+    fn pack(v: SfaStateId) -> Self;
+    fn unpack(self) -> SfaStateId;
+}
+
+impl PackedId for u8 {
+    #[inline(always)]
+    fn pack(v: SfaStateId) -> u8 {
+        v as u8
+    }
+    #[inline(always)]
+    fn unpack(self) -> SfaStateId {
+        self as SfaStateId
+    }
+}
+
+impl PackedId for u16 {
+    #[inline(always)]
+    fn pack(v: SfaStateId) -> u16 {
+        v as u16
+    }
+    #[inline(always)]
+    fn unpack(self) -> SfaStateId {
+        self as SfaStateId
+    }
+}
+
+impl PackedId for u32 {
+    #[inline(always)]
+    fn pack(v: SfaStateId) -> u32 {
+        v
+    }
+    #[inline(always)]
+    fn unpack(self) -> SfaStateId {
+        self
+    }
+}
+
+/// A row-major state-id table in one of the three packed widths.
+#[derive(Clone, Debug)]
+enum PackedIds {
+    U8(Box<[u8]>),
+    U16(Box<[u16]>),
+    U32(Box<[u32]>),
+}
+
+impl PackedIds {
+    /// Packs full-width working ids down to `repr`. The caller guarantees
+    /// every id fits (the repr is never narrower than `|S_d|` requires).
+    fn pack(ids: &[SfaStateId], repr: StateIdRepr) -> PackedIds {
+        match repr {
+            StateIdRepr::U8 => PackedIds::U8(ids.iter().map(|&v| u8::pack(v)).collect()),
+            StateIdRepr::U16 => PackedIds::U16(ids.iter().map(|&v| u16::pack(v)).collect()),
+            StateIdRepr::U32 => PackedIds::U32(ids.iter().map(|&v| u32::pack(v)).collect()),
+        }
+    }
+
+    /// One entry, widened back to the interface width.
+    #[inline]
+    fn get(&self, i: usize) -> SfaStateId {
+        match self {
+            PackedIds::U8(t) => t[i].unpack(),
+            PackedIds::U16(t) => t[i].unpack(),
+            PackedIds::U32(t) => t[i].unpack(),
+        }
+    }
+
+    /// Total packed footprint in bytes.
+    fn bytes(&self) -> usize {
+        match self {
+            PackedIds::U8(t) => t.len(),
+            PackedIds::U16(t) => t.len() * 2,
+            PackedIds::U32(t) => t.len() * 4,
+        }
+    }
+
+    /// Widens the whole table back to `u32` (the boundary representation
+    /// [`DSfa::as_dfa`] hands to the automata layer).
+    fn unpack(&self) -> Vec<SfaStateId> {
+        match self {
+            PackedIds::U8(t) => t.iter().map(|&v| v.unpack()).collect(),
+            PackedIds::U16(t) => t.iter().map(|&v| v.unpack()).collect(),
+            PackedIds::U32(t) => t.iter().map(|&v| v.unpack()).collect(),
+        }
+    }
+}
+
+/// Number of independent inputs [`DSfa::run_from_many`] walks in lockstep.
+///
+/// Four dependent table loads in flight cover typical L2 latency without
+/// spilling the lane states out of registers.
+pub const INTERLEAVE_LANES: usize = 4;
+
+/// The premultiplied hot loop over one packed width: one dense lookup per
+/// byte, sink bitmap consulted only on state change (see
+/// [`DSfa::run_from`]).
+#[inline]
+fn scan_dense<T: PackedId>(
+    table: &[T],
+    sink: &[bool],
+    state: SfaStateId,
+    input: &[u8],
+) -> SfaStateId {
+    let mut f = state;
+    for &b in input {
+        let next = table[f as usize * 256 + b as usize].unpack();
+        if next != f {
+            f = next;
+            if sink[f as usize] {
+                return f;
+            }
+        }
+    }
+    f
+}
+
+/// The class-compressed fallback loop over one packed width (no
+/// premultiplied table: one `class_of` indirection plus one row lookup
+/// per byte).
+#[inline]
+fn scan_classes<T: PackedId>(
+    table: &[T],
+    classes: &ByteClasses,
+    stride: usize,
+    sink: &[bool],
+    state: SfaStateId,
+    input: &[u8],
+) -> SfaStateId {
+    let mut f = state;
+    for &b in input {
+        let next = table[f as usize * stride + classes.class_of(b) as usize].unpack();
+        if next != f {
+            f = next;
+            if sink[f as usize] {
+                return f;
+            }
+        }
+    }
+    f
+}
+
+/// The interleaved hot loop: walks [`INTERLEAVE_LANES`] independent
+/// inputs in lockstep over their common prefix length. Each iteration
+/// issues four *independent* dependent-load chains, hiding table-load
+/// latency the single-lane loop exposes. No per-byte sink branch: a sink
+/// self-loops on every byte, so walking it is harmless, and the caller
+/// finishes the tails through [`DSfa::run_from`] (which early-exits).
+#[inline]
+fn scan_dense_lanes<T: PackedId>(
+    table: &[T],
+    f: &mut [SfaStateId; INTERLEAVE_LANES],
+    inputs: &[&[u8]; INTERLEAVE_LANES],
+    common: usize,
+) {
+    let a = &inputs[0][..common];
+    let b = &inputs[1][..common];
+    let c = &inputs[2][..common];
+    let d = &inputs[3][..common];
+    for ((&b0, &b1), (&b2, &b3)) in a.iter().zip(b).zip(c.iter().zip(d)) {
+        f[0] = table[f[0] as usize * 256 + b0 as usize].unpack();
+        f[1] = table[f[1] as usize * 256 + b1 as usize].unpack();
+        f[2] = table[f[2] as usize * 256 + b2 as usize].unpack();
+        f[3] = table[f[3] as usize * 256 + b3 as usize].unpack();
+    }
+}
 
 /// A simultaneous finite automaton built from a DFA.
 #[derive(Clone, Debug)]
 pub struct DSfa {
     classes: ByteClasses,
     stride: usize,
-    table: Vec<SfaStateId>,
+    /// The packed width both tables store ids at (never narrower than
+    /// `|S_d|` requires; see [`StateIdRepr`]).
+    repr: StateIdRepr,
+    table: PackedIds,
     /// Premultiplied dense `256 × |S_d|` byte→state table (row `s` holds
     /// the successor of `s` for every raw byte value), built when
-    /// [`SfaConfig::premultiply`] is set and the table fits the size
-    /// ceiling. Fuses the `class_of` indirection out of the hot loop.
-    byte_table: Option<Box<[SfaStateId]>>,
+    /// [`SfaConfig::premultiply`] is set and the **packed** table fits the
+    /// size ceiling. Fuses the `class_of` indirection out of the hot loop.
+    byte_table: Option<PackedIds>,
     /// `sink[s]` is true when every transition of `s` loops back to `s` —
     /// once reached, the mapping can never change again, so a chunk run may
     /// stop early (the constant/synchronizing-word early exit: the all-dead
@@ -116,20 +373,44 @@ impl DSfa {
             .map(|s| (0..stride).all(|c| table[s * stride + c] == s as SfaStateId))
             .collect();
 
+        // Interning works in full-width ids; only now that |S_d| is known
+        // can the storage width be chosen. A configured override is
+        // honored only when it is at least as wide as the automaton
+        // requires (a narrower one would truncate ids).
+        let auto = StateIdRepr::for_states(num_states);
+        let repr = match config.repr {
+            Some(r) if r.bytes() >= auto.bytes() => r,
+            _ => auto,
+        };
+
         let classes = dfa.classes().clone();
         let byte_table = if config.premultiply
-            && num_states.saturating_mul(256).saturating_mul(std::mem::size_of::<SfaStateId>())
+            && num_states.saturating_mul(256).saturating_mul(repr.bytes())
                 <= SfaConfig::PREMULTIPLY_MAX_BYTES
         {
-            let mut dense = vec![0 as SfaStateId; num_states * 256];
-            for s in 0..num_states {
-                let row = &table[s * stride..(s + 1) * stride];
-                let dense_row = &mut dense[s * 256..(s + 1) * 256];
-                for (byte, slot) in dense_row.iter_mut().enumerate() {
-                    *slot = row[classes.class_of(byte as u8) as usize];
+            // Built directly at the packed width — a u32 staging table for
+            // a 65k-state u16 automaton would transiently double the 64 MiB
+            // ceiling this gate just enforced.
+            fn dense<T: PackedId>(
+                table: &[SfaStateId],
+                classes: &ByteClasses,
+                stride: usize,
+                num_states: usize,
+            ) -> Box<[T]> {
+                let mut out = Vec::with_capacity(num_states * 256);
+                for s in 0..num_states {
+                    let row = &table[s * stride..(s + 1) * stride];
+                    for byte in 0..=255u8 {
+                        out.push(T::pack(row[classes.class_of(byte) as usize]));
+                    }
                 }
+                out.into_boxed_slice()
             }
-            Some(dense.into_boxed_slice())
+            Some(match repr {
+                StateIdRepr::U8 => PackedIds::U8(dense(&table, &classes, stride, num_states)),
+                StateIdRepr::U16 => PackedIds::U16(dense(&table, &classes, stride, num_states)),
+                StateIdRepr::U32 => PackedIds::U32(dense(&table, &classes, stride, num_states)),
+            })
         } else {
             None
         };
@@ -137,7 +418,8 @@ impl DSfa {
         Ok(DSfa {
             classes,
             stride,
-            table,
+            repr,
+            table: PackedIds::pack(&table, repr),
             byte_table,
             sink,
             accepting,
@@ -242,17 +524,32 @@ impl DSfa {
     /// Transition on a byte class.
     #[inline]
     pub fn next_by_class(&self, state: SfaStateId, class: u16) -> SfaStateId {
-        self.table[state as usize * self.stride + class as usize]
+        self.table.get(state as usize * self.stride + class as usize)
     }
 
     /// Transition on a byte — one table lookup, exactly like the DFA.
     #[inline]
     pub fn next_state(&self, state: SfaStateId, byte: u8) -> SfaStateId {
         if let Some(bt) = &self.byte_table {
-            bt[state as usize * 256 + byte as usize]
+            bt.get(state as usize * 256 + byte as usize)
         } else {
             self.next_by_class(state, self.classes.class_of(byte))
         }
+    }
+
+    /// The packed width this automaton's tables store state ids at. The
+    /// automatic choice is the narrowest width fitting
+    /// [`num_states`](DSfa::num_states); [`SfaConfig::repr`] can force a
+    /// wider one.
+    #[inline]
+    pub fn repr(&self) -> StateIdRepr {
+        self.repr
+    }
+
+    /// Bytes per stored state id (1, 2 or 4) — `repr().bytes()`.
+    #[inline]
+    pub fn state_id_bytes(&self) -> usize {
+        self.repr.bytes()
     }
 
     /// True when the premultiplied dense byte table was built (see
@@ -291,32 +588,65 @@ impl DSfa {
     ///   common self-looping byte costs just the lookup and a register
     ///   compare.
     pub fn run_from(&self, state: SfaStateId, input: &[u8]) -> SfaStateId {
-        let mut f = state;
-        if self.sink[f as usize] {
-            return f;
+        if self.sink[state as usize] {
+            return state;
         }
-        if let Some(bt) = &self.byte_table {
-            for &b in input {
-                let next = bt[f as usize * 256 + b as usize];
-                if next != f {
-                    f = next;
-                    if self.sink[f as usize] {
-                        return f;
-                    }
+        // One match on (table kind × packed width) per *call*; each arm is
+        // a monomorphized loop whose loads are the packed width.
+        match &self.byte_table {
+            Some(PackedIds::U8(t)) => scan_dense(t, &self.sink, state, input),
+            Some(PackedIds::U16(t)) => scan_dense(t, &self.sink, state, input),
+            Some(PackedIds::U32(t)) => scan_dense(t, &self.sink, state, input),
+            None => match &self.table {
+                PackedIds::U8(t) => {
+                    scan_classes(t, &self.classes, self.stride, &self.sink, state, input)
                 }
+                PackedIds::U16(t) => {
+                    scan_classes(t, &self.classes, self.stride, &self.sink, state, input)
+                }
+                PackedIds::U32(t) => {
+                    scan_classes(t, &self.classes, self.stride, &self.sink, state, input)
+                }
+            },
+        }
+    }
+
+    /// Runs several independent `(state, input)` jobs, walking
+    /// [`INTERLEAVE_LANES`] of them in lockstep to hide table-load
+    /// latency.
+    ///
+    /// A single scan is one long dependent-load chain — every lookup
+    /// waits for the previous one. Four independent chains keep four
+    /// loads in flight, so a worker handed several haystacks (the sharded
+    /// batch path) approaches the cache's bandwidth instead of its
+    /// latency. Groups of four run over their common prefix length with
+    /// no per-byte sink branch (a sink self-loops harmlessly); each tail
+    /// then finishes through [`run_from`](DSfa::run_from), which keeps
+    /// the sink early-exit. Results are returned in job order, and equal
+    /// `run_from(state, input)` for every job. Without a premultiplied
+    /// table the jobs simply run one by one.
+    pub fn run_from_many(&self, jobs: &[(SfaStateId, &[u8])]) -> Vec<SfaStateId> {
+        let mut out = Vec::with_capacity(jobs.len());
+        let Some(bt) = &self.byte_table else {
+            out.extend(jobs.iter().map(|&(s, input)| self.run_from(s, input)));
+            return out;
+        };
+        let mut groups = jobs.chunks_exact(INTERLEAVE_LANES);
+        for group in groups.by_ref() {
+            let mut f = [group[0].0, group[1].0, group[2].0, group[3].0];
+            let inputs = [group[0].1, group[1].1, group[2].1, group[3].1];
+            let common = inputs.iter().map(|s| s.len()).min().unwrap_or(0);
+            match bt {
+                PackedIds::U8(t) => scan_dense_lanes(t, &mut f, &inputs, common),
+                PackedIds::U16(t) => scan_dense_lanes(t, &mut f, &inputs, common),
+                PackedIds::U32(t) => scan_dense_lanes(t, &mut f, &inputs, common),
             }
-        } else {
-            for &b in input {
-                let next = self.next_by_class(f, self.classes.class_of(b));
-                if next != f {
-                    f = next;
-                    if self.sink[f as usize] {
-                        return f;
-                    }
-                }
+            for (lane, input) in inputs.iter().enumerate() {
+                out.push(self.run_from(f[lane], &input[common..]));
             }
         }
-        f
+        out.extend(groups.remainder().iter().map(|&(s, input)| self.run_from(s, input)));
+        out
     }
 
     /// Whole-input membership using the SFA alone (sequential; the parallel
@@ -379,15 +709,16 @@ impl DSfa {
         })
     }
 
-    /// Bytes occupied by the (class-compressed) transition table.
+    /// Bytes occupied by the (class-compressed) transition table, at the
+    /// packed width.
     pub fn table_bytes(&self) -> usize {
-        self.table.len() * std::mem::size_of::<SfaStateId>()
+        self.table.bytes()
     }
 
-    /// Bytes occupied by the premultiplied dense byte table (0 when it was
-    /// not built).
+    /// Bytes occupied by the premultiplied dense byte table at the packed
+    /// width (0 when it was not built).
     pub fn byte_table_bytes(&self) -> usize {
-        self.byte_table.as_ref().map_or(0, |t| t.len() * std::mem::size_of::<SfaStateId>())
+        self.byte_table.as_ref().map_or(0, |t| t.bytes())
     }
 
     /// Bytes occupied by the state mappings (needed by the reduction step).
@@ -396,11 +727,13 @@ impl DSfa {
     }
 
     /// Re-interprets the SFA as a plain DFA over the same byte classes
-    /// (the SFA *is* deterministic). Used for equivalence checking.
+    /// (the SFA *is* deterministic). Used for equivalence checking. The
+    /// packed rows are widened back to the automata layer's `u32` ids at
+    /// this boundary.
     pub fn as_dfa(&self) -> Dfa {
         Dfa::from_parts(
             self.classes.clone(),
-            self.table.clone(),
+            self.table.unpack(),
             self.accepting.clone(),
             self.initial(),
         )
@@ -583,7 +916,10 @@ mod tests {
     #[test]
     fn table_and_mapping_sizes() {
         let (_, sfa) = dsfa("(ab)*");
-        assert_eq!(sfa.table_bytes(), sfa.num_states() * sfa.num_classes() * 4);
+        // 6 states pack to u8: one byte per stored id.
+        assert_eq!(sfa.repr(), StateIdRepr::U8);
+        assert_eq!(sfa.state_id_bytes(), 1);
+        assert_eq!(sfa.table_bytes(), sfa.num_states() * sfa.num_classes() * sfa.state_id_bytes());
         assert_eq!(sfa.mapping_bytes(), sfa.num_states() * sfa.num_dfa_states() * 4);
     }
 
@@ -595,7 +931,7 @@ mod tests {
             .unwrap();
         assert!(fast.premultiplied());
         assert!(!slow.premultiplied());
-        assert_eq!(fast.byte_table_bytes(), fast.num_states() * 256 * 4);
+        assert_eq!(fast.byte_table_bytes(), fast.num_states() * 256 * fast.state_id_bytes());
         assert_eq!(slow.byte_table_bytes(), 0);
         // Every single-byte step agrees between the dense and the
         // class-compressed layout.
@@ -654,5 +990,129 @@ mod tests {
         assert_eq!(sfa.num_states(), 1);
         assert!(!sfa.accepts(b""));
         assert!(!sfa.accepts(b"a"));
+    }
+
+    /// An `n`-state rotation DFA (state `i` steps to `i+1 mod n` on every
+    /// byte, state 0 accepts) whose D-SFA has *exactly* `n` states — the
+    /// reachable transformations are the `n` rotations — which pins the
+    /// repr promotion boundaries precisely.
+    fn cycle_dfa(n: usize) -> Dfa {
+        let table: Vec<StateId> = (0..n).map(|i| ((i + 1) % n) as StateId).collect();
+        let mut accepting = vec![false; n];
+        accepting[0] = true;
+        Dfa::from_parts(ByteClasses::single(), table, accepting, 0)
+    }
+
+    #[test]
+    fn repr_selection_rule() {
+        assert_eq!(StateIdRepr::for_states(1), StateIdRepr::U8);
+        assert_eq!(StateIdRepr::for_states(255), StateIdRepr::U8);
+        assert_eq!(StateIdRepr::for_states(256), StateIdRepr::U8);
+        assert_eq!(StateIdRepr::for_states(257), StateIdRepr::U16);
+        assert_eq!(StateIdRepr::for_states(65_536), StateIdRepr::U16);
+        assert_eq!(StateIdRepr::for_states(65_537), StateIdRepr::U32);
+        for repr in [StateIdRepr::U8, StateIdRepr::U16, StateIdRepr::U32] {
+            assert_eq!(StateIdRepr::parse(repr.as_str()), Some(repr));
+            assert_eq!(repr.to_string(), repr.as_str());
+        }
+        assert_eq!(StateIdRepr::parse("u64"), None);
+    }
+
+    #[test]
+    fn u8_to_u16_promotion_boundary() {
+        // Automata with exactly 255 / 256 / 257 SFA states: ids 0..=254
+        // and 0..=255 fit one byte; 257 states force two.
+        for (n, expected) in
+            [(255, StateIdRepr::U8), (256, StateIdRepr::U8), (257, StateIdRepr::U16)]
+        {
+            let dfa = cycle_dfa(n);
+            let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+            assert_eq!(sfa.num_states(), n, "rotation SFA has exactly n states");
+            assert_eq!(sfa.repr(), expected, "n = {n}");
+            assert_eq!(sfa.table_bytes(), n * sfa.num_classes() * expected.bytes());
+            // The walk crosses the full id range: after k bytes the state
+            // is rotation k, and n bytes return to the identity.
+            let mut f = sfa.initial();
+            for step in 1..=n {
+                f = sfa.next_state(f, b'x');
+                assert_eq!(sfa.is_accepting(f), step % n == 0 || step == n);
+            }
+            assert_eq!(f, sfa.initial());
+            assert_eq!(sfa.run(&vec![b'x'; n]), sfa.initial());
+        }
+    }
+
+    #[test]
+    fn forced_repr_widens_but_never_narrows() {
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        // 6 states: auto is u8; forcing wider widths is honored.
+        for (forced, expected) in [
+            (None, StateIdRepr::U8),
+            (Some(StateIdRepr::U8), StateIdRepr::U8),
+            (Some(StateIdRepr::U16), StateIdRepr::U16),
+            (Some(StateIdRepr::U32), StateIdRepr::U32),
+        ] {
+            let sfa =
+                DSfa::from_dfa(&dfa, &SfaConfig { repr: forced, ..SfaConfig::default() }).unwrap();
+            assert_eq!(sfa.repr(), expected, "forced {forced:?}");
+            assert_eq!(sfa.state_id_bytes(), expected.bytes());
+        }
+        // 257 states: a forced u8 cannot hold the ids and is widened.
+        let big = cycle_dfa(257);
+        let sfa = DSfa::from_dfa(
+            &big,
+            &SfaConfig { repr: Some(StateIdRepr::U8), ..SfaConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(sfa.repr(), StateIdRepr::U16);
+    }
+
+    #[test]
+    fn packed_reprs_agree_on_runs_and_tables() {
+        let dfa = minimal_dfa_from_pattern("([0-4]{2}[5-9]{2})*").unwrap();
+        let base = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        for forced in [StateIdRepr::U8, StateIdRepr::U16, StateIdRepr::U32] {
+            for premultiply in [true, false] {
+                let cfg = SfaConfig { repr: Some(forced), premultiply, ..SfaConfig::default() };
+                let sfa = DSfa::from_dfa(&dfa, &cfg).unwrap();
+                // Interning order is repr-independent, so state ids agree
+                // exactly, not just up to isomorphism.
+                for input in [&b""[..], b"0055", b"00550459", b"005", b"5500", b"zzz"] {
+                    assert_eq!(sfa.run(input), base.run(input), "{forced:?} {input:?}");
+                }
+                for s in 0..sfa.num_states() as SfaStateId {
+                    for byte in [b'0', b'5', b'9', b'z'] {
+                        assert_eq!(sfa.next_state(s, byte), base.next_state(s, byte));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_from_many_agrees_with_run_from() {
+        let (_, sfa) = dsfa("([0-4]{2}[5-9]{2})*");
+        let dead = sfa.run(b"z");
+        assert!(sfa.is_sink(dead));
+        let long = b"00550459".repeat(100);
+        // Mixed lengths (forcing unequal tails), a sink start, an empty
+        // input, and a count that is not a multiple of the lane width.
+        let jobs: Vec<(SfaStateId, &[u8])> = vec![
+            (sfa.initial(), &long[..]),
+            (sfa.initial(), b"0055"),
+            (dead, &long[..]),
+            (sfa.initial(), b""),
+            (sfa.run(b"00"), b"550459"),
+            (sfa.initial(), b"zz"),
+            (sfa.initial(), &long[..17]),
+        ];
+        let expected: Vec<SfaStateId> = jobs.iter().map(|&(s, i)| sfa.run_from(s, i)).collect();
+        assert_eq!(sfa.run_from_many(&jobs), expected);
+        // The class-row fallback path (no premultiplied table) agrees too.
+        let dfa = minimal_dfa_from_pattern("([0-4]{2}[5-9]{2})*").unwrap();
+        let slow = DSfa::from_dfa(&dfa, &SfaConfig { premultiply: false, ..SfaConfig::default() })
+            .unwrap();
+        assert_eq!(slow.run_from_many(&jobs), expected);
+        assert!(sfa.run_from_many(&[]).is_empty());
     }
 }

@@ -38,6 +38,23 @@
 //! is likewise eager-only: a dense 256-column table over states that may
 //! never materialize would defeat the point. See the [`crate`] docs for
 //! the knob/backend matrix.
+//!
+//! ## Why the lazy table stays `u32`
+//!
+//! The eager [`DSfa`](crate::DSfa) packs its table entries down to
+//! `u8`/`u16` when `|S_d|` fits ([`StateIdRepr`](crate::StateIdRepr));
+//! the lazy cache deliberately does **not**. Its state count is unknown
+//! up front and grows concurrently while pool workers hold ids, so a
+//! narrow width would have to be *re*-packed the moment the cache
+//! crossed 256 (then 65 536) entries — invalidating nothing (ids are
+//! stable) but requiring every reader to drain and the whole table to be
+//! rewritten under the write lock, serializing exactly the workers the
+//! batched read-lock design exists to keep concurrent. The cache also
+//! reserves `SfaStateId::MAX` as its not-yet-computed sentinel, which a
+//! packed row could not represent alongside 256 real states. Since lazy
+//! table memory is bounded by visited traffic rather than `|S_d|`, the
+//! 4× width costs little in practice; [`SfaConfig::repr`](crate::SfaConfig)
+//! is therefore ignored here.
 
 use crate::dsfa::SfaStateId;
 use crate::mapping::Transformation;

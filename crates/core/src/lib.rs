@@ -29,7 +29,8 @@
 //! | [`SfaConfig`] knob | [`DSfa`] (eager) | [`LazyDSfa`] | [`NSfa`] |
 //! |---|---|---|---|
 //! | `max_states` | enforced: construction fails with `TooManyStates` | **ignored** — the cache is bounded by the states actually visited (≤ one per input byte) | enforced |
-//! | `premultiply` | builds the dense 256-column byte table (≤ 64 MiB) | **ignored** — states may never materialize, so no dense table | ignored (states are correspondences, not table rows) |
+//! | `premultiply` | builds the dense 256-column byte table (≤ 64 MiB packed) | **ignored** — states may never materialize, so no dense table | ignored (states are correspondences, not table rows) |
+//! | `repr` | overrides the packed state-id width (never narrower than `\|S_d\|` requires) | **ignored** — the cache grows while matchers hold ids, so it stays `u32` (see [`LazyDSfa`]) | ignored (states are correspondences, not table rows) |
 //!
 //! ## Example
 //!
@@ -54,7 +55,7 @@ pub mod nsfa;
 pub mod stats;
 
 pub use backend::{BackendKind, SfaBackend};
-pub use dsfa::{DSfa, SfaStateId};
+pub use dsfa::{DSfa, SfaStateId, StateIdRepr};
 pub use lazy::LazyDSfa;
 pub use mapping::{Correspondence, Transformation};
 pub use nsfa::NSfa;
@@ -78,29 +79,49 @@ pub struct SfaConfig {
     /// Build a premultiplied dense `256 × |S_d|` byte→state transition
     /// table at construction time, fusing the byte-class indirection out of
     /// the hot matching loop (one true table lookup per byte, exactly the
-    /// paper's fixed-row layout). Costs `256 × |S_d| × 4` bytes of extra
-    /// memory on top of the class-compressed rows, so it is skipped —
-    /// regardless of this flag — once that table would exceed
-    /// [`SfaConfig::PREMULTIPLY_MAX_BYTES`]. Memory-constrained builds can
-    /// set this to `false` to keep class rows only.
+    /// paper's fixed-row layout). Costs `256 × |S_d|` **packed** entries of
+    /// extra memory on top of the class-compressed rows — one, two or four
+    /// bytes per entry depending on the selected [`StateIdRepr`] — so it is
+    /// skipped, regardless of this flag, once that packed table would
+    /// exceed [`SfaConfig::PREMULTIPLY_MAX_BYTES`]. Memory-constrained
+    /// builds can set this to `false` to keep class rows only.
     ///
     /// Only [`DSfa`] consumes this flag; [`LazyDSfa`] (whose states may
     /// never materialize, so a dense table over them cannot be built up
     /// front) and [`NSfa`] (whose states are correspondences, not table
     /// rows) ignore it — see the [knob matrix](crate) above.
     pub premultiply: bool,
+    /// Override of the packed state-id width used by the **eager**
+    /// [`DSfa`] transition tables. `None` (the default) selects the
+    /// narrowest width that fits `|S_d|`: `u8` up to 256 states, `u16` up
+    /// to 65 536, `u32` beyond. A `Some` override *wider* than required is
+    /// honored (useful to measure packing against a `u32` baseline); one
+    /// narrower than `|S_d|` requires is silently widened to the automatic
+    /// choice, so a forced repr can never truncate a state id.
+    ///
+    /// [`LazyDSfa`] ignores this knob: its table grows concurrently while
+    /// matcher threads hold state ids, so repacking the cache to a
+    /// narrower width mid-run would invalidate ids or serialize every
+    /// worker behind the write lock — the lazy cache deliberately stays
+    /// `u32` (see the [knob matrix](crate) above).
+    pub repr: Option<StateIdRepr>,
 }
 
 impl SfaConfig {
-    /// Hard ceiling on the premultiplied table size (64 MiB, i.e. 65 536
-    /// SFA states): beyond this the dense table is not built even when
-    /// [`SfaConfig::premultiply`] is set.
+    /// Hard ceiling on the premultiplied table size in **packed** bytes
+    /// (64 MiB): the dense table is not built — even when
+    /// [`SfaConfig::premultiply`] is set — once
+    /// `256 × |S_d| × state_id_bytes` exceeds it. The state count it
+    /// admits therefore depends on the selected [`StateIdRepr`]: every
+    /// `u8`/`u16` automaton fits (their packed tables top out at 16 KiB
+    /// and 32 MiB respectively), while `u32` automata premultiply up to
+    /// 65 536 states.
     pub const PREMULTIPLY_MAX_BYTES: usize = 64 << 20;
 }
 
 impl Default for SfaConfig {
     fn default() -> Self {
-        SfaConfig { max_states: 1_000_000, premultiply: true }
+        SfaConfig { max_states: 1_000_000, premultiply: true, repr: None }
     }
 }
 
@@ -176,6 +197,36 @@ mod proptests {
                 prop_assert_eq!(eager.accepts(input.as_bytes()), lazy.accepts(input.as_bytes()));
             }
             prop_assert!(lazy.num_states_constructed() <= eager.num_states());
+        }
+
+        /// Every packed table representation — forced via the
+        /// [`SfaConfig::repr`] override, with and without the
+        /// premultiplied byte table — produces the same verdicts and the
+        /// same final state ids as the forced-`u32` baseline and as the
+        /// lazy backend.
+        #[test]
+        fn packed_reprs_agree_with_u32(seed in any::<u64>(), inputs in prop::collection::vec("[a-d]{0,24}", 1..5)) {
+            let Some(dfa) = random_small_dfa(seed) else { return Ok(()) };
+            let base_cfg = SfaConfig {
+                max_states: 200_000,
+                repr: Some(StateIdRepr::U32),
+                ..SfaConfig::default()
+            };
+            let Ok(baseline) = DSfa::from_dfa(&dfa, &base_cfg) else { return Ok(()) };
+            prop_assert_eq!(baseline.repr(), StateIdRepr::U32);
+            let lazy = LazyDSfa::new(dfa.clone());
+            for repr in [None, Some(StateIdRepr::U8), Some(StateIdRepr::U16), Some(StateIdRepr::U32)] {
+                for premultiply in [true, false] {
+                    let cfg = SfaConfig { max_states: 200_000, premultiply, repr };
+                    let sfa = DSfa::from_dfa(&dfa, &cfg).unwrap();
+                    for input in &inputs {
+                        let bytes = input.as_bytes();
+                        prop_assert_eq!(sfa.run(bytes), baseline.run(bytes));
+                        prop_assert_eq!(sfa.accepts(bytes), dfa.accepts(bytes));
+                        prop_assert_eq!(sfa.accepts(bytes), lazy.accepts(bytes));
+                    }
+                }
+            }
         }
 
         /// The N-SFA accepts exactly the language of its source NFA on the

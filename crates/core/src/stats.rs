@@ -55,10 +55,23 @@ pub struct SizeReport {
     pub byte_classes: usize,
     /// DFA transition-table size in bytes.
     pub dfa_table_bytes: usize,
-    /// SFA transition-table size in bytes.
+    /// SFA transition-table size in bytes (class-compressed rows, at the
+    /// packed width).
     pub sfa_table_bytes: usize,
     /// Memory held by the SFA state mappings (needed for reductions).
     pub sfa_mapping_bytes: usize,
+    /// Bytes per stored SFA state id: the packed width of an eager
+    /// backend's tables (1, 2 or 4 — see
+    /// [`StateIdRepr`](crate::StateIdRepr)), always 4 for a lazy backend.
+    /// For a combined (sharded) report this is the *widest* shard, so a
+    /// value below 4 certifies that every shard packed.
+    pub state_id_bytes: usize,
+    /// Total transition-table footprint in bytes: the DFA rows plus the
+    /// SFA class rows plus the premultiplied dense byte table (when
+    /// built). This is the resident working set the packed repr shrinks —
+    /// compare against `dfa_table_bytes + sfa_table_bytes × 4 ÷
+    /// state_id_bytes` to see the saving.
+    pub table_bytes: usize,
     /// `|S_d| / |D|`, the y/x ratio of Figure 3 (using the complete DFA
     /// state count, which is how the paper's Fig. 1 counts `D_1`).
     pub ratio: f64,
@@ -84,6 +97,8 @@ impl SizeReport {
             sfa.num_states(),
             sfa.table_bytes(),
             sfa.mapping_bytes(),
+            sfa.state_id_bytes(),
+            sfa.byte_table_bytes(),
         )
     }
 
@@ -97,15 +112,20 @@ impl SizeReport {
             backend.num_states(),
             backend.table_bytes(),
             backend.mapping_bytes(),
+            backend.state_id_bytes(),
+            backend.byte_table_bytes(),
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build(
         dfa: &Dfa,
         backend: BackendKind,
         sfa_states: usize,
         sfa_table_bytes: usize,
         sfa_mapping_bytes: usize,
+        state_id_bytes: usize,
+        byte_table_bytes: usize,
     ) -> SizeReport {
         SizeReport {
             backend,
@@ -118,6 +138,8 @@ impl SizeReport {
             dfa_table_bytes: dfa.table_bytes(),
             sfa_table_bytes,
             sfa_mapping_bytes,
+            state_id_bytes,
+            table_bytes: dfa.table_bytes() + sfa_table_bytes + byte_table_bytes,
             ratio: sfa_states as f64 / dfa.num_states() as f64,
             growth: classify(dfa.num_states(), sfa_states),
             shards: 1,
@@ -127,8 +149,10 @@ impl SizeReport {
 
     /// Aggregates per-shard reports into one report for a sharded set:
     /// state counts and byte footprints are summed (they all coexist in
-    /// memory), `byte_classes` and `max_shard_dfa_states` take the
-    /// per-shard maximum, `shards` sums the inputs' shard counts, the
+    /// memory), `byte_classes`, `state_id_bytes` and
+    /// `max_shard_dfa_states` take the per-shard maximum (the widest
+    /// shard bounds the packing claim), `shards` sums the inputs' shard
+    /// counts, the
     /// backend is `Eager` only when every shard is eager, and
     /// `ratio`/`growth` are recomputed from the summed totals. An empty
     /// slice yields an all-zero eager report (`ratio` is `NaN`).
@@ -151,6 +175,8 @@ impl SizeReport {
             dfa_table_bytes: reports.iter().map(|r| r.dfa_table_bytes).sum(),
             sfa_table_bytes: reports.iter().map(|r| r.sfa_table_bytes).sum(),
             sfa_mapping_bytes: reports.iter().map(|r| r.sfa_mapping_bytes).sum(),
+            state_id_bytes: reports.iter().map(|r| r.state_id_bytes).max().unwrap_or(0),
+            table_bytes: reports.iter().map(|r| r.table_bytes).sum(),
             ratio: sfa_states as f64 / dfa_states as f64,
             growth: classify(dfa_states, sfa_states),
             shards: reports.iter().map(|r| r.shards).sum(),
@@ -199,7 +225,8 @@ impl SizeReport {
                 "{{\"backend\":\"{}\",\"patterns\":{},\"dfa_states\":{},\"dfa_live_states\":{},",
                 "\"sfa_states\":{},\"materialized_states\":{},",
                 "\"byte_classes\":{},\"dfa_table_bytes\":{},\"sfa_table_bytes\":{},",
-                "\"sfa_mapping_bytes\":{},\"ratio\":{},\"growth\":\"{}\",",
+                "\"sfa_mapping_bytes\":{},\"state_id_bytes\":{},\"table_bytes\":{},",
+                "\"ratio\":{},\"growth\":\"{}\",",
                 "\"shards\":{},\"max_shard_dfa_states\":{}}}"
             ),
             self.backend.as_str(),
@@ -212,6 +239,8 @@ impl SizeReport {
             self.dfa_table_bytes,
             self.sfa_table_bytes,
             self.sfa_mapping_bytes,
+            self.state_id_bytes,
+            self.table_bytes,
             ratio,
             self.growth.as_str(),
             self.shards,
@@ -240,6 +269,20 @@ impl SizeReport {
             dfa_table_bytes: field(json, "dfa_table_bytes")?.parse().ok()?,
             sfa_table_bytes: field(json, "sfa_table_bytes")?.parse().ok()?,
             sfa_mapping_bytes: field(json, "sfa_mapping_bytes")?.parse().ok()?,
+            // Reports written before packed state ids existed lack these
+            // fields: their tables stored plain `u32` ids and never
+            // carried a premultiplied byte table in the report.
+            state_id_bytes: match field(json, "state_id_bytes") {
+                Some(s) => s.parse().ok()?,
+                None => 4,
+            },
+            table_bytes: match field(json, "table_bytes") {
+                Some(s) => s.parse().ok()?,
+                None => {
+                    field(json, "dfa_table_bytes")?.parse::<usize>().ok()?
+                        + field(json, "sfa_table_bytes")?.parse::<usize>().ok()?
+                }
+            },
             ratio: match field(json, "ratio")? {
                 "null" => f64::NAN,
                 s => s.parse().ok()?,
@@ -350,6 +393,8 @@ mod tests {
         assert_eq!(back.materialized_states, r.materialized_states);
         assert_eq!(back.growth, r.growth);
         assert_eq!(back.dfa_table_bytes, r.dfa_table_bytes);
+        assert_eq!(back.state_id_bytes, r.state_id_bytes);
+        assert_eq!(back.table_bytes, r.table_bytes);
         assert!((back.ratio - r.ratio).abs() < 1e-12);
         assert!(SizeReport::from_json("{}").is_none());
         assert!(SizeReport::from_json("{\"dfa_states\":oops}").is_none());
@@ -432,6 +477,51 @@ mod tests {
         let parsed = SizeReport::from_json(&legacy_json).unwrap();
         assert_eq!(parsed.shards, 1);
         assert_eq!(parsed.max_shard_dfa_states, old.dfa_states);
+    }
+
+    #[test]
+    fn packed_fields_report_width_and_total_footprint() {
+        use crate::{LazyDSfa, StateIdRepr};
+        // (ab)* has 6 D-SFA states: auto-packs to u8, and the default
+        // config premultiplies, so the total footprint includes the dense
+        // 256-column byte table.
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        let r = SizeReport::new(&dfa, &sfa);
+        assert_eq!(r.state_id_bytes, 1);
+        assert_eq!(r.table_bytes, r.dfa_table_bytes + r.sfa_table_bytes + sfa.byte_table_bytes());
+        assert!(sfa.byte_table_bytes() > 0);
+
+        // A forced-u32 build of the same automaton reports the wider id
+        // and the proportionally larger footprint.
+        let wide_cfg = SfaConfig { repr: Some(StateIdRepr::U32), ..SfaConfig::default() };
+        let wide = DSfa::from_dfa(&dfa, &wide_cfg).unwrap();
+        let rw = SizeReport::new(&dfa, &wide);
+        assert_eq!(rw.state_id_bytes, 4);
+        assert_eq!(rw.sfa_table_bytes, r.sfa_table_bytes * 4);
+        assert!(rw.table_bytes > r.table_bytes);
+
+        // Lazy backends always report the u32 width and no byte table.
+        let lazy = SfaBackend::from(LazyDSfa::new(dfa.clone()));
+        let rl = SizeReport::of_backend(&dfa, &lazy);
+        assert_eq!(rl.state_id_bytes, 4);
+        assert_eq!(rl.table_bytes, rl.dfa_table_bytes + rl.sfa_table_bytes);
+
+        // combine(): the widest shard wins the width, footprints sum.
+        let combined = SizeReport::combine(&[r.clone(), rl.clone()]);
+        assert_eq!(combined.state_id_bytes, 4);
+        assert_eq!(combined.table_bytes, r.table_bytes + rl.table_bytes);
+
+        // JSON written before these fields existed still parses: u32 ids,
+        // footprint reconstructed from the per-table byte fields.
+        let legacy_json = r.to_json().replace(
+            &format!(",\"state_id_bytes\":{},\"table_bytes\":{}", r.state_id_bytes, r.table_bytes),
+            "",
+        );
+        assert!(!legacy_json.contains("state_id_bytes"), "{legacy_json}");
+        let parsed = SizeReport::from_json(&legacy_json).unwrap();
+        assert_eq!(parsed.state_id_bytes, 4);
+        assert_eq!(parsed.table_bytes, r.dfa_table_bytes + r.sfa_table_bytes);
     }
 
     #[test]

@@ -45,6 +45,35 @@ pub fn split_chunks_with_offsets(input: &[u8], chunks: usize) -> Vec<(usize, &[u
         .collect()
 }
 
+/// Packs consecutive items into groups bounded by total size: each
+/// returned range covers adjacent indices of `sizes` whose sum stays
+/// within `max_bytes`. An item larger than `max_bytes` on its own gets a
+/// singleton group (it is never split — callers that need to cut a single
+/// oversized item use [`split_chunks`] on it instead). The ranges
+/// partition `0..sizes.len()` in order; an empty `sizes` yields no
+/// groups.
+///
+/// This is the batch dual of [`split_chunks`]: instead of cutting one
+/// large input into per-worker chunks, it glues many small work items
+/// into per-worker jobs big enough to amortize a pool hand-off.
+pub fn pack_by_bytes(sizes: &[usize], max_bytes: usize) -> Vec<std::ops::Range<usize>> {
+    let mut groups = Vec::new();
+    let mut start = 0;
+    let mut total = 0usize;
+    for (i, &size) in sizes.iter().enumerate() {
+        if i > start && total + size > max_bytes {
+            groups.push(start..i);
+            start = i;
+            total = 0;
+        }
+        total += size;
+    }
+    if start < sizes.len() {
+        groups.push(start..sizes.len());
+    }
+    groups
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +119,34 @@ mod tests {
     fn zero_chunks_treated_as_one() {
         let chunks = split_chunks(b"xyz", 0);
         assert_eq!(chunks, vec![&b"xyz"[..]]);
+    }
+
+    #[test]
+    fn pack_by_bytes_partitions_in_order() {
+        // Groups close when the next item would overflow the bound.
+        let sizes = [100, 100, 100, 100, 100];
+        assert_eq!(pack_by_bytes(&sizes, 250), vec![0..2, 2..4, 4..5]);
+        // An oversized item gets its own group without splitting, and
+        // never drags its neighbors past the bound.
+        let sizes = [10, 5000, 10, 10];
+        assert_eq!(pack_by_bytes(&sizes, 100), vec![0..1, 1..2, 2..4]);
+        // One giant item alone.
+        assert_eq!(pack_by_bytes(&[9999], 10), vec![0..1]);
+        // Everything fits in one group.
+        assert_eq!(pack_by_bytes(&[1, 2, 3], 100), vec![0..3]);
+        // Zero-size items pack densely; empty input yields no groups.
+        assert_eq!(pack_by_bytes(&[0, 0, 0], 0), vec![0..3]);
+        assert_eq!(pack_by_bytes(&[], 100), Vec::<std::ops::Range<usize>>::new());
+        // The groups always partition the index space exactly.
+        for bound in [1, 7, 50, 1000] {
+            let sizes = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+            let groups = pack_by_bytes(&sizes, bound);
+            let mut covered = Vec::new();
+            for g in &groups {
+                covered.extend(g.clone());
+            }
+            assert_eq!(covered, (0..sizes.len()).collect::<Vec<_>>(), "bound {bound}");
+        }
     }
 
     #[test]

@@ -107,7 +107,7 @@ pub mod speculative;
 pub mod strategy;
 pub mod stream;
 
-pub use chunk::{split_chunks, split_chunks_with_offsets};
+pub use chunk::{pack_by_bytes, split_chunks, split_chunks_with_offsets};
 pub use error::Error;
 pub use executor::{map_chunks, tree_reduce};
 pub use matches::SetMatches;
@@ -116,10 +116,10 @@ pub use pool::{ChunkPlan, Engine, WorkerPool, MIN_POOL_CHUNK_BYTES};
 pub use prefilter::Prefilter;
 pub use regex::{default_threads, BackendChoice, MatchMode, Regex, RegexBuilder, RegexSet};
 // Re-exported so `Regex::backend_kind` / `Regex::sfa` /
-// `SetMatches::as_pattern_set` return types are nameable from this crate
-// alone.
+// `RegexBuilder::state_id_repr` / `SetMatches::as_pattern_set` types are
+// nameable from this crate alone.
 pub use sfa_automata::{PatternId, PatternSet};
-pub use sfa_core::{BackendKind, SfaBackend};
+pub use sfa_core::{BackendKind, SfaBackend, StateIdRepr};
 pub use shard::Shard;
 pub use speculative::SpeculativeDfaMatcher;
 pub use strategy::Strategy;
@@ -305,6 +305,61 @@ mod proptests {
                 stream.feed(std::slice::from_ref(b));
             }
             prop_assert_eq!(stream.finish(), expected);
+        }
+
+        /// Packed table widths are invisible to every execution surface:
+        /// a forced-`u8`/`u16` regex reaches the same final DFA state as
+        /// the forced-`u32` baseline and the lazy backend under every
+        /// strategy, and streams to the same verdict across arbitrary
+        /// feed boundaries.
+        #[test]
+        fn packed_reprs_agree_across_strategies_and_streams(
+            seed in any::<u64>(),
+            input in "[a-c]{0,60}",
+            threads in 1usize..7,
+            cut in any::<prop::sample::Index>(),
+        ) {
+            use sfa_core::StateIdRepr;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ast = small_generator().generate(&mut rng);
+            let pattern = sfa_regex_syntax::to_pattern(&ast);
+            static ENGINE: std::sync::OnceLock<Engine> = std::sync::OnceLock::new();
+            let engine = ENGINE.get_or_init(|| Engine::new(4));
+            let build = |b: RegexBuilder| {
+                b.engine(engine.clone())
+                    .threads(threads)
+                    .max_dfa_states(400)
+                    .max_sfa_states(100_000)
+                    .build(&pattern)
+            };
+            let Ok(baseline) = build(Regex::builder().state_id_repr(StateIdRepr::U32)) else {
+                return Ok(());
+            };
+            let bytes = input.as_bytes();
+            let expected = baseline.run(bytes, Exec::Sequential);
+            // The packed sequential path lands exactly where Algorithm 2
+            // does (Lemma 1).
+            prop_assert_eq!(expected, baseline.dfa().run(bytes));
+            let variants = [
+                build(Regex::builder()).unwrap(), // auto: narrowest fit
+                build(Regex::builder().state_id_repr(StateIdRepr::U8)).unwrap(),
+                build(Regex::builder().state_id_repr(StateIdRepr::U16)).unwrap(),
+                build(Regex::builder().backend(BackendChoice::Lazy)).unwrap(),
+            ];
+            for re in &variants {
+                prop_assert_eq!(re.run(bytes, Exec::Sequential), expected);
+                for reduction in [Reduction::Sequential, Reduction::Tree] {
+                    prop_assert_eq!(re.run(bytes, Exec::Parallel { threads, reduction }), expected);
+                    prop_assert_eq!(
+                        re.run(bytes, Exec::Speculative { threads, reduction }),
+                        expected
+                    );
+                }
+                let c = cut.index(bytes.len() + 1).min(bytes.len());
+                let mut stream = re.stream();
+                stream.feed(&bytes[..c]).feed(&bytes[c..]);
+                prop_assert_eq!(stream.finish(), baseline.dfa().is_accepting(expected));
+            }
         }
 
         /// The eager and lazy backends agree everywhere: same verdicts on

@@ -56,6 +56,11 @@ impl<'a> ParallelSfaMatcher<'a> {
     /// The chunk phase for an already-decided plan (shared by
     /// [`chunk_states`](Self::chunk_states) and [`run`](Self::run) so the
     /// plan is computed exactly once per call).
+    ///
+    /// Each `run` call dispatches **once** on the backend's packed
+    /// state-id width ([`StateIdRepr`](sfa_core::StateIdRepr)) and then
+    /// scans the whole chunk in a monomorphized loop — the width match
+    /// is per chunk, never per byte.
     fn partial_states(&self, input: &[u8], plan: ChunkPlan) -> Vec<SfaStateId> {
         let chunks = split_chunks(input, plan.chunks);
         self.engine.map_chunks(chunks, plan.use_pool, |_, chunk| self.sfa.run(chunk))

@@ -19,7 +19,7 @@ use crate::Reduction;
 use sfa_automata::{
     determinize, minimize, CompileError, Dfa, DfaConfig, Nfa, PatternId, PatternSet, StateId,
 };
-use sfa_core::{BackendKind, DSfa, LazyDSfa, SfaBackend, SfaConfig, SizeReport};
+use sfa_core::{BackendKind, DSfa, LazyDSfa, SfaBackend, SfaConfig, SizeReport, StateIdRepr};
 use sfa_regex_syntax::ast::Ast;
 use sfa_regex_syntax::class::perl;
 use sfa_regex_syntax::{Parser, ParserConfig};
@@ -155,6 +155,19 @@ impl RegexBuilder {
     /// exceeded. Defaults to [`Eager`](BackendChoice::Eager).
     pub fn backend(mut self, backend: BackendChoice) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Forces the packed state-id width of the **eager** D-SFA transition
+    /// tables instead of the automatic narrowest-fit choice (`u8` up to
+    /// 256 SFA states, `u16` up to 65 536, `u32` beyond). An override
+    /// narrower than the automaton requires is silently widened — it can
+    /// never truncate a state id — so the practical use is forcing a
+    /// *wider* width, e.g. [`StateIdRepr::U32`] to benchmark the packed
+    /// tables against the unpacked baseline on identical automata. Lazy
+    /// backends ignore it (see [`SfaConfig::repr`]).
+    pub fn state_id_repr(mut self, repr: StateIdRepr) -> Self {
+        self.sfa.repr = Some(repr);
         self
     }
 
@@ -491,7 +504,7 @@ impl Regex {
     /// ```
     pub fn run(&self, input: &[u8], strategy: Strategy) -> StateId {
         match self.resolve(strategy) {
-            Strategy::Sequential => self.dfa.run(input),
+            Strategy::Sequential => self.run_sequential(input),
             Strategy::Parallel { threads, reduction } => {
                 ParallelSfaMatcher::with_engine(&self.backend, self.engine().clone())
                     .run(input, threads, reduction)
@@ -502,6 +515,33 @@ impl Regex {
             }
             Strategy::Auto => unreachable!("resolve() eliminated Auto"),
         }
+    }
+
+    /// The byte-table size up to which [`Strategy::Sequential`] scans the
+    /// eager premultiplied D-SFA instead of the DFA (128 KiB — small
+    /// enough to stay cache-resident; a `u8`-packed 256-state table is
+    /// 64 KiB).
+    ///
+    /// The SFA byte table folds the byte-class indirection away — one
+    /// dependent load per byte instead of the DFA's two — and the packed
+    /// width keeps the whole table in L1/L2, so for small automata this is
+    /// the fastest sequential path. Above the threshold the class-
+    /// compressed DFA rows win (the dense SFA table would thrash the
+    /// cache), so big automata keep the classic Algorithm 2 scan.
+    const SEQ_BYTE_TABLE_MAX_BYTES: usize = 128 << 10;
+
+    /// Algorithm 2 with a cache-conscious twist: sequential scanning
+    /// through whichever table representation is fastest for this
+    /// automaton. The final DFA state is identical either way — the SFA
+    /// end state's mapping applied to the DFA start state *is* the DFA
+    /// run (Lemma 1).
+    fn run_sequential(&self, input: &[u8]) -> StateId {
+        if let SfaBackend::Eager(sfa) = &self.backend {
+            if sfa.premultiplied() && sfa.byte_table_bytes() <= Self::SEQ_BYTE_TABLE_MAX_BYTES {
+                return sfa.mapping(sfa.run(input)).apply(self.dfa.start());
+            }
+        }
+        self.dfa.run(input)
     }
 
     /// Matches under an explicit [`Strategy`].
@@ -704,14 +744,14 @@ impl Regex {
         let total: usize = small.iter().map(|&i| haystacks[i].len()).sum();
         if shards <= 1 || small.len() <= 1 || total / shards < MIN_POOL_CHUNK_BYTES {
             for &i in &small {
-                out[i] = self.dfa.run(haystacks[i]);
+                out[i] = self.run_sequential(haystacks[i]);
             }
             return out;
         }
         let shard_len = small.len().div_ceil(shards);
         let finals = engine
             .map_chunks(small.chunks(shard_len).collect(), true, |_, shard| {
-                shard.iter().map(|&i| self.dfa.run(haystacks[i])).collect::<Vec<_>>()
+                shard.iter().map(|&i| self.run_sequential(haystacks[i])).collect::<Vec<_>>()
             })
             .concat();
         for (&i, q) in small.iter().zip(finals) {

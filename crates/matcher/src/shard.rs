@@ -31,12 +31,14 @@
 //! match modes — a `Contains` match contains a word of the raw pattern,
 //! which satisfies every required clause.
 
+use crate::chunk::pack_by_bytes;
 use crate::error::Error;
+use crate::pool::MIN_POOL_CHUNK_BYTES;
 use crate::prefilter::Prefilter;
 use crate::regex::{set_label, union_nfa, Regex, RegexBuilder};
 use crate::strategy::Strategy;
-use sfa_automata::{determinize, CompileError, Dfa, DfaConfig, PatternId, PatternSet};
-use sfa_core::SizeReport;
+use sfa_automata::{determinize, CompileError, Dfa, DfaConfig, PatternId, PatternSet, StateId};
+use sfa_core::{SfaStateId, SizeReport, StateIdRepr};
 use sfa_regex_syntax::literal::required_literal_clauses;
 use sfa_regex_syntax::Ast;
 use std::collections::HashMap;
@@ -95,6 +97,17 @@ impl Shard {
     pub fn is_fallback(&self) -> bool {
         self.fallback
     }
+
+    /// The packed state-id width of this shard's transition tables
+    /// ([`StateIdRepr::U32`] when the shard fell back to the lazy
+    /// backend). Budget-bounded shards are exactly what makes packing
+    /// pay: a few thousand determinized states keep `|S_d|` under
+    /// 65 536, so sharded sets typically scan `u16` (often `u8`) tables
+    /// throughout — the set-wide maximum is
+    /// [`SizeReport::state_id_bytes`](sfa_core::SizeReport::state_id_bytes).
+    pub fn repr(&self) -> StateIdRepr {
+        self.regex.sfa().repr()
+    }
 }
 
 /// The sharded compilation of a [`RegexSet`](crate::RegexSet): the
@@ -134,11 +147,33 @@ impl ShardedSet {
         // the builder's own DFA limit).
         let trial_cfg =
             DfaConfig { max_states: budget.min(builder.dfa.max_states), ..builder.dfa.clone() };
+        // Packing order: biggest solo DFA first. Next-fit is sensitive to
+        // arrival order — a large rule arriving at a nearly-full shard
+        // closes it with most of the budget unused. Sorting by each rule's
+        // own budget-capped trial size (the classic next-fit-decreasing
+        // heuristic) lets big rules claim fresh shards and small rules
+        // backfill the remainder, which packs the same ruleset into
+        // measurably fewer shards. Rules that bust the budget alone sort
+        // first and take their fallback singletons immediately.
+        let mut solo_states: Vec<usize> = Vec::with_capacity(asts.len());
+        for ast in asts {
+            let (wrapped, _) = builder.wrap_branches(vec![ast.clone()]);
+            let nfa = union_nfa(&wrapped)?;
+            match determinize(&nfa, &trial_cfg) {
+                Ok(dfa) => solo_states.push(dfa.num_states()),
+                Err(CompileError::TooManyStates { .. }) => solo_states.push(usize::MAX),
+                Err(e) => return Err(e),
+            }
+        }
+        let mut order: Vec<usize> = (0..asts.len()).collect();
+        // Stable sort: equal-size rules keep their user-given order.
+        order.sort_by_key(|&u| std::cmp::Reverse(solo_states[u]));
         let mut shards: Vec<Shard> = Vec::new();
         let mut open: Vec<PatternId> = Vec::new();
         let mut open_good: Option<(usize, Dfa)> = None;
-        let mut i = 0;
-        while i < asts.len() {
+        let mut pos = 0;
+        while pos < order.len() {
+            let i = order[pos];
             let mut candidate = open.clone();
             candidate.push(i as PatternId);
             let branches: Vec<Ast> = candidate.iter().map(|&u| asts[u as usize].clone()).collect();
@@ -148,7 +183,7 @@ impl ShardedSet {
                 Ok(dfa) => {
                     open = candidate;
                     open_good = Some((nfa.num_states(), dfa));
-                    i += 1;
+                    pos += 1;
                 }
                 Err(CompileError::TooManyStates { .. }) if open.is_empty() => {
                     // The rule busts the budget alone: singleton fallback
@@ -164,11 +199,11 @@ impl ShardedSet {
                         gated: false,
                         fallback: true,
                     });
-                    i += 1;
+                    pos += 1;
                 }
                 Err(CompileError::TooManyStates { .. }) => {
                     // Close the open shard on its last good trial; rule i
-                    // retries against a fresh shard (i not advanced).
+                    // retries against a fresh shard (pos not advanced).
                     let (nfa_states, dfa) = open_good.take().expect("open shard had a good trial");
                     shards.push(close_shard(
                         builder,
@@ -354,24 +389,72 @@ impl ShardedSet {
         out
     }
 
-    /// Per-rule verdicts for a batch, over the deduplicated universe:
-    /// each shard runs one sub-batch of the haystacks it is active for.
+    /// Per-rule verdicts for a batch, over the deduplicated universe.
+    ///
+    /// The whole cross product of active shards × haystacks is submitted
+    /// as **one** scoped engine batch: every (shard, haystack-group) pair
+    /// becomes a job, and all jobs from all shards drain through the pool
+    /// together. The per-shard sequential loop this replaces paid one
+    /// pool hand-off per shard and left workers idle whenever one shard's
+    /// sub-batch was smaller than the pool — with hundreds of shards the
+    /// hand-offs dominated. Groups are byte-bounded (consecutive active
+    /// haystacks up to [`MIN_POOL_CHUNK_BYTES`]-scaled job sizes, an
+    /// oversized haystack alone in its own job), so job granularity is
+    /// balanced regardless of haystack skew.
+    ///
+    /// Inside a job the haystacks are scanned with
+    /// [`SfaBackend::run_from_many`], which walks [`INTERLEAVE_LANES`]
+    /// independent inputs in lockstep on eager backends — the
+    /// cache-latency-hiding path the packed tables were built for.
+    ///
+    /// [`MIN_POOL_CHUNK_BYTES`]: crate::pool::MIN_POOL_CHUNK_BYTES
+    /// [`INTERLEAVE_LANES`]: sfa_core::dsfa::INTERLEAVE_LANES
+    /// [`SfaBackend::run_from_many`]: sfa_core::SfaBackend::run_from_many
     pub(crate) fn matches_batch(&self, haystacks: &[&[u8]]) -> Result<Vec<PatternSet>, Error> {
         self.check_tracking()?;
         let ns = self.shards.len();
         let actives = self.batch_actives(haystacks);
         let mut out: Vec<PatternSet> =
             (0..haystacks.len()).map(|_| PatternSet::new(self.unique)).collect();
-        for (sid, shard) in self.shards.iter().enumerate() {
+        if ns == 0 || haystacks.is_empty() {
+            return Ok(out);
+        }
+        let engine = self.shards[0].regex.engine().clone();
+        // One job = one shard × one byte-bounded group of its active
+        // haystacks. Total bytes decide whether the pool is worth it.
+        let mut jobs: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut total = 0usize;
+        for sid in 0..ns {
             let idxs: Vec<usize> =
                 (0..haystacks.len()).filter(|&i| actives[i * ns + sid]).collect();
             if idxs.is_empty() {
                 continue;
             }
-            let subs: Vec<&[u8]> = idxs.iter().map(|&i| haystacks[i]).collect();
-            for (&i, local) in idxs.iter().zip(shard.regex.try_matches_batch(&subs)?) {
-                for hit in local.iter() {
-                    out[i].insert(shard.members[hit]);
+            let sizes: Vec<usize> = idxs.iter().map(|&i| haystacks[i].len()).collect();
+            total += sizes.iter().sum::<usize>();
+            for range in pack_by_bytes(&sizes, MIN_POOL_CHUNK_BYTES) {
+                jobs.push((sid, idxs[range].to_vec()));
+            }
+        }
+        let parallel = engine.workers() > 1 && total >= MIN_POOL_CHUNK_BYTES;
+        let scanned: Vec<(usize, Vec<usize>, Vec<StateId>)> =
+            engine.map_chunks(jobs, parallel, |_, (sid, idxs)| {
+                let backend = self.shards[sid].regex.sfa();
+                let init = backend.initial();
+                let scan: Vec<(SfaStateId, &[u8])> =
+                    idxs.iter().map(|&i| (init, haystacks[i])).collect();
+                let finals = backend
+                    .run_from_many(&scan)
+                    .into_iter()
+                    .map(|f| backend.apply(f, backend.dfa_start()))
+                    .collect();
+                (sid, idxs, finals)
+            });
+        for (sid, idxs, finals) in scanned {
+            let shard = &self.shards[sid];
+            for (&i, q) in idxs.iter().zip(finals) {
+                for hit in shard.regex.dfa().accept_set(q).iter() {
+                    out[i].insert(shard.members[hit as usize]);
                 }
             }
         }
@@ -472,7 +555,11 @@ mod tests {
         )
         .unwrap();
         assert_eq!(sharded.shards().len(), 1);
-        assert_eq!(sharded.shards()[0].members(), &[0, 1]);
+        // Members are in packing order (largest solo DFA first), not rule
+        // order; both rules still land in the one shard.
+        let mut members = sharded.shards()[0].members().to_vec();
+        members.sort_unstable();
+        assert_eq!(members, &[0, 1]);
         assert!(sharded.matches(b"attack42 exploitok").iter().eq([0, 1]));
     }
 
@@ -574,11 +661,23 @@ mod tests {
 
     #[test]
     fn sharded_size_report_counts_shards() {
+        use sfa_core::{BackendKind, StateIdRepr};
         let sharded = RegexSet::new(RULES, &builder().shard_state_budget(64)).unwrap();
         let report = sharded.size_report();
         assert_eq!(report.shards, sharded.shards().len());
         assert!(report.shards > 1);
         assert!(report.max_shard_dfa_states <= 64);
+        // Budget-bounded shards pack: every eager shard's SFA fits a
+        // narrow id, lazy fallbacks report the u32 cache width, and the
+        // combined report carries the set-wide maximum.
+        for shard in sharded.shards() {
+            match shard.regex().backend_kind() {
+                BackendKind::Eager => assert!(shard.repr().bytes() <= 2, "{:?}", shard.members()),
+                BackendKind::Lazy => assert_eq!(shard.repr(), StateIdRepr::U32),
+            }
+        }
+        let widest = sharded.shards().iter().map(|s| s.repr().bytes()).max().unwrap();
+        assert_eq!(report.state_id_bytes, widest);
         assert_eq!(
             report.dfa_states,
             sharded.shards().iter().map(|s| s.regex().dfa().num_states()).sum::<usize>()

@@ -16,7 +16,11 @@
 //! Unlike the SFA matchers, this baseline is independent of the
 //! [`SfaBackend`](crate::SfaBackend) choice: it simulates the *DFA*
 //! directly (recomputing per chunk what an SFA pre-computes), so a
-//! `Regex` on the lazy backend still exposes it unchanged.
+//! `Regex` on the lazy backend still exposes it unchanged. For the same
+//! reason it is untouched by the packed
+//! [`StateIdRepr`](sfa_core::StateIdRepr) tables — its per-chunk state
+//! vectors are over the DFA's `u32` state space, faithfully reproducing
+//! the prior art's memory behavior (that is what makes it a baseline).
 
 use crate::chunk::split_chunks;
 use crate::pool::Engine;

@@ -98,6 +98,10 @@ impl<'r> StreamMatcher<'r> {
         }
         let plan = self.regex.engine().plan_chunks(block.len(), self.regex.threads());
         if !plan.use_pool {
+            // run_from dispatches once on the backend's packed table
+            // width and scans the block in a monomorphized loop, so
+            // block-at-a-time streaming gets the cache-packed fast path
+            // with no per-byte dispatch.
             self.state = sfa.run_from(self.state, block);
         } else {
             // Chunk phase of Algorithm 5 within the block, then fold the

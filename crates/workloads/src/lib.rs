@@ -16,7 +16,8 @@ pub mod snort;
 pub mod streaming;
 
 pub use scalability::{
-    fig10_pattern, fig10_text, random_bytes, repeated_a_text, rn_or_a_pattern, rn_pattern, rn_text,
+    digit_text, fig10_pattern, fig10_text, random_bytes, repeated_a_text, rn_or_a_pattern,
+    rn_pattern, rn_text, window_pattern,
 };
 pub use snort::{
     corpus_1k, ruleset, SnortConfig, CORPUS_1K, CORPUS_1K_SEED, CURATED_PATTERNS, IDS_SCAN_RULES,

@@ -63,6 +63,39 @@ pub fn fig10_text(len: usize, seed: u64) -> Vec<u8> {
     out
 }
 
+/// The sliding-window family `[0-9]*[5-9][0-9]{k}` ("a high digit exactly
+/// `k` from the end"). Its minimal DFA is the binary de Bruijn automaton
+/// over the high/low digit classes — `2^(k+1)` states remembering the last
+/// `k + 1` positions, strongly connected, with no dead state on digit
+/// input — and its D-SFA is dominated by the `2^(k+1)` *constant*
+/// mappings "the last window was `w`". On [`digit_text`] the scan
+/// therefore performs a uniform random walk over the whole table instead
+/// of circling a short accept cycle (the `r_n` behavior), which makes the
+/// family the cache-adversarial workload for the packed-table throughput
+/// comparison: the touched-row footprint is `~2^(k+1) × 256` entries, and
+/// the [`StateIdRepr`](sfa_matcher::StateIdRepr) width decides whether
+/// that fits a cache level.
+pub fn window_pattern(k: usize) -> String {
+    format!("[0-9]*[5-9][0-9]{{{k}}}")
+}
+
+/// Uniformly random decimal digits. Unlike [`rn_text`] — whose accepted
+/// block structure keeps the `r_n` D-SFA circling a short accept cycle —
+/// unstructured digits never leave the live byte classes yet keep breaking
+/// the block pattern, so the scan wanders across a large fraction of the
+/// transformation space. This is the cache-stressing workload for the
+/// packed-table throughput comparison: with many distinct states visited
+/// in pseudo-random order, the byte-table working set approaches the full
+/// `256 × |S_d|` footprint and the packed width decides whether it fits.
+pub fn digit_text(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(b'0' + rng.gen_range(0..10u8));
+    }
+    out
+}
+
 /// Uniformly random bytes (a "no match anywhere" adversarial input).
 pub fn random_bytes(len: usize, seed: u64) -> Vec<u8> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -108,6 +141,14 @@ mod tests {
         assert_eq!(rn_text(5, 100, 9), rn_text(5, 100, 9));
         assert_ne!(rn_text(5, 100, 9), rn_text(5, 100, 10));
         assert_eq!(random_bytes(64, 3), random_bytes(64, 3));
+        assert_eq!(digit_text(64, 3), digit_text(64, 3));
+    }
+
+    #[test]
+    fn digit_text_is_digits_of_exact_length() {
+        let text = digit_text(1000, 5);
+        assert_eq!(text.len(), 1000);
+        assert!(text.iter().all(|b| b.is_ascii_digit()));
     }
 
     #[test]
