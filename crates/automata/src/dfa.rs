@@ -79,6 +79,80 @@ impl Dfa {
         Dfa { classes, stride, table, accepting, start, pattern_count, accept_index, accept_sets }
     }
 
+    /// Checks every structural invariant of the automaton and reports the
+    /// first violation. Construction enforces these; `validate` re-checks
+    /// them on demand so derived automata (minimized, composed, packed,
+    /// sharded) and property tests can assert nothing drifted:
+    ///
+    /// * the byte-class table is a total, consistent map of all 256 bytes
+    ///   and its class count equals the table stride,
+    /// * the transition table has exactly `num_states × stride` in-range
+    ///   targets and the start state is in range,
+    /// * accept-set entry 0 is the empty set, every set ranges over
+    ///   `pattern_count` patterns, every per-state index is in range, and
+    ///   the accepting bitmap agrees with the indexed sets.
+    ///
+    /// Deliberately *not* an invariant: start-state liveness. The void
+    /// language (e.g. an empty `RegexSet`) compiles to a DFA whose start
+    /// state is already dead.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_states();
+        if n == 0 {
+            return Err("a DFA needs at least one state".to_string());
+        }
+        if !self.classes.is_valid() {
+            return Err("byte-class table is not a consistent total map".to_string());
+        }
+        if self.classes.count() != self.stride {
+            return Err(format!(
+                "byte-class count {} does not match table stride {}",
+                self.classes.count(),
+                self.stride
+            ));
+        }
+        if self.table.len() != n * self.stride {
+            return Err(format!(
+                "transition table has {} entries, expected {} states × {} classes",
+                self.table.len(),
+                n,
+                self.stride
+            ));
+        }
+        if self.start as usize >= n {
+            return Err(format!("start state {} out of range (0..{n})", self.start));
+        }
+        if let Some(&t) = self.table.iter().find(|&&t| (t as usize) >= n) {
+            return Err(format!("transition target {t} out of range (0..{n})"));
+        }
+        if self.accept_sets.is_empty() || !self.accept_sets[0].is_empty() {
+            return Err("accept set 0 must be the empty set".to_string());
+        }
+        if let Some(s) = self.accept_sets.iter().find(|s| s.patterns() != self.pattern_count) {
+            return Err(format!(
+                "accept set ranges over {} patterns, expected {}",
+                s.patterns(),
+                self.pattern_count
+            ));
+        }
+        if self.accept_index.len() != n {
+            return Err(format!(
+                "accept index table has {} entries for {n} states",
+                self.accept_index.len()
+            ));
+        }
+        if let Some(&i) =
+            self.accept_index.iter().find(|&&i| (i as usize) >= self.accept_sets.len())
+        {
+            return Err(format!("accept index {i} out of range (0..{})", self.accept_sets.len()));
+        }
+        for (q, &i) in self.accept_index.iter().enumerate() {
+            if self.accepting[q] == self.accept_sets[i as usize].is_empty() {
+                return Err(format!("accepting bitmap disagrees with accept set of state {q}"));
+            }
+        }
+        Ok(())
+    }
+
     /// Number of states, including the dead state if one is reachable
     /// (the DFA is always complete).
     #[inline]
@@ -373,6 +447,22 @@ mod tests {
         table[ca] = 1; // 0 --a--> 1
         table[stride + cb] = 0; // 1 --b--> 0
         Dfa::from_parts(classes, table, vec![true, false, false], 0)
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_and_names_the_broken_invariant() {
+        let d = paper_d1();
+        assert_eq!(d.validate(), Ok(()));
+        // Corrupt one transition target past the state count.
+        let mut broken = d.clone();
+        broken.table[0] = 99;
+        let err = broken.validate().unwrap_err();
+        assert!(err.contains("out of range"), "unexpected message: {err}");
+        // Desynchronize the accepting bitmap from the accept sets.
+        let mut broken = d.clone();
+        broken.accepting[1] = true;
+        let err = broken.validate().unwrap_err();
+        assert!(err.contains("accepting bitmap"), "unexpected message: {err}");
     }
 
     #[test]

@@ -130,6 +130,7 @@ mod proptests {
             let ast = small_generator().generate(&mut rng);
             let nfa = match Nfa::from_ast(&ast) { Ok(n) => n, Err(_) => return Ok(()) };
             let dfa = match determinize(&nfa, &DfaConfig::default()) { Ok(d) => d, Err(_) => return Ok(()) };
+            prop_assert_eq!(dfa.validate(), Ok(()));
             for input in &inputs {
                 prop_assert_eq!(nfa.accepts(input.as_bytes()), dfa.accepts(input.as_bytes()));
             }
@@ -146,6 +147,7 @@ mod proptests {
                 Err(_) => return Ok(()),
             };
             let minimal = minimize(&dfa);
+            prop_assert_eq!(minimal.validate(), Ok(()));
             prop_assert!(minimal.num_states() <= dfa.num_states());
             prop_assert!(equivalence::equivalent(&dfa, &minimal));
             // Idempotence.
@@ -184,6 +186,8 @@ mod proptests {
                 Ok(d) => d, Err(_) => return Ok(()),
             };
             prop_assert!(equivalence::equivalent(&compressed, &identity));
+            prop_assert_eq!(compressed.validate(), Ok(()));
+            prop_assert_eq!(identity.validate(), Ok(()));
             for input in &inputs {
                 prop_assert_eq!(compressed.accepts(input.as_bytes()), identity.accepts(input.as_bytes()));
             }

@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig3|fig45|fig6|fig7|fig8|fig9|fig10|table2|table3|facts|backends|multimatch|throughput] ...
+//! reproduce [all|fig3|fig45|fig6|fig7|fig8|fig9|fig10|table2|table3|facts|backends|multimatch|throughput|convergence] ...
 //! ```
 //!
 //! Input sizes are scaled for a laptop-class machine; set `SFA_SCALE=64`
@@ -69,6 +69,9 @@ fn main() {
     }
     if run("throughput") {
         throughput();
+    }
+    if run("convergence") {
+        convergence();
     }
 }
 
@@ -696,6 +699,190 @@ fn throughput() {
         let baseline = std::fs::read_to_string(&baseline_path).expect("read benchmark baseline");
         check_throughput_baseline(&json, &baseline, &baseline_path);
     }
+}
+
+/// Offline convergence analysis steering speculation: the full
+/// [`ConvergenceReport`](sfa_matcher::ConvergenceReport) of two pinned
+/// subjects — the streaming attack-scan rule
+/// ([`workloads::LOG_SCAN_RULE`], Contains mode) over the log-replay
+/// corpus, and the sliding-window family `[0-9]*[5-9][0-9]{5}` (Whole
+/// mode) over random digits — plus the measured guided-over-baseline
+/// speculation ratio for each. Writes `BENCH_convergence.json` (or
+/// `SFA_BENCH_OUT`) and, when `SFA_BENCH_BASELINE` names a committed
+/// baseline, gates against it: the analysis verdicts are deterministic
+/// and must match exactly, the timing ratios within a noise margin.
+fn convergence() {
+    use sfa_matcher::{BackendChoice, ConvergenceClass, MatchMode};
+    println!("\n## Convergence analysis — offline automaton reports steering speculation");
+    let threads = 4usize;
+
+    let class_name = |c: &ConvergenceClass| match c {
+        ConvergenceClass::Synchronizing { .. } => "synchronizing",
+        ConvergenceClass::Converging { .. } => "converging",
+        ConvergenceClass::NonConverging => "non_converging",
+    };
+    let strategy_name = |s: Strategy| match s {
+        Strategy::Auto => "auto",
+        Strategy::Sequential => "sequential",
+        Strategy::Parallel { .. } => "parallel",
+        Strategy::Speculative { .. } => "speculative",
+    };
+
+    // Per subject: compile, analyze, and race the guided speculative
+    // matcher against the all-states baseline on a dedicated pool.
+    let summarize = |label: &str, re: &Regex, corpus: &[u8]| -> (String, f64) {
+        let report = re.convergence_report();
+        let auto = strategy_name(re.auto_strategy());
+        let fingerprint = fnv1a(corpus);
+        let engine = sfa_matcher::Engine::new(threads);
+        let baseline = SpeculativeDfaMatcher::with_engine(re.dfa(), engine.clone());
+        let guided = SpeculativeDfaMatcher::with_engine(re.dfa(), engine).with_analysis(report);
+        let expected = re.dfa().run(corpus);
+        assert_eq!(baseline.run(corpus, threads, Reduction::Sequential), expected);
+        assert_eq!(guided.run(corpus, threads, Reduction::Sequential), expected);
+        let t_baseline = measure(corpus.len(), 3, || {
+            assert_eq!(baseline.run(corpus, threads, Reduction::Tree), expected);
+        });
+        let t_guided = measure(corpus.len(), 3, || {
+            assert_eq!(guided.run(corpus, threads, Reduction::Tree), expected);
+        });
+        let ratio = t_baseline.elapsed.as_secs_f64() / t_guided.elapsed.as_secs_f64();
+        println!(
+            "{label}: |D| = {} states, class = {}, survivors = {}, horizon = {}, reset word = \
+             {}, auto → {auto}",
+            report.num_states(),
+            class_name(&report.class()),
+            report.survivor_count(),
+            report.compaction_horizon(),
+            report.reset_word().map_or("none".into(), |w| format!("{} bytes", w.len())),
+        );
+        println!(
+            "  guided {:.3} GB/s vs. all-states baseline {:.3} GB/s  ({ratio:.1}x, {} KiB corpus)",
+            t_guided.gb_per_sec(),
+            t_baseline.gb_per_sec(),
+            corpus.len() / 1024
+        );
+        let json = format!(
+            concat!(
+                "\"{l}_states\":{},\"{l}_class\":\"{}\",\"{l}_survivors\":{},",
+                "\"{l}_horizon\":{},\"{l}_reset_len\":{},\"{l}_auto\":\"{}\",",
+                "\"{l}_corpus_fingerprint\":\"{:#x}\",\"{l}_guided_over_baseline\":{:.3}"
+            ),
+            report.num_states(),
+            class_name(&report.class()),
+            report.survivor_count(),
+            report.compaction_horizon(),
+            report.reset_word().map_or(0, |w| w.len()),
+            auto,
+            fingerprint,
+            ratio,
+            l = label,
+        );
+        (json, ratio)
+    };
+
+    // Subject 1 — the streaming log-replay scan rule, Contains mode: a
+    // small synchronizing needle automaton, the case the guided matcher
+    // was built for. Fixed corpus size (not SFA_SCALE-scaled): the
+    // committed baseline pins its fingerprint.
+    let scan = Regex::builder()
+        .mode(MatchMode::Contains)
+        .backend(BackendChoice::Auto)
+        .threads(threads)
+        .build(workloads::LOG_SCAN_RULE)
+        .unwrap();
+    let stream_config = workloads::StreamConfig {
+        lines: 40_000,
+        attack_every: 97,
+        mean_block: 512,
+        seed: 0xC0FFEE,
+    };
+    let scan_corpus = workloads::log_stream_bytes(&stream_config);
+    assert!(scan.is_match_with(&scan_corpus, Strategy::Auto), "planted attacks must fire");
+    let (scan_json, _) = summarize("scan", &scan, &scan_corpus);
+
+    // Subject 2 — the sliding-window family in Whole mode over random
+    // digits: any non-digit byte drives every state into the dead sink,
+    // so the analysis still proves synchronization, but from a very
+    // different automaton shape than the needle scan.
+    let window = Regex::builder().threads(threads).build(&workloads::window_pattern(5)).unwrap();
+    let window_corpus = workloads::digit_text(4 * 1024 * 1024, 0x5FA);
+    let (window_json, _) = summarize("window", &window, &window_corpus);
+
+    // ---- machine-readable summary + regression gate --------------------
+    let json = format!(
+        "{{\"workload\":\"convergence\",\"threads\":{threads},{scan_json},{window_json},\
+         \"cores\":{},\"scale\":{}}}",
+        num_cpus(),
+        scale(),
+    );
+    let out = std::env::var("SFA_BENCH_OUT").unwrap_or_else(|_| "BENCH_convergence.json".into());
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark summary");
+    println!("wrote {out}");
+    if let Ok(baseline_path) = std::env::var("SFA_BENCH_BASELINE") {
+        let baseline = std::fs::read_to_string(&baseline_path).expect("read benchmark baseline");
+        check_convergence_baseline(&json, &baseline, &baseline_path);
+    }
+}
+
+/// The convergence counterpart of [`check_multimatch_baseline`]: every
+/// analysis verdict (state counts, class names, survivors, horizons,
+/// reset-word lengths, the Auto resolution) and corpus fingerprint is
+/// deterministic and must match the committed baseline exactly; the
+/// guided-over-baseline timing ratio of the synchronizing scan subject
+/// only needs to stay within a generous noise margin — but never below
+/// the hard floor, which asserts the guided path keeps genuinely beating
+/// the all-states baseline.
+fn check_convergence_baseline(current: &str, baseline: &str, baseline_path: &str) {
+    fn field<'a>(json: &'a str, key: &str) -> &'a str {
+        let needle = format!("\"{key}\":");
+        let start =
+            json.find(&needle).unwrap_or_else(|| panic!("missing field {key}")) + needle.len();
+        let rest = &json[start..];
+        rest[..rest.find([',', '}']).unwrap()].trim()
+    }
+    let mut failed = false;
+    for key in [
+        "threads",
+        "scan_states",
+        "scan_class",
+        "scan_survivors",
+        "scan_horizon",
+        "scan_reset_len",
+        "scan_auto",
+        "scan_corpus_fingerprint",
+        "window_states",
+        "window_class",
+        "window_survivors",
+        "window_horizon",
+        "window_reset_len",
+        "window_auto",
+        "window_corpus_fingerprint",
+    ] {
+        let (now, was) = (field(current, key), field(baseline, key));
+        if now != was {
+            eprintln!("REGRESSION: {key} = {now}, baseline {was} ({baseline_path})");
+            failed = true;
+        }
+    }
+    // Only the synchronizing scan subject's ratio is gated — the window
+    // subject's is recorded for trend-watching.
+    let (key, floor) = ("scan_guided_over_baseline", 1.3);
+    let now: f64 = field(current, key).parse().unwrap();
+    let was: f64 = field(baseline, key).parse().unwrap();
+    // Timing is noisy across machines: accept anything at or above
+    // 40 % of the committed ratio, but never below the hard floor.
+    let min = (0.4 * was).max(floor);
+    if now < min {
+        eprintln!(
+            "REGRESSION: {key} = {now:.2}, needs ≥ {min:.2} (baseline {was:.2}, {baseline_path})"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("baseline check passed against {baseline_path}");
 }
 
 /// The throughput counterpart of [`check_multimatch_baseline`]: automaton

@@ -77,6 +77,19 @@ pub struct SizeReport {
     pub ratio: f64,
     /// Growth classification relative to the complete DFA size.
     pub growth: GrowthClass,
+    /// Convergence horizon of the DFA from the offline analysis
+    /// (`sfa_analysis::ConvergenceReport`): the reset-word length for a
+    /// synchronizing automaton, the reach-fixpoint depth otherwise. `0`
+    /// when the automaton is trivially synchronizing *or* when no
+    /// analysis ran (legacy reports). For a combined report this is the
+    /// slowest shard (per-shard maximum).
+    pub convergence_horizon: usize,
+    /// `|R_∞|` — the number of DFA states still reachable after
+    /// arbitrarily long input, i.e. the worst-case speculative entry-set
+    /// size. Equals `dfa_states` when no analysis ran (every state
+    /// survives — the paper's Algorithm 3 assumption). Summed across
+    /// shards in a combined report, like the state counts.
+    pub survivor_states: usize,
     /// Number of automata this report aggregates: `1` for a single
     /// compiled pattern or an unsharded set, the shard count for a
     /// sharded set (see [`SizeReport::combine`]). When greater than `1`
@@ -142,6 +155,8 @@ impl SizeReport {
             table_bytes: dfa.table_bytes() + sfa_table_bytes + byte_table_bytes,
             ratio: sfa_states as f64 / dfa.num_states() as f64,
             growth: classify(dfa.num_states(), sfa_states),
+            convergence_horizon: 0,
+            survivor_states: dfa.num_states(),
             shards: 1,
             max_shard_dfa_states: dfa.num_states(),
         }
@@ -179,6 +194,8 @@ impl SizeReport {
             table_bytes: reports.iter().map(|r| r.table_bytes).sum(),
             ratio: sfa_states as f64 / dfa_states as f64,
             growth: classify(dfa_states, sfa_states),
+            convergence_horizon: reports.iter().map(|r| r.convergence_horizon).max().unwrap_or(0),
+            survivor_states: reports.iter().map(|r| r.survivor_states).sum(),
             shards: reports.iter().map(|r| r.shards).sum(),
             max_shard_dfa_states: reports.iter().map(|r| r.max_shard_dfa_states).max().unwrap_or(0),
         }
@@ -227,6 +244,7 @@ impl SizeReport {
                 "\"byte_classes\":{},\"dfa_table_bytes\":{},\"sfa_table_bytes\":{},",
                 "\"sfa_mapping_bytes\":{},\"state_id_bytes\":{},\"table_bytes\":{},",
                 "\"ratio\":{},\"growth\":\"{}\",",
+                "\"convergence_horizon\":{},\"survivor_states\":{},",
                 "\"shards\":{},\"max_shard_dfa_states\":{}}}"
             ),
             self.backend.as_str(),
@@ -243,6 +261,8 @@ impl SizeReport {
             self.table_bytes,
             ratio,
             self.growth.as_str(),
+            self.convergence_horizon,
+            self.survivor_states,
             self.shards,
             self.max_shard_dfa_states,
         )
@@ -288,6 +308,16 @@ impl SizeReport {
                 s => s.parse().ok()?,
             },
             growth: GrowthClass::parse(field(json, "growth")?.trim_matches('"'))?,
+            // Reports written before convergence analysis existed lack
+            // these fields: no analysis ran, so every state survives.
+            convergence_horizon: match field(json, "convergence_horizon") {
+                Some(s) => s.parse().ok()?,
+                None => 0,
+            },
+            survivor_states: match field(json, "survivor_states") {
+                Some(s) => s.parse().ok()?,
+                None => field(json, "dfa_states")?.parse().ok()?,
+            },
             // Reports written before sharding existed lack these fields:
             // they describe exactly one automaton.
             shards: match field(json, "shards") {
@@ -522,6 +552,39 @@ mod tests {
         let parsed = SizeReport::from_json(&legacy_json).unwrap();
         assert_eq!(parsed.state_id_bytes, 4);
         assert_eq!(parsed.table_bytes, r.dfa_table_bytes + r.sfa_table_bytes);
+    }
+
+    #[test]
+    fn convergence_fields_round_trip_and_legacy_json_means_all_states_survive() {
+        let mut r = report("(ab)*");
+        // Fresh reports carry the "no analysis ran" sentinel.
+        assert_eq!(r.convergence_horizon, 0);
+        assert_eq!(r.survivor_states, r.dfa_states);
+        r.convergence_horizon = 7;
+        r.survivor_states = 2;
+        let json = r.to_json();
+        assert!(json.contains("\"convergence_horizon\":7"), "{json}");
+        assert!(json.contains("\"survivor_states\":2"), "{json}");
+        let back = SizeReport::from_json(&json).unwrap();
+        assert_eq!(back.convergence_horizon, 7);
+        assert_eq!(back.survivor_states, 2);
+        // JSON written before the analysis existed still parses: horizon
+        // 0, every DFA state a survivor.
+        let legacy_json = json.replace(",\"convergence_horizon\":7,\"survivor_states\":2", "");
+        assert!(!legacy_json.contains("convergence"), "{legacy_json}");
+        let parsed = SizeReport::from_json(&legacy_json).unwrap();
+        assert_eq!(parsed.convergence_horizon, 0);
+        assert_eq!(parsed.survivor_states, parsed.dfa_states);
+        // combine(): slowest shard's horizon, survivors summed.
+        let mut a = report("(ab)*");
+        a.convergence_horizon = 3;
+        a.survivor_states = 1;
+        let mut b = report("abcdef");
+        b.convergence_horizon = 9;
+        b.survivor_states = 4;
+        let combined = SizeReport::combine(&[a, b]);
+        assert_eq!(combined.convergence_horizon, 9);
+        assert_eq!(combined.survivor_states, 5);
     }
 
     #[test]

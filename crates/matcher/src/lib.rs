@@ -107,7 +107,7 @@ pub mod speculative;
 pub mod strategy;
 pub mod stream;
 
-pub use chunk::{pack_by_bytes, split_chunks, split_chunks_with_offsets};
+pub use chunk::{pack_by_bytes, split_chunks, split_chunks_guided, split_chunks_with_offsets};
 pub use error::Error;
 pub use executor::{map_chunks, tree_reduce};
 pub use matches::SetMatches;
@@ -118,10 +118,11 @@ pub use regex::{default_threads, BackendChoice, MatchMode, Regex, RegexBuilder, 
 // Re-exported so `Regex::backend_kind` / `Regex::sfa` /
 // `RegexBuilder::state_id_repr` / `SetMatches::as_pattern_set` types are
 // nameable from this crate alone.
+pub use sfa_analysis::{AnalysisConfig, ConvergenceClass, ConvergenceReport};
 pub use sfa_automata::{PatternId, PatternSet};
 pub use sfa_core::{BackendKind, SfaBackend, StateIdRepr};
 pub use shard::Shard;
-pub use speculative::SpeculativeDfaMatcher;
+pub use speculative::{ChunkMap, SpeculativeDfaMatcher};
 pub use strategy::Strategy;
 pub use stream::{SetStream, StreamMatcher};
 
@@ -192,6 +193,57 @@ mod proptests {
             for reduction in [Reduction::Sequential, Reduction::Tree] {
                 prop_assert_eq!(spec.accepts(input.as_bytes(), threads, reduction), expected);
                 prop_assert_eq!(par.accepts(input.as_bytes(), threads, reduction), expected);
+            }
+        }
+
+        /// The convergence-guided speculative matcher reaches exactly the
+        /// sequential DFA's end state on random automata × thread counts
+        /// × reductions × chunk boundaries, whatever the automaton's
+        /// convergence class — entry sets only over-approximate, so
+        /// guidance can never change the verdict. The analysis artifacts
+        /// themselves are sanity-checked on every case (reach sets shrink,
+        /// a found reset word really resets, entry sets cover the true
+        /// boundary state).
+        #[test]
+        fn convergence_guided_speculation_agrees_with_sequential(
+            seed in any::<u64>(),
+            input in "[a-c]{0,60}",
+            threads in 1usize..9,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let ast = small_generator().generate(&mut rng);
+            let Ok(nfa) = Nfa::from_ast(&ast) else { return Ok(()) };
+            let Ok(dfa) = determinize(&nfa, &DfaConfig { max_states: 400, ..Default::default() }) else { return Ok(()) };
+            let dfa = minimize(&dfa);
+            prop_assert_eq!(dfa.validate(), Ok(()));
+            let report = ConvergenceReport::analyze(&dfa);
+
+            // Analysis sanity: the reach chain shrinks monotonically…
+            for k in 1..=report.reach_horizon() {
+                prop_assert!(report.reach_set(k).len() <= report.reach_set(k - 1).len());
+            }
+            // …a reset word, when claimed, really merges every state…
+            if let Some(word) = report.reset_word() {
+                let mut targets: Vec<_> =
+                    (0..dfa.num_states() as u32).map(|q| dfa.run_from(q, word)).collect();
+                targets.sort_unstable();
+                targets.dedup();
+                prop_assert_eq!(targets.len(), 1);
+            }
+            // …and the entry set of every prefix split covers the state
+            // the true run is in at that boundary.
+            let bytes = input.as_bytes();
+            for split in [bytes.len() / 3, bytes.len() / 2] {
+                if split == 0 { continue; }
+                let entry = report.entry_set(&dfa, split, bytes[split - 1]);
+                let truth = dfa.run(&bytes[..split]);
+                prop_assert!(entry.binary_search(&truth).is_ok());
+            }
+
+            let expected = dfa.run(bytes);
+            let guided = SpeculativeDfaMatcher::new(&dfa).with_analysis(&report);
+            for reduction in [Reduction::Sequential, Reduction::Tree] {
+                prop_assert_eq!(guided.run(bytes, threads, reduction), expected);
             }
         }
 

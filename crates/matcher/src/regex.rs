@@ -312,6 +312,7 @@ impl RegexBuilder {
         collapsed_patterns: bool,
     ) -> Result<Regex, CompileError> {
         let dfa = minimize(raw_dfa);
+        debug_assert_eq!(dfa.validate(), Ok(()), "minimized DFA failed invariant validation");
         let backend = match self.backend {
             BackendChoice::Eager => SfaBackend::Eager(DSfa::from_dfa(&dfa, &self.sfa)?),
             BackendChoice::Lazy => SfaBackend::Lazy(LazyDSfa::new(dfa.clone())),
@@ -334,6 +335,7 @@ impl RegexBuilder {
             backend,
             collapsed_patterns,
             decided: std::sync::OnceLock::new(),
+            convergence: std::sync::OnceLock::new(),
         })
     }
 }
@@ -371,6 +373,10 @@ pub struct Regex {
     /// Per-DFA-state verdict-finality bitmaps for streaming, computed on
     /// first use (only streams consult them; plain matching never pays).
     decided: std::sync::OnceLock<DecidedMaps>,
+    /// Offline convergence analysis of the DFA, computed on first use
+    /// (by [`Strategy::Auto`] resolution, speculative runs and
+    /// [`Regex::size_report`]).
+    convergence: std::sync::OnceLock<sfa_analysis::ConvergenceReport>,
 }
 
 /// Which stream verdicts are final in which DFA states (see
@@ -434,7 +440,20 @@ impl Regex {
     /// materialized cache — query again after matching to see how many
     /// states the traffic visited (see [`SizeReport`]).
     pub fn size_report(&self) -> SizeReport {
-        SizeReport::of_backend(&self.dfa, &self.backend)
+        let mut report = SizeReport::of_backend(&self.dfa, &self.backend);
+        let analysis = self.convergence_report();
+        report.convergence_horizon = analysis.compaction_horizon();
+        report.survivor_states = analysis.survivor_count();
+        report
+    }
+
+    /// The offline convergence analysis of this regex's DFA, computed on
+    /// first use and cached for the regex's lifetime: reach sets, reset
+    /// word, dead/sink maps and the
+    /// [`ConvergenceClass`](sfa_analysis::ConvergenceClass) verdict that
+    /// steers [`Strategy::Auto`] (see [`Regex::auto_strategy`]).
+    pub fn convergence_report(&self) -> &sfa_analysis::ConvergenceReport {
+        self.convergence.get_or_init(|| sfa_analysis::ConvergenceReport::analyze(&self.dfa))
     }
 
     /// The execution engine parallel matching runs on (the shared global
@@ -471,14 +490,26 @@ impl Regex {
     /// defaults; every other strategy passes through unchanged.
     fn resolve(&self, strategy: Strategy) -> Strategy {
         match strategy {
-            Strategy::Auto => {
-                if self.threads <= 1 {
-                    Strategy::Sequential
-                } else {
-                    Strategy::Parallel { threads: self.threads, reduction: self.reduction }
-                }
-            }
+            Strategy::Auto => self.auto_strategy(),
             other => other,
+        }
+    }
+
+    /// What [`Strategy::Auto`] resolves to for this regex: `Sequential`
+    /// for single-threaded builds; otherwise the convergence analysis
+    /// decides — a
+    /// [`Synchronizing`](sfa_analysis::ConvergenceClass::Synchronizing)
+    /// automaton gets guided `Speculative` matching (entry sets collapse,
+    /// so each chunk costs ~`O(n/p)` like the sequential scan but in
+    /// parallel), everything else keeps the SFA-composition `Parallel`
+    /// path, whose per-chunk cost never depends on convergence.
+    pub fn auto_strategy(&self) -> Strategy {
+        if self.threads <= 1 {
+            Strategy::Sequential
+        } else if self.convergence_report().prefers_speculation() {
+            Strategy::Speculative { threads: self.threads, reduction: self.reduction }
+        } else {
+            Strategy::Parallel { threads: self.threads, reduction: self.reduction }
         }
     }
 
@@ -511,6 +542,7 @@ impl Regex {
             }
             Strategy::Speculative { threads, reduction } => {
                 SpeculativeDfaMatcher::with_engine(&self.dfa, self.engine().clone())
+                    .with_analysis(self.convergence_report())
                     .run(input, threads, reduction)
             }
             Strategy::Auto => unreachable!("resolve() eliminated Auto"),
@@ -1291,17 +1323,34 @@ mod tests {
     }
 
     #[test]
-    fn auto_strategy_follows_builder_defaults() {
-        // threads == 1 resolves to Sequential, more to Parallel.
+    fn auto_strategy_follows_builder_defaults_and_convergence() {
+        // threads == 1 resolves to Sequential regardless of the analysis.
         let seq = Regex::builder().threads(1).build("(ab)*").unwrap();
         assert_eq!(seq.resolve(Strategy::Auto), Strategy::Sequential);
-        let par = Regex::builder().threads(4).reduction(Reduction::Tree).build("(ab)*").unwrap();
+        // (ab)* is synchronizing (any byte outside the language drives
+        // every state into the dead sink), so Auto picks the guided
+        // speculative path for multi-threaded builds.
+        let sync = Regex::builder().threads(4).reduction(Reduction::Tree).build("(ab)*").unwrap();
+        assert!(sync.convergence_report().prefers_speculation());
+        assert_eq!(
+            sync.auto_strategy(),
+            Strategy::Speculative { threads: 4, reduction: Reduction::Tree }
+        );
+        // The byte-parity automaton never converges — no dead state, no
+        // two states ever merge — so Auto keeps the SFA composition path.
+        let par =
+            Regex::builder().threads(4).reduction(Reduction::Tree).build("((?s).(?s).)*").unwrap();
+        assert!(!par.convergence_report().prefers_speculation());
         assert_eq!(
             par.resolve(Strategy::Auto),
             Strategy::Parallel { threads: 4, reduction: Reduction::Tree }
         );
         // Explicit strategies pass through untouched.
         assert_eq!(par.resolve(Strategy::Sequential), Strategy::Sequential);
+        assert_eq!(
+            sync.resolve(Strategy::parallel(2)),
+            Strategy::Parallel { threads: 2, reduction: Reduction::Sequential }
+        );
     }
 
     #[test]

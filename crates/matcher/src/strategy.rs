@@ -19,10 +19,15 @@ use crate::Reduction;
 /// [`RegexBuilder`](crate::RegexBuilder).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Strategy {
-    /// Use the builder-configured defaults: sequential when the regex was
-    /// built with one thread, otherwise parallel SFA matching with the
-    /// configured thread cap and reduction. This is what
-    /// [`Regex::is_match`](crate::Regex::is_match) does.
+    /// Use the builder-configured defaults plus the offline convergence
+    /// analysis: sequential when the regex was built with one thread;
+    /// otherwise convergence-guided speculative matching when the
+    /// automaton is
+    /// [`Synchronizing`](crate::ConvergenceClass::Synchronizing) (entry
+    /// sets collapse, so speculation stops paying `O(|Q|)` per byte) and
+    /// parallel SFA matching for everything else. This is what
+    /// [`Regex::is_match`](crate::Regex::is_match) does; the decision is
+    /// observable via [`Regex::auto_strategy`](crate::Regex::auto_strategy).
     #[default]
     Auto,
     /// **Algorithm 2**: the sequential DFA scan on the calling thread.
@@ -37,8 +42,13 @@ pub enum Strategy {
         /// How the per-chunk partial results are combined.
         reduction: Reduction,
     },
-    /// **Algorithm 3**: the prior-art speculative DFA baseline (kept for
-    /// comparison; pays `O(|D|)` per byte).
+    /// **Algorithm 3**, convergence-guided: speculative DFA simulation
+    /// restricted to the analysis entry sets, with guided chunk
+    /// boundaries and in-chunk state compaction (see
+    /// [`SpeculativeDfaMatcher::with_analysis`](crate::SpeculativeDfaMatcher::with_analysis)).
+    /// The prior-art all-states baseline — `O(|D|)` per byte — remains
+    /// available by constructing a bare
+    /// [`SpeculativeDfaMatcher`](crate::SpeculativeDfaMatcher) directly.
     Speculative {
         /// Maximum number of chunks the input is cut into.
         threads: usize,

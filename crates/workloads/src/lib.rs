@@ -23,7 +23,7 @@ pub use snort::{
     corpus_1k, ruleset, SnortConfig, CORPUS_1K, CORPUS_1K_SEED, CURATED_PATTERNS, IDS_SCAN_RULES,
     SQLI_RULE,
 };
-pub use streaming::{log_stream, log_stream_bytes, StreamConfig};
+pub use streaming::{log_stream, log_stream_bytes, StreamConfig, LOG_SCAN_RULE};
 
 /// An HTTP-log-like line-oriented corpus (used by the examples): a mix of
 /// benign request lines with a configurable number of "attack" lines

@@ -272,6 +272,50 @@ mod tests {
     }
 
     #[test]
+    fn ids_scan_rules_pin_their_convergence_class() {
+        use sfa_matcher::{BackendChoice, ConvergenceClass, MatchMode, Regex, RegexSet, Strategy};
+        // Each rule alone, in Contains mode, compiles to a small
+        // synchronizing automaton: scanning automata reset once the
+        // needle (or a benign stretch) has been consumed, which is
+        // exactly what makes guided speculation the right default.
+        let builder = Regex::builder().mode(MatchMode::Contains).threads(4);
+        let scan = builder.clone().build(crate::LOG_SCAN_RULE).unwrap();
+        let report = scan.convergence_report();
+        assert!(
+            matches!(report.class(), ConvergenceClass::Synchronizing { .. }),
+            "scan rule must be synchronizing, got {:?}",
+            report.class()
+        );
+        assert!(report.reset_word().is_some());
+        assert!(matches!(scan.auto_strategy(), Strategy::Speculative { threads: 4, .. }));
+        // The streaming workload's pinned rule is ids_scan rule 0.
+        assert_eq!(crate::LOG_SCAN_RULE, IDS_SCAN_RULES[0]);
+
+        // The full tracked product automaton (5 668 DFA states) is past
+        // the pair-analysis cap: the verdict degrades conservatively —
+        // never to Synchronizing — so Auto keeps the SFA composition
+        // path for the big set instead of speculating on 5 668 states.
+        let set = RegexSet::new(
+            IDS_SCAN_RULES.iter().copied(),
+            &Regex::builder()
+                .mode(MatchMode::Contains)
+                .threads(4)
+                .backend(BackendChoice::Auto)
+                .max_sfa_states(2_000),
+        )
+        .unwrap();
+        let product = set.regex();
+        let report = product.convergence_report();
+        assert!(!report.pair_analysis_ran(), "5 668 states must skip the O(n²) pair BFS");
+        assert!(!report.prefers_speculation());
+        assert!(matches!(product.auto_strategy(), Strategy::Parallel { threads: 4, .. }));
+        // And the analysis surfaces through the size report.
+        let size = set.size_report();
+        assert_eq!(size.survivor_states, report.survivor_count());
+        assert_eq!(size.convergence_horizon, report.compaction_horizon());
+    }
+
+    #[test]
     fn generated_ruleset_parses_and_is_deterministic() {
         let config = SnortConfig { count: 500, seed: 7, dot_star_fraction: 0.01 };
         let a = ruleset(&config);

@@ -13,6 +13,16 @@
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
+/// The pinned attack-scan rule for the streaming workload: the
+/// [`http_log`](crate::http_log) corpus plants its attack lines as
+/// `GET /cgi-bin/ph…?id=…` probes, and this rule (also rule 0 of
+/// [`IDS_SCAN_RULES`](crate::IDS_SCAN_RULES)) detects exactly those.
+/// Compiled in Contains mode it yields a small synchronizing DFA — the
+/// benchmark subject for convergence-guided speculation on streaming
+/// input (`reproduce convergence`), so it must stay byte-identical or
+/// every committed baseline goes stale.
+pub const LOG_SCAN_RULE: &str = "/cgi-bin/ph[a-z]{1,8}";
+
 /// Configuration of the streaming log-replay scenario.
 #[derive(Clone, Debug)]
 pub struct StreamConfig {

@@ -8,6 +8,9 @@
 //!
 //! * [`regex_syntax`] — byte-oriented pattern parsing,
 //! * [`automata`] — NFA, subset construction, DFA, Hopcroft minimization,
+//! * [`analysis`] — offline convergence analysis of compiled DFAs (reach
+//!   sets, reset words, sink maps) steering the convergence-guided
+//!   speculative matcher,
 //! * [`core`] — the simultaneous finite automaton (D-SFA / N-SFA), the
 //!   correspondence construction, and the pluggable eager/lazy backend
 //!   abstraction ([`core::SfaBackend`]),
@@ -31,6 +34,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use sfa_analysis as analysis;
 pub use sfa_automata as automata;
 pub use sfa_core as core;
 pub use sfa_matcher as matcher;
@@ -40,6 +44,7 @@ pub use sfa_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use sfa_analysis::{AnalysisConfig, ConvergenceClass, ConvergenceReport};
     pub use sfa_automata::{Dfa, Nfa};
     pub use sfa_automata::{PatternId, PatternSet};
     pub use sfa_core::{BackendKind, DSfa, LazyDSfa, NSfa, SfaBackend, SfaConfig};
