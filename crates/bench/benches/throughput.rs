@@ -15,11 +15,22 @@
 //! automata forced to the `u32` interface width, on the same corpus — the
 //! cache-consciousness payoff of [`StateIdRepr`].
 //!
-//! Three acceptance checks run alongside the timings: the pool must beat
+//! A fifth group, `throughput_simd`, measures the feature-gated SIMD
+//! transition kernels against the scalar reference loops: the `pshufb`
+//! shuffle kernel on a ≤16-state `u8` automaton, and the 8-lane
+//! intra-haystack interleaved scan (AVX2 gather when available) against
+//! the straight-line scalar scan on the 128-state window automaton. The
+//! group always runs — without the `simd` feature (or on CPUs without
+//! SSSE3/AVX2) it simply measures the scalar fallback against itself.
+//!
+//! Acceptance checks run alongside the timings: the pool must beat
 //! the thread-per-call baseline by ≥ 5× on 1 KB inputs at 8 workers, the
 //! `/proc`-observed thread count must stay constant across 10 000
 //! `is_match` calls, and the packed tables must not scan slower than the
-//! u32 baseline (≥ 0.9× each, ≥ 1.05× on at least one width).
+//! u32 baseline (≥ 0.9× each, ≥ 1.05× on at least one width). When the
+//! SIMD kernels are actually engaged (`scan_kernel()` reports `shuffle`
+//! / `gather`), the shuffle kernel must deliver ≥ 1.5× the scalar u8
+//! scan and the interleaved scan ≥ 1.15× the non-interleaved one.
 //!
 //! `SFA_BENCH_SMOKE=1` shrinks everything to a single iteration so CI can
 //! run the bench as a smoke test.
@@ -185,6 +196,104 @@ fn bench_packed_repr(c: &mut Criterion) {
     }
 }
 
+/// SIMD transition kernels vs the scalar reference loops.
+///
+/// Two subjects, chosen to exercise both kernels:
+///
+/// * **shuffle** — `(ab)*` minimizes to a handful of states and packs to
+///   `u8`, so with the `simd` feature on an SSSE3 CPU `run` dispatches to
+///   the nibble-indexed `pshufb` kernel; `run_from_scalar` is the same
+///   automaton through the monomorphized scalar loop.
+/// * **interleave/gather** — the 128-state `k = 5` window automaton is too
+///   big for the shuffle kernel, so a single scan is scalar either way;
+///   the payoff comes from cutting the haystack into 8 identity-seeded
+///   lanes, driving them through one `run_from_many` batch (the AVX2
+///   gather kernel when available, the lockstep scalar loop otherwise)
+///   and composing the lane states back (Lemma 1) — exactly what each
+///   pool worker does when `ChunkPlan::lanes > 1`.
+fn bench_simd_kernels(c: &mut Criterion) {
+    let len = if smoke() { 64 * KB } else { 8 * KB * KB };
+    let runs = if smoke() { 1 } else { 5 };
+    let best = |scan: &dyn Fn()| (0..runs).map(|_| rate(1, scan)).fold(f64::MIN, f64::max);
+    let mut group = c.benchmark_group("throughput_simd");
+    group.throughput(Throughput::Bytes(len as u64));
+    if smoke() {
+        group.sample_size(1);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(1));
+    } else {
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(200));
+        group.measurement_time(Duration::from_millis(1500));
+    }
+
+    // Shuffle kernel subject: tiny u8 automaton, periodic accepted input.
+    let ab_re = Regex::new("(ab)*").unwrap();
+    let ab = ab_re.sfa().eager().expect("default backend is eager");
+    assert_eq!(ab.repr(), StateIdRepr::U8);
+    let ab_text = {
+        let mut t = b"ab".repeat(len / 2 + 1);
+        t.truncate(len & !1);
+        t
+    };
+    let ab_expected = ab.run_from_scalar(ab.initial(), &ab_text);
+    group.bench_function("shuffle/dispatch", |b| {
+        b.iter(|| assert_eq!(ab.run(&ab_text), ab_expected))
+    });
+    group.bench_function("shuffle/scalar", |b| {
+        b.iter(|| assert_eq!(ab.run_from_scalar(ab.initial(), &ab_text), ab_expected))
+    });
+    let shuffle_speedup = best(&|| assert_eq!(ab.run(&ab_text), ab_expected))
+        / best(&|| assert_eq!(ab.run_from_scalar(ab.initial(), &ab_text), ab_expected));
+    println!(
+        "acceptance/simd_shuffle: kernel {:?}, {shuffle_speedup:.2}x over scalar u8 scan\n",
+        ab.scan_kernel()
+    );
+
+    // Interleave subject: the 128-state window automaton on digit text.
+    let win_re =
+        Regex::builder().max_sfa_states(100_000).build(&sfa_workloads::window_pattern(5)).unwrap();
+    let win = win_re.sfa();
+    let win_sfa = win.eager().expect("default backend is eager");
+    assert_eq!(win.repr(), StateIdRepr::U8);
+    let text = sfa_workloads::digit_text(len, 0x5FA);
+    let win_expected = win_sfa.run_from_scalar(win_sfa.initial(), &text);
+    let lanes = 8;
+    let interleaved_scan = || {
+        let id = win.initial();
+        let jobs: Vec<_> = split_chunks(&text, lanes).into_iter().map(|s| (id, s)).collect();
+        let got =
+            win.run_from_many(&jobs).into_iter().fold(id, |acc, f| win.compose_states(acc, f));
+        assert_eq!(got, win_expected);
+    };
+    let plain_scan = || assert_eq!(win_sfa.run_from_scalar(win_sfa.initial(), &text), win_expected);
+    group.bench_function("interleave/8lanes", |b| b.iter(interleaved_scan));
+    group.bench_function("interleave/scalar", |b| b.iter(plain_scan));
+    let interleave_speedup = best(&interleaved_scan) / best(&plain_scan);
+    println!(
+        "acceptance/simd_interleave: kernel {:?}, {interleave_speedup:.2}x over \
+         non-interleaved scan\n",
+        win.scan_kernel()
+    );
+    group.finish();
+
+    if !smoke() {
+        if ab.scan_kernel() == "shuffle" {
+            assert!(
+                shuffle_speedup >= 1.5,
+                "shuffle kernel must be ≥1.5x the scalar u8 scan, got {shuffle_speedup:.2}x"
+            );
+        }
+        if win.scan_kernel() == "gather" {
+            assert!(
+                interleave_speedup >= 1.15,
+                "interleaved scan must be ≥1.15x the non-interleaved scan, \
+                 got {interleave_speedup:.2}x"
+            );
+        }
+    }
+}
+
 fn proc_thread_count() -> Option<usize> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     status.lines().find_map(|l| l.strip_prefix("Threads:")).and_then(|v| v.trim().parse().ok())
@@ -217,6 +326,7 @@ fn benches(c: &mut Criterion) {
         bench_input_size(c, &re, &engines, len, label);
     }
     bench_packed_repr(c);
+    bench_simd_kernels(c);
     acceptance_small_input_speedup(c);
     acceptance_constant_thread_count(c);
 }

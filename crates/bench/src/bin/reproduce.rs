@@ -75,8 +75,32 @@ fn main() {
     }
 }
 
+/// Detected logical-CPU count — what the benchmark summaries record as
+/// `"cores"` (as opposed to `"workers"`, the requested pool size).
 fn num_cpus() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Detected SIMD capability, recorded as `"cpu_features"` in the
+/// throughput summary. Joined with `+` rather than a comma because the
+/// baseline checkers' naive `field()` parser cuts values at the next
+/// comma; `"none"` when the host offers nothing the kernels use.
+fn cpu_features() -> String {
+    let mut features: Vec<&str> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            features.push("ssse3");
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            features.push("avx2");
+        }
+    }
+    if features.is_empty() {
+        "none".into()
+    } else {
+        features.join("+")
+    }
 }
 
 /// Figure 3: D-SFA size vs. minimal-DFA size over a SNORT-like ruleset,
@@ -586,10 +610,21 @@ fn multimatch() {
 /// Packed state-id throughput: single-thread scan speed of the `u8`- and
 /// `u16`-packed premultiplied byte tables against the same automaton forced
 /// to the `u32` interface width, on the same pinned corpus, plus an
-/// 8-worker parallel scan of the larger automaton. Writes
-/// `BENCH_throughput.json` (or `SFA_BENCH_OUT`) and, when
+/// 8-worker parallel scan of the larger automaton and the SIMD kernel
+/// ratios (`shuffle_over_scalar` on a ≤16-state rule, `gather_over_scalar`
+/// for the 8-lane interleaved scan of the 128-state window automaton).
+/// Writes `BENCH_throughput.json` (or `SFA_BENCH_OUT`) and, when
 /// `SFA_BENCH_BASELINE` names a committed baseline, gates against it the
 /// same way the multimatch target does.
+///
+/// Summary-field semantics worth spelling out (this bit the committed
+/// baseline once): `workers` is the *requested* pool size of the parallel
+/// scan (always 8), `cores` is the *detected* logical-CPU count of the
+/// machine the file was generated on (`available_parallelism`), and
+/// `cpu_features` / `simd` record the detected SIMD capability and
+/// whether the binary was built with the `simd` feature — so a baseline
+/// generated on a 1-core scalar box is distinguishable from an 8-core
+/// AVX2 one without guessing.
 fn throughput() {
     use sfa_core::StateIdRepr;
     println!("\n## Packed-table throughput — u8/u16 state ids vs. the u32 baseline");
@@ -606,6 +641,8 @@ fn throughput() {
     // footprint is what the packed width shrinks. `k = 5` stays under 256
     // SFA states (u8 ids); `k = 12` needs u16. Both premultiply.
     let mut stats: Vec<(StateIdRepr, usize, u64, f64, f64)> = Vec::new();
+    let mut small: Option<Regex> = None;
+    let mut small_text: Vec<u8> = Vec::new();
     let mut large: Option<Regex> = None;
     let mut large_text: Vec<u8> = Vec::new();
     for (k, want) in [(5usize, StateIdRepr::U8), (12, StateIdRepr::U16)] {
@@ -643,7 +680,10 @@ fn throughput() {
             t_packed.mb_per_sec(),
             t_wide.mb_per_sec(),
         ));
-        if k == 12 {
+        if k == 5 {
+            small = Some(packed);
+            small_text = text;
+        } else {
             large = Some(packed);
             large_text = text;
         }
@@ -660,9 +700,77 @@ fn throughput() {
         assert_eq!(matcher.run(&large_text, workers, Reduction::Sequential), expected_final);
     });
     println!(
-        "parallel (u16 automaton, {workers} workers): {:.0} MB/s on {} cores",
+        "parallel (u16 automaton, {workers} workers requested): {:.0} MB/s on {} detected \
+         logical cores",
         t_par.mb_per_sec(),
         num_cpus()
+    );
+
+    // ---- SIMD kernels: dispatched scan vs. the scalar reference ---------
+    // Both ratios pit `run`/`run_from_many` (which dispatch to the SIMD
+    // kernels when the `simd` feature is built and the CPU qualifies)
+    // against `run_from_scalar` on the same automaton and corpus, so on a
+    // scalar build or CPU they hover around 1.0 and the baseline gate
+    // skips them (see `check_throughput_baseline`).
+    let features = cpu_features();
+    println!(
+        "simd: feature {}, cpu features {features}",
+        if cfg!(feature = "simd") { "on" } else { "off" }
+    );
+
+    // Shuffle subject: `(ab)*` minimizes to a handful of states and packs
+    // to u8 — the shape the nibble-indexed `pshufb` kernel accepts.
+    let ab = builder.clone().build("(ab)*").unwrap();
+    let ab_sfa = ab.sfa().eager().expect("default backend is eager");
+    assert_eq!(ab_sfa.repr(), StateIdRepr::U8);
+    let ab_text = b"ab".repeat(LEN / 2);
+    let ab_expected = ab_sfa.run_from_scalar(ab_sfa.initial(), &ab_text);
+    let t_shuffle = measure(ab_text.len(), runs, || {
+        assert_eq!(ab_sfa.run(&ab_text), ab_expected);
+    });
+    let t_shuffle_scalar = measure(ab_text.len(), runs, || {
+        assert_eq!(ab_sfa.run_from_scalar(ab_sfa.initial(), &ab_text), ab_expected);
+    });
+    let shuffle_kernel = ab_sfa.scan_kernel();
+    let shuffle_over_scalar = t_shuffle.mb_per_sec() / t_shuffle_scalar.mb_per_sec();
+    println!(
+        "shuffle ({} states, kernel = {shuffle_kernel}): {:.0} MB/s vs. {:.0} MB/s scalar  \
+         ({shuffle_over_scalar:.2}x)",
+        ab_sfa.num_states(),
+        t_shuffle.mb_per_sec(),
+        t_shuffle_scalar.mb_per_sec(),
+    );
+
+    // Gather subject: the 128-state k = 5 window automaton is too big for
+    // the shuffle kernel, so the win comes from interleaving — cut the
+    // haystack into 8 identity-seeded lanes, drive them through one
+    // `run_from_many` batch (the AVX2 gather kernel when available) and
+    // compose the lane states back, exactly what a pool worker does when
+    // its chunk plan carries `lanes > 1`.
+    let small = small.expect("the k = 5 window automaton was benchmarked above");
+    let win = small.sfa();
+    let win_sfa = win.eager().expect("default backend is eager");
+    let win_expected = win_sfa.run_from_scalar(win_sfa.initial(), &small_text);
+    let lanes = 8usize;
+    let t_gather = measure(small_text.len(), runs, || {
+        let id = win.initial();
+        let jobs: Vec<_> =
+            sfa_matcher::split_chunks(&small_text, lanes).into_iter().map(|s| (id, s)).collect();
+        let got =
+            win.run_from_many(&jobs).into_iter().fold(id, |acc, f| win.compose_states(acc, f));
+        assert_eq!(got, win_expected);
+    });
+    let t_gather_scalar = measure(small_text.len(), runs, || {
+        assert_eq!(win_sfa.run_from_scalar(win_sfa.initial(), &small_text), win_expected);
+    });
+    let gather_kernel = win.scan_kernel();
+    let gather_over_scalar = t_gather.mb_per_sec() / t_gather_scalar.mb_per_sec();
+    println!(
+        "interleaved x{lanes} ({} states, kernel = {gather_kernel}): {:.0} MB/s vs. {:.0} MB/s \
+         non-interleaved  ({gather_over_scalar:.2}x)",
+        win.num_states(),
+        t_gather.mb_per_sec(),
+        t_gather_scalar.mb_per_sec(),
     );
 
     // ---- machine-readable summary + regression gate --------------------
@@ -674,7 +782,11 @@ fn throughput() {
             "\"u8_mb_per_sec\":{:.1},\"u8_u32_mb_per_sec\":{:.1},\"u8_over_u32\":{:.3},",
             "\"u16_states\":{},\"u16_fingerprint\":\"{:#x}\",",
             "\"u16_mb_per_sec\":{:.1},\"u16_u32_mb_per_sec\":{:.1},\"u16_over_u32\":{:.3},",
-            "\"workers\":{},\"parallel_mb_per_sec\":{:.1},\"cores\":{},\"scale\":{}}}"
+            "\"workers\":{},\"parallel_mb_per_sec\":{:.1},",
+            "\"simd\":{},\"cpu_features\":\"{}\",",
+            "\"shuffle_kernel\":\"{}\",\"shuffle_over_scalar\":{:.3},",
+            "\"gather_kernel\":\"{}\",\"gather_over_scalar\":{:.3},",
+            "\"cores\":{},\"scale\":{}}}"
         ),
         LEN,
         u8s.1,
@@ -689,6 +801,12 @@ fn throughput() {
         u16s.3 / u16s.4,
         workers,
         t_par.mb_per_sec(),
+        cfg!(feature = "simd"),
+        features,
+        shuffle_kernel,
+        shuffle_over_scalar,
+        gather_kernel,
+        gather_over_scalar,
         num_cpus(),
         scale(),
     );
@@ -915,6 +1033,28 @@ fn check_throughput_baseline(current: &str, baseline: &str, baseline_path: &str)
         if now < min {
             eprintln!(
                 "REGRESSION: {key} = {now:.2}, needs ≥ {min:.2} (baseline {was:.2}, {baseline_path})"
+            );
+            failed = true;
+        }
+    }
+    // The SIMD ratios are gated only when this run actually engaged the
+    // kernel (a scalar build or CPU measures scalar-vs-scalar noise around
+    // 1.0x, which must not fail the gate) and the committed baseline is
+    // new enough to carry the field (legacy baselines predate it).
+    for (kernel_key, ratio_key, floor) in [
+        ("shuffle_kernel", "shuffle_over_scalar", 1.2),
+        ("gather_kernel", "gather_over_scalar", 1.05),
+    ] {
+        let engaged = field(current, kernel_key).trim_matches('"');
+        if engaged == "scalar" || !baseline.contains(&format!("\"{ratio_key}\":")) {
+            continue;
+        }
+        let now: f64 = field(current, ratio_key).parse().unwrap();
+        let was: f64 = field(baseline, ratio_key).parse().unwrap();
+        let min = (0.4 * was).max(floor);
+        if now < min {
+            eprintln!(
+                "REGRESSION: {ratio_key} = {now:.2}, needs ≥ {min:.2} (baseline {was:.2}, {baseline_path})"
             );
             failed = true;
         }

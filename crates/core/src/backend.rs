@@ -355,6 +355,30 @@ impl SfaBackend {
     pub fn state_id_bytes(&self) -> usize {
         self.repr().bytes()
     }
+
+    /// Name of the transition kernel this backend's scans dispatch to
+    /// (`"shuffle"` / `"gather"` / `"scalar"` — see
+    /// [`DSfa::scan_kernel`]). Lazy backends always scan scalar: their
+    /// transitions materialize behind a lock, so there is no dense table
+    /// to vectorize over.
+    pub fn scan_kernel(&self) -> &'static str {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.scan_kernel(),
+            SfaBackend::Lazy(_) => "scalar",
+        }
+    }
+
+    /// How many interleaved sub-chunks a worker should drive through one
+    /// batched scan of a single large haystack (see
+    /// [`DSfa::preferred_lanes`]). Lazy backends report 1 — their batch
+    /// path runs jobs one by one, so splitting a chunk would only add
+    /// composition work.
+    pub fn preferred_lanes(&self) -> usize {
+        match self {
+            SfaBackend::Eager(sfa) => sfa.preferred_lanes(),
+            SfaBackend::Lazy(_) => 1,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,8 @@
 //! construction time instead of at match time.
 
 use crate::mapping::Transformation;
+#[cfg(feature = "simd")]
+use crate::simd;
 use crate::SfaConfig;
 use sfa_automata::{ByteClasses, CompileError, Dfa, PatternSet, StateId};
 use std::collections::HashMap;
@@ -146,8 +148,10 @@ impl PackedId for u32 {
 }
 
 /// A row-major state-id table in one of the three packed widths.
+/// `pub(crate)` so the `simd` kernels can borrow the premultiplied table
+/// at its packed width.
 #[derive(Clone, Debug)]
-enum PackedIds {
+pub(crate) enum PackedIds {
     U8(Box<[u8]>),
     U16(Box<[u16]>),
     U32(Box<[u32]>),
@@ -301,6 +305,11 @@ pub struct DSfa {
     /// paths never do). Costs roughly as much memory as `mappings` itself,
     /// which is why it is not built eagerly for every SFA.
     state_index: OnceLock<HashMap<Transformation, SfaStateId>>,
+    /// SIMD kernels for this automaton, built lazily on the first scan
+    /// after runtime CPU detection (`None` when only the scalar loops
+    /// apply — no premultiplied table, unsupported CPU, or non-x86_64).
+    #[cfg(feature = "simd")]
+    simd: OnceLock<Option<simd::SimdKernels>>,
     dfa_start: StateId,
     dfa_accepting: Vec<bool>,
     /// Number of original patterns compiled into the source DFA.
@@ -425,6 +434,8 @@ impl DSfa {
             accepting,
             mappings,
             state_index: OnceLock::new(),
+            #[cfg(feature = "simd")]
+            simd: OnceLock::new(),
             dfa_start,
             dfa_accepting: dfa.accepting().to_vec(),
             pattern_count: dfa.pattern_count(),
@@ -587,10 +598,38 @@ impl DSfa {
     ///   `sink` bitmap is consulted only when the state changes; the
     ///   common self-looping byte costs just the lookup and a register
     ///   compare.
+    ///
+    /// With the `simd` feature the call dispatches once — never per byte —
+    /// to the shuffle kernel when this automaton qualifies (see
+    /// [`scan_kernel`](DSfa::scan_kernel)); the scalar loop remains the
+    /// fallback and returns identical states.
     pub fn run_from(&self, state: SfaStateId, input: &[u8]) -> SfaStateId {
         if self.sink[state as usize] {
             return state;
         }
+        #[cfg(feature = "simd")]
+        if let Some(simd::SimdKernels::Shuffle(k)) = self.simd_kernels() {
+            return k.run(&self.sink, state, input);
+        }
+        self.scan_scalar(state, input)
+    }
+
+    /// [`run_from`](DSfa::run_from) restricted to the scalar loops: never
+    /// dispatches to a SIMD kernel, whatever features and CPU are
+    /// available. This is the semantic reference the kernels are tested
+    /// against and the baseline the benchmarks compare them to; verdicts
+    /// are identical to `run_from` by construction.
+    pub fn run_from_scalar(&self, state: SfaStateId, input: &[u8]) -> SfaStateId {
+        if self.sink[state as usize] {
+            return state;
+        }
+        self.scan_scalar(state, input)
+    }
+
+    /// The monomorphized scalar loops behind
+    /// [`run_from_scalar`](DSfa::run_from_scalar).
+    #[inline]
+    fn scan_scalar(&self, state: SfaStateId, input: &[u8]) -> SfaStateId {
         // One match on (table kind × packed width) per *call*; each arm is
         // a monomorphized loop whose loads are the packed width.
         match &self.byte_table {
@@ -625,10 +664,28 @@ impl DSfa {
     /// the sink early-exit. Results are returned in job order, and equal
     /// `run_from(state, input)` for every job. Without a premultiplied
     /// table the jobs simply run one by one.
+    ///
+    /// With the `simd` feature the whole batch dispatches once to the
+    /// automaton's kernel when one applies (see
+    /// [`scan_kernel`](DSfa::scan_kernel)): the gather kernel widens the
+    /// lockstep walk to 8 lanes with vectorized table loads, the shuffle
+    /// kernel runs each job at ~1 byte/cycle.
     pub fn run_from_many(&self, jobs: &[(SfaStateId, &[u8])]) -> Vec<SfaStateId> {
+        #[cfg(feature = "simd")]
+        if let Some(kernels) = self.simd_kernels() {
+            return self.run_from_many_simd(kernels, jobs);
+        }
+        self.run_from_many_scalar(jobs)
+    }
+
+    /// [`run_from_many`](DSfa::run_from_many) restricted to the scalar
+    /// loops (the [`INTERLEAVE_LANES`]-wide lockstep walk) — the
+    /// reference and benchmark baseline for the SIMD batch path, with
+    /// identical results.
+    pub fn run_from_many_scalar(&self, jobs: &[(SfaStateId, &[u8])]) -> Vec<SfaStateId> {
         let mut out = Vec::with_capacity(jobs.len());
         let Some(bt) = &self.byte_table else {
-            out.extend(jobs.iter().map(|&(s, input)| self.run_from(s, input)));
+            out.extend(jobs.iter().map(|&(s, input)| self.run_from_scalar(s, input)));
             return out;
         };
         let mut groups = jobs.chunks_exact(INTERLEAVE_LANES);
@@ -642,11 +699,122 @@ impl DSfa {
                 PackedIds::U32(t) => scan_dense_lanes(t, &mut f, &inputs, common),
             }
             for (lane, input) in inputs.iter().enumerate() {
-                out.push(self.run_from(f[lane], &input[common..]));
+                out.push(self.run_from_scalar(f[lane], &input[common..]));
             }
         }
-        out.extend(groups.remainder().iter().map(|&(s, input)| self.run_from(s, input)));
+        out.extend(groups.remainder().iter().map(|&(s, input)| self.run_from_scalar(s, input)));
         out
+    }
+
+    /// The SIMD batch path behind [`run_from_many`](DSfa::run_from_many).
+    #[cfg(feature = "simd")]
+    fn run_from_many_simd(
+        &self,
+        kernels: &simd::SimdKernels,
+        jobs: &[(SfaStateId, &[u8])],
+    ) -> Vec<SfaStateId> {
+        match kernels {
+            // The shuffle kernel already saturates on a single input;
+            // lockstep interleaving would only add bookkeeping.
+            simd::SimdKernels::Shuffle(k) => jobs
+                .iter()
+                .map(
+                    |&(s, input)| {
+                        if self.sink[s as usize] {
+                            s
+                        } else {
+                            k.run(&self.sink, s, input)
+                        }
+                    },
+                )
+                .collect(),
+            simd::SimdKernels::Gather(k) => {
+                let bt =
+                    self.byte_table.as_ref().expect("gather kernel implies a premultiplied table");
+                let mut out = Vec::with_capacity(jobs.len());
+                let mut groups = jobs.chunks_exact(simd::GATHER_LANES);
+                for group in groups.by_ref() {
+                    let mut f = [0 as SfaStateId; simd::GATHER_LANES];
+                    let mut inputs: [&[u8]; simd::GATHER_LANES] = [&[]; simd::GATHER_LANES];
+                    for (lane, &(s, input)) in group.iter().enumerate() {
+                        f[lane] = s;
+                        inputs[lane] = input;
+                    }
+                    let common = inputs.iter().map(|s| s.len()).min().unwrap_or(0);
+                    k.run_lanes(bt, &self.sink, &mut f, &inputs, common);
+                    for (lane, input) in inputs.iter().enumerate() {
+                        out.push(self.run_from_scalar(f[lane], &input[common..]));
+                    }
+                }
+                out.extend(
+                    groups.remainder().iter().map(|&(s, input)| self.run_from_scalar(s, input)),
+                );
+                out
+            }
+        }
+    }
+
+    /// The lazily built SIMD kernels for this automaton (`None` when the
+    /// scalar loops are the only applicable path).
+    #[cfg(feature = "simd")]
+    #[inline]
+    fn simd_kernels(&self) -> Option<&simd::SimdKernels> {
+        self.simd
+            .get_or_init(|| simd::SimdKernels::build(&self.byte_table, self.num_states()))
+            .as_ref()
+    }
+
+    /// Name of the transition kernel [`run_from`](DSfa::run_from) /
+    /// [`run_from_many`](DSfa::run_from_many) dispatch to on this build,
+    /// CPU and automaton shape: `"shuffle"` (SSSE3 `pshufb`, `u8` repr,
+    /// ≤ 16 states, premultiplied), `"gather"` (AVX2 `vpgatherdd`, any
+    /// premultiplied automaton) or `"scalar"` (the monomorphized loops —
+    /// always the answer without the `simd` feature). Surfaced through
+    /// `SizeReport` as the `scan_kernel` JSON field.
+    pub fn scan_kernel(&self) -> &'static str {
+        #[cfg(feature = "simd")]
+        {
+            simd::kernel_name(&self.byte_table, self.num_states())
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            "scalar"
+        }
+    }
+
+    /// How many independent sub-chunks an *interleaving* caller should
+    /// drive through one [`run_from_many`](DSfa::run_from_many) call to
+    /// saturate this automaton's scan kernel on a single large haystack:
+    ///
+    /// * `"gather"` kernel → 8 (one AVX2 register of lane states): the
+    ///   vector gather issues all lane loads at once, so more lanes means
+    ///   more memory-level parallelism on cache-missing tables;
+    /// * scalar premultiplied → [`INTERLEAVE_LANES`] (4): the lockstep
+    ///   scalar walk keeps that many dependent-load chains in flight;
+    /// * `"shuffle"` kernel or no premultiplied table → 1: the shuffle
+    ///   kernel already runs at ~1 byte/cycle from a 4 KiB L1-resident
+    ///   table (splitting only adds composition overhead), and without a
+    ///   premultiplied table batch jobs run one by one anyway.
+    ///
+    /// `sfa-matcher` consumes this through
+    /// `Engine::plan_chunks_interleaved` to split each worker's chunk;
+    /// composing the per-sub-chunk states (Lemma 1) keeps verdicts exact.
+    pub fn preferred_lanes(&self) -> usize {
+        if self.byte_table.is_none() {
+            return 1;
+        }
+        #[cfg(feature = "simd")]
+        {
+            match self.scan_kernel() {
+                "gather" => simd::GATHER_LANES,
+                "shuffle" => 1,
+                _ => INTERLEAVE_LANES,
+            }
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            INTERLEAVE_LANES
+        }
     }
 
     /// Whole-input membership using the SFA alone (sequential; the parallel
@@ -1114,5 +1282,96 @@ mod tests {
             .unwrap();
         assert_eq!(slow.run_from_many(&jobs), expected);
         assert!(sfa.run_from_many(&[]).is_empty());
+    }
+
+    /// `run_from` / `run_from_many` must return exactly what their
+    /// `*_scalar` references do, whatever kernel the dispatch picks —
+    /// trivial without the `simd` feature, the real agreement check with
+    /// it (shuffle on the 6-state automaton, gather on the wider ones).
+    /// Lengths cover 0, 1, the shuffle kernel's 64-byte block boundary,
+    /// lane-remainder tails and mid-input sink entry.
+    #[test]
+    fn simd_dispatch_agrees_with_scalar() {
+        let automata: Vec<DSfa> = vec![
+            dsfa("(ab)*").1,               // 6 states: shuffle candidate
+            dsfa("([0-4]{2}[5-9]{2})*").1, // 20 states: u8 gather candidate
+            DSfa::from_dfa(&cycle_dfa(300), &SfaConfig::default()).unwrap(), // u16
+            DSfa::from_dfa(
+                &minimal_dfa_from_pattern("(ab)*").unwrap(),
+                &SfaConfig { repr: Some(StateIdRepr::U32), ..SfaConfig::default() },
+            )
+            .unwrap(), // forced u32
+        ];
+        let ab = b"ab".repeat(300);
+        for sfa in &automata {
+            let mut inputs: Vec<Vec<u8>> = Vec::new();
+            for len in [0usize, 1, 2, 63, 64, 65, 128, 300, 599] {
+                inputs.push(ab[..len].to_vec());
+            }
+            // Sink entry mid-input: a byte outside every pattern's
+            // alphabet early, then a long tail (and one past the first
+            // block boundary).
+            let mut poisoned = ab[..7].to_vec();
+            poisoned.push(b'!');
+            poisoned.extend_from_slice(&ab[..200]);
+            inputs.push(poisoned);
+            let mut late_poison = ab[..100].to_vec();
+            late_poison.push(b'!');
+            late_poison.extend_from_slice(&ab[..100]);
+            inputs.push(late_poison);
+            // Keeps the window automaton out of its sink for the whole
+            // scan (and covers a non-multiple-of-64 length).
+            inputs.push(b"00550459".repeat(37));
+            for input in &inputs {
+                assert_eq!(
+                    sfa.run_from(sfa.initial(), input),
+                    sfa.run_from_scalar(sfa.initial(), input)
+                );
+            }
+            // Batches of every size 0..=13 exercise both the 8-lane
+            // gather groups and the remainder path.
+            let jobs: Vec<(SfaStateId, &[u8])> =
+                inputs.iter().cycle().take(13).map(|v| (sfa.initial(), &v[..])).collect();
+            for n in 0..=jobs.len() {
+                assert_eq!(sfa.run_from_many(&jobs[..n]), sfa.run_from_many_scalar(&jobs[..n]));
+            }
+            // From every state, single bytes agree too.
+            for s in 0..sfa.num_states().min(64) as SfaStateId {
+                for b in [b'a', b'b', b'0', b'7', b'!'] {
+                    assert_eq!(sfa.run_from(s, &[b]), sfa.run_from_scalar(s, &[b]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_kernel_and_preferred_lanes_are_consistent() {
+        // Without a premultiplied table there is nothing to vectorize.
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let plain = DSfa::from_dfa(&dfa, &SfaConfig { premultiply: false, ..SfaConfig::default() })
+            .unwrap();
+        assert_eq!(plain.scan_kernel(), "scalar");
+        assert_eq!(plain.preferred_lanes(), 1);
+
+        // Premultiplied automata report whichever kernel this build/CPU
+        // dispatches to, and lanes consistent with it.
+        let small = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        assert!(small.num_states() <= 16);
+        assert!(matches!(small.scan_kernel(), "shuffle" | "gather" | "scalar"));
+        let wide = DSfa::from_dfa(&cycle_dfa(300), &SfaConfig::default()).unwrap();
+        assert!(matches!(wide.scan_kernel(), "gather" | "scalar"));
+        for sfa in [&small, &wide] {
+            let lanes = sfa.preferred_lanes();
+            match sfa.scan_kernel() {
+                "gather" => assert_eq!(lanes, 8),
+                "shuffle" => assert_eq!(lanes, 1),
+                _ => assert_eq!(lanes, INTERLEAVE_LANES),
+            }
+        }
+        #[cfg(not(feature = "simd"))]
+        {
+            assert_eq!(small.scan_kernel(), "scalar");
+            assert_eq!(small.preferred_lanes(), INTERLEAVE_LANES);
+        }
     }
 }

@@ -99,6 +99,13 @@ pub struct SizeReport {
     /// when `shards == 1`. For a sharded set this is the number a
     /// per-shard state budget bounds (fallback shards excepted).
     pub max_shard_dfa_states: usize,
+    /// The transition kernel scans of this automaton dispatch to on the
+    /// reporting build and CPU: `"shuffle"`, `"gather"` or `"scalar"`
+    /// (see [`DSfa::scan_kernel`]) — `"mixed"` for a combined report
+    /// whose shards disagree. Machine-dependent by design: the same
+    /// artifact reports `"scalar"` where the `simd` feature or the CPU
+    /// support is absent.
+    pub scan_kernel: String,
 }
 
 impl SizeReport {
@@ -112,6 +119,7 @@ impl SizeReport {
             sfa.mapping_bytes(),
             sfa.state_id_bytes(),
             sfa.byte_table_bytes(),
+            sfa.scan_kernel(),
         )
     }
 
@@ -127,6 +135,7 @@ impl SizeReport {
             backend.mapping_bytes(),
             backend.state_id_bytes(),
             backend.byte_table_bytes(),
+            backend.scan_kernel(),
         )
     }
 
@@ -139,6 +148,7 @@ impl SizeReport {
         sfa_mapping_bytes: usize,
         state_id_bytes: usize,
         byte_table_bytes: usize,
+        scan_kernel: &str,
     ) -> SizeReport {
         SizeReport {
             backend,
@@ -159,6 +169,7 @@ impl SizeReport {
             survivor_states: dfa.num_states(),
             shards: 1,
             max_shard_dfa_states: dfa.num_states(),
+            scan_kernel: scan_kernel.to_string(),
         }
     }
 
@@ -168,9 +179,11 @@ impl SizeReport {
     /// `max_shard_dfa_states` take the per-shard maximum (the widest
     /// shard bounds the packing claim), `shards` sums the inputs' shard
     /// counts, the
-    /// backend is `Eager` only when every shard is eager, and
-    /// `ratio`/`growth` are recomputed from the summed totals. An empty
-    /// slice yields an all-zero eager report (`ratio` is `NaN`).
+    /// backend is `Eager` only when every shard is eager,
+    /// `scan_kernel` is kept when every shard agrees (`"mixed"`
+    /// otherwise), and `ratio`/`growth` are recomputed from the summed
+    /// totals. An empty slice yields an all-zero eager report (`ratio` is
+    /// `NaN`, `scan_kernel` is `"scalar"`).
     pub fn combine(reports: &[SizeReport]) -> SizeReport {
         let backend = if reports.iter().all(|r| r.backend == BackendKind::Eager) {
             BackendKind::Eager
@@ -198,6 +211,13 @@ impl SizeReport {
             survivor_states: reports.iter().map(|r| r.survivor_states).sum(),
             shards: reports.iter().map(|r| r.shards).sum(),
             max_shard_dfa_states: reports.iter().map(|r| r.max_shard_dfa_states).max().unwrap_or(0),
+            scan_kernel: match reports.first() {
+                None => "scalar".to_string(),
+                Some(first) if reports.iter().all(|r| r.scan_kernel == first.scan_kernel) => {
+                    first.scan_kernel.clone()
+                }
+                Some(_) => "mixed".to_string(),
+            },
         }
     }
 }
@@ -245,7 +265,7 @@ impl SizeReport {
                 "\"sfa_mapping_bytes\":{},\"state_id_bytes\":{},\"table_bytes\":{},",
                 "\"ratio\":{},\"growth\":\"{}\",",
                 "\"convergence_horizon\":{},\"survivor_states\":{},",
-                "\"shards\":{},\"max_shard_dfa_states\":{}}}"
+                "\"shards\":{},\"max_shard_dfa_states\":{},\"scan_kernel\":\"{}\"}}"
             ),
             self.backend.as_str(),
             self.patterns,
@@ -265,6 +285,7 @@ impl SizeReport {
             self.survivor_states,
             self.shards,
             self.max_shard_dfa_states,
+            self.scan_kernel,
         )
     }
 
@@ -327,6 +348,12 @@ impl SizeReport {
             max_shard_dfa_states: match field(json, "max_shard_dfa_states") {
                 Some(s) => s.parse().ok()?,
                 None => field(json, "dfa_states")?.parse().ok()?,
+            },
+            // Reports written before the SIMD kernels existed lack this
+            // field: every scan was the scalar loop.
+            scan_kernel: match field(json, "scan_kernel") {
+                Some(s) => s.trim_matches('"').to_string(),
+                None => "scalar".to_string(),
             },
         })
     }
@@ -585,6 +612,36 @@ mod tests {
         let combined = SizeReport::combine(&[a, b]);
         assert_eq!(combined.convergence_horizon, 9);
         assert_eq!(combined.survivor_states, 5);
+    }
+
+    #[test]
+    fn scan_kernel_field_round_trips_and_legacy_defaults_to_scalar() {
+        let r = report("(ab)*");
+        // Whatever this build/CPU dispatches to, the report names it and
+        // round-trips it.
+        assert!(
+            matches!(r.scan_kernel.as_str(), "shuffle" | "gather" | "scalar"),
+            "{}",
+            r.scan_kernel
+        );
+        #[cfg(not(feature = "simd"))]
+        assert_eq!(r.scan_kernel, "scalar");
+        let json = r.to_json();
+        assert!(json.contains(&format!("\"scan_kernel\":\"{}\"", r.scan_kernel)), "{json}");
+        let back = SizeReport::from_json(&json).unwrap();
+        assert_eq!(back.scan_kernel, r.scan_kernel);
+        // JSON written before the field existed still parses as scalar.
+        let legacy_json = json.replace(&format!(",\"scan_kernel\":\"{}\"", r.scan_kernel), "");
+        assert!(!legacy_json.contains("scan_kernel"), "{legacy_json}");
+        assert_eq!(SizeReport::from_json(&legacy_json).unwrap().scan_kernel, "scalar");
+        // combine(): agreement keeps the kernel, disagreement is "mixed",
+        // empty input defaults to scalar.
+        let same = SizeReport::combine(&[r.clone(), r.clone()]);
+        assert_eq!(same.scan_kernel, r.scan_kernel);
+        let mut other = r.clone();
+        other.scan_kernel = "something-else".to_string();
+        assert_eq!(SizeReport::combine(&[r, other]).scan_kernel, "mixed");
+        assert_eq!(SizeReport::combine(&[]).scan_kernel, "scalar");
     }
 
     #[test]

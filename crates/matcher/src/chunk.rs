@@ -4,6 +4,13 @@
 //! *any* division of the input word, so the matcher simply cuts the text
 //! into `p` contiguous, nearly equal chunks — exactly what the paper's
 //! pthread implementation does with its static partitioning.
+//!
+//! The same splitter is applied a *second* time inside each worker when
+//! the plan carries an interleave lane count
+//! ([`ChunkPlan::lanes`](crate::pool::ChunkPlan::lanes) > 1): the
+//! worker's chunk is cut into `L` sub-chunks that advance in lockstep
+//! through one batched scan, hiding transition-table load latency
+//! (scalar) or filling SIMD gather lanes.
 
 /// Splits `input` into at most `chunks` contiguous slices of nearly equal
 /// length (the first `len % chunks` slices are one byte longer).
@@ -107,7 +114,13 @@ where
 ///
 /// This is the batch dual of [`split_chunks`]: instead of cutting one
 /// large input into per-worker chunks, it glues many small work items
-/// into per-worker jobs big enough to amortize a pool hand-off.
+/// into per-worker jobs big enough to amortize a pool hand-off. The two
+/// compose with lane interleaving from opposite directions — a packed
+/// group of small haystacks is *already* a ready-made batch for the
+/// interleaved `run_from_many` scan (each item is its own lane), while a
+/// worker holding one oversized item re-applies [`split_chunks`] to make
+/// lanes out of it (see
+/// [`Engine::plan_chunks_interleaved`](crate::pool::Engine::plan_chunks_interleaved)).
 pub fn pack_by_bytes(sizes: &[usize], max_bytes: usize) -> Vec<std::ops::Range<usize>> {
     let mut groups = Vec::new();
     let mut start = 0;

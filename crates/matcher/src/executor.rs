@@ -16,6 +16,13 @@
 //! (e.g. item 0 waiting on a channel fed by item k) — with more items
 //! than workers, the unblocking item may still be queued. Chunk matching
 //! never does this; independent, compute-only items are the contract.
+//!
+//! Parallelism *below* this layer is invisible to it: when a chunk plan
+//! carries an interleave lane count
+//! ([`ChunkPlan::lanes`](crate::pool::ChunkPlan::lanes)), each mapped
+//! closure internally drives several sub-chunk lanes through one batched
+//! scan, but from the executor's point of view it is still one opaque,
+//! compute-only work item.
 
 use crate::pool::Engine;
 

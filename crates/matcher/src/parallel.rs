@@ -63,7 +63,29 @@ impl<'a> ParallelSfaMatcher<'a> {
     /// is per chunk, never per byte.
     fn partial_states(&self, input: &[u8], plan: ChunkPlan) -> Vec<SfaStateId> {
         let chunks = split_chunks(input, plan.chunks);
-        self.engine.map_chunks(chunks, plan.use_pool, |_, chunk| self.sfa.run(chunk))
+        self.engine.map_chunks(chunks, plan.use_pool, |_, chunk| self.scan_chunk(chunk, plan.lanes))
+    }
+
+    /// Scans one worker's chunk, optionally interleaving `lanes` sub-chunks
+    /// through a single batched [`run_from_many`](SfaBackend::run_from_many)
+    /// call (Theorem 3 applied a second time, *inside* the worker).
+    ///
+    /// Every sub-chunk starts from the identity state, so each lane result
+    /// is the transformation of its own slice; the left-to-right
+    /// [`compose_states`](SfaBackend::compose_states) fold (Lemma 1)
+    /// recombines them into exactly the state a sequential scan of the
+    /// whole chunk would produce — verdicts are bit-for-bit unchanged.
+    fn scan_chunk(&self, chunk: &[u8], lanes: usize) -> SfaStateId {
+        if lanes <= 1 || chunk.len() < lanes {
+            return self.sfa.run(chunk);
+        }
+        let identity = self.sfa.initial();
+        let subs = split_chunks(chunk, lanes);
+        let jobs: Vec<(SfaStateId, &[u8])> = subs.iter().map(|&s| (identity, s)).collect();
+        self.sfa
+            .run_from_many(&jobs)
+            .into_iter()
+            .fold(identity, |acc, f| self.sfa.compose_states(acc, f))
     }
 
     /// Runs the chunk phase (lines 1–5 of Algorithm 5): each chunk is
@@ -71,15 +93,23 @@ impl<'a> ParallelSfaMatcher<'a> {
     ///
     /// The input is cut into at most `threads.min(workers)` chunks (the
     /// engine's chunk-count cap), which run on the pool only when each
-    /// chunk is large enough to amortize the hand-off.
+    /// chunk is large enough to amortize the hand-off. Within each chunk
+    /// the scan is further interleaved into up to
+    /// [`preferred_lanes`](SfaBackend::preferred_lanes) sub-chunk lanes
+    /// (see [`Engine::plan_chunks_interleaved`]).
     pub fn chunk_states(&self, input: &[u8], threads: usize) -> Vec<SfaStateId> {
-        self.partial_states(input, self.engine.plan_chunks(input.len(), threads))
+        self.partial_states(input, self.plan(input.len(), threads))
+    }
+
+    /// The interleaving-aware plan for this matcher's backend.
+    fn plan(&self, input_len: usize, threads: usize) -> ChunkPlan {
+        self.engine.plan_chunks_interleaved(input_len, threads, self.sfa.preferred_lanes())
     }
 
     /// Runs the full parallel computation and returns the final DFA state
     /// reached from the DFA's start state.
     pub fn run(&self, input: &[u8], threads: usize, reduction: Reduction) -> StateId {
-        let plan = self.engine.plan_chunks(input.len(), threads);
+        let plan = self.plan(input.len(), threads);
         let partials = self.partial_states(input, plan);
         match reduction {
             Reduction::Sequential => {
@@ -300,6 +330,77 @@ mod tests {
         // example splits 3,4,3,4 — Theorem 3 says any split works).
         assert_eq!(states[0], sfa.run(b"abab"));
         assert_eq!(states[3], sfa.run(b"bab"));
+    }
+
+    #[test]
+    fn interleaved_scan_chunk_agrees_with_plain_run() {
+        // `scan_chunk` with lanes > 1 must land on exactly the state a
+        // straight-line scan produces (Theorem 3 + the Lemma 1 fold),
+        // for both backends, any lane count, and inputs that enter the
+        // sink mid-way or are shorter than the lane count.
+        let (_, backends) = backends("([0-4]{2}[5-9]{2})*");
+        let mut poisoned = b"00550459".repeat(512);
+        poisoned[1000] = b'!';
+        let inputs: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"0".to_vec(),
+            b"0055".to_vec(),
+            b"00550459".repeat(37),
+            b"00550459".repeat(1024),
+            poisoned,
+        ];
+        for backend in &backends {
+            let matcher = ParallelSfaMatcher::with_engine(backend, test_engine());
+            for input in &inputs {
+                let expected = backend.run(input);
+                for lanes in [1usize, 2, 3, 4, 8, 13] {
+                    assert_eq!(
+                        matcher.scan_chunk(input, lanes),
+                        expected,
+                        "len {} lanes {} ({:?} backend)",
+                        input.len(),
+                        lanes,
+                        backend.kind()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_intra_chunk_scan_agrees_with_sequential_strategy() {
+        use crate::{Regex, Strategy};
+        // A pool-sized input, so `plan_chunks_interleaved` genuinely
+        // raises `lanes` to the backend's preference (the per-lane floor
+        // is met), and the interleaved parallel scan must agree with
+        // `Strategy::Sequential` — including on an input poisoned in the
+        // middle of a lane.
+        let re = Regex::new("([0-4]{2}[5-9]{2})*").unwrap();
+        let accepted = b"00550459".repeat(64 * 1024); // 512 KiB
+        let mut rejected = accepted.clone();
+        rejected[accepted.len() / 2] = b'!';
+        let matcher = ParallelSfaMatcher::with_engine(re.sfa(), test_engine());
+        let plan = matcher.plan(accepted.len(), 8);
+        assert_eq!(plan.lanes, re.sfa().preferred_lanes());
+        for input in [&accepted, &rejected] {
+            let expected = re.is_match_with(input, Strategy::Sequential);
+            assert_eq!(re.is_match_with(input, Strategy::parallel(8)), expected);
+            for threads in [1usize, 2, 8] {
+                for reduction in [Reduction::Sequential, Reduction::Tree] {
+                    assert_eq!(matcher.accepts(input, threads, reduction), expected);
+                }
+            }
+        }
+        // Feed boundaries compose with the intra-chunk lanes: a stream
+        // fed in irregular blocks (some pool-sized, some tiny) reaches
+        // the same verdict as the one-shot sequential scan.
+        for input in [&accepted, &rejected] {
+            let mut stream = re.stream();
+            for block in input.chunks(77_777) {
+                stream.feed(block);
+            }
+            assert_eq!(stream.finish(), re.is_match_with(input, Strategy::Sequential));
+        }
     }
 
     #[test]

@@ -298,6 +298,17 @@ pub struct ChunkPlan {
     /// under [`MIN_POOL_CHUNK_BYTES`] — such batches run inline on the
     /// calling thread and never touch the pool.
     pub use_pool: bool,
+    /// Number of interleaved sub-chunks each worker cuts its chunk into
+    /// and drives through one batched scan (`run_from_many`), composing
+    /// the sub-chunk states back into the chunk's state (Lemma 1 — same
+    /// verdicts, same per-chunk result). `1` means the chunk is scanned
+    /// as a single chain. [`Engine::plan_chunks`] always plans `1`;
+    /// [`Engine::plan_chunks_interleaved`] raises it for backends whose
+    /// scan kernel profits from independent lanes, clamped so every
+    /// sub-chunk keeps at least [`MIN_POOL_CHUNK_BYTES`] — the same floor
+    /// that keeps whole chunks off the pool keeps lanes from degenerating
+    /// into composition overhead.
+    pub lanes: usize,
 }
 
 /// A cheaply cloneable handle to a [`WorkerPool`], carrying the chunking
@@ -331,11 +342,44 @@ impl Engine {
 
     /// Decides chunk count and pool usage for an input of `input_len`
     /// bytes and a requested parallelism of `threads` (`0` is treated as
-    /// `1` — the [crate-wide `0 ⇒ 1` clamp](crate)).
+    /// `1` — the [crate-wide `0 ⇒ 1` clamp](crate)). The plan's `lanes`
+    /// is always `1`; see
+    /// [`plan_chunks_interleaved`](Engine::plan_chunks_interleaved) for
+    /// the intra-chunk interleaving knob.
     pub fn plan_chunks(&self, input_len: usize, threads: usize) -> ChunkPlan {
         let chunks = threads.clamp(1, self.workers());
         let use_pool = chunks > 1 && input_len / chunks >= MIN_POOL_CHUNK_BYTES;
-        ChunkPlan { chunks, use_pool }
+        ChunkPlan { chunks, use_pool, lanes: 1 }
+    }
+
+    /// Like [`plan_chunks`](Engine::plan_chunks), but additionally plans
+    /// up to `max_lanes` interleaved sub-chunks per worker chunk
+    /// (`ChunkPlan::lanes`): each worker splits its slice of the haystack
+    /// into that many independent lanes, drives them through one batched
+    /// `run_from_many` scan — lockstep scalar or SIMD-gather, whichever
+    /// the backend's kernel is — and composes the lane states back into
+    /// the chunk state it would have produced anyway (Theorem 3 at a
+    /// second, intra-worker level).
+    ///
+    /// `max_lanes` comes from the backend
+    /// (`SfaBackend::preferred_lanes`): 8 for the AVX2 gather kernel, 4
+    /// for the scalar lockstep walk, 1 when splitting cannot help
+    /// (shuffle kernel, lazy backend, no premultiplied table). The plan
+    /// clamps it so every lane keeps at least [`MIN_POOL_CHUNK_BYTES`] —
+    /// below that floor the O(|D|) compositions and ragged tails outweigh
+    /// the latency hiding, the same economics as the inline floor for
+    /// pool hand-offs (`max_lanes` of `0` is treated as `1` — the
+    /// [crate-wide `0 ⇒ 1` clamp](crate)).
+    pub fn plan_chunks_interleaved(
+        &self,
+        input_len: usize,
+        threads: usize,
+        max_lanes: usize,
+    ) -> ChunkPlan {
+        let mut plan = self.plan_chunks(input_len, threads);
+        let share = input_len / plan.chunks;
+        plan.lanes = max_lanes.min(share / MIN_POOL_CHUNK_BYTES).max(1);
+        plan
     }
 
     /// Runs `work` over every item — on the pool when `parallel` is true
@@ -489,7 +533,10 @@ mod tests {
         assert_eq!(engine.plan_chunks(1 << 20, 10_000).chunks, 4);
         assert_eq!(engine.plan_chunks(1 << 20, 3).chunks, 3);
         // 0 clamps to 1, the crate-wide rule.
-        assert_eq!(engine.plan_chunks(1 << 20, 0), ChunkPlan { chunks: 1, use_pool: false });
+        assert_eq!(
+            engine.plan_chunks(1 << 20, 0),
+            ChunkPlan { chunks: 1, use_pool: false, lanes: 1 }
+        );
     }
 
     #[test]
@@ -499,9 +546,29 @@ mod tests {
         assert!(!engine.plan_chunks(1024, 8).use_pool);
         // Big input: pool engages, all workers used.
         let plan = engine.plan_chunks(4 << 20, 8);
-        assert_eq!(plan, ChunkPlan { chunks: 8, use_pool: true });
+        assert_eq!(plan, ChunkPlan { chunks: 8, use_pool: true, lanes: 1 });
         // Single chunk never uses the pool.
         assert!(!engine.plan_chunks(4 << 20, 1).use_pool);
+    }
+
+    #[test]
+    fn interleaved_plan_clamps_lanes_to_the_per_lane_floor() {
+        let engine = Engine::new(4);
+        // 8 MiB over 4 workers: 2 MiB per chunk — plenty for 8 lanes.
+        let plan = engine.plan_chunks_interleaved(8 << 20, 4, 8);
+        assert_eq!(plan, ChunkPlan { chunks: 4, use_pool: true, lanes: 8 });
+        // The chunk/pool decisions are exactly plan_chunks'.
+        let base = engine.plan_chunks(8 << 20, 4);
+        assert_eq!((plan.chunks, plan.use_pool), (base.chunks, base.use_pool));
+        // Each lane keeps MIN_POOL_CHUNK_BYTES: a 24 KiB share allows 6.
+        assert_eq!(engine.plan_chunks_interleaved(96 << 10, 4, 8).lanes, 6);
+        // Tiny shares collapse to a single chain, never to zero lanes —
+        // and a max_lanes of 0 clamps to 1 (the crate-wide rule).
+        assert_eq!(engine.plan_chunks_interleaved(1024, 4, 8).lanes, 1);
+        assert_eq!(engine.plan_chunks_interleaved(0, 1, 8).lanes, 1);
+        assert_eq!(engine.plan_chunks_interleaved(8 << 20, 4, 0).lanes, 1);
+        // A backend preferring fewer lanes than the share allows wins.
+        assert_eq!(engine.plan_chunks_interleaved(8 << 20, 4, 4).lanes, 4);
     }
 
     #[test]

@@ -38,7 +38,11 @@
 //! `Regex` on the lazy backend still exposes it unchanged. For the same
 //! reason it is untouched by the packed
 //! [`StateIdRepr`](sfa_core::StateIdRepr) tables — its per-chunk state
-//! vectors are over the DFA's `u32` state space.
+//! vectors are over the DFA's `u32` state space, and the SIMD transition
+//! kernels and intra-chunk lane interleaving
+//! ([`ChunkPlan::lanes`](crate::pool::ChunkPlan::lanes)) likewise do not
+//! apply here: a speculative worker already advances `|entry|` states per
+//! byte, so it has no idle lanes to fill.
 
 use crate::chunk::{split_chunks, split_chunks_guided};
 use crate::pool::Engine;
