@@ -390,6 +390,123 @@ impl ConvergenceReport {
         out.sort_unstable();
         out
     }
+
+    /// The durable projection of this report: the four facts worth
+    /// shipping inside a compiled-automaton artifact (see
+    /// [`ConvergenceSummary`]).
+    pub fn summary(&self) -> ConvergenceSummary {
+        ConvergenceSummary {
+            class: self.class,
+            horizon: self.compaction_horizon(),
+            survivors: self.survivor_count(),
+            reset_word: self.reset_word.clone(),
+        }
+    }
+}
+
+/// The durable projection of a [`ConvergenceReport`]: class, horizon,
+/// survivor count and reset word — everything `Strategy::Auto` steering
+/// and size reporting consume, in a form cheap enough to travel inside a
+/// serialized automaton artifact. A worker that loads an artifact reads
+/// the verdict from here instead of re-running the analysis; only an
+/// actual guided speculative *run* (which needs the full reach-set
+/// levels) recomputes the report, lazily.
+///
+/// The wire encoding is a little-endian byte string (see
+/// [`to_bytes`](ConvergenceSummary::to_bytes)); it is embedded verbatim
+/// in `sfa-serialize` artifacts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConvergenceSummary {
+    class: ConvergenceClass,
+    horizon: usize,
+    survivors: usize,
+    reset_word: Option<Vec<u8>>,
+}
+
+impl ConvergenceSummary {
+    /// The convergence verdict ([`ConvergenceReport::class`]).
+    pub fn class(&self) -> ConvergenceClass {
+        self.class
+    }
+
+    /// The compaction horizon ([`ConvergenceReport::compaction_horizon`]).
+    pub fn compaction_horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// `|R_∞|` ([`ConvergenceReport::survivor_count`]).
+    pub fn survivor_count(&self) -> usize {
+        self.survivors
+    }
+
+    /// The reset word, when the automaton is synchronizing
+    /// ([`ConvergenceReport::reset_word`]).
+    pub fn reset_word(&self) -> Option<&[u8]> {
+        self.reset_word.as_deref()
+    }
+
+    /// Whether `Strategy::Auto` should prefer guided speculation
+    /// ([`ConvergenceReport::prefers_speculation`]).
+    pub fn prefers_speculation(&self) -> bool {
+        matches!(self.class, ConvergenceClass::Synchronizing { .. })
+    }
+
+    /// Serializes the summary to a self-delimiting little-endian byte
+    /// string: class tag (`0` non-converging / `1` converging / `2`
+    /// synchronizing), horizon, survivors, then the optional reset word
+    /// as a length-prefixed tail.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let tag: u8 = match self.class {
+            ConvergenceClass::NonConverging => 0,
+            ConvergenceClass::Converging { .. } => 1,
+            ConvergenceClass::Synchronizing { .. } => 2,
+        };
+        let word = self.reset_word.as_deref().unwrap_or(&[]);
+        let mut out = Vec::with_capacity(14 + word.len());
+        out.push(tag);
+        out.push(u8::from(self.reset_word.is_some()));
+        out.extend_from_slice(&(self.horizon as u32).to_le_bytes());
+        out.extend_from_slice(&(self.survivors as u32).to_le_bytes());
+        out.extend_from_slice(&(word.len() as u32).to_le_bytes());
+        out.extend_from_slice(word);
+        out
+    }
+
+    /// Parses a byte string produced by
+    /// [`to_bytes`](ConvergenceSummary::to_bytes). Returns `None` on any
+    /// truncation or structural inconsistency (an unknown class tag, a
+    /// synchronizing verdict without its reset word, trailing garbage) —
+    /// corrupt convergence metadata must fail closed, never steer a
+    /// matcher with fabricated facts.
+    pub fn from_bytes(bytes: &[u8]) -> Option<ConvergenceSummary> {
+        if bytes.len() < 14 {
+            return None;
+        }
+        let tag = bytes[0];
+        let has_word = match bytes[1] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let le32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        let horizon = le32(2);
+        let survivors = le32(6);
+        let word_len = le32(10);
+        if bytes.len() != 14 + word_len || (word_len > 0 && !has_word) {
+            return None;
+        }
+        let reset_word = has_word.then(|| bytes[14..].to_vec());
+        let class = match tag {
+            0 => ConvergenceClass::NonConverging,
+            1 => ConvergenceClass::Converging { survivors },
+            2 => ConvergenceClass::Synchronizing { horizon, survivors },
+            _ => return None,
+        };
+        if matches!(class, ConvergenceClass::Synchronizing { .. }) != has_word {
+            return None;
+        }
+        Some(ConvergenceSummary { class, horizon, survivors, reset_word })
+    }
 }
 
 /// Forward BFS from the start state over all byte classes.
@@ -763,5 +880,44 @@ mod tests {
         for (dead, live) in report.dead_states().iter().zip(live) {
             assert_eq!(*dead, !live);
         }
+    }
+
+    #[test]
+    fn summary_round_trips_across_classes() {
+        for pattern in ["(?s).*abc.*", "a{3}", "(ab)*"] {
+            let dfa = minimal_dfa_from_pattern(pattern).unwrap();
+            let report = ConvergenceReport::analyze(&dfa);
+            let summary = report.summary();
+            assert_eq!(summary.class(), report.class());
+            assert_eq!(summary.compaction_horizon(), report.compaction_horizon());
+            assert_eq!(summary.survivor_count(), report.survivor_count());
+            assert_eq!(summary.reset_word(), report.reset_word());
+            assert_eq!(summary.prefers_speculation(), report.prefers_speculation());
+            let decoded = ConvergenceSummary::from_bytes(&summary.to_bytes()).unwrap();
+            assert_eq!(decoded, summary);
+        }
+    }
+
+    #[test]
+    fn summary_decode_fails_closed() {
+        let dfa = minimal_dfa_from_pattern("(?s).*abc.*").unwrap();
+        let good = ConvergenceReport::analyze(&dfa).summary().to_bytes();
+        assert!(ConvergenceSummary::from_bytes(&good).is_some());
+        // Truncation at every prefix length.
+        for len in 0..good.len() {
+            assert!(ConvergenceSummary::from_bytes(&good[..len]).is_none(), "prefix {len}");
+        }
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(ConvergenceSummary::from_bytes(&long).is_none());
+        // Unknown class tag.
+        let mut bad = good.clone();
+        bad[0] = 7;
+        assert!(ConvergenceSummary::from_bytes(&bad).is_none());
+        // A synchronizing verdict whose reset word went missing.
+        let mut bad = good;
+        bad[1] = 0;
+        assert!(ConvergenceSummary::from_bytes(&bad).is_none());
     }
 }

@@ -73,6 +73,20 @@ impl ByteClasses {
         ByteClasses { map, count }
     }
 
+    /// Reconstructs a partition from a raw byte → class map (the inverse
+    /// of reading [`class_of`](ByteClasses::class_of) for all 256 bytes —
+    /// how a serialized automaton artifact stores its classes). Returns
+    /// `None` unless the map is a valid dense partition: classes numbered
+    /// `0..count` with every index used.
+    pub fn from_map(map: [u16; 256]) -> Option<ByteClasses> {
+        let count = map.iter().map(|&c| c as usize + 1).max().unwrap_or(1);
+        if count > 256 {
+            return None;
+        }
+        let classes = ByteClasses { map, count: count as u16 };
+        classes.is_valid().then_some(classes)
+    }
+
     /// The number of classes.
     #[inline]
     pub fn count(&self) -> usize {

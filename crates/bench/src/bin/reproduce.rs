@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [all|fig3|fig45|fig6|fig7|fig8|fig9|fig10|table2|table3|facts|backends|multimatch|throughput|convergence] ...
+//! reproduce [all|fig3|fig45|fig6|fig7|fig8|fig9|fig10|table2|table3|facts|backends|multimatch|throughput|convergence|server] ...
 //! ```
 //!
 //! Input sizes are scaled for a laptop-class machine; set `SFA_SCALE=64`
@@ -72,6 +72,9 @@ fn main() {
     }
     if run("convergence") {
         convergence();
+    }
+    if run("server") {
+        server();
     }
 }
 
@@ -941,6 +944,275 @@ fn convergence() {
         let baseline = std::fs::read_to_string(&baseline_path).expect("read benchmark baseline");
         check_convergence_baseline(&json, &baseline, &baseline_path);
     }
+}
+
+/// Durable artifacts + the match server: (a) cold start — loading the
+/// `ids_scan` rules zero-copy from memory-mapped `.sfa` artifacts vs.
+/// recompiling them through the full NFA → DFA → D-SFA pipeline — and
+/// (b) loopback service throughput — concurrent clients streaming the
+/// [`workloads::service_requests`] batches through a TCP server whose
+/// dispatcher flattens them into batched scans, vs. one in-process
+/// `matches_batch` over the same haystacks. Writes `BENCH_server.json`
+/// (or `SFA_BENCH_OUT`) and, when `SFA_BENCH_BASELINE` names a committed
+/// baseline, gates against it: artifact sizes and corpus bytes are
+/// deterministic and must match exactly, the cold-start ratio must stay
+/// above the hard 10x floor, and the loopback ratio within a noise
+/// margin of the committed value.
+fn server() {
+    use sfa_matcher::{BackendChoice, MatchMode, RegexSet};
+    use sfa_server::{Client, Server, ServerConfig};
+
+    println!("\n## Artifacts & the match server — mmap cold starts, loopback throughput");
+
+    // ---- cold start: mmap'd artifact vs. full recompile ----------------
+    // The subject is the server's own register path on the ids_scan
+    // namespace: tier 3 (a fresh `RegexSet` compile of the whole pattern
+    // list) vs. tier 1 (one `Regex::load_artifact` of the namespace's
+    // durable union automaton). Rules whose eager D-SFA explodes (the
+    // untamed SQLI rule) fall back to the lazy backend, which has no
+    // durable form — `to_artifact` refuses them typed-ly and they are
+    // excluded up front; the committed baseline pins how many remain.
+    let capped = Regex::builder()
+        .mode(MatchMode::Contains)
+        .backend(BackendChoice::Auto)
+        .max_dfa_states(50_000)
+        .max_sfa_states(2_000);
+    let eager_rules: Vec<&str> = workloads::IDS_SCAN_RULES
+        .iter()
+        .filter(|rule| {
+            let durable = capped.clone().build(rule).unwrap().to_artifact().is_ok();
+            if !durable {
+                println!("  excluded (lazy-only, no durable form): {rule}");
+            }
+            durable
+        })
+        .copied()
+        .collect();
+    let dir = std::env::temp_dir().join(format!("sfa-reproduce-art-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create artifact dir");
+    // The server's register builder: Contains mode, defaults otherwise.
+    let namespace = || {
+        RegexSet::new(eager_rules.iter().copied(), &Regex::builder().mode(MatchMode::Contains))
+            .unwrap()
+    };
+    let set = namespace();
+    assert!(!set.is_sharded(), "the ids_scan namespace compiles to one union automaton");
+    let artifact = set.regex().to_artifact().expect("the union automaton is eager");
+    let artifact_bytes = artifact.len();
+    let path = dir.join("ids_scan.sfa");
+    std::fs::write(&path, &artifact).expect("write artifact");
+    let t_compile = measure(1, 3, || {
+        assert_eq!(namespace().len(), eager_rules.len());
+    });
+    let t_load = measure(1, 5, || {
+        assert_eq!(Regex::load_artifact(&path).unwrap().pattern_count(), eager_rules.len());
+    });
+    // Verdict agreement between the compiled and the artifact-loaded
+    // namespace, on traffic that fires the rules.
+    let mut probe = workloads::http_log(2_000, 97, 0xBEEF);
+    probe.extend_from_slice(b"GET /../../etc/passwd from 10.1.2.3 HTTP/1.1 403 0\n");
+    let lines: Vec<&[u8]> = probe.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+    let loaded = Regex::load_artifact(&path).unwrap();
+    let from_set: Vec<Vec<usize>> =
+        set.matches_batch(&lines).iter().map(|m| m.iter().collect()).collect();
+    let from_artifact: Vec<Vec<usize>> =
+        loaded.try_matches_batch(&lines).unwrap().iter().map(|m| m.iter().collect()).collect();
+    assert_eq!(from_set, from_artifact, "artifact verdicts must equal the fresh compile's");
+    let cold_start_ratio = t_compile.elapsed.as_secs_f64() / t_load.elapsed.as_secs_f64();
+    println!(
+        "cold start of the {}-rule namespace ({} KiB artifact): compile {:.2?} vs. mmap load \
+         {:.2?}  ({cold_start_ratio:.0}x)",
+        eager_rules.len(),
+        artifact_bytes / 1024,
+        t_compile.elapsed,
+        t_load.elapsed,
+    );
+
+    // ---- loopback service throughput vs. in-process batch scan ---------
+    let traffic = workloads::ServiceConfig { requests: 32, batch: 64, ..Default::default() };
+    let stream = workloads::service_requests(&traffic);
+    let total_bytes = workloads::service_bytes(&stream);
+    let corpus_fingerprint = {
+        let flat: Vec<u8> = stream.iter().flatten().flat_map(|h| h.iter().copied()).collect();
+        fnv1a(&flat)
+    };
+    let rules: Vec<String> = eager_rules.iter().map(|s| s.to_string()).collect();
+
+    // The in-process baseline: the namespace automaton compiled above
+    // (the server's own register output), one `matches_batch` over every
+    // haystack of the stream.
+    let flat: Vec<&[u8]> = stream.iter().flatten().map(|h| h.as_slice()).collect();
+    let expected: Vec<Vec<u32>> =
+        set.matches_batch(&flat).iter().map(|m| m.iter().map(|id| id as u32).collect()).collect();
+    let t_inprocess = measure(total_bytes, 3, || {
+        assert_eq!(set.matches_batch(&flat).len(), flat.len());
+    });
+
+    // The loopback run: a real TCP server on 127.0.0.1, four concurrent
+    // connections splitting the request stream, every reply checked
+    // against the in-process verdicts.
+    let server =
+        Server::bind_tcp("127.0.0.1:0", ServerConfig { queue_depth: 1024, ..Default::default() })
+            .unwrap();
+    let addr = server.local_addr().unwrap();
+    server.register("ids", &rules).expect("register the ids namespace");
+    let connections = 4usize;
+    let per = stream.len().div_ceil(connections);
+    // Persistent workers, one connection each, established *before* the
+    // timed region — the measurement is the steady-state request/reply
+    // traffic, not TCP handshakes or thread spawns.
+    let (result_tx, result_rx) = std::sync::mpsc::channel::<(usize, Vec<Vec<u32>>)>();
+    let mut triggers = Vec::new();
+    let mut workers = Vec::new();
+    for (index, chunk) in stream.chunks(per).enumerate() {
+        let chunk = chunk.to_vec();
+        let (trigger_tx, trigger_rx) = std::sync::mpsc::channel::<()>();
+        triggers.push(trigger_tx);
+        let result_tx = result_tx.clone();
+        workers.push(std::thread::spawn(move || {
+            let mut client = Client::connect_tcp(addr).unwrap();
+            while trigger_rx.recv().is_ok() {
+                let mut verdicts = Vec::new();
+                for request in &chunk {
+                    let hay: Vec<&[u8]> = request.iter().map(|h| h.as_slice()).collect();
+                    verdicts.extend(client.matches_batch_retrying("ids", &hay, 200).unwrap());
+                }
+                result_tx.send((index, verdicts)).unwrap();
+            }
+        }));
+    }
+    let worker_count = workers.len();
+    let loopback_once = || {
+        for trigger in &triggers {
+            trigger.send(()).unwrap();
+        }
+        let mut per_worker: Vec<Vec<Vec<u32>>> = vec![Vec::new(); worker_count];
+        for _ in 0..worker_count {
+            let (index, verdicts) = result_rx.recv().unwrap();
+            per_worker[index] = verdicts;
+        }
+        let got: Vec<Vec<u32>> = per_worker.into_iter().flatten().collect();
+        assert_eq!(got, expected, "loopback verdicts must equal the in-process scan");
+    };
+    loopback_once(); // warm-up: connections, tenant automaton, page cache
+    let t_loopback = measure(total_bytes, 3, loopback_once);
+    drop(triggers);
+    for worker in workers {
+        let _ = worker.join();
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let loopback_over_inprocess = t_loopback.mb_per_sec() / t_inprocess.mb_per_sec();
+    println!(
+        "loopback ({connections} connections, {} requests x {} haystacks): {:.0} MB/s vs. \
+         in-process batch {:.0} MB/s  ({loopback_over_inprocess:.2}x)",
+        traffic.requests,
+        traffic.batch,
+        t_loopback.mb_per_sec(),
+        t_inprocess.mb_per_sec(),
+    );
+
+    // ---- machine-readable summary + regression gate --------------------
+    let json = format!(
+        concat!(
+            "{{\"workload\":\"server\",\"artifact_rules\":{},\"artifact_bytes\":{},",
+            "\"cold_compile_ms\":{:.2},\"cold_load_ms\":{:.2},\"cold_start_ratio\":{:.1},",
+            "\"requests\":{},\"batch\":{},\"service_bytes\":{},",
+            "\"corpus_fingerprint\":\"{:#x}\",\"connections\":{},",
+            "\"loopback_mb_per_sec\":{:.1},\"inprocess_mb_per_sec\":{:.1},",
+            "\"loopback_over_inprocess\":{:.3},\"cores\":{},\"scale\":{}}}"
+        ),
+        eager_rules.len(),
+        artifact_bytes,
+        t_compile.elapsed.as_secs_f64() * 1e3,
+        t_load.elapsed.as_secs_f64() * 1e3,
+        cold_start_ratio,
+        traffic.requests,
+        traffic.batch,
+        total_bytes,
+        corpus_fingerprint,
+        connections,
+        t_loopback.mb_per_sec(),
+        t_inprocess.mb_per_sec(),
+        loopback_over_inprocess,
+        num_cpus(),
+        scale(),
+    );
+    let out = std::env::var("SFA_BENCH_OUT").unwrap_or_else(|_| "BENCH_server.json".into());
+    std::fs::write(&out, format!("{json}\n")).expect("write benchmark summary");
+    println!("wrote {out}");
+    if let Ok(baseline_path) = std::env::var("SFA_BENCH_BASELINE") {
+        let baseline = std::fs::read_to_string(&baseline_path).expect("read benchmark baseline");
+        check_server_baseline(&json, &baseline, &baseline_path);
+    }
+}
+
+/// The server counterpart of [`check_multimatch_baseline`]: artifact
+/// structure (how many rules serialize, their total encoded bytes) and the
+/// service corpus (request/batch shape, byte total, fingerprint) are
+/// deterministic and must match the committed baseline exactly. The
+/// cold-start ratio is timing, but the gap is so wide (full pipeline vs.
+/// mmap + validation) that a hard 10x floor holds on any hardware; the
+/// loopback-over-in-process ratio is genuinely noisy across machines and
+/// only needs to stay within a generous margin of the committed value.
+fn check_server_baseline(current: &str, baseline: &str, baseline_path: &str) {
+    fn field<'a>(json: &'a str, key: &str) -> &'a str {
+        let needle = format!("\"{key}\":");
+        let start =
+            json.find(&needle).unwrap_or_else(|| panic!("missing field {key}")) + needle.len();
+        let rest = &json[start..];
+        rest[..rest.find([',', '}']).unwrap()].trim()
+    }
+    let mut failed = false;
+    for key in [
+        "artifact_rules",
+        "artifact_bytes",
+        "requests",
+        "batch",
+        "service_bytes",
+        "corpus_fingerprint",
+    ] {
+        let (now, was) = (field(current, key), field(baseline, key));
+        if now != was {
+            eprintln!("REGRESSION: {key} = {now}, baseline {was} ({baseline_path})");
+            failed = true;
+        }
+    }
+    {
+        let key = "cold_start_ratio";
+        let now: f64 = field(current, key).parse().unwrap();
+        let was: f64 = field(baseline, key).parse().unwrap();
+        // mmap-vs-recompile is orders of magnitude; anything under 10x
+        // means the zero-copy loader started doing real work.
+        let min = (0.1 * was).max(10.0);
+        if now < min {
+            eprintln!(
+                "REGRESSION: {key} = {now:.1}, needs ≥ {min:.1} (baseline {was:.1}, {baseline_path})"
+            );
+            failed = true;
+        }
+    }
+    {
+        let key = "loopback_over_inprocess";
+        let now: f64 = field(current, key).parse().unwrap();
+        let was: f64 = field(baseline, key).parse().unwrap();
+        // Protocol + dispatch overhead varies with core count and loopback
+        // stack; accept anything at or above 40 % of the committed ratio,
+        // but never below the hard floor.
+        let min = (0.4 * was).max(0.3);
+        if now < min {
+            eprintln!(
+                "REGRESSION: {key} = {now:.2}, needs ≥ {min:.2} (baseline {was:.2}, {baseline_path})"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("baseline check passed against {baseline_path}");
 }
 
 /// The convergence counterpart of [`check_multimatch_baseline`]: every

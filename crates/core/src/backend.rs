@@ -22,6 +22,7 @@
 //! not `Regex<B>`), and the branch predicts perfectly since a given
 //! matcher only ever holds one variant.
 
+use crate::borrowed::LoadedSfa;
 use crate::dsfa::{DSfa, SfaStateId, StateIdRepr};
 use crate::lazy::LazyDSfa;
 use crate::mapping::Transformation;
@@ -36,6 +37,9 @@ pub enum BackendKind {
     /// On-the-fly construction (Section V-A): states materialize as
     /// inputs visit them.
     Lazy,
+    /// Eager tables borrowed zero-copy from a serialized artifact (see
+    /// [`crate::borrowed::LoadedSfa`]).
+    Borrowed,
 }
 
 impl BackendKind {
@@ -44,6 +48,7 @@ impl BackendKind {
         match self {
             BackendKind::Eager => "Eager",
             BackendKind::Lazy => "Lazy",
+            BackendKind::Borrowed => "Borrowed",
         }
     }
 
@@ -52,6 +57,7 @@ impl BackendKind {
         Some(match s {
             "Eager" => BackendKind::Eager,
             "Lazy" => BackendKind::Lazy,
+            "Borrowed" => BackendKind::Borrowed,
             _ => return None,
         })
     }
@@ -71,6 +77,9 @@ pub enum SfaBackend {
     Eager(DSfa),
     /// The on-the-fly [`LazyDSfa`].
     Lazy(LazyDSfa),
+    /// An eager automaton whose tables are borrowed from a serialized
+    /// artifact buffer ([`LoadedSfa`]).
+    Borrowed(LoadedSfa),
 }
 
 impl From<DSfa> for SfaBackend {
@@ -85,12 +94,19 @@ impl From<LazyDSfa> for SfaBackend {
     }
 }
 
+impl From<LoadedSfa> for SfaBackend {
+    fn from(sfa: LoadedSfa) -> SfaBackend {
+        SfaBackend::Borrowed(sfa)
+    }
+}
+
 impl SfaBackend {
     /// Which representation this backend uses.
     pub fn kind(&self) -> BackendKind {
         match self {
             SfaBackend::Eager(_) => BackendKind::Eager,
             SfaBackend::Lazy(_) => BackendKind::Lazy,
+            SfaBackend::Borrowed(_) => BackendKind::Borrowed,
         }
     }
 
@@ -98,15 +114,24 @@ impl SfaBackend {
     pub fn eager(&self) -> Option<&DSfa> {
         match self {
             SfaBackend::Eager(sfa) => Some(sfa),
-            SfaBackend::Lazy(_) => None,
+            _ => None,
         }
     }
 
     /// The lazy automaton, when this backend is lazy.
     pub fn lazy(&self) -> Option<&LazyDSfa> {
         match self {
-            SfaBackend::Eager(_) => None,
             SfaBackend::Lazy(sfa) => Some(sfa),
+            _ => None,
+        }
+    }
+
+    /// The borrowed automaton, when this backend was loaded zero-copy
+    /// from a serialized artifact.
+    pub fn borrowed(&self) -> Option<&LoadedSfa> {
+        match self {
+            SfaBackend::Borrowed(sfa) => Some(sfa),
+            _ => None,
         }
     }
 
@@ -116,6 +141,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.initial(),
             SfaBackend::Lazy(sfa) => sfa.initial(),
+            SfaBackend::Borrowed(sfa) => sfa.initial(),
         }
     }
 
@@ -126,6 +152,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.next_state(state, byte),
             SfaBackend::Lazy(sfa) => sfa.next_state(state, byte),
+            SfaBackend::Borrowed(sfa) => sfa.next_state(state, byte),
         }
     }
 
@@ -135,6 +162,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.run(input),
             SfaBackend::Lazy(sfa) => sfa.run(input),
+            SfaBackend::Borrowed(sfa) => sfa.run(input),
         }
     }
 
@@ -144,6 +172,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.run_from(state, input),
             SfaBackend::Lazy(sfa) => sfa.run_from(state, input),
+            SfaBackend::Borrowed(sfa) => sfa.run_from(state, input),
         }
     }
 
@@ -161,6 +190,7 @@ impl SfaBackend {
             SfaBackend::Lazy(sfa) => {
                 jobs.iter().map(|&(s, input)| sfa.run_from(s, input)).collect()
             }
+            SfaBackend::Borrowed(sfa) => sfa.run_from_many(jobs),
         }
     }
 
@@ -176,6 +206,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.is_accepting(state),
             SfaBackend::Lazy(sfa) => sfa.is_accepting(state),
+            SfaBackend::Borrowed(sfa) => sfa.is_accepting(state),
         }
     }
 
@@ -186,6 +217,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.is_sink(state),
             SfaBackend::Lazy(sfa) => sfa.is_sink(state),
+            SfaBackend::Borrowed(sfa) => sfa.is_sink(state),
         }
     }
 
@@ -196,6 +228,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.compose_states(a, b),
             SfaBackend::Lazy(sfa) => sfa.compose_states(a, b),
+            SfaBackend::Borrowed(sfa) => sfa.compose_states(a, b),
         }
     }
 
@@ -205,6 +238,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.mapping(state).clone(),
             SfaBackend::Lazy(sfa) => sfa.mapping(state),
+            SfaBackend::Borrowed(sfa) => sfa.mapping(state),
         }
     }
 
@@ -215,6 +249,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.mapping(state).apply(q),
             SfaBackend::Lazy(sfa) => sfa.apply(state, q),
+            SfaBackend::Borrowed(sfa) => sfa.apply(state, q),
         }
     }
 
@@ -224,6 +259,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.state_of(mapping),
             SfaBackend::Lazy(sfa) => sfa.state_of(mapping),
+            SfaBackend::Borrowed(sfa) => sfa.state_of(mapping),
         }
     }
 
@@ -233,6 +269,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.dfa_start(),
             SfaBackend::Lazy(sfa) => sfa.dfa_start(),
+            SfaBackend::Borrowed(sfa) => sfa.dfa_start(),
         }
     }
 
@@ -242,6 +279,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.dfa_is_accepting(q),
             SfaBackend::Lazy(sfa) => sfa.dfa_is_accepting(q),
+            SfaBackend::Borrowed(sfa) => sfa.dfa_is_accepting(q),
         }
     }
 
@@ -252,6 +290,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.pattern_count(),
             SfaBackend::Lazy(sfa) => sfa.pattern_count(),
+            SfaBackend::Borrowed(sfa) => sfa.pattern_count(),
         }
     }
 
@@ -262,6 +301,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.dfa_accepting_patterns(q),
             SfaBackend::Lazy(sfa) => sfa.dfa_accepting_patterns(q),
+            SfaBackend::Borrowed(sfa) => sfa.dfa_accepting_patterns(q),
         }
     }
 
@@ -274,6 +314,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.accepting_patterns(state),
             SfaBackend::Lazy(sfa) => sfa.accepting_patterns(state),
+            SfaBackend::Borrowed(sfa) => sfa.accepting_patterns(state),
         }
     }
 
@@ -284,6 +325,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.num_states(),
             SfaBackend::Lazy(sfa) => sfa.num_states_constructed(),
+            SfaBackend::Borrowed(sfa) => sfa.num_states(),
         }
     }
 
@@ -293,6 +335,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.num_dfa_states(),
             SfaBackend::Lazy(sfa) => sfa.num_dfa_states(),
+            SfaBackend::Borrowed(sfa) => sfa.num_dfa_states(),
         }
     }
 
@@ -302,6 +345,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.num_classes(),
             SfaBackend::Lazy(sfa) => sfa.num_classes(),
+            SfaBackend::Borrowed(sfa) => sfa.num_classes(),
         }
     }
 
@@ -311,6 +355,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.table_bytes(),
             SfaBackend::Lazy(sfa) => sfa.table_bytes(),
+            SfaBackend::Borrowed(sfa) => sfa.table_bytes(),
         }
     }
 
@@ -320,6 +365,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.byte_table_bytes(),
             SfaBackend::Lazy(_) => 0,
+            SfaBackend::Borrowed(sfa) => sfa.byte_table_bytes(),
         }
     }
 
@@ -328,6 +374,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.mapping_bytes(),
             SfaBackend::Lazy(sfa) => sfa.mapping_bytes(),
+            SfaBackend::Borrowed(sfa) => sfa.mapping_bytes(),
         }
     }
 
@@ -337,6 +384,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.premultiplied(),
             SfaBackend::Lazy(_) => false,
+            SfaBackend::Borrowed(sfa) => sfa.premultiplied(),
         }
     }
 
@@ -348,6 +396,7 @@ impl SfaBackend {
         match self {
             SfaBackend::Eager(sfa) => sfa.repr(),
             SfaBackend::Lazy(_) => StateIdRepr::U32,
+            SfaBackend::Borrowed(sfa) => sfa.repr(),
         }
     }
 
@@ -364,7 +413,9 @@ impl SfaBackend {
     pub fn scan_kernel(&self) -> &'static str {
         match self {
             SfaBackend::Eager(sfa) => sfa.scan_kernel(),
-            SfaBackend::Lazy(_) => "scalar",
+            // Borrowed tables carry no alignment guarantee, so their
+            // scans stay on the monomorphized scalar loops.
+            SfaBackend::Lazy(_) | SfaBackend::Borrowed(_) => "scalar",
         }
     }
 
@@ -376,7 +427,7 @@ impl SfaBackend {
     pub fn preferred_lanes(&self) -> usize {
         match self {
             SfaBackend::Eager(sfa) => sfa.preferred_lanes(),
-            SfaBackend::Lazy(_) => 1,
+            SfaBackend::Lazy(_) | SfaBackend::Borrowed(_) => 1,
         }
     }
 }

@@ -1,0 +1,653 @@
+//! The borrowed D-SFA backend: an eager automaton whose big tables live
+//! in caller-owned bytes instead of crate-owned allocations.
+//!
+//! This is the zero-copy half of the durable-artifact story
+//! (`sfa-serialize` writes eager [`DSfa`](crate::DSfa)s to disk;
+//! [`LoadedSfa`] is what comes back). The packed class rows, the
+//! premultiplied byte table and the state mappings are *borrowed* as byte
+//! ranges out of one shared buffer — typically a memory-mapped artifact
+//! file — so loading an automaton costs validation plus a handful of
+//! small derived bitmaps, never a copy of the multi-megabyte tables. The
+//! buffer travels behind `Arc<dyn AsRef<[u8]>>`, which keeps the mapping
+//! alive for as long as any clone of the automaton is.
+//!
+//! Safety model: construction ([`LoadedSfa::new`]) bounds-checks every
+//! table entry against the state counts (the `Dfa::validate` equivalent
+//! for the SFA side) and re-derives the sink/accepting bitmaps from the
+//! validated tables rather than trusting the artifact, so a bit-flipped
+//! file fails closed at load time and the scan loops can index without
+//! per-byte range panics being reachable.
+
+use crate::dsfa::{SfaStateId, StateIdRepr};
+use crate::mapping::Transformation;
+use sfa_automata::{ByteClasses, Dfa, PatternSet, StateId};
+use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+/// The shared bytes a [`LoadedSfa`] borrows its tables from — an mmap, a
+/// `Vec<u8>`, anything that can hand out `&[u8]`.
+pub type ArtifactBytes = Arc<dyn AsRef<[u8]> + Send + Sync>;
+
+/// Byte ranges into an artifact buffer locating one automaton's tables.
+/// Produced by the artifact parser (`sfa-serialize`); consumed, together
+/// with the reconstructed source [`Dfa`], by [`LoadedSfa::new`].
+pub struct LoadedSfaParts {
+    /// The shared buffer every range below indexes into.
+    pub data: ArtifactBytes,
+    /// The packed width of the state ids stored in `table` / `byte_table`.
+    pub repr: StateIdRepr,
+    /// Number of SFA states (`|S_d|`).
+    pub num_states: usize,
+    /// The class-compressed transition rows: `num_states × classes`
+    /// little-endian ids at `repr` width.
+    pub table: Range<usize>,
+    /// The premultiplied dense byte table, when the artifact carries one:
+    /// `num_states × 256` little-endian ids at `repr` width.
+    pub byte_table: Option<Range<usize>>,
+    /// The state mappings: `num_states × |D|` little-endian `u32` DFA
+    /// state ids (row `s` is the transformation carried by SFA state `s`).
+    pub mappings: Range<usize>,
+}
+
+/// An eager D-SFA whose transition tables and mappings are borrowed from
+/// a caller-owned byte buffer (see the [module docs](self)).
+///
+/// Mirrors the scan surface of [`DSfa`](crate::DSfa) with the scalar
+/// loops only: borrowed tables are untyped bytes, so scans read ids via
+/// `from_le_bytes`, monomorphized per packed width. Small derived state
+/// (sink/accepting bitmaps, the DFA accept sets) is owned — it is
+/// recomputed from the validated tables at load time.
+#[derive(Clone)]
+pub struct LoadedSfa {
+    data: ArtifactBytes,
+    repr: StateIdRepr,
+    num_states: usize,
+    stride: usize,
+    classes: ByteClasses,
+    table: Range<usize>,
+    byte_table: Option<Range<usize>>,
+    mappings: Range<usize>,
+    sink: Box<[bool]>,
+    accepting: Box<[bool]>,
+    dfa_start: StateId,
+    dfa_accepting: Box<[bool]>,
+    pattern_count: usize,
+    dfa_accept_index: Box<[u32]>,
+    dfa_accept_sets: Vec<PatternSet>,
+    state_index: OnceLock<HashMap<Transformation, SfaStateId>>,
+}
+
+impl std::fmt::Debug for LoadedSfa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LoadedSfa")
+            .field("num_states", &self.num_states)
+            .field("num_dfa_states", &self.dfa_accepting.len())
+            .field("repr", &self.repr)
+            .field("premultiplied", &self.byte_table.is_some())
+            .field("artifact_bytes", &self.bytes().len())
+            .finish()
+    }
+}
+
+/// Reads the little-endian id at index `i` of a packed table. The `match`
+/// on the const width folds away per monomorphization, so each scan loop
+/// compiles to fixed-width loads.
+#[inline(always)]
+fn read_id<const W: usize>(buf: &[u8], i: usize) -> SfaStateId {
+    match W {
+        1 => buf[i] as SfaStateId,
+        2 => u16::from_le_bytes([buf[2 * i], buf[2 * i + 1]]) as SfaStateId,
+        _ => u32::from_le_bytes([buf[4 * i], buf[4 * i + 1], buf[4 * i + 2], buf[4 * i + 3]]),
+    }
+}
+
+/// The premultiplied hot loop over borrowed bytes: one dense lookup per
+/// byte, sink bitmap consulted only on state change (the borrowed twin of
+/// the owned scan in `dsfa`).
+#[inline]
+fn scan_dense<const W: usize>(
+    table: &[u8],
+    sink: &[bool],
+    state: SfaStateId,
+    input: &[u8],
+) -> SfaStateId {
+    let mut f = state;
+    for &b in input {
+        let next = read_id::<W>(table, f as usize * 256 + b as usize);
+        if next != f {
+            f = next;
+            if sink[f as usize] {
+                return f;
+            }
+        }
+    }
+    f
+}
+
+/// The class-compressed fallback loop over borrowed bytes.
+#[inline]
+fn scan_classes<const W: usize>(
+    table: &[u8],
+    classes: &ByteClasses,
+    stride: usize,
+    sink: &[bool],
+    state: SfaStateId,
+    input: &[u8],
+) -> SfaStateId {
+    let mut f = state;
+    for &b in input {
+        let next = read_id::<W>(table, f as usize * stride + classes.class_of(b) as usize);
+        if next != f {
+            f = next;
+            if sink[f as usize] {
+                return f;
+            }
+        }
+    }
+    f
+}
+
+impl LoadedSfa {
+    /// Validates the borrowed tables and assembles the automaton.
+    ///
+    /// `dfa` is the reconstructed (and already [`Dfa::validate`]d) source
+    /// automaton; its accept metadata is copied — it is small — while the
+    /// SFA tables stay borrowed. Every invariant a scan loop relies on is
+    /// checked here so corrupt artifacts fail closed with a reason
+    /// instead of panicking mid-match:
+    ///
+    /// * all three ranges lie inside the buffer and have exactly the
+    ///   advertised `count × width` lengths,
+    /// * every transition target (class rows *and* byte table) is a valid
+    ///   SFA state id,
+    /// * every mapping entry is a valid DFA state id,
+    /// * state 0 carries the identity mapping (the composition shortcuts
+    ///   assume it).
+    ///
+    /// The sink and accepting bitmaps are then derived from the validated
+    /// tables, never read from the artifact.
+    pub fn new(parts: LoadedSfaParts, dfa: &Dfa) -> Result<LoadedSfa, String> {
+        let LoadedSfaParts { data, repr, num_states, table, byte_table, mappings } = parts;
+        let buf_len = (*data).as_ref().len();
+        let n = num_states;
+        let d = dfa.num_states();
+        let stride = dfa.num_classes();
+        let w = repr.bytes();
+        if n == 0 {
+            return Err("an SFA needs at least one state".to_string());
+        }
+        if n > repr.max_states() {
+            return Err(format!("{n} states do not fit the declared {repr} id width"));
+        }
+        let check_range = |range: &Range<usize>, len: usize, what: &str| -> Result<(), String> {
+            if range.start > range.end || range.end > buf_len {
+                return Err(format!(
+                    "{what} range {}..{} escapes the {buf_len}-byte buffer",
+                    range.start, range.end
+                ));
+            }
+            if range.len() != len {
+                return Err(format!("{what} has {} bytes, expected {len}", range.len()));
+            }
+            Ok(())
+        };
+        check_range(&table, n * stride * w, "class-row table")?;
+        if let Some(bt) = &byte_table {
+            check_range(bt, n * 256 * w, "premultiplied byte table")?;
+        }
+        check_range(&mappings, n * d * 4, "mapping table")?;
+
+        let buf = (*data).as_ref();
+        let check_ids = |range: &Range<usize>, limit: usize, what: &str| -> Result<(), String> {
+            let bytes = &buf[range.clone()];
+            let count = bytes.len() / w;
+            for i in 0..count {
+                let id = match repr {
+                    StateIdRepr::U8 => read_id::<1>(bytes, i),
+                    StateIdRepr::U16 => read_id::<2>(bytes, i),
+                    StateIdRepr::U32 => read_id::<4>(bytes, i),
+                };
+                if id as usize >= limit {
+                    return Err(format!("{what} entry {i} is {id}, out of range (0..{limit})"));
+                }
+            }
+            Ok(())
+        };
+        check_ids(&table, n, "class-row")?;
+        if let Some(bt) = &byte_table {
+            check_ids(bt, n, "byte-table")?;
+        }
+        let map_bytes = &buf[mappings.clone()];
+        for i in 0..n * d {
+            let q = read_id::<4>(map_bytes, i);
+            if q as usize >= d {
+                return Err(format!("mapping entry {i} is {q}, out of range (0..{d})"));
+            }
+        }
+        for q in 0..d {
+            if read_id::<4>(map_bytes, q) != q as u32 {
+                return Err("state 0 does not carry the identity mapping".to_string());
+            }
+        }
+
+        // Derived bitmaps, computed from the now-validated tables.
+        let table_bytes = &buf[table.clone()];
+        let sink: Box<[bool]> = (0..n)
+            .map(|s| {
+                (0..stride).all(|c| {
+                    let id = match repr {
+                        StateIdRepr::U8 => read_id::<1>(table_bytes, s * stride + c),
+                        StateIdRepr::U16 => read_id::<2>(table_bytes, s * stride + c),
+                        StateIdRepr::U32 => read_id::<4>(table_bytes, s * stride + c),
+                    };
+                    id as usize == s
+                })
+            })
+            .collect();
+        let start = dfa.start();
+        let accepting: Box<[bool]> = (0..n)
+            .map(|s| dfa.is_accepting(read_id::<4>(map_bytes, s * d + start as usize)))
+            .collect();
+
+        Ok(LoadedSfa {
+            classes: dfa.classes().clone(),
+            stride,
+            repr,
+            num_states: n,
+            table,
+            byte_table,
+            mappings,
+            sink,
+            accepting,
+            dfa_start: start,
+            dfa_accepting: dfa.accepting().to_vec().into_boxed_slice(),
+            pattern_count: dfa.pattern_count(),
+            dfa_accept_index: dfa.accept_indices().to_vec().into_boxed_slice(),
+            dfa_accept_sets: dfa.distinct_accept_sets().to_vec(),
+            data,
+            state_index: OnceLock::new(),
+        })
+    }
+
+    /// The whole underlying artifact buffer.
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        (*self.data).as_ref()
+    }
+
+    /// Total size of the backing artifact buffer in bytes — what an
+    /// on-disk size report should attribute to this automaton.
+    pub fn artifact_bytes(&self) -> usize {
+        self.bytes().len()
+    }
+
+    /// Number of SFA states (`|S_d|`).
+    #[inline]
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of states of the source DFA.
+    #[inline]
+    pub fn num_dfa_states(&self) -> usize {
+        self.dfa_accepting.len()
+    }
+
+    /// The byte classes shared with the source DFA.
+    #[inline]
+    pub fn classes(&self) -> &ByteClasses {
+        &self.classes
+    }
+
+    /// Number of byte classes (row width of the transition table).
+    #[inline]
+    pub fn num_classes(&self) -> usize {
+        self.stride
+    }
+
+    /// The initial state (always 0: the identity mapping `f_I`).
+    #[inline]
+    pub fn initial(&self) -> SfaStateId {
+        0
+    }
+
+    /// The start state of the source DFA.
+    #[inline]
+    pub fn dfa_start(&self) -> StateId {
+        self.dfa_start
+    }
+
+    /// Returns true if the DFA state is accepting (used by reductions).
+    #[inline]
+    pub fn dfa_is_accepting(&self, q: StateId) -> bool {
+        self.dfa_accepting[q as usize]
+    }
+
+    /// Returns true if the SFA state is accepting.
+    #[inline]
+    pub fn is_accepting(&self, state: SfaStateId) -> bool {
+        self.accepting[state as usize]
+    }
+
+    /// True when every transition of `state` loops back to itself.
+    #[inline]
+    pub fn is_sink(&self, state: SfaStateId) -> bool {
+        self.sink[state as usize]
+    }
+
+    /// Number of original patterns compiled into the source DFA.
+    #[inline]
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// The set of patterns a source-DFA state accepts.
+    #[inline]
+    pub fn dfa_accepting_patterns(&self, q: StateId) -> &PatternSet {
+        &self.dfa_accept_sets[self.dfa_accept_index[q as usize] as usize]
+    }
+
+    /// The set of patterns matched when the whole input lands in `state`
+    /// (the accept set of `f(q_0)`).
+    #[inline]
+    pub fn accepting_patterns(&self, state: SfaStateId) -> &PatternSet {
+        self.dfa_accepting_patterns(self.apply(state, self.dfa_start))
+    }
+
+    /// The packed width the borrowed tables store state ids at.
+    #[inline]
+    pub fn repr(&self) -> StateIdRepr {
+        self.repr
+    }
+
+    /// True when the artifact carried a premultiplied dense byte table.
+    #[inline]
+    pub fn premultiplied(&self) -> bool {
+        self.byte_table.is_some()
+    }
+
+    /// Applies the mapping of `state` to one DFA state — one borrowed
+    /// `u32` load, no allocation.
+    #[inline]
+    pub fn apply(&self, state: SfaStateId, q: StateId) -> StateId {
+        let map = &self.bytes()[self.mappings.clone()];
+        read_id::<4>(map, state as usize * self.num_dfa_states() + q as usize)
+    }
+
+    /// The mapping carried by `state`, materialized into an owned
+    /// [`Transformation`] (`O(|D|)`).
+    pub fn mapping(&self, state: SfaStateId) -> Transformation {
+        let d = self.num_dfa_states();
+        let map = &self.bytes()[self.mappings.clone()];
+        Transformation::from_vec(
+            (0..d).map(|q| read_id::<4>(map, state as usize * d + q)).collect(),
+        )
+    }
+
+    /// Transition on a byte class.
+    #[inline]
+    pub fn next_by_class(&self, state: SfaStateId, class: u16) -> SfaStateId {
+        let table = &self.bytes()[self.table.clone()];
+        let i = state as usize * self.stride + class as usize;
+        match self.repr {
+            StateIdRepr::U8 => read_id::<1>(table, i),
+            StateIdRepr::U16 => read_id::<2>(table, i),
+            StateIdRepr::U32 => read_id::<4>(table, i),
+        }
+    }
+
+    /// Transition on a byte.
+    #[inline]
+    pub fn next_state(&self, state: SfaStateId, byte: u8) -> SfaStateId {
+        match &self.byte_table {
+            Some(bt) => {
+                let table = &self.bytes()[bt.clone()];
+                let i = state as usize * 256 + byte as usize;
+                match self.repr {
+                    StateIdRepr::U8 => read_id::<1>(table, i),
+                    StateIdRepr::U16 => read_id::<2>(table, i),
+                    StateIdRepr::U32 => read_id::<4>(table, i),
+                }
+            }
+            None => self.next_by_class(state, self.classes.class_of(byte)),
+        }
+    }
+
+    /// Runs the SFA over `input` from the identity state.
+    pub fn run(&self, input: &[u8]) -> SfaStateId {
+        self.run_from(self.initial(), input)
+    }
+
+    /// Runs the SFA over `input` from an arbitrary state, with the sink
+    /// early-exit. Always the scalar loops: borrowed tables carry no
+    /// alignment guarantee, so the SIMD kernels stay with the owned
+    /// backend.
+    pub fn run_from(&self, state: SfaStateId, input: &[u8]) -> SfaStateId {
+        if self.sink[state as usize] {
+            return state;
+        }
+        let buf = self.bytes();
+        match &self.byte_table {
+            Some(bt) => {
+                let t = &buf[bt.clone()];
+                match self.repr {
+                    StateIdRepr::U8 => scan_dense::<1>(t, &self.sink, state, input),
+                    StateIdRepr::U16 => scan_dense::<2>(t, &self.sink, state, input),
+                    StateIdRepr::U32 => scan_dense::<4>(t, &self.sink, state, input),
+                }
+            }
+            None => {
+                let t = &buf[self.table.clone()];
+                let (c, s) = (&self.classes, self.stride);
+                match self.repr {
+                    StateIdRepr::U8 => scan_classes::<1>(t, c, s, &self.sink, state, input),
+                    StateIdRepr::U16 => scan_classes::<2>(t, c, s, &self.sink, state, input),
+                    StateIdRepr::U32 => scan_classes::<4>(t, c, s, &self.sink, state, input),
+                }
+            }
+        }
+    }
+
+    /// Runs several independent `(state, input)` jobs in job order.
+    pub fn run_from_many(&self, jobs: &[(SfaStateId, &[u8])]) -> Vec<SfaStateId> {
+        jobs.iter().map(|&(s, input)| self.run_from(s, input)).collect()
+    }
+
+    /// Whole-input membership.
+    pub fn accepts(&self, input: &[u8]) -> bool {
+        self.is_accepting(self.run(input))
+    }
+
+    /// Composes two SFA states *as states* (`f_w ⋄ f_v = f_wv`, Lemma 1),
+    /// resolving the composite through a lazily built mapping index like
+    /// the owned backend.
+    pub fn compose_states(&self, a: SfaStateId, b: SfaStateId) -> SfaStateId {
+        if a == self.initial() {
+            return b;
+        }
+        if b == self.initial() || self.is_sink(a) {
+            return a;
+        }
+        let composed = self.mapping(a).then(&self.mapping(b));
+        *self
+            .state_index()
+            .get(&composed)
+            .expect("SFA states are closed under composition (Lemma 1)")
+    }
+
+    /// Looks up the SFA state of a transformation, if reachable.
+    pub fn state_of(&self, mapping: &Transformation) -> Option<SfaStateId> {
+        self.state_index().get(mapping).copied()
+    }
+
+    fn state_index(&self) -> &HashMap<Transformation, SfaStateId> {
+        self.state_index.get_or_init(|| {
+            (0..self.num_states as SfaStateId).map(|s| (self.mapping(s), s)).collect()
+        })
+    }
+
+    /// Bytes occupied by the borrowed class-compressed transition rows.
+    pub fn table_bytes(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Bytes occupied by the borrowed premultiplied byte table (0 when
+    /// the artifact carried none).
+    pub fn byte_table_bytes(&self) -> usize {
+        self.byte_table.as_ref().map_or(0, |r| r.len())
+    }
+
+    /// Bytes occupied by the borrowed state mappings.
+    pub fn mapping_bytes(&self) -> usize {
+        self.mappings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DSfa, SfaConfig};
+    use sfa_automata::minimal_dfa_from_pattern;
+
+    /// Serializes a DSfa's tables into a flat buffer the way an artifact
+    /// would, then loads them borrowed.
+    fn loaded(pattern: &str, premultiply: bool) -> (Dfa, DSfa, LoadedSfa) {
+        let dfa = minimal_dfa_from_pattern(pattern).unwrap();
+        let cfg = SfaConfig { premultiply, ..SfaConfig::default() };
+        let sfa = DSfa::from_dfa(&dfa, &cfg).unwrap();
+        let (buf, parts_of) = encode(&dfa, &sfa);
+        let loaded = LoadedSfa::new(parts_of(Arc::new(buf)), &dfa).unwrap();
+        (dfa, sfa, loaded)
+    }
+
+    /// Flattens the SFA tables at the packed width; returns the buffer
+    /// and a parts builder (so tests can corrupt the buffer first).
+    fn encode(
+        dfa: &Dfa,
+        sfa: &DSfa,
+    ) -> (Vec<u8>, impl Fn(ArtifactBytes) -> LoadedSfaParts + use<>) {
+        let n = sfa.num_states();
+        let d = dfa.num_states();
+        let stride = sfa.num_classes();
+        let w = sfa.repr().bytes();
+        let mut buf = Vec::new();
+        let push = |buf: &mut Vec<u8>, id: SfaStateId, w: usize| {
+            buf.extend_from_slice(&id.to_le_bytes()[..w]);
+        };
+        for s in 0..n as SfaStateId {
+            for c in 0..stride {
+                push(&mut buf, sfa.next_by_class(s, c as u16), w);
+            }
+        }
+        let table = 0..buf.len();
+        let byte_table = sfa.premultiplied().then(|| {
+            let start = buf.len();
+            for s in 0..n as SfaStateId {
+                for b in 0..=255u8 {
+                    push(&mut buf, sfa.next_state(s, b), w);
+                }
+            }
+            start..buf.len()
+        });
+        let map_start = buf.len();
+        for s in 0..n as SfaStateId {
+            for q in 0..d as StateId {
+                push(&mut buf, sfa.mapping(s).apply(q), 4);
+            }
+        }
+        let mappings = map_start..buf.len();
+        let (repr, num_states) = (sfa.repr(), n);
+        let parts = move |data: ArtifactBytes| LoadedSfaParts {
+            data,
+            repr,
+            num_states,
+            table: table.clone(),
+            byte_table: byte_table.clone(),
+            mappings: mappings.clone(),
+        };
+        (buf, parts)
+    }
+
+    #[test]
+    fn borrowed_scans_agree_with_owned() {
+        for premultiply in [true, false] {
+            for pattern in ["(ab)*", "(a|b)*abb", "([0-4]{2}[5-9]{2})*", "a{2,4}b{1,3}"] {
+                let (dfa, sfa, loaded) = loaded(pattern, premultiply);
+                assert_eq!(loaded.num_states(), sfa.num_states());
+                assert_eq!(loaded.premultiplied(), sfa.premultiplied());
+                assert_eq!(loaded.repr(), sfa.repr());
+                for input in [&b""[..], b"ab", b"abab", b"abb", b"0055", b"aabbb", b"zzz"] {
+                    let fo = sfa.run(input);
+                    let fb = loaded.run(input);
+                    assert_eq!(fo, fb, "{pattern} {input:?} premultiply={premultiply}");
+                    assert_eq!(loaded.is_accepting(fb), sfa.is_accepting(fo));
+                    assert_eq!(loaded.is_sink(fb), sfa.is_sink(fo));
+                    assert_eq!(loaded.accepts(input), dfa.accepts(input));
+                    assert_eq!(&loaded.mapping(fb), sfa.mapping(fo));
+                    for q in 0..dfa.num_states() as StateId {
+                        assert_eq!(loaded.apply(fb, q), sfa.mapping(fo).apply(q));
+                    }
+                }
+                // Composition and state lookup go through the borrowed
+                // mapping index.
+                let (a, b) = (loaded.run(b"ab"), loaded.run(b"ba"));
+                assert_eq!(loaded.compose_states(a, b), sfa.compose_states(a, b));
+                assert_eq!(loaded.state_of(sfa.mapping(a)), Some(a));
+                // Batch path agrees with one-by-one scans.
+                let jobs: Vec<(SfaStateId, &[u8])> =
+                    vec![(loaded.initial(), b"abab"), (a, b"b"), (loaded.initial(), b"")];
+                let expected: Vec<SfaStateId> =
+                    jobs.iter().map(|&(s, i)| loaded.run_from(s, i)).collect();
+                assert_eq!(loaded.run_from_many(&jobs), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_and_misshapen_tables() {
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let sfa = DSfa::from_dfa(&dfa, &SfaConfig::default()).unwrap();
+        let (buf, parts_of) = encode(&dfa, &sfa);
+
+        // Pristine buffer loads.
+        assert!(LoadedSfa::new(parts_of(Arc::new(buf.clone())), &dfa).is_ok());
+
+        // An out-of-range state id in the class rows fails closed.
+        let mut bad = buf.clone();
+        bad[0] = 0xFF;
+        let err = LoadedSfa::new(parts_of(Arc::new(bad)), &dfa).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+
+        // A truncated buffer fails the range check, not a panic.
+        let short = buf[..buf.len() - 1].to_vec();
+        let err = LoadedSfa::new(parts_of(Arc::new(short)), &dfa).unwrap_err();
+        assert!(err.contains("escapes"), "{err}");
+
+        // A corrupted identity row (state 0) is rejected.
+        let mut bad = buf.clone();
+        let map_range = parts_of(Arc::new(buf.clone())).mappings;
+        bad[map_range.start] = 1;
+        let err = LoadedSfa::new(parts_of(Arc::new(bad)), &dfa).unwrap_err();
+        assert!(err.contains("identity"), "{err}");
+
+        // A mapping entry pointing at a nonexistent DFA state is rejected.
+        let mut bad = buf;
+        bad[map_range.start + 4] = 0xEE;
+        let err = LoadedSfa::new(parts_of(Arc::new(bad)), &dfa).unwrap_err();
+        assert!(err.contains("mapping entry"), "{err}");
+    }
+
+    #[test]
+    fn derived_bitmaps_match_the_owned_automaton() {
+        let (_, sfa, loaded) = loaded("(a|b)*abb", true);
+        for s in 0..sfa.num_states() as SfaStateId {
+            assert_eq!(loaded.is_sink(s), sfa.is_sink(s), "sink {s}");
+            assert_eq!(loaded.is_accepting(s), sfa.is_accepting(s), "accepting {s}");
+            assert_eq!(loaded.accepting_patterns(s), sfa.accepting_patterns(s));
+        }
+        assert_eq!(loaded.table_bytes(), sfa.table_bytes());
+        assert_eq!(loaded.byte_table_bytes(), sfa.byte_table_bytes());
+        assert!(loaded.artifact_bytes() > 0);
+    }
+}

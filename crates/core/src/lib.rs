@@ -20,7 +20,8 @@
 //!   construction (Algorithm 4), plus [`LazyDSfa`] for on-the-fly
 //!   construction (Section V-A),
 //! * [`SfaBackend`] — the pluggable-backend abstraction the matcher layer
-//!   runs on: eager or lazy behind one surface,
+//!   runs on: eager, lazy or borrowed-from-an-artifact behind one surface
+//!   (see [`borrowed::LoadedSfa`]),
 //! * [`NSfa`] — the SFA built directly from an NFA,
 //! * [`stats`] — the size reports behind Figure 3 of the paper.
 //!
@@ -54,6 +55,7 @@
 #![cfg_attr(feature = "simd", deny(unsafe_code))]
 
 pub mod backend;
+pub mod borrowed;
 pub mod dsfa;
 pub mod lazy;
 pub mod mapping;
@@ -63,6 +65,7 @@ pub(crate) mod simd;
 pub mod stats;
 
 pub use backend::{BackendKind, SfaBackend};
+pub use borrowed::{ArtifactBytes, LoadedSfa, LoadedSfaParts};
 pub use dsfa::{DSfa, SfaStateId, StateIdRepr};
 pub use lazy::LazyDSfa;
 pub use mapping::{Correspondence, Transformation};

@@ -106,6 +106,12 @@ pub struct SizeReport {
     /// artifact reports `"scalar"` where the `simd` feature or the CPU
     /// support is absent.
     pub scan_kernel: String,
+    /// On-disk footprint of the serialized artifact this automaton was
+    /// loaded from (or written to), in bytes. `None` when the automaton
+    /// never touched disk — freshly compiled backends and legacy JSON
+    /// reports, which serialize this as `null`. Summed across shards in a
+    /// combined report once any shard carries a value.
+    pub artifact_bytes: Option<usize>,
 }
 
 impl SizeReport {
@@ -127,7 +133,7 @@ impl SizeReport {
     /// it. For lazy backends the SFA-side numbers are a snapshot of the
     /// materialized cache (see the type docs).
     pub fn of_backend(dfa: &Dfa, backend: &SfaBackend) -> SizeReport {
-        Self::build(
+        let mut report = Self::build(
             dfa,
             backend.kind(),
             backend.num_states(),
@@ -136,7 +142,9 @@ impl SizeReport {
             backend.state_id_bytes(),
             backend.byte_table_bytes(),
             backend.scan_kernel(),
-        )
+        );
+        report.artifact_bytes = backend.borrowed().map(|sfa| sfa.artifact_bytes());
+        report
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -170,6 +178,7 @@ impl SizeReport {
             shards: 1,
             max_shard_dfa_states: dfa.num_states(),
             scan_kernel: scan_kernel.to_string(),
+            artifact_bytes: None,
         }
     }
 
@@ -185,10 +194,15 @@ impl SizeReport {
     /// totals. An empty slice yields an all-zero eager report (`ratio` is
     /// `NaN`, `scan_kernel` is `"scalar"`).
     pub fn combine(reports: &[SizeReport]) -> SizeReport {
-        let backend = if reports.iter().all(|r| r.backend == BackendKind::Eager) {
-            BackendKind::Eager
-        } else {
+        let backend = if reports.iter().any(|r| r.backend == BackendKind::Lazy) {
             BackendKind::Lazy
+        } else if !reports.is_empty() && reports.iter().all(|r| r.backend == BackendKind::Borrowed)
+        {
+            BackendKind::Borrowed
+        } else {
+            // All shards fully materialized (eager, or eager mixed with
+            // borrowed): the aggregate behaves eagerly.
+            BackendKind::Eager
         };
         let dfa_states: usize = reports.iter().map(|r| r.dfa_states).sum();
         let sfa_states: usize = reports.iter().map(|r| r.sfa_states).sum();
@@ -217,6 +231,11 @@ impl SizeReport {
                     first.scan_kernel.clone()
                 }
                 Some(_) => "mixed".to_string(),
+            },
+            artifact_bytes: if reports.iter().any(|r| r.artifact_bytes.is_some()) {
+                Some(reports.iter().filter_map(|r| r.artifact_bytes).sum())
+            } else {
+                None
             },
         }
     }
@@ -265,7 +284,8 @@ impl SizeReport {
                 "\"sfa_mapping_bytes\":{},\"state_id_bytes\":{},\"table_bytes\":{},",
                 "\"ratio\":{},\"growth\":\"{}\",",
                 "\"convergence_horizon\":{},\"survivor_states\":{},",
-                "\"shards\":{},\"max_shard_dfa_states\":{},\"scan_kernel\":\"{}\"}}"
+                "\"shards\":{},\"max_shard_dfa_states\":{},\"scan_kernel\":\"{}\",",
+                "\"artifact_bytes\":{}}}"
             ),
             self.backend.as_str(),
             self.patterns,
@@ -286,6 +306,10 @@ impl SizeReport {
             self.shards,
             self.max_shard_dfa_states,
             self.scan_kernel,
+            match self.artifact_bytes {
+                Some(n) => n.to_string(),
+                None => "null".to_string(),
+            },
         )
     }
 
@@ -354,6 +378,13 @@ impl SizeReport {
             scan_kernel: match field(json, "scan_kernel") {
                 Some(s) => s.trim_matches('"').to_string(),
                 None => "scalar".to_string(),
+            },
+            // Reports written before durable artifacts existed lack this
+            // field: nothing was ever serialized to disk.
+            artifact_bytes: match field(json, "artifact_bytes") {
+                None => None,
+                Some("null") => None,
+                Some(s) => Some(s.parse().ok()?),
             },
         })
     }
@@ -642,6 +673,91 @@ mod tests {
         other.scan_kernel = "something-else".to_string();
         assert_eq!(SizeReport::combine(&[r, other]).scan_kernel, "mixed");
         assert_eq!(SizeReport::combine(&[]).scan_kernel, "scalar");
+    }
+
+    #[test]
+    fn artifact_bytes_round_trips_and_legacy_defaults_to_null() {
+        let mut r = report("(ab)*");
+        // Freshly compiled automata never touched disk.
+        assert_eq!(r.artifact_bytes, None);
+        let json = r.to_json();
+        assert!(json.contains("\"artifact_bytes\":null"), "{json}");
+        assert_eq!(SizeReport::from_json(&json).unwrap().artifact_bytes, None);
+        // A loaded automaton reports its on-disk footprint.
+        r.artifact_bytes = Some(4096);
+        let json = r.to_json();
+        assert!(json.contains("\"artifact_bytes\":4096"), "{json}");
+        let back = SizeReport::from_json(&json).unwrap();
+        assert_eq!(back.artifact_bytes, Some(4096));
+        // JSON written before the field existed still parses as None.
+        let legacy_json = json.replace(",\"artifact_bytes\":4096", "");
+        assert!(!legacy_json.contains("artifact_bytes"), "{legacy_json}");
+        assert_eq!(SizeReport::from_json(&legacy_json).unwrap().artifact_bytes, None);
+        // combine(): None until any shard carries a value, then the sum
+        // over the shards that do.
+        let plain = report("abcdef");
+        assert_eq!(SizeReport::combine(&[plain.clone(), plain.clone()]).artifact_bytes, None);
+        let combined = SizeReport::combine(&[r.clone(), plain]);
+        assert_eq!(combined.artifact_bytes, Some(4096));
+        let both = SizeReport::combine(&[r.clone(), r]);
+        assert_eq!(both.artifact_bytes, Some(8192));
+    }
+
+    #[test]
+    fn borrowed_backend_reports_kind_and_artifact_footprint() {
+        use crate::borrowed::{LoadedSfa, LoadedSfaParts};
+        use crate::{SfaStateId, StateIdRepr};
+        use std::sync::Arc;
+        let dfa = minimal_dfa_from_pattern("(ab)*").unwrap();
+        let sfa = DSfa::from_dfa(&dfa, &SfaConfig { premultiply: false, ..SfaConfig::default() })
+            .unwrap();
+        // Flatten the tables the way an artifact stores them.
+        let (n, d, stride, w) =
+            (sfa.num_states(), dfa.num_states(), sfa.num_classes(), sfa.repr().bytes());
+        let mut buf = Vec::new();
+        for s in 0..n as SfaStateId {
+            for c in 0..stride {
+                buf.extend_from_slice(&sfa.next_by_class(s, c as u16).to_le_bytes()[..w]);
+            }
+        }
+        let table = 0..buf.len();
+        let map_start = buf.len();
+        for s in 0..n as SfaStateId {
+            for q in 0..d as u32 {
+                buf.extend_from_slice(&sfa.mapping(s).apply(q).to_le_bytes());
+            }
+        }
+        let mappings = map_start..buf.len();
+        let artifact_len = buf.len();
+        let parts = LoadedSfaParts {
+            data: Arc::new(buf),
+            repr: StateIdRepr::U8,
+            num_states: n,
+            table,
+            byte_table: None,
+            mappings,
+        };
+        let loaded = LoadedSfa::new(parts, &dfa).unwrap();
+        let backend = SfaBackend::from(loaded);
+        assert_eq!(backend.kind(), BackendKind::Borrowed);
+        assert_eq!(BackendKind::parse("Borrowed"), Some(BackendKind::Borrowed));
+        let r = SizeReport::of_backend(&dfa, &backend);
+        assert_eq!(r.backend, BackendKind::Borrowed);
+        assert_eq!(r.artifact_bytes, Some(artifact_len));
+        assert_eq!(r.sfa_states, sfa.num_states());
+        assert_eq!(r.scan_kernel, "scalar");
+        // Round-trips through JSON with the Borrowed kind intact.
+        let back = SizeReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.backend, BackendKind::Borrowed);
+        assert_eq!(back.artifact_bytes, Some(artifact_len));
+        // combine(): all-borrowed stays borrowed, eager+borrowed reports
+        // eager, any lazy shard wins.
+        assert_eq!(SizeReport::combine(&[r.clone(), r.clone()]).backend, BackendKind::Borrowed);
+        let eager = report("(ab)*");
+        assert_eq!(SizeReport::combine(&[r.clone(), eager]).backend, BackendKind::Eager);
+        let mut lazy = report("(ab)*");
+        lazy.backend = BackendKind::Lazy;
+        assert_eq!(SizeReport::combine(&[r, lazy]).backend, BackendKind::Lazy);
     }
 
     #[test]

@@ -122,11 +122,35 @@ where
 /// lanes out of it (see
 /// [`Engine::plan_chunks_interleaved`](crate::pool::Engine::plan_chunks_interleaved)).
 pub fn pack_by_bytes(sizes: &[usize], max_bytes: usize) -> Vec<std::ops::Range<usize>> {
+    pack_by_bytes_lanes(sizes, max_bytes, 1)
+}
+
+/// [`pack_by_bytes`] with a lane-count constraint: a group is only closed
+/// at a multiple of `lanes` items, so every group except possibly the
+/// last carries full lane complements. Backends that interleave `lanes`
+/// independent inputs per scan (the SIMD gather kernels walk
+/// [`INTERLEAVE_LANES`] haystacks in lockstep) only engage the wide
+/// kernel on full lane groups — byte-balanced groups that strand one or
+/// two items at the tail of *every* group keep such batches on the scalar
+/// remainder path. The byte bound becomes soft by up to `lanes − 1`
+/// items: a group may overshoot `max_bytes` while filling out its lane
+/// complement.
+///
+/// `lanes = 1` (or 0) is exactly [`pack_by_bytes`]; the ranges always
+/// partition `0..sizes.len()` in order.
+///
+/// [`INTERLEAVE_LANES`]: sfa_core::dsfa::INTERLEAVE_LANES
+pub fn pack_by_bytes_lanes(
+    sizes: &[usize],
+    max_bytes: usize,
+    lanes: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let lanes = lanes.max(1);
     let mut groups = Vec::new();
     let mut start = 0;
     let mut total = 0usize;
     for (i, &size) in sizes.iter().enumerate() {
-        if i > start && total + size > max_bytes {
+        if i > start && (i - start) % lanes == 0 && total + size > max_bytes {
             groups.push(start..i);
             start = i;
             total = 0;
@@ -211,6 +235,40 @@ mod tests {
                 covered.extend(g.clone());
             }
             assert_eq!(covered, (0..sizes.len()).collect::<Vec<_>>(), "bound {bound}");
+        }
+    }
+
+    #[test]
+    fn lane_packing_closes_groups_on_lane_multiples() {
+        // With lanes = 1 the two functions are identical.
+        let sizes = [100, 100, 100, 100, 100];
+        assert_eq!(pack_by_bytes_lanes(&sizes, 250, 1), pack_by_bytes(&sizes, 250));
+
+        // lanes = 4: the byte bound (250) would close after two items,
+        // but the group only closes at the next multiple of 4.
+        assert_eq!(pack_by_bytes_lanes(&sizes, 250, 4), vec![0..4, 4..5]);
+
+        // Exactly-full lane groups close on the bound like before.
+        let sizes = [100; 8];
+        assert_eq!(pack_by_bytes_lanes(&sizes, 400, 4), vec![0..4, 4..8]);
+
+        // lanes = 0 is clamped to 1, and the partition property holds for
+        // every (bound, lanes) combination.
+        let sizes = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
+        assert_eq!(pack_by_bytes_lanes(&sizes, 7, 0), pack_by_bytes(&sizes, 7));
+        for bound in [1, 7, 50, 1000] {
+            for lanes in [1, 2, 4, 8] {
+                let groups = pack_by_bytes_lanes(&sizes, bound, lanes);
+                let mut covered = Vec::new();
+                for g in &groups {
+                    covered.extend(g.clone());
+                }
+                // Every group but the last is a full lane complement.
+                for g in &groups[..groups.len() - 1] {
+                    assert_eq!(g.len() % lanes, 0, "bound {bound} lanes {lanes} group {g:?}");
+                }
+                assert_eq!(covered, (0..sizes.len()).collect::<Vec<_>>(), "bound {bound}");
+            }
         }
     }
 

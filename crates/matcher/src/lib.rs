@@ -121,7 +121,10 @@ pub mod speculative;
 pub mod strategy;
 pub mod stream;
 
-pub use chunk::{pack_by_bytes, split_chunks, split_chunks_guided, split_chunks_with_offsets};
+pub use chunk::{
+    pack_by_bytes, pack_by_bytes_lanes, split_chunks, split_chunks_guided,
+    split_chunks_with_offsets,
+};
 pub use error::Error;
 pub use executor::{map_chunks, tree_reduce};
 pub use matches::SetMatches;

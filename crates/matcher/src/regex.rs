@@ -336,6 +336,7 @@ impl RegexBuilder {
             collapsed_patterns,
             decided: std::sync::OnceLock::new(),
             convergence: std::sync::OnceLock::new(),
+            convergence_summary: None,
         })
     }
 }
@@ -377,6 +378,12 @@ pub struct Regex {
     /// (by [`Strategy::Auto`] resolution, speculative runs and
     /// [`Regex::size_report`]).
     convergence: std::sync::OnceLock<sfa_analysis::ConvergenceReport>,
+    /// The durable projection of the convergence analysis carried by an
+    /// artifact ([`Regex::from_artifact`]). Lets [`Strategy::Auto`] and
+    /// [`Regex::size_report`] answer without re-running the reach-set
+    /// analysis; an actual guided speculative run still computes the full
+    /// report (it needs the per-state entry sets, not just the class).
+    convergence_summary: Option<sfa_analysis::ConvergenceSummary>,
 }
 
 /// Which stream verdicts are final in which DFA states (see
@@ -441,9 +448,19 @@ impl Regex {
     /// states the traffic visited (see [`SizeReport`]).
     pub fn size_report(&self) -> SizeReport {
         let mut report = SizeReport::of_backend(&self.dfa, &self.backend);
-        let analysis = self.convergence_report();
-        report.convergence_horizon = analysis.compaction_horizon();
-        report.survivor_states = analysis.survivor_count();
+        // The durable summary answers the report's two convergence fields
+        // without the full reach-set analysis — on artifact-loaded
+        // regexes, size reporting stays a metadata read.
+        let (horizon, survivors) = match (self.convergence.get(), &self.convergence_summary) {
+            (Some(full), _) => (full.compaction_horizon(), full.survivor_count()),
+            (None, Some(summary)) => (summary.compaction_horizon(), summary.survivor_count()),
+            (None, None) => {
+                let full = self.convergence_report();
+                (full.compaction_horizon(), full.survivor_count())
+            }
+        };
+        report.convergence_horizon = horizon;
+        report.survivor_states = survivors;
         report
     }
 
@@ -454,6 +471,104 @@ impl Regex {
     /// steers [`Strategy::Auto`] (see [`Regex::auto_strategy`]).
     pub fn convergence_report(&self) -> &sfa_analysis::ConvergenceReport {
         self.convergence.get_or_init(|| sfa_analysis::ConvergenceReport::analyze(&self.dfa))
+    }
+
+    /// Serializes this regex's compiled automata into a durable artifact
+    /// (see [`sfa_serialize`]): the DFA, the eager D-SFA tables at their
+    /// packed width, the decided-state bitmaps, and the convergence
+    /// summary (computed now if it never ran — artifact encoding is the
+    /// build-time step, so the analysis cost belongs here, not at load).
+    ///
+    /// Only eager backends serialize
+    /// ([`Error::ArtifactRequiresEagerBackend`] otherwise): a lazy
+    /// backend has no complete table set, and a borrowed backend already
+    /// *is* an artifact.
+    ///
+    /// ```
+    /// use sfa_matcher::Regex;
+    /// use std::sync::Arc;
+    ///
+    /// let re = Regex::new("(ab)*").unwrap();
+    /// let artifact = re.to_artifact().unwrap();
+    /// let loaded = Regex::from_artifact(Arc::new(artifact)).unwrap();
+    /// assert!(loaded.is_match(b"abab"));
+    /// assert!(!loaded.is_match(b"aba"));
+    /// ```
+    pub fn to_artifact(&self) -> Result<Vec<u8>, Error> {
+        let Some(sfa) = self.backend.eager() else {
+            return Err(Error::ArtifactRequiresEagerBackend);
+        };
+        let maps = self.decided_maps();
+        let summary = self.convergence_report().summary();
+        Ok(sfa_serialize::ArtifactSource {
+            pattern: &self.pattern,
+            mode: match self.mode {
+                MatchMode::Whole => 0,
+                MatchMode::Contains => 1,
+            },
+            collapsed: self.collapsed_patterns,
+            nfa_states: self.nfa_states as u32,
+            dfa: &self.dfa,
+            sfa,
+            decided_verdict: &maps.any,
+            decided_accept: &maps.set,
+            convergence: Some(&summary),
+        }
+        .encode_to_vec())
+    }
+
+    /// Reconstructs a regex from an artifact buffer **zero-copy**: the
+    /// big transition tables are borrowed from `data` (the
+    /// [`BackendKind::Borrowed`](sfa_core::BackendKind) backend), not
+    /// rebuilt and not copied, so cold start is a validation pass instead
+    /// of a compile. Corrupt or version-skewed artifacts fail closed with
+    /// the typed [`Error::ArtifactCorrupt`] /
+    /// [`Error::ArtifactVersionMismatch`] variants.
+    ///
+    /// The loaded regex answers with the exact verdicts of the regex that
+    /// encoded the artifact. Runtime knobs (threads, engine, reduction)
+    /// are not part of the artifact; the defaults apply.
+    pub fn from_artifact(data: sfa_core::ArtifactBytes) -> Result<Regex, Error> {
+        Self::from_loaded(sfa_serialize::load(data)?)
+    }
+
+    /// [`from_artifact`](Regex::from_artifact) over a memory-mapped file:
+    /// the mapping stays alive for the regex's lifetime and its table
+    /// pages are faulted in on demand by actual matching.
+    pub fn load_artifact(path: impl AsRef<std::path::Path>) -> Result<Regex, Error> {
+        Self::from_loaded(sfa_serialize::load_file(path)?)
+    }
+
+    fn from_loaded(loaded: sfa_serialize::LoadedArtifact) -> Result<Regex, Error> {
+        let mode = match loaded.mode {
+            0 => MatchMode::Whole,
+            1 => MatchMode::Contains,
+            // Offset 13 is the mode byte's position in the header.
+            other => {
+                return Err(Error::ArtifactCorrupt {
+                    offset: 13,
+                    reason: format!("unknown match mode {other}"),
+                })
+            }
+        };
+        let decided = std::sync::OnceLock::new();
+        decided
+            .set(DecidedMaps { any: loaded.decided_verdict, set: loaded.decided_accept })
+            .expect("fresh OnceLock accepts its first value");
+        Ok(Regex {
+            pattern: loaded.pattern,
+            mode,
+            threads: default_threads(),
+            reduction: Reduction::Sequential,
+            engine: None,
+            nfa_states: loaded.nfa_states as usize,
+            dfa: loaded.dfa,
+            backend: SfaBackend::Borrowed(loaded.sfa),
+            collapsed_patterns: loaded.collapsed,
+            decided,
+            convergence: std::sync::OnceLock::new(),
+            convergence_summary: loaded.convergence,
+        })
     }
 
     /// The execution engine parallel matching runs on (the shared global
@@ -506,11 +621,25 @@ impl Regex {
     pub fn auto_strategy(&self) -> Strategy {
         if self.threads <= 1 {
             Strategy::Sequential
-        } else if self.convergence_report().prefers_speculation() {
+        } else if self.prefers_speculation() {
             Strategy::Speculative { threads: self.threads, reduction: self.reduction }
         } else {
             Strategy::Parallel { threads: self.threads, reduction: self.reduction }
         }
+    }
+
+    /// Whether [`Strategy::Auto`] should pick guided speculation,
+    /// answered from the cheapest available source: an already-computed
+    /// full report, else the durable summary an artifact carried, else a
+    /// fresh analysis.
+    fn prefers_speculation(&self) -> bool {
+        if let Some(full) = self.convergence.get() {
+            return full.prefers_speculation();
+        }
+        if let Some(summary) = &self.convergence_summary {
+            return summary.prefers_speculation();
+        }
+        self.convergence_report().prefers_speculation()
     }
 
     /// The single execution core every verdict API routes through: runs

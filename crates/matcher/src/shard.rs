@@ -31,7 +31,7 @@
 //! match modes — a `Contains` match contains a word of the raw pattern,
 //! which satisfies every required clause.
 
-use crate::chunk::pack_by_bytes;
+use crate::chunk::pack_by_bytes_lanes;
 use crate::error::Error;
 use crate::pool::MIN_POOL_CHUNK_BYTES;
 use crate::prefilter::Prefilter;
@@ -399,8 +399,11 @@ impl ShardedSet {
     /// sub-batch was smaller than the pool — with hundreds of shards the
     /// hand-offs dominated. Groups are byte-bounded (consecutive active
     /// haystacks up to [`MIN_POOL_CHUNK_BYTES`]-scaled job sizes, an
-    /// oversized haystack alone in its own job), so job granularity is
-    /// balanced regardless of haystack skew.
+    /// oversized haystack alone in its own job) and closed only on full
+    /// lane complements of the shard backend's
+    /// [`preferred_lanes`](sfa_core::SfaBackend::preferred_lanes), so job
+    /// granularity is balanced regardless of haystack skew *and* the
+    /// interleaved kernel runs wide on every group.
     ///
     /// Inside a job the haystacks are scanned with
     /// [`SfaBackend::run_from_many`], which walks [`INTERLEAVE_LANES`]
@@ -432,7 +435,12 @@ impl ShardedSet {
             }
             let sizes: Vec<usize> = idxs.iter().map(|&i| haystacks[i].len()).collect();
             total += sizes.iter().sum::<usize>();
-            for range in pack_by_bytes(&sizes, MIN_POOL_CHUNK_BYTES) {
+            // Close groups only on full lane complements so the shard's
+            // interleaved kernel (the AVX2 gather path under `simd`) runs
+            // wide on every group instead of paying a scalar remainder
+            // per group (see [`pack_by_bytes_lanes`]).
+            let lanes = self.shards[sid].regex.sfa().preferred_lanes();
+            for range in pack_by_bytes_lanes(&sizes, MIN_POOL_CHUNK_BYTES, lanes) {
                 jobs.push((sid, idxs[range].to_vec()));
             }
         }
@@ -674,6 +682,9 @@ mod tests {
             match shard.regex().backend_kind() {
                 BackendKind::Eager => assert!(shard.repr().bytes() <= 2, "{:?}", shard.members()),
                 BackendKind::Lazy => assert_eq!(shard.repr(), StateIdRepr::U32),
+                BackendKind::Borrowed => {
+                    unreachable!("fresh compiles never produce borrowed backends")
+                }
             }
         }
         let widest = sharded.shards().iter().map(|s| s.repr().bytes()).max().unwrap();

@@ -1,0 +1,178 @@
+//! Memory-mapped artifact files.
+//!
+//! [`ArtifactFile::open`] maps an artifact read-only with a hand-rolled
+//! `mmap(2)` binding (the container ships no mmap crate) and falls back
+//! to an ordinary buffered read when mapping is unavailable — non-unix
+//! targets, zero-length files, or an `mmap` failure. Either way the type
+//! is just `AsRef<[u8]> + Send + Sync`, so it slots straight into
+//! [`ArtifactBytes`](sfa_core::ArtifactBytes) for zero-copy loading.
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// A read-only artifact buffer: an OS memory mapping when available,
+/// otherwise the file's bytes read into memory.
+pub struct ArtifactFile {
+    mapping: Mapping,
+}
+
+enum Mapping {
+    #[cfg(unix)]
+    Mmap {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is private and read-only (PROT_READ | MAP_PRIVATE);
+// no &mut access ever exists, so sharing the pointer across threads is
+// the same as sharing a &[u8].
+#[allow(unsafe_code)]
+unsafe impl Send for ArtifactFile {}
+#[allow(unsafe_code)]
+unsafe impl Sync for ArtifactFile {}
+
+#[cfg(unix)]
+mod sys {
+    use core::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    #[allow(unsafe_code)]
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// `MAP_FAILED` is `(void *)-1`, not null.
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+impl ArtifactFile {
+    /// Opens `path` read-only, preferring a private memory mapping so
+    /// loading touches only the pages the loader actually reads.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<ArtifactFile> {
+        let path = path.as_ref();
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 {
+            return Ok(ArtifactFile { mapping: Mapping::Owned(Vec::new()) });
+        }
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "artifact does not fit in the address space",
+            ));
+        }
+        #[cfg(unix)]
+        {
+            if let Some(mapping) = Self::try_mmap(&file, len as usize) {
+                return Ok(ArtifactFile { mapping });
+            }
+        }
+        drop(file);
+        Ok(ArtifactFile { mapping: Mapping::Owned(std::fs::read(path)?) })
+    }
+
+    /// Wraps an in-memory buffer (a cache hit, a test fixture) in the
+    /// same type an opened file yields.
+    pub fn from_bytes(bytes: Vec<u8>) -> ArtifactFile {
+        ArtifactFile { mapping: Mapping::Owned(bytes) }
+    }
+
+    /// Whether the buffer is an OS memory mapping (as opposed to bytes
+    /// read into the heap).
+    pub fn is_mmap(&self) -> bool {
+        #[cfg(unix)]
+        {
+            matches!(self.mapping, Mapping::Mmap { .. })
+        }
+        #[cfg(not(unix))]
+        {
+            false
+        }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_ref().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[cfg(unix)]
+    #[allow(unsafe_code)]
+    fn try_mmap(file: &File, len: usize) -> Option<Mapping> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: fd is valid for the duration of the call; a fresh
+        // private read-only mapping of `len` bytes either succeeds and is
+        // ours to unmap in Drop, or returns MAP_FAILED.
+        let ptr = unsafe {
+            sys::mmap(
+                core::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() || ptr.is_null() {
+            return None;
+        }
+        Some(Mapping::Mmap { ptr, len })
+    }
+}
+
+impl AsRef<[u8]> for ArtifactFile {
+    #[allow(unsafe_code)]
+    fn as_ref(&self) -> &[u8] {
+        match &self.mapping {
+            // SAFETY: ptr..ptr+len is a live PROT_READ mapping owned by
+            // self; it stays valid until Drop unmaps it, and no mutable
+            // alias can exist.
+            #[cfg(unix)]
+            Mapping::Mmap { ptr, len } => unsafe {
+                core::slice::from_raw_parts(ptr.cast::<u8>(), *len)
+            },
+            Mapping::Owned(bytes) => bytes,
+        }
+    }
+}
+
+impl Drop for ArtifactFile {
+    #[allow(unsafe_code)]
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Mapping::Mmap { ptr, len } = self.mapping {
+            // SAFETY: exactly the region mmap returned; unmapped once.
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ArtifactFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactFile")
+            .field("len", &self.len())
+            .field("mmap", &self.is_mmap())
+            .finish()
+    }
+}

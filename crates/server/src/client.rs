@@ -1,0 +1,199 @@
+//! A blocking client for the match service.
+//!
+//! One connection, one request in flight — exactly the shape the server's
+//! batched admission expects many of. [`Client::matches_batch`] surfaces
+//! the server's backpressure as the typed [`ClientError::Retry`];
+//! [`Client::matches_batch_retrying`] is the polite loop around it.
+
+use crate::protocol::{
+    read_frame, send_frame, PayloadReader, PayloadWriter, OP_MATCH, OP_REGISTER, OP_SHUTDOWN,
+    STATUS_ERROR, STATUS_OK, STATUS_RETRY,
+};
+use crate::RegisterSource;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server answered `STATUS_ERROR` with this message.
+    Server(String),
+    /// The server answered `STATUS_RETRY`: the request was **not**
+    /// processed; resend it after the hinted delay (milliseconds).
+    Retry(u32),
+    /// The server answered with a frame the protocol does not define.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Retry(ms) => write!(f, "server backpressure: retry after {ms} ms"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+enum Transport {
+    Tcp(std::net::TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Transport {
+    fn stream(&mut self) -> &mut dyn ReadWrite {
+        match self {
+            Transport::Tcp(s) => s,
+            #[cfg(unix)]
+            Transport::Unix(s) => s,
+        }
+    }
+}
+
+trait ReadWrite: Read + Write {}
+impl<T: Read + Write> ReadWrite for T {}
+
+/// A blocking connection to a [`Server`](crate::Server).
+pub struct Client {
+    transport: Transport,
+}
+
+impl Client {
+    /// Connects over TCP.
+    pub fn connect_tcp(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { transport: Transport::Tcp(stream) })
+    }
+
+    /// Connects over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: impl AsRef<std::path::Path>) -> io::Result<Client> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        Ok(Client { transport: Transport::Unix(stream) })
+    }
+
+    fn round_trip(
+        &mut self,
+        opcode: u8,
+        payload: PayloadWriter,
+    ) -> Result<(u8, Vec<u8>), ClientError> {
+        let mut stream = self.transport.stream();
+        send_frame(&mut stream, &payload.frame(opcode))?;
+        match read_frame(&mut stream)? {
+            Some(frame) => Ok(frame),
+            None => Err(ClientError::Protocol("server closed mid-request".to_string())),
+        }
+    }
+
+    /// Decodes the three response statuses shared by every operation.
+    fn expect_ok(frame: (u8, Vec<u8>)) -> Result<Vec<u8>, ClientError> {
+        let (status, body) = frame;
+        match status {
+            STATUS_OK => Ok(body),
+            STATUS_ERROR => {
+                let mut r = PayloadReader::new(&body);
+                Err(ClientError::Server(r.string().unwrap_or_else(|_| "<garbled>".to_string())))
+            }
+            STATUS_RETRY => {
+                let mut r = PayloadReader::new(&body);
+                Err(ClientError::Retry(r.u32().unwrap_or(1)))
+            }
+            other => Err(ClientError::Protocol(format!("unknown status {other}"))),
+        }
+    }
+
+    /// Registers (or replaces) a tenant namespace; returns the pattern
+    /// count and where the automaton came from (artifact, cache, or a
+    /// fresh compile).
+    pub fn register(
+        &mut self,
+        tenant: &str,
+        patterns: &[&str],
+    ) -> Result<(usize, RegisterSource), ClientError> {
+        let mut payload = PayloadWriter::new().bytes(tenant.as_bytes()).u32(patterns.len() as u32);
+        for p in patterns {
+            payload = payload.bytes(p.as_bytes());
+        }
+        let body = Self::expect_ok(self.round_trip(OP_REGISTER, payload)?)?;
+        let mut r = PayloadReader::new(&body);
+        let count = r.u32()? as usize;
+        let source = RegisterSource::from_byte(r.u8()?)
+            .ok_or_else(|| ClientError::Protocol("bad register source".to_string()))?;
+        Ok((count, source))
+    }
+
+    /// Matches a batch of haystacks under `tenant`, returning each
+    /// haystack's matched pattern ids. Backpressure surfaces as
+    /// [`ClientError::Retry`] — nothing was processed.
+    pub fn matches_batch(
+        &mut self,
+        tenant: &str,
+        haystacks: &[&[u8]],
+    ) -> Result<Vec<Vec<u32>>, ClientError> {
+        let mut payload = PayloadWriter::new().bytes(tenant.as_bytes()).u32(haystacks.len() as u32);
+        for h in haystacks {
+            payload = payload.bytes(h);
+        }
+        let body = Self::expect_ok(self.round_trip(OP_MATCH, payload)?)?;
+        let mut r = PayloadReader::new(&body);
+        let n = r.u32()? as usize;
+        if n != haystacks.len() {
+            return Err(ClientError::Protocol(format!(
+                "asked about {} haystacks, answered for {n}",
+                haystacks.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = r.u32()? as usize;
+            let mut ids = Vec::with_capacity(k.min(1024));
+            for _ in 0..k {
+                ids.push(r.u32()?);
+            }
+            out.push(ids);
+        }
+        r.finish()?;
+        Ok(out)
+    }
+
+    /// [`matches_batch`](Client::matches_batch) that sleeps out
+    /// backpressure: on [`ClientError::Retry`] it waits the hinted delay
+    /// and resends, up to `max_retries` times.
+    pub fn matches_batch_retrying(
+        &mut self,
+        tenant: &str,
+        haystacks: &[&[u8]],
+        max_retries: usize,
+    ) -> Result<Vec<Vec<u32>>, ClientError> {
+        let mut attempt = 0;
+        loop {
+            match self.matches_batch(tenant, haystacks) {
+                Err(ClientError::Retry(ms)) if attempt < max_retries => {
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(u64::from(ms.max(1))));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Asks the server to drain and stop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        Self::expect_ok(self.round_trip(OP_SHUTDOWN, PayloadWriter::new())?)?;
+        Ok(())
+    }
+}

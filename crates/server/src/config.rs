@@ -1,0 +1,39 @@
+//! Server configuration.
+
+use sfa_matcher::MatchMode;
+use std::path::PathBuf;
+
+/// Tuning knobs for a [`Server`](crate::Server). `Default` is a sensible
+/// scanning service: substring semantics, a 256-deep admission queue, a
+/// 5 ms retry hint, a 64 MiB compile cache, and no artifact directory.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Match semantics for every tenant's patterns. Services usually scan
+    /// ([`MatchMode::Contains`], the default); whole-input membership is
+    /// the paper's semantics.
+    pub mode: MatchMode,
+    /// Bound on the admission queue; a full queue answers `STATUS_RETRY`
+    /// instead of queueing invisibly.
+    pub queue_depth: usize,
+    /// The retry delay hint (milliseconds) sent with `STATUS_RETRY`.
+    pub retry_after_ms: u32,
+    /// Durable artifact directory: registrations load from here
+    /// zero-copy when a valid artifact exists, and fresh compiles write
+    /// back here (best effort) to warm the next cold start.
+    pub artifact_dir: Option<PathBuf>,
+    /// Byte bound of the in-memory encoded-artifact LRU shared by all
+    /// tenants.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            mode: MatchMode::Contains,
+            queue_depth: 256,
+            retry_after_ms: 5,
+            artifact_dir: None,
+            cache_bytes: 64 << 20,
+        }
+    }
+}

@@ -3,7 +3,9 @@
 //! Workload generators for the SFA experiments: the synthetic SNORT-like
 //! ruleset behind Figure 3, the `r_n` scalability family and its accepted
 //! input texts behind Figures 6–10 and Table III, the streaming log-replay
-//! scenario (a corpus cut into arrival-time blocks), plus generic corpora.
+//! scenario (a corpus cut into arrival-time blocks), the match-service
+//! request stream (batched haystacks the way a server receives them),
+//! plus generic corpora.
 //!
 //! Everything is deterministic for a given seed so every figure of
 //! EXPERIMENTS.md can be regenerated exactly.
@@ -12,6 +14,7 @@
 #![forbid(unsafe_code)]
 
 pub mod scalability;
+pub mod service;
 pub mod snort;
 pub mod streaming;
 
@@ -19,6 +22,7 @@ pub use scalability::{
     digit_text, fig10_pattern, fig10_text, random_bytes, repeated_a_text, rn_or_a_pattern,
     rn_pattern, rn_text, window_pattern,
 };
+pub use service::{service_bytes, service_requests, ServiceConfig};
 pub use snort::{
     corpus_1k, ruleset, SnortConfig, CORPUS_1K, CORPUS_1K_SEED, CURATED_PATTERNS, IDS_SCAN_RULES,
     SQLI_RULE,

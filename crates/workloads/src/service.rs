@@ -1,0 +1,106 @@
+//! Match-service traffic scenario: the request stream a multi-tenant
+//! match server receives — many independent clients, each sending batches
+//! of moderately sized documents (grouped log records), with attack
+//! needles planted at deterministic positions.
+//!
+//! Unlike the [streaming](crate::streaming) scenario, the unit here is a
+//! *request*: a batch of whole haystacks that one connection submits in a
+//! single `MATCH` frame. The server's dispatcher flattens concurrent
+//! requests into one batched scan, so the generator's job is to produce
+//! enough same-shaped requests to make that flattening visible.
+//!
+//! Everything is deterministic for a given seed.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Configuration of the match-service traffic scenario.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of requests in the stream.
+    pub requests: usize,
+    /// Haystacks (documents) per request.
+    pub batch: usize,
+    /// Log lines grouped into one haystack — larger groups amortize
+    /// per-haystack dispatch, exactly like the batched-scan benches.
+    pub lines_per_haystack: usize,
+    /// One attack line every `attack_every` lines across the whole
+    /// corpus (0 ⇒ no attacks), the same knob as
+    /// [`http_log`](crate::http_log).
+    pub attack_every: usize,
+    /// RNG seed for the underlying corpus.
+    pub seed: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            requests: 64,
+            batch: 32,
+            lines_per_haystack: 40,
+            attack_every: 97,
+            seed: 0x5FA5E,
+        }
+    }
+}
+
+/// Generates the request stream: `requests` batches of `batch` haystacks,
+/// each haystack a space-joined group of `lines_per_haystack` log lines
+/// from one deterministic [`http_log`](crate::http_log) corpus.
+///
+/// The corpus is generated once and sliced in order, so concatenating all
+/// requests' haystacks walks the log front to back and the planted attack
+/// lines land in predictable haystacks — per-haystack verdicts are
+/// reproducible for a given config.
+pub fn service_requests(config: &ServiceConfig) -> Vec<Vec<Vec<u8>>> {
+    let haystacks = config.requests * config.batch;
+    let lines = haystacks * config.lines_per_haystack.max(1);
+    let log = crate::http_log(lines, config.attack_every, config.seed);
+    let raw: Vec<&[u8]> = log.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+    let mut grouped: Vec<Vec<u8>> =
+        raw.chunks(config.lines_per_haystack.max(1)).map(|c| c.join(&b' ')).collect();
+    grouped.truncate(haystacks);
+    // Shuffle haystacks across requests (but keep each haystack intact):
+    // concurrent clients do not replay a log in lockstep.
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA5A5_A5A5_A5A5_A5A5);
+    grouped.shuffle(&mut rng);
+    grouped.chunks(config.batch.max(1)).map(|c| c.to_vec()).collect()
+}
+
+/// Total payload bytes across every request of the stream — the
+/// numerator of a service-throughput measurement.
+pub fn service_bytes(requests: &[Vec<Vec<u8>>]) -> usize {
+    requests.iter().flatten().map(Vec::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_stream_shape_is_exact() {
+        let config = ServiceConfig { requests: 8, batch: 4, ..Default::default() };
+        let stream = service_requests(&config);
+        assert_eq!(stream.len(), 8);
+        assert!(stream.iter().all(|r| r.len() == 4));
+        assert!(service_bytes(&stream) > 0);
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_carries_attacks() {
+        let config = ServiceConfig::default();
+        let a = service_requests(&config);
+        let b = service_requests(&config);
+        assert_eq!(a, b);
+        let attacks =
+            a.iter().flatten().filter(|h| h.windows(11).any(|w| w == b"/cgi-bin/ph")).count();
+        assert!(attacks > 0, "planted attack lines must survive grouping");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = service_requests(&ServiceConfig::default());
+        let b = service_requests(&ServiceConfig { seed: 1, ..Default::default() });
+        assert_ne!(a, b);
+    }
+}

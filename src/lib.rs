@@ -18,7 +18,12 @@
 //!   (Algorithm 3) and SFA-parallel (Algorithm 5) matching over either
 //!   backend,
 //! * [`monoid`] — syntactic monoids and the state-explosion families,
-//! * [`workloads`] — the SNORT-like corpus and scalability inputs.
+//! * [`workloads`] — the SNORT-like corpus and scalability inputs,
+//! * [`serialize`] — durable compiled-automaton artifacts: versioned,
+//!   checksummed binary format with a zero-copy loader and a compile
+//!   cache,
+//! * [`server`] — a multi-tenant match service with batched admission,
+//!   artifact-backed cold starts and explicit backpressure.
 //!
 //! ## Quick start
 //!
@@ -40,6 +45,8 @@ pub use sfa_core as core;
 pub use sfa_matcher as matcher;
 pub use sfa_monoid as monoid;
 pub use sfa_regex_syntax as regex_syntax;
+pub use sfa_serialize as serialize;
+pub use sfa_server as server;
 pub use sfa_workloads as workloads;
 
 /// The most commonly used items, re-exported flat.
